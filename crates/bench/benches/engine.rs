@@ -1,0 +1,170 @@
+//! Criterion micro-benchmarks: wall-clock cost of engine operations.
+//!
+//! The per-figure binaries report *simulated* I/O time (deterministic);
+//! these benches track the real CPU cost of the engine itself — useful
+//! for catching performance regressions in the tree, allocator, and
+//! buffer-pool code paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use lobstore_core::{Db, DbConfig};
+use lobstore_workload::{build_object, fill_bytes, ManagerSpec};
+
+fn fresh() -> Db {
+    Db::new(DbConfig::default())
+}
+
+const OBJ: u64 = 1 << 20; // 1 MB objects keep each iteration snappy
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build_1mb_16k_appends");
+    for spec in [
+        ManagerSpec::esm(4),
+        ManagerSpec::eos(4),
+        ManagerSpec::starburst(),
+    ] {
+        g.bench_function(spec.label(), |b| {
+            b.iter_batched(
+                fresh,
+                |mut db| {
+                    let (obj, rep) = build_object(&mut db, &spec, OBJ, 16 * 1024).unwrap();
+                    black_box((obj.root_page(), rep.io));
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_random_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_10k_random");
+    for spec in [
+        ManagerSpec::esm(4),
+        ManagerSpec::eos(16),
+        ManagerSpec::starburst(),
+    ] {
+        let mut db = fresh();
+        let (obj, _) = build_object(&mut db, &spec, OBJ, 64 * 1024).unwrap();
+        let mut buf = vec![0u8; 10_000];
+        let mut at = 0u64;
+        g.bench_function(spec.label(), |b| {
+            b.iter(|| {
+                at = (at * 6_364_136_223_846_793_005 + 1) % (OBJ - 10_000);
+                obj.read(&mut db, at, &mut buf).unwrap();
+                black_box(buf[0]);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert_delete(c: &mut Criterion) {
+    let mut g = c.benchmark_group("insert_delete_1k");
+    g.sample_size(20);
+    for spec in [ManagerSpec::esm(4), ManagerSpec::eos(4)] {
+        let mut db = fresh();
+        let (mut obj, _) = build_object(&mut db, &spec, OBJ, 64 * 1024).unwrap();
+        let mut chunk = vec![0u8; 1_000];
+        fill_bytes(&mut chunk, 1);
+        let mut at = 0u64;
+        g.bench_function(spec.label(), |b| {
+            b.iter(|| {
+                at = (at * 2_862_933_555_777_941_757 + 3) % (OBJ / 2);
+                obj.insert(&mut db, at, &chunk).unwrap();
+                obj.delete(&mut db, at, 1_000).unwrap();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sequential_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_64k_chunks");
+    g.sample_size(30);
+    for spec in [ManagerSpec::esm(16), ManagerSpec::eos(16)] {
+        let mut db = fresh();
+        let (obj, _) = build_object(&mut db, &spec, OBJ, 64 * 1024).unwrap();
+        g.bench_function(spec.label(), |b| {
+            b.iter(|| {
+                let rep =
+                    lobstore_workload::sequential_scan(&mut db, obj.as_ref(), 64 * 1024).unwrap();
+                black_box(rep.bytes);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_buddy_allocator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("buddy");
+    g.bench_function("alloc_free_cycle_8p", |b| {
+        let mut db = fresh();
+        b.iter(|| {
+            let e = db.alloc_leaf(8);
+            db.free_leaf(black_box(e));
+        });
+    });
+    g.bench_function("alloc_free_mixed_sizes", |b| {
+        let mut db = fresh();
+        let mut held: Vec<lobstore_core::Extent> = Vec::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            if held.len() > 32 {
+                db.free_leaf(held.swap_remove((i as usize * 7) % held.len()));
+            } else {
+                held.push(db.alloc_leaf(1 + (i % 60)));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_buffer_pool(c: &mut Criterion) {
+    use lobstore_bufpool::{BufferPool, PoolConfig};
+    use lobstore_simdisk::{AreaId, CostModel, PageId, SimDisk};
+    let mut g = c.benchmark_group("bufpool");
+    g.bench_function("fix_hit", |b| {
+        let mut pool = BufferPool::new(SimDisk::new(1, CostModel::FREE), PoolConfig::default());
+        let pid = PageId::new(AreaId(0), 0);
+        let r = pool.fix(pid);
+        pool.unfix(r);
+        b.iter(|| {
+            let r = pool.fix(black_box(pid));
+            pool.unfix(r);
+        });
+    });
+    g.bench_function("fix_miss_evict", |b| {
+        let mut pool = BufferPool::new(SimDisk::new(1, CostModel::FREE), PoolConfig::default());
+        let mut p = 0u32;
+        b.iter(|| {
+            p = p.wrapping_add(13) % 10_000; // always a miss
+            let r = pool.fix(PageId::new(AreaId(0), black_box(p)));
+            pool.unfix(r);
+        });
+    });
+    g.bench_function("read_segment_4p_buffered", |b| {
+        let mut pool = BufferPool::new(SimDisk::new(1, CostModel::FREE), PoolConfig::default());
+        pool.disk_mut().poke(AreaId(0), 0, &vec![7u8; 16 * 4096]);
+        let mut out = vec![0u8; 12_000];
+        let mut off = 0u64;
+        b.iter(|| {
+            off = (off + 977) % 50_000;
+            pool.read_segment(AreaId(0), 0, black_box(off), &mut out);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_random_read,
+    bench_insert_delete,
+    bench_sequential_scan,
+    bench_buddy_allocator,
+    bench_buffer_pool
+);
+criterion_main!(benches);

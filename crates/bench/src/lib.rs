@@ -1,0 +1,293 @@
+//! Shared harness for the per-figure benchmark binaries.
+//!
+//! Every binary regenerates one table or figure of Biliris SIGMOD '92.
+//! Absolute numbers depend only on the Table 1 cost model, so runs are
+//! deterministic; the *shapes* (who wins, by what factor, where the
+//! crossovers fall) are the reproduction targets — see EXPERIMENTS.md.
+//!
+//! All binaries accept:
+//!
+//! ```text
+//! --mb <N>     object size in MB        (default 10, the paper's)
+//! --ops <N>    mixed-workload ops       (default 10000)
+//! --quick      1 MB / 1000 ops smoke scale
+//! --csv <dir>  also write every table as CSV into <dir>
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use lobstore_core::{Db, DbConfig};
+use lobstore_workload::ManagerSpec;
+
+/// Directory for machine-readable CSV copies of every printed table
+/// (`--csv <dir>`); tables are numbered per process in print order.
+static CSV_DIR: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+static CSV_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// The exact append/scan sizes of Figure 5's x-axis (in KB), from the
+/// paper's footnote 2.
+pub const PAPER_APPEND_KB: [usize; 21] = [
+    3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 28, 32, 50, 64, 100, 128, 200, 256, 512,
+];
+
+/// ESM leaf sizes evaluated by the paper (§4.1).
+pub const ESM_LEAF_PAGES: [u32; 4] = [1, 4, 16, 64];
+
+/// EOS segment-size thresholds evaluated by the paper (§4.1).
+pub const EOS_THRESHOLDS: [u32; 4] = [1, 4, 16, 64];
+
+/// Mean operation sizes of §4.4 (bytes).
+pub const MEAN_OP_SIZES: [u64; 3] = [100, 10_000, 100_000];
+
+/// Experiment scale, adjustable from the command line.
+#[derive(Copy, Clone, Debug)]
+pub struct Scale {
+    pub object_bytes: u64,
+    pub ops: usize,
+    pub mark_every: usize,
+}
+
+impl Scale {
+    /// The paper's scale: a 10 MB object, 10 000 operations, marks every
+    /// 2 000.
+    pub fn paper() -> Scale {
+        Scale {
+            object_bytes: 10 << 20,
+            ops: 10_000,
+            mark_every: 2_000,
+        }
+    }
+
+    /// Reduced scale for smoke runs.
+    pub fn quick() -> Scale {
+        Scale {
+            object_bytes: 1 << 20,
+            ops: 1_000,
+            mark_every: 200,
+        }
+    }
+
+    /// Parse `--mb`, `--ops`, `--quick` from the process arguments.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let mut scale = Scale::paper();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => scale = Scale::quick(),
+                "--mb" => {
+                    i += 1;
+                    let mb: u64 = args[i].parse().expect("--mb takes a number");
+                    scale.object_bytes = mb << 20;
+                }
+                "--ops" => {
+                    i += 1;
+                    scale.ops = args[i].parse().expect("--ops takes a number");
+                    scale.mark_every = (scale.ops / 5).max(1);
+                }
+                "--csv" => {
+                    i += 1;
+                    let dir = std::path::PathBuf::from(&args[i]);
+                    std::fs::create_dir_all(&dir).expect("create --csv directory");
+                    let _ = CSV_DIR.set(Some(dir));
+                }
+                other => panic!("unknown argument {other} (try --mb N, --ops N, --quick, --csv DIR)"),
+            }
+            i += 1;
+        }
+        scale
+    }
+
+    pub fn object_mb(&self) -> f64 {
+        self.object_bytes as f64 / (1 << 20) as f64
+    }
+}
+
+/// A fresh paper-default database.
+pub fn fresh_db() -> Db {
+    Db::new(DbConfig::default())
+}
+
+/// Print the Table 1 banner every figure shares.
+pub fn print_banner(title: &str, scale: Scale) {
+    println!("== {title} ==");
+    println!(
+        "   4K pages | 12-page pool | 4-page buffering limit | 33 ms seek | 1 KB/ms transfer"
+    );
+    println!(
+        "   object {:.0} MB | {} ops, marks every {}\n",
+        scale.object_mb(),
+        scale.ops,
+        scale.mark_every
+    );
+}
+
+/// Column specs of the standard manager sweeps.
+pub fn esm_specs() -> Vec<ManagerSpec> {
+    ESM_LEAF_PAGES.iter().map(|&p| ManagerSpec::esm(p)).collect()
+}
+
+pub fn eos_specs() -> Vec<ManagerSpec> {
+    EOS_THRESHOLDS.iter().map(|&t| ManagerSpec::eos(t)).collect()
+}
+
+/// Run the §4.4 update experiment for every spec: build the object with
+/// exact-fit appends (initial utilization ≈ 100 %), trim, then apply the
+/// 40/30/30 mixed workload with mean operation size `mean`, collecting a
+/// mark every `scale.mark_every` ops. Returns `(label, report)` pairs.
+pub fn run_update_sweep(
+    specs: &[ManagerSpec],
+    scale: Scale,
+    mean: u64,
+) -> Vec<(String, lobstore_workload::MixedReport)> {
+    use lobstore_workload::{build_object, MixedConfig, MixedWorkload};
+    specs
+        .iter()
+        .map(|spec| {
+            let mut db = fresh_db();
+            // Exact-fit build keeps ESM leaves full; 256 KB for the rest.
+            let append = match *spec {
+                ManagerSpec::Esm { leaf_pages } => leaf_pages as usize * 4096,
+                _ => 256 * 1024,
+            };
+            let (mut obj, _) =
+                build_object(&mut db, spec, scale.object_bytes, append).expect("build");
+            let mut w = MixedWorkload::new(MixedConfig {
+                ops: scale.ops,
+                mark_every: scale.mark_every,
+                mean_op_bytes: mean,
+                ..MixedConfig::default()
+            });
+            let report = w.run(&mut db, obj.as_mut()).expect("mixed workload");
+            obj.check_invariants(&db).expect("invariants after workload");
+            (spec.label(), report)
+        })
+        .collect()
+}
+
+/// Print one mark-by-mark table for `metric` over the sweep results.
+pub fn print_mark_table(
+    title: &str,
+    sweep: &[(String, lobstore_workload::MixedReport)],
+    metric: impl Fn(&lobstore_workload::Mark) -> String,
+) {
+    println!("{title}");
+    let mut headers = vec!["ops".to_string()];
+    headers.extend(sweep.iter().map(|(l, _)| l.clone()));
+    let n_marks = sweep[0].1.marks.len();
+    let mut rows = Vec::with_capacity(n_marks);
+    for i in 0..n_marks {
+        let mut row = vec![sweep[0].1.marks[i].ops_done.to_string()];
+        for (_, rep) in sweep {
+            row.push(metric(&rep.marks[i]));
+        }
+        rows.push(row);
+    }
+    print_table(&headers, &rows);
+}
+
+/// Render an aligned text table: `headers` then rows of equal length.
+pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    write_csv(headers, rows);
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{cell:>w$}"));
+        }
+        s
+    };
+    println!("{}", line(headers));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    for row in rows {
+        println!("{}", line(row));
+    }
+    println!();
+}
+
+/// Write a CSV copy of a printed table into the `--csv` directory (if
+/// one was given), named `<binary>_<sequence>.csv`.
+fn write_csv(headers: &[String], rows: &[Vec<String>]) {
+    let Some(Some(dir)) = CSV_DIR.get().map(Option::as_ref).map(|d| d.map(|p| p.to_path_buf())) else {
+        return;
+    };
+    let bin = std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "table".to_string());
+    let n = CSV_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!("{bin}_{n:02}.csv"));
+    let mut out = String::new();
+    let quote = |c: &str| {
+        if c.contains(',') || c.contains('"') {
+            format!("\"{}\"", c.replace('"', "\"\""))
+        } else {
+            c.to_string()
+        }
+    };
+    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Format an optional millisecond value.
+pub fn fmt_ms(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |ms| format!("{ms:.1}"))
+}
+
+/// Format seconds.
+pub fn fmt_s(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a utilization ratio as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(PAPER_APPEND_KB.len(), 21);
+        assert_eq!(Scale::paper().object_bytes, 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn spec_sweeps() {
+        assert_eq!(esm_specs().len(), 4);
+        assert_eq!(eos_specs().len(), 4);
+        assert_eq!(esm_specs()[2].label(), "ESM/16");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(None), "-");
+        assert_eq!(fmt_ms(Some(37.04)), "37.0");
+        assert_eq!(fmt_pct(0.985), "98.5%");
+        assert_eq!(fmt_s(22.34), "22.3");
+    }
+}

@@ -1,0 +1,119 @@
+//! Shape assertions: the qualitative findings of §4 must hold at reduced
+//! scale, so regressions in any layer surface as a failed claim rather
+//! than a silently wrong figure.
+
+use lobstore_bench::{run_update_sweep, Scale};
+use lobstore_workload::{ManagerSpec, MixedReport, OpKind};
+
+fn tiny() -> Scale {
+    Scale {
+        object_bytes: 1 << 20,
+        ops: 800,
+        mark_every: 200,
+    }
+}
+
+fn last_util(rep: &MixedReport) -> f64 {
+    rep.marks.last().unwrap().utilization
+}
+
+fn avg(rep: &MixedReport, kind: OpKind) -> f64 {
+    rep.avg_ms(kind, &rep.marks).expect("ops of this kind ran")
+}
+
+/// Figure 7.c: for 100 KB operations, small ESM leaves hold much better
+/// utilization than large ones (≈96 % vs ≈75 % in the paper).
+#[test]
+fn fig7c_small_leaves_win_utilization_for_big_ops() {
+    let sweep = run_update_sweep(
+        &[ManagerSpec::esm(1), ManagerSpec::esm(64)],
+        tiny(),
+        100_000,
+    );
+    let (u1, u64_) = (last_util(&sweep[0].1), last_util(&sweep[1].1));
+    assert!(u1 > 0.90, "ESM/1 utilization {u1:.3}");
+    assert!(u64_ < 0.85, "ESM/64 utilization {u64_:.3}");
+    assert!(u1 - u64_ > 0.10, "gap too small: {u1:.3} vs {u64_:.3}");
+}
+
+/// Figure 8: EOS utilization is ordered by threshold, with T=64 nearly
+/// perfect, for every operation size.
+#[test]
+fn fig8_eos_utilization_ordered_by_threshold() {
+    for mean in [10_000u64, 100_000] {
+        let sweep = run_update_sweep(&[ManagerSpec::eos(1), ManagerSpec::eos(64)], tiny(), mean);
+        let (u1, u64_) = (last_util(&sweep[0].1), last_util(&sweep[1].1));
+        assert!(u64_ > u1, "mean {mean}: T=64 {u64_:.3} vs T=1 {u1:.3}");
+        assert!(u64_ > 0.95, "mean {mean}: T=64 {u64_:.3}");
+    }
+}
+
+/// Figure 9.c: 100 KB reads cost far more on 1-page leaves than 64-page
+/// leaves (random page fetches vs sequential segment reads).
+#[test]
+fn fig9c_read_cost_falls_with_leaf_size() {
+    let sweep = run_update_sweep(
+        &[ManagerSpec::esm(1), ManagerSpec::esm(64)],
+        tiny(),
+        100_000,
+    );
+    let (r1, r64) = (avg(&sweep[0].1, OpKind::Read), avg(&sweep[1].1, OpKind::Read));
+    assert!(
+        r1 > 2.5 * r64,
+        "ESM/1 reads {r1:.0} ms should dwarf ESM/64 {r64:.0} ms"
+    );
+}
+
+/// §4.4.2: for the same setting, EOS reads cost no more than ESM reads
+/// (EOS keeps inserted bytes in one variable-size segment).
+#[test]
+fn eos_reads_beat_esm_for_small_segments() {
+    let mean = 100_000u64;
+    let esm = run_update_sweep(&[ManagerSpec::esm(1)], tiny(), mean);
+    let eos = run_update_sweep(&[ManagerSpec::eos(1)], tiny(), mean);
+    let (re, ro) = (avg(&esm[0].1, OpKind::Read), avg(&eos[0].1, OpKind::Read));
+    assert!(ro < re, "EOS/1 {ro:.0} ms must beat ESM/1 {re:.0} ms");
+}
+
+/// Figure 11.c: the best ESM leaf size for 100 KB inserts is the one
+/// closest to the insert size (16 pages), and 1-page leaves are poor.
+#[test]
+fn fig11c_insert_cost_minimized_near_insert_size() {
+    let sweep = run_update_sweep(
+        &[ManagerSpec::esm(1), ManagerSpec::esm(16), ManagerSpec::esm(64)],
+        tiny(),
+        100_000,
+    );
+    let i1 = avg(&sweep[0].1, OpKind::Insert);
+    let i16 = avg(&sweep[1].1, OpKind::Insert);
+    let i64_ = avg(&sweep[2].1, OpKind::Insert);
+    assert!(i16 < i64_, "16-page {i16:.0} ms must beat 64-page {i64_:.0} ms");
+    assert!(i16 < i1, "16-page {i16:.0} ms must beat 1-page {i1:.0} ms");
+}
+
+/// Figure 12: EOS insert cost is flat for T ∈ {1,4} and rises beyond.
+#[test]
+fn fig12_eos_insert_cost_rises_above_t4() {
+    let sweep = run_update_sweep(
+        &[ManagerSpec::eos(1), ManagerSpec::eos(4), ManagerSpec::eos(64)],
+        tiny(),
+        10_000,
+    );
+    let i1 = avg(&sweep[0].1, OpKind::Insert);
+    let i4 = avg(&sweep[1].1, OpKind::Insert);
+    let i64_ = avg(&sweep[2].1, OpKind::Insert);
+    assert!(
+        (i1 - i4).abs() < 0.35 * i1.max(i4),
+        "T=1 ({i1:.0}) and T=4 ({i4:.0}) should be close"
+    );
+    assert!(i64_ > 1.5 * i4, "T=64 ({i64_:.0}) must exceed T=4 ({i4:.0})");
+}
+
+/// §4.4.3: delete trends mirror insert trends for EOS.
+#[test]
+fn deletes_mirror_inserts() {
+    let sweep = run_update_sweep(&[ManagerSpec::eos(4), ManagerSpec::eos(64)], tiny(), 10_000);
+    let d4 = avg(&sweep[0].1, OpKind::Delete);
+    let d64 = avg(&sweep[1].1, OpKind::Delete);
+    assert!(d64 > d4, "T=64 deletes ({d64:.0}) must cost more than T=4 ({d4:.0})");
+}

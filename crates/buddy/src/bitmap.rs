@@ -1,0 +1,257 @@
+//! The free-page bitmap stored in a buddy-space directory page, plus the
+//! buddy-level logic (aligned power-of-two run search) built on top of it.
+//!
+//! Bit `i` set ⇒ page `i` of the space is **free**. Coalescing of buddies
+//! is implicit: a buddy block is free exactly when all its bits are set,
+//! so freeing any range automatically re-forms larger blocks.
+
+/// An in-memory working copy of a directory bitmap.
+///
+/// `pages` must be a power of two so that the buddy levels line up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuddyBitmap {
+    words: Vec<u64>,
+    pages: u32,
+}
+
+impl BuddyBitmap {
+    /// A bitmap with every page free.
+    pub fn all_free(pages: u32) -> Self {
+        assert!(pages.is_power_of_two(), "buddy space size must be 2^k");
+        assert!(pages >= 64, "buddy space must hold at least 64 pages");
+        BuddyBitmap {
+            words: vec![u64::MAX; (pages / 64) as usize],
+            pages,
+        }
+    }
+
+    /// Deserialize from directory-page bytes (little-endian u64 words).
+    pub fn from_bytes(bytes: &[u8], pages: u32) -> Self {
+        assert!(pages.is_power_of_two() && pages >= 64);
+        let n_words = (pages / 64) as usize;
+        assert!(bytes.len() >= n_words * 8, "directory bytes too short");
+        let words = bytes[..n_words * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        BuddyBitmap { words, pages }
+    }
+
+    /// Serialize into directory-page bytes.
+    pub fn write_bytes(&self, out: &mut [u8]) {
+        for (i, w) in self.words.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Number of bytes the serialized bitmap occupies.
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    pub fn pages(&self) -> u32 {
+        self.pages
+    }
+
+    /// log2 of the space size: the maximum buddy order.
+    pub fn max_order(&self) -> u32 {
+        self.pages.trailing_zeros()
+    }
+
+    #[inline]
+    pub fn is_free(&self, page: u32) -> bool {
+        assert!(page < self.pages, "page out of space");
+        self.words[(page / 64) as usize] & (1u64 << (page % 64)) != 0
+    }
+
+    /// Whether all pages in `[start, start + n)` are free.
+    pub fn run_free(&self, start: u32, n: u32) -> bool {
+        (start..start + n).all(|p| self.is_free(p))
+    }
+
+    /// Mark `[start, start + n)` allocated.
+    ///
+    /// # Panics
+    /// In debug builds, if any page in the range is already allocated.
+    pub fn mark_used(&mut self, start: u32, n: u32) {
+        for p in start..start + n {
+            debug_assert!(self.is_free(p), "double allocation of page {p}");
+            self.words[(p / 64) as usize] &= !(1u64 << (p % 64));
+        }
+    }
+
+    /// Mark `[start, start + n)` free.
+    ///
+    /// # Panics
+    /// In debug builds, if any page in the range is already free
+    /// (double free).
+    pub fn mark_free(&mut self, start: u32, n: u32) {
+        for p in start..start + n {
+            debug_assert!(!self.is_free(p), "double free of page {p}");
+            self.words[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+    }
+
+    /// Number of free pages.
+    pub fn free_pages(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Find the first free buddy block of order `order` (an aligned run of
+    /// `2^order` free pages) and return its start page.
+    ///
+    /// Implemented by folding the bitmap bottom-up: at each level, bit `i`
+    /// means "the order-k block starting at page `i·2^k` is entirely free".
+    pub fn find_block(&self, order: u32) -> Option<u32> {
+        assert!(order <= self.max_order(), "order beyond space size");
+        let level = self.level(order);
+        for (wi, &w) in level.iter().enumerate() {
+            if w != 0 {
+                let bit = w.trailing_zeros();
+                let block = wi as u32 * 64 + bit;
+                return Some(block << order);
+            }
+        }
+        None
+    }
+
+    /// The largest order for which a free aligned block exists, or `None`
+    /// if the space is completely full.
+    pub fn max_free_order(&self) -> Option<u32> {
+        // Fold upward until a level has no set bits.
+        let mut cur = self.words.clone();
+        if cur.iter().all(|&w| w == 0) {
+            return None;
+        }
+        let mut best = 0u32;
+        for order in 1..=self.max_order() {
+            cur = fold_level(&cur);
+            if cur.iter().all(|&w| w == 0) {
+                break;
+            }
+            best = order;
+        }
+        Some(best)
+    }
+
+    /// Bit vector for buddy order `order` (order 0 = the page bitmap).
+    fn level(&self, order: u32) -> Vec<u64> {
+        let mut cur = self.words.clone();
+        for _ in 0..order {
+            cur = fold_level(&cur);
+        }
+        cur
+    }
+}
+
+/// One buddy fold: output bit `i` = input bit `2i` AND input bit `2i+1`.
+fn fold_level(level: &[u64]) -> Vec<u64> {
+    let out_bits = level.len() * 64 / 2;
+    let n_words = out_bits.div_ceil(64);
+    let mut out = vec![0u64; n_words];
+    for i in 0..out_bits {
+        let lo = level[(2 * i) / 64] >> ((2 * i) % 64) & 1;
+        let hi = level[(2 * i + 1) / 64] >> ((2 * i + 1) % 64) & 1;
+        if lo & hi == 1 {
+            out[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_space_is_all_free() {
+        let b = BuddyBitmap::all_free(256);
+        assert_eq!(b.free_pages(), 256);
+        assert_eq!(b.max_free_order(), Some(8));
+        assert_eq!(b.find_block(8), Some(0));
+        assert_eq!(b.find_block(0), Some(0));
+    }
+
+    #[test]
+    fn mark_and_find() {
+        let mut b = BuddyBitmap::all_free(256);
+        b.mark_used(0, 3); // trimmed allocation of 3 pages out of a 4-block
+        assert!(!b.is_free(0));
+        assert!(b.is_free(3));
+        // The first order-2 (4-page, aligned) free block starts at 4.
+        assert_eq!(b.find_block(2), Some(4));
+        // Order-0 block: page 3 is the trim remainder.
+        assert_eq!(b.find_block(0), Some(3));
+        assert_eq!(b.max_free_order(), Some(7), "half the space still free as one block");
+    }
+
+    #[test]
+    fn coalescing_is_implicit() {
+        let mut b = BuddyBitmap::all_free(128);
+        b.mark_used(0, 128);
+        assert_eq!(b.max_free_order(), None);
+        b.mark_free(0, 64);
+        assert_eq!(b.max_free_order(), Some(6));
+        b.mark_free(64, 64);
+        assert_eq!(b.max_free_order(), Some(7), "buddies coalesce");
+        assert_eq!(b.find_block(7), Some(0));
+    }
+
+    #[test]
+    fn alignment_is_respected() {
+        let mut b = BuddyBitmap::all_free(64);
+        // Free pages 1..=8: 8 consecutive free pages but no aligned 8-run.
+        b.mark_used(0, 64);
+        b.mark_free(1, 8);
+        assert!(b.run_free(1, 8));
+        assert_eq!(b.find_block(3), None, "8-run not aligned");
+        assert_eq!(b.find_block(2), Some(4), "pages 4..8 are an aligned 4-run");
+        assert_eq!(b.max_free_order(), Some(2));
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let mut b = BuddyBitmap::all_free(512);
+        b.mark_used(17, 100);
+        let mut buf = vec![0u8; b.byte_len()];
+        b.write_bytes(&mut buf);
+        let b2 = BuddyBitmap::from_bytes(&buf, 512);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double allocation")]
+    fn double_alloc_panics_in_debug() {
+        let mut b = BuddyBitmap::all_free(64);
+        b.mark_used(0, 4);
+        b.mark_used(2, 2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics_in_debug() {
+        let mut b = BuddyBitmap::all_free(64);
+        b.mark_free(0, 1);
+    }
+
+    #[test]
+    fn full_space_reports_none() {
+        let mut b = BuddyBitmap::all_free(64);
+        b.mark_used(0, 64);
+        assert_eq!(b.find_block(0), None);
+        assert_eq!(b.free_pages(), 0);
+    }
+
+    #[test]
+    fn paper_scale_space() {
+        // 16384 pages = 64 MB of 4 KB pages per space.
+        let mut b = BuddyBitmap::all_free(16384);
+        assert_eq!(b.max_order(), 14);
+        let s = b.find_block(13).unwrap(); // a 32 MB segment
+        b.mark_used(s, 8192);
+        assert_eq!(b.max_free_order(), Some(13));
+        assert_eq!(b.byte_len(), 2048, "bitmap fits a 4 KB directory page");
+    }
+}

@@ -1,0 +1,486 @@
+//! The buddy-space manager: spaces, directory pages, superdirectory.
+
+use lobstore_bufpool::BufferPool;
+use lobstore_simdisk::{AreaId, PageId};
+
+use crate::bitmap::BuddyBitmap;
+use crate::Extent;
+
+/// Magic number identifying an initialized buddy-space directory page.
+const DIR_MAGIC: u32 = 0xB0DD_11E5;
+/// Byte offset of the free bitmap within the directory page.
+const BITMAP_OFF: usize = 64;
+
+/// Configuration of a [`BuddyManager`].
+#[derive(Copy, Clone, Debug)]
+pub struct BuddyConfig {
+    /// The database area this manager owns.
+    pub area: AreaId,
+    /// Data pages per buddy space (a power of two ≥ 64). With 4 KB pages
+    /// the default of 16384 gives 64 MB spaces, matching the paper's scale
+    /// (§3.1: ≈ 63.5 MB spaces supporting segments up to 32 MB).
+    pub space_pages: u32,
+}
+
+impl BuddyConfig {
+    pub fn new(area: AreaId, space_pages: u32) -> Self {
+        assert!(
+            space_pages.is_power_of_two() && space_pages >= 64,
+            "space_pages must be a power of two ≥ 64"
+        );
+        BuddyConfig { area, space_pages }
+    }
+}
+
+impl Default for BuddyConfig {
+    fn default() -> Self {
+        BuddyConfig::new(AreaId::LEAF, 16 * 1024)
+    }
+}
+
+/// Disk-space manager for one database area.
+///
+/// All page numbers handed out are absolute page numbers in the area; the
+/// manager interleaves a one-page directory before each space:
+///
+/// ```text
+/// page 0: dir of space 0 | pages 1..=S: data | page S+1: dir of space 1 | ...
+/// ```
+pub struct BuddyManager {
+    cfg: BuddyConfig,
+    /// Number of spaces created so far. Spaces are created on demand.
+    n_spaces: u32,
+    /// Superdirectory (§3.1): per space, an *upper bound* on the largest
+    /// free buddy order, or `None` if the space is known to be full.
+    /// Corrected lazily when a guess proves wrong.
+    superdir: Vec<Option<u32>>,
+    /// Pages currently allocated (for utilization accounting).
+    allocated: u64,
+}
+
+impl BuddyManager {
+    pub fn new(cfg: BuddyConfig) -> Self {
+        BuddyManager {
+            cfg,
+            n_spaces: 0,
+            superdir: Vec::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Attach to an area that already contains buddy spaces (restart /
+    /// recovery path). Directory pages are discovered by their magic at
+    /// the fixed space positions and read once to recompute the allocated
+    /// page count; the superdirectory starts out *optimistic* — §3.1:
+    /// "Initially, it indicates that each buddy space contains a free
+    /// segment of the maximum size possible. This information may be
+    /// erroneous" — and corrects itself on first use.
+    pub fn open(cfg: BuddyConfig, pool: &mut BufferPool) -> Self {
+        let mut mgr = BuddyManager::new(cfg);
+        loop {
+            let dir = PageId::new(cfg.area, mgr.dir_page(mgr.n_spaces));
+            // Probe cost-free first: a missing space reads as zeroes.
+            let mut probe = [0u8; lobstore_simdisk::PAGE_SIZE];
+            pool.peek_page(dir, &mut probe);
+            if u32::from_le_bytes(probe[0..4].try_into().expect("4 bytes")) != DIR_MAGIC {
+                break;
+            }
+            // Real (costed) read of the directory, as a restart would do.
+            let r = pool.fix(dir);
+            let bm = mgr.parse_dir(pool.page(r));
+            pool.unfix(r);
+            mgr.allocated += u64::from(cfg.space_pages - bm.free_pages());
+            mgr.superdir.push(Some(bm.max_order()));
+            mgr.n_spaces += 1;
+        }
+        mgr
+    }
+
+    pub fn config(&self) -> BuddyConfig {
+        self.cfg
+    }
+
+    /// Total pages currently allocated through this manager.
+    pub fn allocated_pages(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Number of buddy spaces created so far.
+    pub fn n_spaces(&self) -> u32 {
+        self.n_spaces
+    }
+
+    /// The superdirectory's current hint for `space` (testing aid).
+    pub fn superdir_hint(&self, space: u32) -> Option<u32> {
+        self.superdir[space as usize]
+    }
+
+    fn dir_page(&self, space: u32) -> u32 {
+        space * (self.cfg.space_pages + 1)
+    }
+
+    fn data_base(&self, space: u32) -> u32 {
+        self.dir_page(space) + 1
+    }
+
+    /// Which space an absolute page number belongs to.
+    fn space_of(&self, abs_page: u32) -> u32 {
+        abs_page / (self.cfg.space_pages + 1)
+    }
+
+    /// Allocate `n_pages` physically contiguous pages.
+    ///
+    /// The covering power-of-two buddy block is located; only the first
+    /// `n_pages` of it are marked used (the unused tail is trimmed back to
+    /// free, "down to the precision of one block").
+    ///
+    /// # Panics
+    /// If `n_pages` is 0 or exceeds the space size.
+    pub fn allocate(&mut self, pool: &mut BufferPool, n_pages: u32) -> Extent {
+        assert!(n_pages > 0, "zero-page allocation");
+        assert!(
+            n_pages <= self.cfg.space_pages,
+            "segment of {n_pages} pages exceeds buddy space size {}",
+            self.cfg.space_pages
+        );
+        let order = ceil_log2(n_pages);
+        // Probe existing spaces whose superdirectory hint is promising.
+        for s in 0..self.n_spaces {
+            let Some(hint) = self.superdir[s as usize] else {
+                continue;
+            };
+            if hint < order {
+                continue;
+            }
+            if let Some(ext) = self.try_alloc_in_space(pool, s, order, n_pages) {
+                self.allocated += u64::from(n_pages);
+                return ext;
+            }
+            // The hint was wrong; try_alloc_in_space corrected it (§3.1:
+            // "the first wrong guess ... will correct the superdirectory").
+        }
+        // No existing space can satisfy the request: open a new one.
+        let s = self.create_space(pool);
+        let ext = self
+            .try_alloc_in_space(pool, s, order, n_pages)
+            .expect("fresh space must satisfy any in-range allocation");
+        self.allocated += u64::from(n_pages);
+        ext
+    }
+
+    /// Visit one space's directory and try to carve out the request.
+    /// Updates the superdirectory with the space's true state either way.
+    fn try_alloc_in_space(
+        &mut self,
+        pool: &mut BufferPool,
+        space: u32,
+        order: u32,
+        n_pages: u32,
+    ) -> Option<Extent> {
+        let dir = PageId::new(self.cfg.area, self.dir_page(space));
+        let r = pool.fix(dir);
+        let mut bm = self.parse_dir(pool.page(r));
+        let found = bm.find_block(order);
+        let result = found.map(|block| {
+            bm.mark_used(block, n_pages);
+            let page = pool.page_mut(r);
+            bm.write_bytes(&mut page[BITMAP_OFF..BITMAP_OFF + bm.byte_len()]);
+            Extent::new(self.cfg.area, self.data_base(space) + block, n_pages)
+        });
+        self.superdir[space as usize] = bm.max_free_order();
+        pool.unfix(r);
+        result
+    }
+
+    /// Free every page of `ext`. Partial frees of a previous allocation
+    /// are allowed; the extent must not cross a space boundary.
+    ///
+    /// # Panics
+    /// If the extent spans spaces, covers a directory page, or (in debug
+    /// builds) frees a page that is not allocated.
+    pub fn free(&mut self, pool: &mut BufferPool, ext: Extent) {
+        assert_eq!(ext.area, self.cfg.area, "extent from a different area");
+        if ext.pages == 0 {
+            return;
+        }
+        let space = self.space_of(ext.start);
+        assert_eq!(
+            space,
+            self.space_of(ext.end() - 1),
+            "extent crosses a buddy-space boundary"
+        );
+        assert!(space < self.n_spaces, "extent beyond allocated spaces");
+        let base = self.data_base(space);
+        assert!(ext.start >= base, "extent covers a directory page");
+        let rel = ext.start - base;
+
+        let dir = PageId::new(self.cfg.area, self.dir_page(space));
+        let r = pool.fix(dir);
+        let mut bm = self.parse_dir(pool.page(r));
+        bm.mark_free(rel, ext.pages);
+        let page = pool.page_mut(r);
+        bm.write_bytes(&mut page[BITMAP_OFF..BITMAP_OFF + bm.byte_len()]);
+        self.superdir[space as usize] = bm.max_free_order();
+        pool.unfix(r);
+        // Drop stale buffered copies of freed pages.
+        pool.discard_range(self.cfg.area, ext.start, ext.pages);
+        self.allocated -= u64::from(ext.pages);
+    }
+
+    /// Every currently allocated page range, as maximal extents in
+    /// ascending order — the allocator's view for consistency checking.
+    /// Reads each space's directory through the pool (costed, like any
+    /// directory access).
+    pub fn allocated_ranges(&self, pool: &mut BufferPool) -> Vec<Extent> {
+        let mut out = Vec::new();
+        for s in 0..self.n_spaces {
+            let dir = PageId::new(self.cfg.area, self.dir_page(s));
+            let r = pool.fix(dir);
+            let bm = self.parse_dir(pool.page(r));
+            pool.unfix(r);
+            let base = self.data_base(s);
+            let mut run_start: Option<u32> = None;
+            for p in 0..self.cfg.space_pages {
+                let used = !bm.is_free(p);
+                match (used, run_start) {
+                    (true, None) => run_start = Some(p),
+                    (false, Some(st)) => {
+                        out.push(Extent::new(self.cfg.area, base + st, p - st));
+                        run_start = None;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(st) = run_start {
+                out.push(Extent::new(
+                    self.cfg.area,
+                    base + st,
+                    self.cfg.space_pages - st,
+                ));
+            }
+        }
+        out
+    }
+
+    fn create_space(&mut self, pool: &mut BufferPool) -> u32 {
+        let s = self.n_spaces;
+        self.n_spaces += 1;
+        let dir = PageId::new(self.cfg.area, self.dir_page(s));
+        let r = pool.fix_new(dir);
+        let bm = BuddyBitmap::all_free(self.cfg.space_pages);
+        let page = pool.page_mut(r);
+        page[0..4].copy_from_slice(&DIR_MAGIC.to_le_bytes());
+        page[4..8].copy_from_slice(&self.cfg.space_pages.to_le_bytes());
+        bm.write_bytes(&mut page[BITMAP_OFF..BITMAP_OFF + bm.byte_len()]);
+        pool.unfix(r);
+        self.superdir.push(Some(bm.max_order()));
+        s
+    }
+
+    fn parse_dir(&self, page: &[u8]) -> BuddyBitmap {
+        let magic = u32::from_le_bytes(page[0..4].try_into().unwrap());
+        assert_eq!(magic, DIR_MAGIC, "corrupt buddy directory page");
+        let pages = u32::from_le_bytes(page[4..8].try_into().unwrap());
+        assert_eq!(pages, self.cfg.space_pages, "directory/config mismatch");
+        BuddyBitmap::from_bytes(&page[BITMAP_OFF..], pages)
+    }
+}
+
+/// Smallest `k` with `2^k ≥ n` (n ≥ 1).
+fn ceil_log2(n: u32) -> u32 {
+    32 - (n - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobstore_bufpool::PoolConfig;
+    use lobstore_simdisk::{CostModel, SimDisk};
+
+    fn setup(space_pages: u32) -> (BuddyManager, BufferPool) {
+        let pool = BufferPool::new(
+            SimDisk::new(2, CostModel::default()),
+            PoolConfig::default(),
+        );
+        let mgr = BuddyManager::new(BuddyConfig::new(AreaId::LEAF, space_pages));
+        (mgr, pool)
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(8192), 13);
+    }
+
+    #[test]
+    fn first_allocation_creates_space_and_skips_directory() {
+        let (mut m, mut pool) = setup(256);
+        let e = m.allocate(&mut pool, 10);
+        assert_eq!(e.start, 1, "page 0 is the directory");
+        assert_eq!(e.pages, 10);
+        assert_eq!(m.n_spaces(), 1);
+        assert_eq!(m.allocated_pages(), 10);
+    }
+
+    #[test]
+    fn trimmed_allocation_leaves_tail_allocable() {
+        let (mut m, mut pool) = setup(256);
+        let a = m.allocate(&mut pool, 3); // covering block is 4 pages
+        let b = m.allocate(&mut pool, 1); // should reuse the trimmed page
+        assert_eq!(a.start, 1);
+        assert_eq!(b.start, 4, "trim remainder handed out");
+    }
+
+    #[test]
+    fn free_and_reallocate() {
+        let (mut m, mut pool) = setup(256);
+        let a = m.allocate(&mut pool, 16);
+        m.free(&mut pool, a);
+        assert_eq!(m.allocated_pages(), 0);
+        let b = m.allocate(&mut pool, 16);
+        assert_eq!(b, a, "freed block is reused");
+    }
+
+    #[test]
+    fn partial_free_of_a_segment() {
+        let (mut m, mut pool) = setup(256);
+        let a = m.allocate(&mut pool, 16);
+        // Trim the last 5 pages, as Starburst does with its final segment.
+        m.free(&mut pool, a.suffix(11));
+        assert_eq!(m.allocated_pages(), 11);
+        let b = m.allocate(&mut pool, 4);
+        // The freed tail [12..16] contains an aligned 4-run at 13? No:
+        // relative pages 11..16 are free; aligned 4-run at rel 12.
+        assert_eq!(b.start, a.start + 11 + 1); // rel 12 → abs 13
+    }
+
+    #[test]
+    fn second_space_created_when_first_full() {
+        let (mut m, mut pool) = setup(64);
+        let a = m.allocate(&mut pool, 64);
+        let b = m.allocate(&mut pool, 64);
+        assert_eq!(m.n_spaces(), 2);
+        assert_eq!(a.start, 1);
+        assert_eq!(b.start, 66, "dir(0)=0, data 1..=64, dir(1)=65");
+    }
+
+    #[test]
+    fn superdirectory_avoids_probing_full_spaces() {
+        let (mut m, mut pool) = setup(64);
+        let _a = m.allocate(&mut pool, 64);
+        assert_eq!(m.superdir_hint(0), None, "space 0 known full");
+        let _b = m.allocate(&mut pool, 32);
+        // Allocating again must not touch space 0's directory: its hint
+        // is None so we go straight to space 1.
+        let hits_before = pool.pool_stats().hits + pool.pool_stats().misses;
+        let _c = m.allocate(&mut pool, 16);
+        let probes = (pool.pool_stats().hits + pool.pool_stats().misses) - hits_before;
+        assert_eq!(probes, 1, "exactly one directory fixed");
+    }
+
+    #[test]
+    fn wrong_hint_corrected_on_first_miss() {
+        let (mut m, mut pool) = setup(64);
+        // Fill space 0 with 33 pages: max free order is 4 (16-page block),
+        // but carve it so the largest aligned free block is smaller.
+        let _a = m.allocate(&mut pool, 33);
+        let hint = m.superdir_hint(0).unwrap();
+        assert_eq!(hint, 4, "pages 33..64 contain an aligned 16-run");
+        // Request 32 pages: hint (4) < order (5) so space 0 is skipped
+        // without I/O and a new space is created.
+        let b = m.allocate(&mut pool, 32);
+        assert_eq!(m.space_of(b.start), 1);
+    }
+
+    #[test]
+    fn steady_state_allocation_is_at_most_one_disk_access() {
+        let (mut m, mut pool) = setup(256);
+        let _ = m.allocate(&mut pool, 4); // warm: creates space, dir in pool
+        let io_before = pool.io_stats();
+        for _ in 0..10 {
+            let e = m.allocate(&mut pool, 4);
+            m.free(&mut pool, e);
+        }
+        let delta = pool.io_stats() - io_before;
+        assert_eq!(
+            delta.calls(),
+            0,
+            "hot directory page: allocation costs no I/O at all"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buddy space size")]
+    fn oversized_request_panics() {
+        let (mut m, mut pool) = setup(64);
+        m.allocate(&mut pool, 65);
+    }
+
+    #[test]
+    fn directory_survives_eviction() {
+        // A tiny pool forces the directory page out and back in.
+        let pool = BufferPool::new(
+            SimDisk::new(2, CostModel::default()),
+            PoolConfig {
+                frames: 2,
+                max_buffered_seg: 4,
+            },
+        );
+        let mut pool = pool;
+        let mut m = BuddyManager::new(BuddyConfig::new(AreaId::LEAF, 64));
+        let a = m.allocate(&mut pool, 7);
+        // Thrash the pool so the directory page is evicted (it is dirty).
+        for p in 1000..1004 {
+            let r = pool.fix(PageId::new(AreaId::META, p));
+            pool.unfix(r);
+        }
+        let b = m.allocate(&mut pool, 7);
+        assert_ne!(a.start, b.start);
+        m.free(&mut pool, a);
+        m.free(&mut pool, b);
+        assert_eq!(m.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn allocated_ranges_reflect_state() {
+        let (mut m, mut pool) = setup(256);
+        assert!(m.allocated_ranges(&mut pool).is_empty());
+        let a = m.allocate(&mut pool, 5);
+        let b = m.allocate(&mut pool, 8);
+        let ranges = m.allocated_ranges(&mut pool);
+        let total: u32 = ranges.iter().map(|e| e.pages).sum();
+        assert_eq!(total, 13);
+        // Every held extent is covered by some range.
+        for held in [a, b] {
+            assert!(
+                ranges.iter().any(|r| r.start <= held.start && held.end() <= r.end()),
+                "{held} not covered by {ranges:?}"
+            );
+        }
+        m.free(&mut pool, a);
+        let total: u32 = m.allocated_ranges(&mut pool).iter().map(|e| e.pages).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn many_allocations_never_overlap() {
+        let (mut m, mut pool) = setup(256);
+        let mut held: Vec<Extent> = Vec::new();
+        for n in [1u32, 3, 8, 5, 2, 17, 64, 1, 9, 30] {
+            let e = m.allocate(&mut pool, n);
+            for h in &held {
+                assert!(
+                    e.end() <= h.start || h.end() <= e.start,
+                    "overlap: {e} vs {h}"
+                );
+            }
+            held.push(e);
+        }
+        let total: u32 = held.iter().map(|e| e.pages).sum();
+        assert_eq!(m.allocated_pages(), u64::from(total));
+    }
+}

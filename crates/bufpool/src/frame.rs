@@ -1,0 +1,32 @@
+//! Pool frames: one page-sized buffer plus its control block.
+
+use lobstore_simdisk::{PageId, PAGE_SIZE};
+
+/// One buffer frame and its control information.
+pub(crate) struct Frame {
+    /// The page currently held, if any.
+    pub pid: Option<PageId>,
+    pub data: Box<[u8; PAGE_SIZE]>,
+    /// Whether the frame content is newer than the disk copy.
+    pub dirty: bool,
+    /// Fix count; a fixed frame is never evicted.
+    pub pins: u32,
+    /// Logical timestamp of the last use, for LRU.
+    pub last_used: u64,
+}
+
+impl Frame {
+    pub fn empty() -> Self {
+        Frame {
+            pid: None,
+            data: Box::new([0u8; PAGE_SIZE]),
+            dirty: false,
+            pins: 0,
+            last_used: 0,
+        }
+    }
+
+    pub fn is_free(&self) -> bool {
+        self.pid.is_none()
+    }
+}

@@ -1,0 +1,453 @@
+//! The page-level buffer pool: fix/unfix, LRU replacement, flushing.
+
+use std::collections::HashMap;
+
+use lobstore_simdisk::{IoStats, PageId, SimDisk, PAGE_SIZE};
+
+use crate::frame::Frame;
+
+/// Pool sizing parameters. The study fixes these to 12 frames with a
+/// 4-page segment-buffering limit (§4.1, Table 1).
+#[derive(Copy, Clone, Debug)]
+pub struct PoolConfig {
+    /// Number of page frames in the pool.
+    pub frames: usize,
+    /// Largest segment (in pages) that is buffered whole in one I/O call;
+    /// larger segments bypass the pool (§3.2).
+    pub max_buffered_seg: u32,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            frames: 12,
+            max_buffered_seg: 4,
+        }
+    }
+}
+
+/// Hit/miss and write-back counters of the pool itself (the disk keeps the
+/// authoritative time/cost counters).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `fix` or segment-read requests satisfied without disk I/O.
+    pub hits: u64,
+    /// Requests that had to touch the disk.
+    pub misses: u64,
+    /// Dirty pages written back by eviction.
+    pub eviction_writes: u64,
+}
+
+/// Handle to a fixed frame. Obtained from [`BufferPool::fix`] /
+/// [`BufferPool::fix_new`]; must be released with [`BufferPool::unfix`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FrameRef(pub(crate) usize);
+
+/// The buffer manager. Owns the simulated disk; all I/O above the disk
+/// goes through here.
+pub struct BufferPool {
+    pub(crate) disk: SimDisk,
+    pub(crate) cfg: PoolConfig,
+    pub(crate) frames: Vec<Frame>,
+    /// Resident pages → frame index.
+    pub(crate) map: HashMap<PageId, usize>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    pub fn new(disk: SimDisk, cfg: PoolConfig) -> Self {
+        assert!(cfg.frames >= 2, "pool needs at least 2 frames");
+        BufferPool {
+            disk,
+            frames: (0..cfg.frames).map(|_| Frame::empty()).collect(),
+            cfg,
+            map: HashMap::with_capacity(cfg.frames),
+            clock: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// The paper's configuration: two areas, default cost model, 12 frames,
+    /// 4-page buffering limit.
+    pub fn paper_default() -> Self {
+        BufferPool::new(SimDisk::paper_default(), PoolConfig::default())
+    }
+
+    pub fn config(&self) -> PoolConfig {
+        self.cfg
+    }
+
+    /// Cumulative I/O statistics of the underlying disk.
+    pub fn io_stats(&self) -> IoStats {
+        self.disk.stats()
+    }
+
+    /// Pool-level hit/miss counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Direct access to the disk (for tracing and verification).
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    pub fn disk_mut(&mut self) -> &mut SimDisk {
+        &mut self.disk
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Number of frames that are currently unpinned (evictable or free).
+    pub fn available_frames(&self) -> usize {
+        self.frames.iter().filter(|f| f.pins == 0).count()
+    }
+
+    /// Whether `pid` is resident.
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.map.contains_key(&pid)
+    }
+
+    /// Pick a victim frame: a free frame if any, otherwise the LRU unpinned
+    /// **clean** frame, otherwise the LRU unpinned dirty frame (§3.2: "we
+    /// start first by freeing the least recently used clean pages followed
+    /// by dirty pages"). Writes back a dirty victim. Panics if every frame
+    /// is pinned — a configuration error for this single-client simulation.
+    fn victim(&mut self) -> usize {
+        if let Some(i) = self.frames.iter().position(Frame::is_free) {
+            return i;
+        }
+        let lru_of = |frames: &[Frame], want_dirty: bool| {
+            frames
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.pins == 0 && f.dirty == want_dirty)
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(i, _)| i)
+        };
+        let idx = lru_of(&self.frames, false)
+            .or_else(|| lru_of(&self.frames, true))
+            .expect("buffer pool exhausted: every frame is pinned");
+        self.evict(idx);
+        idx
+    }
+
+    /// Write back (if dirty) and forget the page in frame `idx`.
+    fn evict(&mut self, idx: usize) {
+        let frame = &mut self.frames[idx];
+        if let Some(pid) = frame.pid.take() {
+            if frame.dirty {
+                self.disk.write(pid.area, pid.page, &frame.data[..]);
+                frame.dirty = false;
+                self.stats.eviction_writes += 1;
+            }
+            self.map.remove(&pid);
+        }
+    }
+
+    /// Fix `pid` in the pool, reading it from disk on a miss (one 1-page
+    /// I/O call). Returns a handle for [`Self::page`] / [`Self::page_mut`].
+    pub fn fix(&mut self, pid: PageId) -> FrameRef {
+        if let Some(&idx) = self.map.get(&pid) {
+            self.stats.hits += 1;
+            let t = self.tick();
+            let f = &mut self.frames[idx];
+            f.pins += 1;
+            f.last_used = t;
+            return FrameRef(idx);
+        }
+        self.stats.misses += 1;
+        let idx = self.victim();
+        self.disk.read(pid.area, pid.page, &mut self.frames[idx].data[..]);
+        self.install(idx, pid)
+    }
+
+    /// Fix `pid` **without** reading it from disk — for pages the caller is
+    /// about to initialize completely (freshly allocated index pages,
+    /// shadow copies). The frame starts zeroed and dirty.
+    pub fn fix_new(&mut self, pid: PageId) -> FrameRef {
+        if let Some(&idx) = self.map.get(&pid) {
+            // Page already resident (e.g. a recycled page number): reuse the
+            // frame but reset its content.
+            let t = self.tick();
+            let f = &mut self.frames[idx];
+            f.data.fill(0);
+            f.dirty = true;
+            f.pins += 1;
+            f.last_used = t;
+            return FrameRef(idx);
+        }
+        let idx = self.victim();
+        self.frames[idx].data.fill(0);
+        let r = self.install(idx, pid);
+        self.frames[idx].dirty = true;
+        r
+    }
+
+    fn install(&mut self, idx: usize, pid: PageId) -> FrameRef {
+        let t = self.tick();
+        let f = &mut self.frames[idx];
+        f.pid = Some(pid);
+        f.dirty = false;
+        f.pins = 1;
+        f.last_used = t;
+        self.map.insert(pid, idx);
+        FrameRef(idx)
+    }
+
+    /// Read access to a fixed frame.
+    pub fn page(&self, r: FrameRef) -> &[u8; PAGE_SIZE] {
+        debug_assert!(self.frames[r.0].pins > 0, "access to unfixed frame");
+        &self.frames[r.0].data
+    }
+
+    /// Write access to a fixed frame; marks it dirty.
+    pub fn page_mut(&mut self, r: FrameRef) -> &mut [u8; PAGE_SIZE] {
+        let f = &mut self.frames[r.0];
+        debug_assert!(f.pins > 0, "access to unfixed frame");
+        f.dirty = true;
+        &mut f.data
+    }
+
+    /// Release one fix on the frame.
+    pub fn unfix(&mut self, r: FrameRef) {
+        let f = &mut self.frames[r.0];
+        assert!(f.pins > 0, "unfix of unpinned frame");
+        f.pins -= 1;
+    }
+
+    /// If `pid` is resident and dirty, write it to disk (one 1-page call).
+    pub fn flush_page(&mut self, pid: PageId) {
+        if let Some(&idx) = self.map.get(&pid) {
+            let f = &mut self.frames[idx];
+            if f.dirty {
+                self.disk.write(pid.area, pid.page, &f.data[..]);
+                f.dirty = false;
+            }
+        }
+    }
+
+    /// Write back every dirty frame (one call per page).
+    pub fn flush_all(&mut self) {
+        for idx in 0..self.frames.len() {
+            if let Some(pid) = self.frames[idx].pid {
+                if self.frames[idx].dirty {
+                    self.disk.write(pid.area, pid.page, &self.frames[idx].data[..]);
+                    self.frames[idx].dirty = false;
+                }
+            }
+        }
+    }
+
+    /// Drop `pid` from the pool without writing it back — used when the
+    /// page has been freed or superseded by a shadow copy.
+    ///
+    /// # Panics
+    /// If the page is currently fixed.
+    pub fn discard(&mut self, pid: PageId) {
+        if let Some(idx) = self.map.remove(&pid) {
+            let f = &mut self.frames[idx];
+            assert_eq!(f.pins, 0, "discard of a fixed page {pid}");
+            f.pid = None;
+            f.dirty = false;
+        }
+    }
+
+    /// Simulate a crash: every frame is discarded **without** write-back,
+    /// as if the machine lost power. Dirty, unflushed state is gone; only
+    /// what reached the disk survives. Used by recovery tests to verify
+    /// the shadowing discipline of the storage managers (§3.3).
+    ///
+    /// # Panics
+    /// If any frame is still fixed (a fixed frame mid-crash would be a
+    /// harness bug, not a simulated condition).
+    pub fn crash(&mut self) {
+        for f in &mut self.frames {
+            assert_eq!(f.pins, 0, "crash with a fixed frame");
+            f.pid = None;
+            f.dirty = false;
+            f.last_used = 0;
+        }
+        self.map.clear();
+    }
+
+    /// Cost-free inspection of a page's *current* content: the resident
+    /// frame if any (even dirty), else the disk copy. For verification and
+    /// metrics code only — never part of the simulated I/O stream.
+    pub fn peek_page(&self, pid: PageId, out: &mut [u8; PAGE_SIZE]) {
+        if let Some(&idx) = self.map.get(&pid) {
+            out.copy_from_slice(&self.frames[idx].data[..]);
+        } else {
+            self.disk.peek(pid.area, pid.page, out);
+        }
+    }
+
+    /// Discard every resident page of an extent (used when a whole segment
+    /// is freed).
+    pub fn discard_range(&mut self, area: lobstore_simdisk::AreaId, start: u32, pages: u32) {
+        for p in start..start.saturating_add(pages) {
+            self.discard(PageId::new(area, p));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobstore_simdisk::{AreaId, CostModel, SimDisk};
+
+    fn pool_with_frames(n: usize) -> BufferPool {
+        BufferPool::new(
+            SimDisk::new(2, CostModel::default()),
+            PoolConfig {
+                frames: n,
+                max_buffered_seg: 4,
+            },
+        )
+    }
+
+    fn pid(p: u32) -> PageId {
+        PageId::new(AreaId::META, p)
+    }
+
+    #[test]
+    fn fix_miss_reads_one_page() {
+        let mut pool = pool_with_frames(4);
+        let r = pool.fix(pid(3));
+        pool.unfix(r);
+        assert_eq!(pool.io_stats().read_calls, 1);
+        assert_eq!(pool.io_stats().pages_read, 1);
+        assert_eq!(pool.pool_stats().misses, 1);
+    }
+
+    #[test]
+    fn fix_hit_costs_nothing() {
+        let mut pool = pool_with_frames(4);
+        let r = pool.fix(pid(3));
+        pool.unfix(r);
+        let before = pool.io_stats();
+        let r = pool.fix(pid(3));
+        pool.unfix(r);
+        assert_eq!(pool.io_stats(), before);
+        assert_eq!(pool.pool_stats().hits, 1);
+    }
+
+    #[test]
+    fn dirty_page_written_back_on_eviction() {
+        let mut pool = pool_with_frames(2);
+        // Dirty both frames so eviction has no clean victim.
+        for p in 0..2 {
+            let r = pool.fix(pid(p));
+            pool.page_mut(r)[0] = 0xAB;
+            pool.unfix(r);
+        }
+        let r = pool.fix(pid(2));
+        pool.unfix(r);
+        assert!(!pool.contains(pid(0)), "LRU dirty page evicted");
+        assert_eq!(pool.pool_stats().eviction_writes, 1);
+        let mut out = [0u8; 1];
+        pool.disk().peek(AreaId::META, 0, &mut out);
+        assert_eq!(out[0], 0xAB);
+    }
+
+    #[test]
+    fn clean_pages_evicted_before_dirty() {
+        let mut pool = pool_with_frames(2);
+        // Frame A: dirty, older.
+        let ra = pool.fix(pid(0));
+        pool.page_mut(ra)[0] = 1;
+        pool.unfix(ra);
+        // Frame B: clean, newer.
+        let rb = pool.fix(pid(1));
+        pool.unfix(rb);
+        // Need a victim: the clean page 1 must go even though page 0 is LRU.
+        let rc = pool.fix(pid(2));
+        pool.unfix(rc);
+        assert!(pool.contains(pid(0)), "dirty page should survive");
+        assert!(!pool.contains(pid(1)), "clean page should be evicted first");
+        assert_eq!(pool.pool_stats().eviction_writes, 0);
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let mut pool = pool_with_frames(2);
+        let ra = pool.fix(pid(0)); // keep pinned
+        let rb = pool.fix(pid(1));
+        pool.unfix(rb);
+        let rc = pool.fix(pid(2));
+        pool.unfix(rc);
+        assert!(pool.contains(pid(0)));
+        pool.unfix(ra);
+    }
+
+    #[test]
+    #[should_panic(expected = "every frame is pinned")]
+    fn exhausted_pool_panics() {
+        let mut pool = pool_with_frames(2);
+        let _a = pool.fix(pid(0));
+        let _b = pool.fix(pid(1));
+        let _c = pool.fix(pid(2));
+    }
+
+    #[test]
+    fn fix_new_skips_disk_read_and_is_dirty() {
+        let mut pool = pool_with_frames(4);
+        let r = pool.fix_new(pid(9));
+        pool.page_mut(r)[0] = 7;
+        pool.unfix(r);
+        assert_eq!(pool.io_stats().read_calls, 0);
+        pool.flush_page(pid(9));
+        assert_eq!(pool.io_stats().write_calls, 1);
+        // Second flush is a no-op: the page is now clean.
+        pool.flush_page(pid(9));
+        assert_eq!(pool.io_stats().write_calls, 1);
+    }
+
+    #[test]
+    fn discard_drops_without_writeback() {
+        let mut pool = pool_with_frames(4);
+        let r = pool.fix_new(pid(5));
+        pool.page_mut(r)[0] = 9;
+        pool.unfix(r);
+        pool.discard(pid(5));
+        assert!(!pool.contains(pid(5)));
+        assert_eq!(pool.io_stats().write_calls, 0);
+        let mut out = [0u8; 1];
+        pool.disk().peek(AreaId::META, 5, &mut out);
+        assert_eq!(out[0], 0, "discarded content must not reach disk");
+    }
+
+    #[test]
+    fn flush_all_writes_every_dirty_frame() {
+        let mut pool = pool_with_frames(4);
+        for p in 0..3 {
+            let r = pool.fix_new(pid(p));
+            pool.page_mut(r)[0] = p as u8 + 1;
+            pool.unfix(r);
+        }
+        pool.flush_all();
+        assert_eq!(pool.io_stats().write_calls, 3);
+        pool.flush_all(); // everything clean now
+        assert_eq!(pool.io_stats().write_calls, 3);
+    }
+
+    #[test]
+    fn lru_order_updated_on_hit() {
+        let mut pool = pool_with_frames(2);
+        let ra = pool.fix(pid(0));
+        pool.unfix(ra);
+        let rb = pool.fix(pid(1));
+        pool.unfix(rb);
+        // Touch page 0 so page 1 becomes LRU.
+        let ra = pool.fix(pid(0));
+        pool.unfix(ra);
+        let rc = pool.fix(pid(2));
+        pool.unfix(rc);
+        assert!(pool.contains(pid(0)));
+        assert!(!pool.contains(pid(1)));
+    }
+}

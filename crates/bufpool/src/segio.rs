@@ -1,0 +1,472 @@
+//! Multi-page segment I/O: the hybrid buffering policy of §3.2.
+//!
+//! * Requests touching at most [`PoolConfig::max_buffered_seg`] pages are
+//!   buffered: each maximal run of non-resident pages is fetched with one
+//!   I/O call into pool frames, and the bytes are copied to the caller.
+//! * Larger requests bypass the pool: interior pages go directly into the
+//!   caller's buffer in one I/O call, and — when the requested byte range
+//!   does not match page boundaries (Figure 4) — the partial first/last
+//!   pages are staged through the pool, giving the paper's 3-step I/O.
+
+use lobstore_simdisk::{AreaId, PageId, PAGE_SIZE};
+
+use crate::pool::{BufferPool, FrameRef};
+
+impl BufferPool {
+    /// Read `out.len()` bytes starting at byte `byte_off` of the segment
+    /// that begins at `start_page` in `area`, applying the hybrid policy.
+    pub fn read_segment(&mut self, area: AreaId, start_page: u32, byte_off: u64, out: &mut [u8]) {
+        if out.is_empty() {
+            return;
+        }
+        let len = out.len() as u64;
+        let first = start_page + (byte_off / PAGE_SIZE as u64) as u32;
+        let last = start_page + ((byte_off + len - 1) / PAGE_SIZE as u64) as u32;
+        let n_pages = last - first + 1;
+        // Offset of the requested range within the first page.
+        let head_skip = (byte_off % PAGE_SIZE as u64) as usize;
+
+        if n_pages <= self.cfg.max_buffered_seg && self.available_frames() >= n_pages as usize {
+            self.read_buffered(area, first, n_pages, head_skip, out);
+        } else {
+            self.read_direct(area, first, last, head_skip, out);
+        }
+    }
+
+    /// Buffered path: pin resident pages, fetch each missing run with one
+    /// call, copy the byte range out of the frames.
+    fn read_buffered(
+        &mut self,
+        area: AreaId,
+        first: u32,
+        n_pages: u32,
+        head_skip: usize,
+        out: &mut [u8],
+    ) {
+        let mut refs: Vec<Option<FrameRef>> = Vec::with_capacity(n_pages as usize);
+        // Pass 1: pin what is already resident so eviction can't steal it.
+        for i in 0..n_pages {
+            let pid = PageId::new(area, first + i);
+            if self.contains(pid) {
+                refs.push(Some(self.fix(pid)));
+            } else {
+                refs.push(None);
+            }
+        }
+        // Pass 2: fetch each maximal missing run with a single I/O call.
+        let mut i = 0usize;
+        while i < refs.len() {
+            if refs[i].is_some() {
+                i += 1;
+                continue;
+            }
+            let run_start = i;
+            while i < refs.len() && refs[i].is_none() {
+                i += 1;
+            }
+            let run_len = i - run_start;
+            let mut tmp = vec![0u8; run_len * PAGE_SIZE];
+            self.disk
+                .read(area, first + run_start as u32, &mut tmp);
+            for (j, chunk) in tmp.chunks(PAGE_SIZE).enumerate() {
+                let pid = PageId::new(area, first + (run_start + j) as u32);
+                let r = self.install_clean(pid, chunk);
+                refs[run_start + j] = Some(r);
+            }
+        }
+        // Copy the byte range out and release the pins.
+        let mut copied = 0usize;
+        for (i, r) in refs.iter().enumerate() {
+            let r = r.expect("all pages pinned by now");
+            let page = self.page(r);
+            let from = if i == 0 { head_skip } else { 0 };
+            let take = (PAGE_SIZE - from).min(out.len() - copied);
+            out[copied..copied + take].copy_from_slice(&page[from..from + take]);
+            copied += take;
+            if copied == out.len() {
+                break;
+            }
+        }
+        debug_assert_eq!(copied, out.len());
+        for r in refs.into_iter().flatten() {
+            self.unfix(r);
+        }
+    }
+
+    /// Install page content into a victim frame, pinned once, clean.
+    fn install_clean(&mut self, pid: PageId, content: &[u8]) -> FrameRef {
+        let r = self.fix_new(pid);
+        let f = self.page_mut(r);
+        f[..content.len()].copy_from_slice(content);
+        // fix_new marks dirty; this content came from disk, so it is clean.
+        self.mark_clean(r);
+        r
+    }
+
+    pub(crate) fn mark_clean(&mut self, r: FrameRef) {
+        self.frames[r.0].dirty = false;
+    }
+
+    /// Direct path with 3-step I/O on boundary mismatch.
+    fn read_direct(&mut self, area: AreaId, first: u32, last: u32, head_skip: usize, out: &mut [u8]) {
+        let len = out.len();
+        let tail_end = (head_skip + len) % PAGE_SIZE; // 0 == aligned
+        let head_partial = head_skip != 0;
+        let tail_partial = tail_end != 0 && last > first || (last == first && (head_partial || tail_end != 0));
+
+        // Single-page direct request (only possible when the pool had no
+        // room): stage through one frame.
+        if last == first {
+            let r = self.fix(PageId::new(area, first));
+            out.copy_from_slice(&self.page(r)[head_skip..head_skip + len]);
+            self.unfix(r);
+            return;
+        }
+
+        let mut pos = 0usize;
+        let mut mid_first = first;
+        let mut mid_last = last;
+
+        // Step 1: partial first page through the pool.
+        if head_partial {
+            let r = self.fix(PageId::new(area, first));
+            let take = PAGE_SIZE - head_skip;
+            out[..take].copy_from_slice(&self.page(r)[head_skip..]);
+            self.unfix(r);
+            pos = take;
+            mid_first = first + 1;
+        }
+        // Step 3 bookkeeping: partial last page via the pool.
+        let tail_take = if tail_partial { tail_end } else { 0 };
+        if tail_partial {
+            mid_last = last - 1;
+        }
+        // Step 2: interior pages straight into the caller's buffer.
+        if mid_first <= mid_last {
+            let mid_pages = (mid_last - mid_first + 1) as usize;
+            let mid_len = mid_pages * PAGE_SIZE;
+            self.disk.read(area, mid_first, &mut out[pos..pos + mid_len]);
+            // Overlay any resident *dirty* pages: the pool copy is newer
+            // than the disk copy we just read.
+            for i in 0..mid_pages {
+                let pid = PageId::new(area, mid_first + i as u32);
+                if let Some(&idx) = self.map.get(&pid) {
+                    if self.frames[idx].dirty {
+                        out[pos + i * PAGE_SIZE..pos + (i + 1) * PAGE_SIZE]
+                            .copy_from_slice(&self.frames[idx].data[..]);
+                    }
+                }
+            }
+            pos += mid_len;
+        }
+        if tail_partial {
+            let r = self.fix(PageId::new(area, last));
+            out[pos..pos + tail_take].copy_from_slice(&self.page(r)[..tail_take]);
+            self.unfix(r);
+            pos += tail_take;
+        }
+        debug_assert_eq!(pos, len);
+    }
+
+    /// Read `n_pages` whole pages directly into `out` with one I/O call —
+    /// for internal staging buffers (e.g. Starburst's 512 KB copy buffer)
+    /// where page-grained reads need no boundary staging.
+    pub fn read_pages(&mut self, area: AreaId, start_page: u32, n_pages: u32, out: &mut [u8]) {
+        assert!(n_pages > 0);
+        assert!(out.len() >= n_pages as usize * PAGE_SIZE);
+        let out = &mut out[..n_pages as usize * PAGE_SIZE];
+        self.disk.read(area, start_page, out);
+        for i in 0..n_pages {
+            let pid = PageId::new(area, start_page + i);
+            if let Some(&idx) = self.map.get(&pid) {
+                if self.frames[idx].dirty {
+                    let off = i as usize * PAGE_SIZE;
+                    out[off..off + PAGE_SIZE].copy_from_slice(&self.frames[idx].data[..]);
+                }
+            }
+        }
+    }
+
+    /// Write `data` to contiguous pages starting at `start_page` with one
+    /// I/O call, bypassing the pool. Resident copies of fully-overwritten
+    /// pages are dropped; a dirty resident copy of a *partially* covered
+    /// trailing page is flushed first so its unwritten bytes survive the
+    /// disk-side read-modify-write.
+    pub fn write_direct(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
+        assert!(!data.is_empty(), "zero-length direct write");
+        let n_pages = data.len().div_ceil(PAGE_SIZE) as u32;
+        let partial_tail = !data.len().is_multiple_of(PAGE_SIZE);
+        if partial_tail {
+            let tail_pid = PageId::new(area, start_page + n_pages - 1);
+            if let Some(&idx) = self.map.get(&tail_pid) {
+                if self.frames[idx].dirty {
+                    self.flush_page(tail_pid);
+                }
+            }
+        }
+        self.disk.write(area, start_page, data);
+        self.discard_range(area, start_page, n_pages);
+    }
+
+    /// Flush the dirty resident pages of the page range `[start,
+    /// start+n_pages)`, writing each maximal contiguous dirty run with a
+    /// single sequential I/O call (§3.3: "the dirty pages of the segment
+    /// are simply flushed to disk at the end of the operation").
+    pub fn flush_range(&mut self, area: AreaId, start: u32, n_pages: u32) {
+        let mut p = start;
+        let end = start + n_pages;
+        while p < end {
+            // Find the next dirty resident page.
+            let run_start = (p..end).find(|&q| {
+                self.map
+                    .get(&PageId::new(area, q))
+                    .is_some_and(|&idx| self.frames[idx].dirty)
+            });
+            let Some(run_start) = run_start else { break };
+            let mut run_end = run_start;
+            while run_end + 1 < end
+                && self
+                    .map
+                    .get(&PageId::new(area, run_end + 1))
+                    .is_some_and(|&idx| self.frames[idx].dirty)
+            {
+                run_end += 1;
+            }
+            let run_len = (run_end - run_start + 1) as usize;
+            let mut buf = vec![0u8; run_len * PAGE_SIZE];
+            for i in 0..run_len {
+                let pid = PageId::new(area, run_start + i as u32);
+                let idx = self.map[&pid];
+                buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE].copy_from_slice(&self.frames[idx].data[..]);
+                self.frames[idx].dirty = false;
+            }
+            self.disk.write(area, run_start, &buf);
+            p = run_end + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use lobstore_simdisk::{CostModel, SimDisk, TraceKind};
+
+    const A: AreaId = AreaId::LEAF;
+
+    fn pool() -> BufferPool {
+        BufferPool::new(SimDisk::new(2, CostModel::default()), PoolConfig::default())
+    }
+
+    /// Write a recognizable pattern of `n` pages at `start` directly to disk.
+    fn seed(pool: &mut BufferPool, start: u32, n_pages: usize) -> Vec<u8> {
+        let data: Vec<u8> = (0..n_pages * PAGE_SIZE)
+            .map(|i| ((i * 31 + 7) % 253) as u8)
+            .collect();
+        pool.disk_mut().poke(A, start, &data);
+        data
+    }
+
+    #[test]
+    fn small_read_is_buffered_in_one_call() {
+        let mut p = pool();
+        let data = seed(&mut p, 0, 3);
+        let mut out = vec![0u8; 3 * PAGE_SIZE];
+        p.read_segment(A, 0, 0, &mut out);
+        assert_eq!(out, data);
+        let s = p.io_stats();
+        assert_eq!(s.read_calls, 1, "3-page segment read in one call");
+        assert_eq!(s.pages_read, 3);
+        // Pages now resident: a re-read is free.
+        p.read_segment(A, 0, 0, &mut out);
+        assert_eq!(p.io_stats().read_calls, 1);
+    }
+
+    #[test]
+    fn small_unaligned_read_copies_correct_bytes() {
+        let mut p = pool();
+        let data = seed(&mut p, 4, 2);
+        let mut out = vec![0u8; 1000];
+        p.read_segment(A, 4, 3700, &mut out);
+        assert_eq!(out[..], data[3700..4700]);
+        assert_eq!(p.io_stats().read_calls, 1);
+        assert_eq!(p.io_stats().pages_read, 2);
+    }
+
+    #[test]
+    fn large_aligned_read_is_one_direct_call() {
+        let mut p = pool();
+        let data = seed(&mut p, 0, 8);
+        let mut out = vec![0u8; 8 * PAGE_SIZE];
+        p.disk_mut().enable_trace(8);
+        p.read_segment(A, 0, 0, &mut out);
+        assert_eq!(out, data);
+        let t = p.disk_mut().take_trace();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].pages, 8);
+        // Nothing was buffered.
+        assert!(!p.contains(PageId::new(A, 0)));
+        assert!(!p.contains(PageId::new(A, 7)));
+    }
+
+    #[test]
+    fn large_mismatched_read_is_three_step() {
+        let mut p = pool();
+        let data = seed(&mut p, 0, 8);
+        // Bytes 100 .. 8*4096-100: both boundaries are mid-page.
+        let len = 8 * PAGE_SIZE - 200;
+        let mut out = vec![0u8; len];
+        p.disk_mut().enable_trace(8);
+        p.read_segment(A, 0, 100, &mut out);
+        assert_eq!(out[..], data[100..100 + len]);
+        let t = p.disk_mut().take_trace();
+        // §3.2 / Figure 4: read L (1 page), read the 6 interior pages
+        // directly, read R (1 page) = 3 calls, 8 pages.
+        assert_eq!(t.len(), 3, "expected 3-step I/O, got {t:?}");
+        assert_eq!(t.iter().map(|e| e.pages).collect::<Vec<_>>(), vec![1, 6, 1]);
+        assert_eq!(t.iter().map(|e| u64::from(e.pages)).sum::<u64>(), 8);
+        // Cost check from §4.4.2 analysis: 3 seeks + 8 pages.
+        assert_eq!(p.io_stats().time_us, 3 * 33_000 + 8 * 4_000);
+        // Boundary pages were staged through the pool.
+        assert!(p.contains(PageId::new(A, 0)));
+        assert!(p.contains(PageId::new(A, 7)));
+        assert!(!p.contains(PageId::new(A, 3)));
+    }
+
+    #[test]
+    fn large_read_with_aligned_head_is_two_step() {
+        let mut p = pool();
+        let data = seed(&mut p, 0, 6);
+        let len = 5 * PAGE_SIZE + 10; // starts aligned, ends mid-page
+        let mut out = vec![0u8; len];
+        p.disk_mut().enable_trace(8);
+        p.read_segment(A, 0, 0, &mut out);
+        assert_eq!(out[..], data[..len]);
+        let t = p.disk_mut().take_trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.iter().map(|e| e.pages).collect::<Vec<_>>(), vec![5, 1]);
+    }
+
+    #[test]
+    fn buffered_read_reuses_resident_pages() {
+        let mut p = pool();
+        seed(&mut p, 0, 4);
+        // Make page 1 resident.
+        let r = p.fix(PageId::new(A, 1));
+        p.unfix(r);
+        p.disk_mut().reset_stats();
+        let mut out = vec![0u8; 4 * PAGE_SIZE];
+        p.read_segment(A, 0, 0, &mut out);
+        // Missing runs: [0] and [2,3] → 2 calls, 3 pages.
+        assert_eq!(p.io_stats().read_calls, 2);
+        assert_eq!(p.io_stats().pages_read, 3);
+    }
+
+    #[test]
+    fn direct_read_overlays_dirty_resident_pages() {
+        let mut p = pool();
+        seed(&mut p, 0, 8);
+        // Dirty page 3 in the pool: newer than disk.
+        let r = p.fix(PageId::new(A, 3));
+        p.page_mut(r).fill(0xEE);
+        p.unfix(r);
+        let mut out = vec![0u8; 8 * PAGE_SIZE];
+        p.read_segment(A, 0, 0, &mut out);
+        assert!(out[3 * PAGE_SIZE..4 * PAGE_SIZE].iter().all(|&b| b == 0xEE));
+    }
+
+    #[test]
+    fn write_direct_is_one_call_and_invalidates() {
+        let mut p = pool();
+        seed(&mut p, 0, 4);
+        let r = p.fix(PageId::new(A, 2));
+        p.unfix(r);
+        let new = vec![0x55u8; 4 * PAGE_SIZE];
+        p.disk_mut().reset_stats();
+        p.write_direct(A, 0, &new);
+        assert_eq!(p.io_stats().write_calls, 1);
+        assert_eq!(p.io_stats().pages_written, 4);
+        assert!(!p.contains(PageId::new(A, 2)), "stale copy dropped");
+        let mut out = vec![0u8; 4 * PAGE_SIZE];
+        p.disk().peek(A, 0, &mut out);
+        assert_eq!(out, new);
+    }
+
+    #[test]
+    fn write_direct_partial_tail_preserves_dirty_resident_rest() {
+        let mut p = pool();
+        // Page 1 resident and dirty with 0xAA everywhere.
+        let r = p.fix(PageId::new(A, 1));
+        p.page_mut(r).fill(0xAA);
+        p.unfix(r);
+        // Direct write covering page 0 fully and the first 100 bytes of page 1.
+        let data = vec![0x11u8; PAGE_SIZE + 100];
+        p.write_direct(A, 0, &data);
+        let mut out = vec![0u8; 2 * PAGE_SIZE];
+        p.disk().peek(A, 0, &mut out);
+        assert!(out[..PAGE_SIZE + 100].iter().all(|&b| b == 0x11));
+        assert!(
+            out[PAGE_SIZE + 100..].iter().all(|&b| b == 0xAA),
+            "dirty resident tail bytes must survive"
+        );
+    }
+
+    #[test]
+    fn flush_range_groups_contiguous_dirty_pages() {
+        let mut p = pool();
+        // Dirty pages 0,1,2 and 5 (3 is clean-resident, 4 absent).
+        for q in [0u32, 1, 2, 5] {
+            let r = p.fix_new(PageId::new(A, q));
+            p.page_mut(r)[0] = q as u8 + 1;
+            p.unfix(r);
+        }
+        let r = p.fix(PageId::new(A, 3));
+        p.unfix(r);
+        p.disk_mut().reset_stats();
+        p.disk_mut().enable_trace(8);
+        p.flush_range(A, 0, 6);
+        let t = p.disk_mut().take_trace();
+        let writes: Vec<_> = t.iter().filter(|e| e.kind == TraceKind::Write).collect();
+        assert_eq!(writes.len(), 2, "runs [0..3] and [5] → 2 calls");
+        assert_eq!(writes[0].pages, 3);
+        assert_eq!(writes[1].pages, 1);
+        // Everything clean now; flushing again is free.
+        p.disk_mut().reset_stats();
+        p.flush_range(A, 0, 6);
+        assert_eq!(p.io_stats().write_calls, 0);
+    }
+
+    #[test]
+    fn read_pages_overlays_dirty_and_charges_one_call() {
+        let mut p = pool();
+        seed(&mut p, 0, 4);
+        let r = p.fix(PageId::new(A, 1));
+        p.page_mut(r).fill(0x77);
+        p.unfix(r);
+        let mut out = vec![0u8; 4 * PAGE_SIZE];
+        p.disk_mut().reset_stats();
+        p.read_pages(A, 0, 4, &mut out);
+        assert_eq!(p.io_stats().read_calls, 1);
+        assert!(out[PAGE_SIZE..2 * PAGE_SIZE].iter().all(|&b| b == 0x77));
+    }
+
+    #[test]
+    fn single_page_fallback_when_pool_unavailable() {
+        // A 3-frame pool where 2 frames are pinned: a 2-page buffered read
+        // cannot be accommodated and falls to the direct path.
+        let mut p = BufferPool::new(
+            SimDisk::new(2, CostModel::default()),
+            PoolConfig {
+                frames: 3,
+                max_buffered_seg: 4,
+            },
+        );
+        let data = seed(&mut p, 0, 2);
+        let _pin1 = p.fix(PageId::new(AreaId::META, 100));
+        let _pin2 = p.fix(PageId::new(AreaId::META, 101));
+        p.disk_mut().reset_stats();
+        let mut out = vec![0u8; PAGE_SIZE + 200];
+        p.read_segment(A, 0, 50, &mut out);
+        assert_eq!(out[..], data[50..50 + PAGE_SIZE + 200]);
+    }
+}

@@ -1,0 +1,257 @@
+//! `lobctl <image> check` — offline consistency checking (an `fsck` for
+//! database images).
+//!
+//! Verifies, for a database reached through its catalog:
+//!
+//! 1. every object's own structural invariants (count-tree consistency,
+//!    fill factors, segment bounds);
+//! 2. that no two objects claim the same LEAF pages;
+//! 3. that the LEAF allocator's map matches exactly the pages reachable
+//!    from objects (no leaks, no dangling references);
+//! 4. the same for META pages (catalog chain + object roots + interior
+//!    index pages).
+
+use std::collections::HashMap;
+
+use lobstore_core::{open_object, Catalog, Db};
+
+/// One problem found by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Finding {
+    ObjectBroken { name: String, detail: String },
+    LeafOverlap { page: u32, owners: Vec<String> },
+    LeafLeaked { page: u32 },
+    LeafDangling { name: String, page: u32 },
+    MetaLeaked { page: u32 },
+    MetaDangling { owner: String, page: u32 },
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finding::ObjectBroken { name, detail } => {
+                write!(f, "object '{name}' failed invariants: {detail}")
+            }
+            Finding::LeafOverlap { page, owners } => {
+                write!(f, "leaf page {page} claimed by multiple objects: {owners:?}")
+            }
+            Finding::LeafLeaked { page } => {
+                write!(f, "leaf page {page} allocated but unreachable (leak)")
+            }
+            Finding::LeafDangling { name, page } => {
+                write!(f, "object '{name}' references unallocated leaf page {page}")
+            }
+            Finding::MetaLeaked { page } => {
+                write!(f, "meta page {page} allocated but unreachable (leak)")
+            }
+            Finding::MetaDangling { owner, page } => {
+                write!(f, "'{owner}' references unallocated meta page {page}")
+            }
+        }
+    }
+}
+
+/// Run all checks; an empty result means the database is consistent.
+pub fn check_database(db: &mut Db, cat: &mut Catalog) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Reachability maps: page → owner name.
+    let mut leaf_owner: HashMap<u32, String> = HashMap::new();
+    let mut meta_owner: HashMap<u32, String> = HashMap::new();
+
+    match cat.pages(db) {
+        Ok(pages) => {
+            for p in pages {
+                meta_owner.insert(p, "<catalog>".to_string());
+            }
+        }
+        Err(e) => {
+            findings.push(Finding::ObjectBroken {
+                name: "<catalog>".into(),
+                detail: e.to_string(),
+            });
+            return findings;
+        }
+    }
+
+    let entries = match cat.list(db) {
+        Ok(e) => e,
+        Err(e) => {
+            findings.push(Finding::ObjectBroken {
+                name: "<catalog>".into(),
+                detail: e.to_string(),
+            });
+            return findings;
+        }
+    };
+
+    for entry in &entries {
+        let obj = match open_object(db, entry.kind, entry.root_page) {
+            Ok(o) => o,
+            Err(e) => {
+                findings.push(Finding::ObjectBroken {
+                    name: entry.name.clone(),
+                    detail: e.to_string(),
+                });
+                continue;
+            }
+        };
+        if let Err(e) = obj.check_invariants(db) {
+            findings.push(Finding::ObjectBroken {
+                name: entry.name.clone(),
+                detail: e.to_string(),
+            });
+        }
+        for page in obj.index_page_numbers(db) {
+            meta_owner.insert(page, entry.name.clone());
+        }
+        for seg in obj.segments(db) {
+            for p in seg.start_page..seg.start_page + seg.pages {
+                if let Some(prev) = leaf_owner.insert(p, entry.name.clone()) {
+                    if prev != entry.name {
+                        findings.push(Finding::LeafOverlap {
+                            page: p,
+                            owners: vec![prev, entry.name.clone()],
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Allocator vs reachability, LEAF area.
+    let mut leaf_allocated = std::collections::HashSet::new();
+    for ext in db.leaf_allocated_ranges() {
+        for p in ext.start..ext.end() {
+            leaf_allocated.insert(p);
+        }
+    }
+    for (&page, name) in &leaf_owner {
+        if !leaf_allocated.contains(&page) {
+            findings.push(Finding::LeafDangling {
+                name: name.clone(),
+                page,
+            });
+        }
+    }
+    for &page in &leaf_allocated {
+        if !leaf_owner.contains_key(&page) {
+            findings.push(Finding::LeafLeaked { page });
+        }
+    }
+
+    // META area: allocated pages must be exactly the reachable set.
+    // (Directory pages are the allocator's own and are not in its map.)
+    let mut meta_allocated = std::collections::HashSet::new();
+    for ext in db.meta_allocated_ranges() {
+        for p in ext.start..ext.end() {
+            meta_allocated.insert(p);
+        }
+    }
+    for (&page, owner) in &meta_owner {
+        if !meta_allocated.contains(&page) {
+            findings.push(Finding::MetaDangling {
+                owner: owner.clone(),
+                page,
+            });
+        }
+    }
+    for &page in &meta_allocated {
+        if !meta_owner.contains_key(&page) {
+            findings.push(Finding::MetaLeaked { page });
+        }
+    }
+
+    findings.sort_by_key(|f| format!("{f:?}"));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobstore_core::{DbConfig, ManagerSpec, StorageKind};
+
+    fn setup() -> (Db, Catalog) {
+        let mut db = Db::new(DbConfig::default());
+        let mut cat = Catalog::create(&mut db).unwrap();
+        for (name, spec) in [
+            ("a", ManagerSpec::esm(4)),
+            ("b", ManagerSpec::eos(16)),
+            ("c", ManagerSpec::starburst()),
+        ] {
+            let mut obj = spec.create(&mut db).unwrap();
+            obj.append(&mut db, &vec![7u8; 100_000]).unwrap();
+            obj.trim(&mut db).unwrap();
+            cat.put(&mut db, name, obj.kind(), obj.root_page()).unwrap();
+        }
+        (db, cat)
+    }
+
+    #[test]
+    fn healthy_database_has_no_findings() {
+        let (mut db, mut cat) = setup();
+        let findings = check_database(&mut db, &mut cat);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn detects_leaked_leaf_pages() {
+        let (mut db, mut cat) = setup();
+        // Allocate pages that no object references.
+        let _leak = db.alloc_leaf(3);
+        let findings = check_database(&mut db, &mut cat);
+        let leaks = findings
+            .iter()
+            .filter(|f| matches!(f, Finding::LeafLeaked { .. }))
+            .count();
+        assert_eq!(leaks, 3, "{findings:?}");
+    }
+
+    #[test]
+    fn detects_dangling_references() {
+        let (mut db, mut cat) = setup();
+        // Free a segment out from under object "b".
+        let e = cat.get(&mut db, "b").unwrap().unwrap();
+        let obj = open_object(&mut db, e.kind, e.root_page).unwrap();
+        let seg = obj.segments(&db)[0];
+        db.free_leaf(lobstore_core::Extent::new(
+            lobstore_simdisk::AreaId::LEAF,
+            seg.start_page,
+            1,
+        ));
+        let findings = check_database(&mut db, &mut cat);
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, Finding::LeafDangling { .. })),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn detects_corrupt_object_roots() {
+        let (mut db, mut cat) = setup();
+        let e = cat.get(&mut db, "a").unwrap().unwrap();
+        // Stamp garbage over the root's magic.
+        db.with_meta_page_mut(e.root_page, |p| p[0..4].copy_from_slice(b"XXXX"));
+        let findings = check_database(&mut db, &mut cat);
+        assert!(
+            findings.iter().any(|f| matches!(
+                f,
+                Finding::ObjectBroken { name, .. } if name == "a"
+            )),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn detects_kind_confusion() {
+        let (mut db, mut cat) = setup();
+        // Re-register object "a" under the wrong kind.
+        let e = cat.get(&mut db, "a").unwrap().unwrap();
+        cat.remove(&mut db, "a").unwrap();
+        cat.put(&mut db, "a", StorageKind::Starburst, e.root_page).unwrap();
+        let findings = check_database(&mut db, &mut cat);
+        assert!(!findings.is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! `lobctl` — manage named large objects in a lobstore database image.
+//!
+//! A database image is a single file (the `lobstore-simdisk` image
+//! format). Objects are addressed by name through a [`Catalog`] whose
+//! first page is, by convention, the first META page the freshly
+//! initialized database allocates.
+//!
+//! ```text
+//! lobctl <image> init
+//! lobctl <image> create <name> esm <leaf_pages> | eos <threshold> | starburst
+//! lobctl <image> ls
+//! lobctl <image> put <name> <file>             append a file's bytes
+//! lobctl <image> cat <name> [<off> <len>]      bytes to stdout
+//! lobctl <image> insert <name> <off> <file>    splice a file in
+//! lobctl <image> cut <name> <off> <len>        delete a byte range
+//! lobctl <image> stat <name>                   size, utilization, segments
+//! lobctl <image> rm <name>                     destroy object + name
+//! lobctl <image> info                          database totals
+//! ```
+//!
+//! Every mutating command reports the simulated I/O it cost, so the CLI
+//! doubles as a hands-on explorer of the paper's cost model.
+
+mod check;
+
+pub use check::{check_database, Finding};
+
+use std::io::Write as _;
+
+use lobstore_core::{Catalog, Db, DbConfig, LargeObject, ManagerSpec, StorageKind};
+
+/// Exit status plus everything printed, for testability.
+pub struct Outcome {
+    pub status: i32,
+    pub stdout: Vec<u8>,
+    pub stderr: String,
+}
+
+impl Outcome {
+    fn ok(stdout: Vec<u8>) -> Outcome {
+        Outcome {
+            status: 0,
+            stdout,
+            stderr: String::new(),
+        }
+    }
+
+    fn err(msg: impl Into<String>) -> Outcome {
+        Outcome {
+            status: 1,
+            stdout: Vec::new(),
+            stderr: msg.into(),
+        }
+    }
+}
+
+/// By convention the catalog sits on the first META data page (the dir
+/// page of space 0 is page 0, so the first allocation returns page 1).
+const CATALOG_ROOT: u32 = 1;
+
+/// Run one `lobctl` invocation. `args` excludes the program name.
+pub fn run(args: &[String]) -> Outcome {
+    let usage = "usage: lobctl <image> <init|create|ls|put|cat|insert|cut|stat|rm|info|check> ...";
+    if args.len() < 2 {
+        return Outcome::err(usage);
+    }
+    let image = &args[0];
+    let cmd = args[1].as_str();
+    let rest = &args[2..];
+
+    if cmd == "init" {
+        let mut db = Db::new(DbConfig::default());
+        let cat = match Catalog::create(&mut db) {
+            Ok(c) => c,
+            Err(e) => return Outcome::err(e.to_string()),
+        };
+        debug_assert_eq!(cat.root_page(), CATALOG_ROOT);
+        return match db.save_to_path(image) {
+            Ok(()) => Outcome::ok(format!("initialized {image}\n").into_bytes()),
+            Err(e) => Outcome::err(e.to_string()),
+        };
+    }
+
+    // Every other command works on an existing image.
+    let mut db = match Db::load_from_path(image, DbConfig::default()) {
+        Ok(db) => db,
+        Err(e) => return Outcome::err(format!("cannot open {image}: {e}")),
+    };
+    let mut cat = match Catalog::open(&mut db, CATALOG_ROOT) {
+        Ok(c) => c,
+        Err(e) => return Outcome::err(format!("{image} has no catalog: {e}")),
+    };
+
+    let before = db.io_stats();
+    let mut out: Vec<u8> = Vec::new();
+    let mutating;
+
+    macro_rules! bail {
+        ($($t:tt)*) => { return Outcome::err(format!($($t)*)) };
+    }
+    macro_rules! need {
+        ($n:expr, $what:expr) => {
+            if rest.len() != $n {
+                bail!("{}", $what);
+            }
+        };
+    }
+
+    match cmd {
+        "create" => {
+            mutating = true;
+            if rest.len() < 2 {
+                bail!("usage: create <name> esm <leaf_pages> | eos <threshold> | starburst");
+            }
+            let name = &rest[0];
+            let spec = match (rest[1].as_str(), rest.get(2)) {
+                ("esm", Some(p)) => match p.parse() {
+                    Ok(p) => ManagerSpec::esm(p),
+                    Err(_) => bail!("bad leaf page count '{p}'"),
+                },
+                ("eos", Some(t)) => match t.parse() {
+                    Ok(t) => ManagerSpec::eos(t),
+                    Err(_) => bail!("bad threshold '{t}'"),
+                },
+                ("starburst", None) => ManagerSpec::starburst(),
+                _ => bail!("unknown kind; use: esm <pages> | eos <threshold> | starburst"),
+            };
+            let obj = match spec.create(&mut db) {
+                Ok(o) => o,
+                Err(e) => bail!("{e}"),
+            };
+            if let Err(e) = cat.put(&mut db, name, obj.kind(), obj.root_page()) {
+                bail!("{e}");
+            }
+            let _ = writeln!(out, "created {name} ({})", spec.label());
+        }
+        "ls" => {
+            mutating = false;
+            let entries = match cat.list(&mut db) {
+                Ok(e) => e,
+                Err(e) => bail!("{e}"),
+            };
+            for e in entries {
+                let mut obj = match lobstore_core::open_object(&mut db, e.kind, e.root_page) {
+                    Ok(o) => o,
+                    Err(err) => bail!("{err}"),
+                };
+                let size = obj.size(&mut db);
+                let u = obj.utilization(&db);
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>10} B  {:<9} util {:>5.1}%",
+                    e.name,
+                    size,
+                    e.kind.to_string(),
+                    u.ratio() * 100.0
+                );
+                let _ = &mut obj;
+            }
+        }
+        "put" | "insert" => {
+            mutating = true;
+            let (name, off, file) = if cmd == "put" {
+                need!(2, "usage: put <name> <file>");
+                (&rest[0], None, &rest[1])
+            } else {
+                need!(3, "usage: insert <name> <off> <file>");
+                let off: u64 = match rest[1].parse() {
+                    Ok(o) => o,
+                    Err(_) => bail!("bad offset '{}'", rest[1]),
+                };
+                (&rest[0], Some(off), &rest[2])
+            };
+            let bytes = match std::fs::read(file) {
+                Ok(b) => b,
+                Err(e) => bail!("cannot read {file}: {e}"),
+            };
+            let mut obj = match open_named(&mut db, &mut cat, name) {
+                Ok(o) => o,
+                Err(e) => return e,
+            };
+            let result = match off {
+                None => obj.append(&mut db, &bytes),
+                Some(off) => obj.insert(&mut db, off, &bytes),
+            };
+            if let Err(e) = result {
+                bail!("{e}");
+            }
+            let _ = writeln!(out, "{} bytes -> {name}", bytes.len());
+        }
+        "cat" => {
+            mutating = false;
+            if rest.is_empty() || rest.len() == 2 || rest.len() > 3 {
+                bail!("usage: cat <name> [<off> <len>]");
+            }
+            let obj = match open_named(&mut db, &mut cat, &rest[0]) {
+                Ok(o) => o,
+                Err(e) => return e,
+            };
+            let size = obj.size(&mut db);
+            let (off, len) = if rest.len() == 3 {
+                match (rest[1].parse::<u64>(), rest[2].parse::<u64>()) {
+                    (Ok(o), Ok(l)) => (o, l),
+                    _ => bail!("bad off/len"),
+                }
+            } else {
+                (0, size)
+            };
+            let mut buf = vec![0u8; len as usize];
+            if let Err(e) = obj.read(&mut db, off, &mut buf) {
+                bail!("{e}");
+            }
+            out.extend_from_slice(&buf);
+        }
+        "cut" => {
+            mutating = true;
+            need!(3, "usage: cut <name> <off> <len>");
+            let (off, len) = match (rest[1].parse::<u64>(), rest[2].parse::<u64>()) {
+                (Ok(o), Ok(l)) => (o, l),
+                _ => bail!("bad off/len"),
+            };
+            let mut obj = match open_named(&mut db, &mut cat, &rest[0]) {
+                Ok(o) => o,
+                Err(e) => return e,
+            };
+            if let Err(e) = obj.delete(&mut db, off, len) {
+                bail!("{e}");
+            }
+            let _ = writeln!(out, "cut {len} bytes at {off} from {}", rest[0]);
+        }
+        "stat" => {
+            mutating = false;
+            need!(1, "usage: stat <name>");
+            let obj = match open_named(&mut db, &mut cat, &rest[0]) {
+                Ok(o) => o,
+                Err(e) => return e,
+            };
+            let size = obj.size(&mut db);
+            let u = obj.utilization(&db);
+            let _ = writeln!(out, "{}: {} ({} bytes)", rest[0], obj.kind(), size);
+            let _ = writeln!(
+                out,
+                "  data pages {}  index pages {}  utilization {:.1}%",
+                u.data_pages,
+                u.index_pages,
+                u.ratio() * 100.0
+            );
+            let segs = obj.segments(&db);
+            let _ = writeln!(out, "  {} segment(s):", segs.len());
+            for s in segs.iter().take(32) {
+                let _ = writeln!(
+                    out,
+                    "    @{:<12} page {:<8} {:>10} B in {:>5} page(s)",
+                    s.offset, s.start_page, s.bytes, s.pages
+                );
+            }
+            if segs.len() > 32 {
+                let _ = writeln!(out, "    ... {} more", segs.len() - 32);
+            }
+        }
+        "rm" => {
+            mutating = true;
+            need!(1, "usage: rm <name>");
+            let mut obj = match open_named(&mut db, &mut cat, &rest[0]) {
+                Ok(o) => o,
+                Err(e) => return e,
+            };
+            if let Err(e) = obj.destroy(&mut db) {
+                bail!("{e}");
+            }
+            if let Err(e) = cat.remove(&mut db, &rest[0]) {
+                bail!("{e}");
+            }
+            let _ = writeln!(out, "removed {}", rest[0]);
+        }
+        "check" => {
+            mutating = false;
+            let findings = check::check_database(&mut db, &mut cat);
+            if findings.is_empty() {
+                let _ = writeln!(out, "ok: catalog, objects, and space maps are consistent");
+            } else {
+                for f in &findings {
+                    let _ = writeln!(out, "PROBLEM: {f}");
+                }
+                let stderr = format!("{} problem(s) found\n", findings.len());
+                return Outcome { status: 2, stdout: out, stderr };
+            }
+        }
+        "info" => {
+            mutating = false;
+            let n = match cat.len(&mut db) {
+                Ok(n) => n,
+                Err(e) => bail!("{e}"),
+            };
+            let _ = writeln!(out, "objects:     {n}");
+            let _ = writeln!(out, "leaf pages:  {}", db.leaf_pages_allocated());
+            let _ = writeln!(out, "meta pages:  {}", db.meta_pages_allocated());
+            let _ = writeln!(
+                out,
+                "cost model:  {} ms seek, {} us/KB transfer",
+                db.config().cost.seek_us / 1000,
+                db.config().cost.transfer_us_per_kb
+            );
+        }
+        other => return Outcome::err(format!("unknown command '{other}'\n{usage}")),
+    }
+
+    let cost = db.io_stats() - before;
+    if mutating {
+        if let Err(e) = db.save_to_path(image) {
+            return Outcome::err(format!("cannot save {image}: {e}"));
+        }
+    }
+    // Cost note on stderr so `cat` output stays clean on stdout.
+    let stderr = format!(
+        "[simulated I/O: {} calls, {} pages, {:.1} ms]\n",
+        cost.calls(),
+        cost.pages(),
+        cost.time_ms()
+    );
+    Outcome {
+        status: 0,
+        stdout: out,
+        stderr,
+    }
+}
+
+fn open_named(
+    db: &mut Db,
+    cat: &mut Catalog,
+    name: &str,
+) -> Result<Box<dyn LargeObject>, Outcome> {
+    let entry = cat
+        .get(db, name)
+        .map_err(|e| Outcome::err(e.to_string()))?
+        .ok_or_else(|| Outcome::err(format!("no object named '{name}'")))?;
+    lobstore_core::open_object(db, entry.kind, entry.root_page)
+        .map_err(|e| Outcome::err(e.to_string()))
+}
+
+/// Label helper reused by tests.
+pub fn kind_name(kind: StorageKind) -> &'static str {
+    match kind {
+        StorageKind::Esm => "ESM",
+        StorageKind::Eos => "EOS",
+        StorageKind::Starburst => "Starburst",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("lobctl-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn full_session() {
+        let img = tmp("session.lob");
+        let _ = std::fs::remove_file(&img);
+        assert_eq!(run(&argv(&[&img, "init"])).status, 0);
+        assert_eq!(run(&argv(&[&img, "create", "doc", "eos", "16"])).status, 0);
+
+        let payload = tmp("payload.bin");
+        std::fs::write(&payload, b"hello large object world").unwrap();
+        assert_eq!(run(&argv(&[&img, "put", "doc", &payload])).status, 0);
+
+        let cat_out = run(&argv(&[&img, "cat", "doc"]));
+        assert_eq!(cat_out.status, 0);
+        assert_eq!(cat_out.stdout, b"hello large object world");
+        assert!(cat_out.stderr.contains("simulated I/O"));
+
+        std::fs::write(&payload, b"BIG ").unwrap();
+        assert_eq!(run(&argv(&[&img, "insert", "doc", "6", &payload])).status, 0);
+        let cat_out = run(&argv(&[&img, "cat", "doc"]));
+        assert_eq!(cat_out.stdout, b"hello BIG large object world");
+
+        assert_eq!(run(&argv(&[&img, "cut", "doc", "0", "6"])).status, 0);
+        let cat_out = run(&argv(&[&img, "cat", "doc", "0", "3"]));
+        assert_eq!(cat_out.stdout, b"BIG");
+
+        let ls = run(&argv(&[&img, "ls"]));
+        assert!(String::from_utf8_lossy(&ls.stdout).contains("doc"));
+        let stat = run(&argv(&[&img, "stat", "doc"]));
+        let stat_text = String::from_utf8_lossy(&stat.stdout).into_owned();
+        assert!(stat_text.contains("EOS"), "{stat_text}");
+        assert!(stat_text.contains("segment"), "{stat_text}");
+
+        let chk = run(&argv(&[&img, "check"]));
+        assert_eq!(chk.status, 0, "{}", String::from_utf8_lossy(&chk.stdout));
+        assert!(String::from_utf8_lossy(&chk.stdout).contains("ok:"));
+
+        assert_eq!(run(&argv(&[&img, "rm", "doc"])).status, 0);
+        let ls = run(&argv(&[&img, "ls"]));
+        assert!(!String::from_utf8_lossy(&ls.stdout).contains("doc"));
+        let info = run(&argv(&[&img, "info"]));
+        let info_text = String::from_utf8_lossy(&info.stdout).into_owned();
+        assert!(info_text.contains("objects:     0"), "{info_text}");
+        assert!(info_text.contains("leaf pages:  0"), "{info_text}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let img = tmp("errors.lob");
+        let _ = std::fs::remove_file(&img);
+        assert_eq!(run(&argv(&["missing.lob", "ls"])).status, 1);
+        assert_eq!(run(&argv(&[&img, "nonsense"])).status, 1);
+        run(&argv(&[&img, "init"]));
+        assert_eq!(run(&argv(&[&img, "cat", "ghost"])).status, 1);
+        assert_eq!(run(&argv(&[&img, "create", "x", "esm"])).status, 1);
+        assert_eq!(run(&argv(&[&img, "create", "x", "esm", "4"])).status, 0);
+        assert_eq!(
+            run(&argv(&[&img, "create", "x", "eos", "4"])).status,
+            1,
+            "duplicate names rejected"
+        );
+        let big_cut = run(&argv(&[&img, "cut", "x", "0", "99"]));
+        assert_eq!(big_cut.status, 1, "cut beyond the object fails");
+    }
+
+    #[test]
+    fn objects_of_all_kinds_coexist() {
+        let img = tmp("kinds.lob");
+        let _ = std::fs::remove_file(&img);
+        run(&argv(&[&img, "init"]));
+        run(&argv(&[&img, "create", "a", "esm", "4"]));
+        run(&argv(&[&img, "create", "b", "eos", "64"]));
+        run(&argv(&[&img, "create", "c", "starburst"]));
+        let payload = tmp("kinds-payload.bin");
+        std::fs::write(&payload, vec![7u8; 50_000]).unwrap();
+        for name in ["a", "b", "c"] {
+            assert_eq!(run(&argv(&[&img, "put", name, &payload])).status, 0);
+        }
+        let ls = String::from_utf8(run(&argv(&[&img, "ls"])).stdout).unwrap();
+        assert!(ls.contains("ESM") && ls.contains("EOS") && ls.contains("Starburst"), "{ls}");
+        for name in ["a", "b", "c"] {
+            let out = run(&argv(&[&img, "cat", name, "49000", "100"]));
+            assert_eq!(out.stdout, vec![7u8; 100], "{name}");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Binary entry point for `lobctl`; all logic lives in the library so it
+//! can be tested in-process.
+
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let outcome = lobstore_cli::run(&args);
+    std::io::stdout()
+        .write_all(&outcome.stdout)
+        .expect("stdout");
+    eprint!("{}", outcome.stderr);
+    std::process::exit(outcome.status);
+}

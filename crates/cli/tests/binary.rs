@@ -1,0 +1,53 @@
+//! End-to-end test of the real `lobctl` binary via std::process.
+
+use std::process::Command;
+
+fn lobctl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_lobctl"))
+        .args(args)
+        .output()
+        .expect("spawn lobctl")
+}
+
+#[test]
+fn binary_end_to_end() {
+    let dir = std::env::temp_dir().join("lobctl-binary-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let img = dir.join("db.lob");
+    let img = img.to_str().unwrap();
+    let _ = std::fs::remove_file(img);
+
+    let out = lobctl(&[img, "init"]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = lobctl(&[img, "create", "clip", "starburst"]);
+    assert!(out.status.success());
+
+    let payload = dir.join("clip.bin");
+    std::fs::write(&payload, vec![0xABu8; 200_000]).unwrap();
+    let out = lobctl(&[img, "put", "clip", payload.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("simulated I/O"),
+        "cost note expected on stderr"
+    );
+
+    let out = lobctl(&[img, "cat", "clip", "199990", "10"]);
+    assert!(out.status.success());
+    assert_eq!(out.stdout, vec![0xABu8; 10]);
+
+    let out = lobctl(&[img, "stat", "clip"]);
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("Starburst"), "{text}");
+    assert!(text.contains("200000 bytes"), "{text}");
+
+    // Bad usage exits nonzero with a message.
+    let out = lobctl(&[img, "cat"]);
+    assert!(!out.status.success());
+    assert!(!out.stderr.is_empty());
+
+    let out = lobctl(&[img, "rm", "clip"]);
+    assert!(out.status.success());
+    let out = lobctl(&[img, "info"]);
+    assert!(String::from_utf8_lossy(&out.stdout).contains("objects:     0"));
+}

@@ -1,0 +1,359 @@
+//! The database context shared by all large-object managers: buffer pool
+//! (owning the simulated disk) plus one buddy-space allocator per area.
+
+use lobstore_buddy::{BuddyConfig, BuddyManager, Extent};
+use lobstore_bufpool::{BufferPool, PoolConfig};
+use lobstore_simdisk::{AreaId, CostModel, IoStats, PageId, SimDisk, PAGE_SIZE};
+
+/// Positional-tree fan-out limits. With the paper's 4 KB pages and 4-byte
+/// counts and pointers, the root holds up to 507 pairs and interior index
+/// pages 511 pairs (§4.1). Tests shrink these to exercise deep trees with
+/// small objects.
+#[derive(Copy, Clone, Debug)]
+pub struct TreeConfig {
+    /// Maximum `(count, ptr)` pairs in the root page.
+    pub root_entries: usize,
+    /// Maximum pairs in a non-root index page.
+    pub node_entries: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            root_entries: 507,
+            node_entries: 511,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// A tiny fan-out for tests that need multi-level trees cheaply.
+    pub fn tiny(fanout: usize) -> Self {
+        assert!(fanout >= 4, "fan-out below 4 breaks split invariants");
+        TreeConfig {
+            root_entries: fanout,
+            node_entries: fanout,
+        }
+    }
+}
+
+/// Everything configurable about a database instance.
+#[derive(Copy, Clone, Debug)]
+pub struct DbConfig {
+    pub cost: CostModel,
+    pub pool: PoolConfig,
+    pub tree: TreeConfig,
+    /// Data pages per buddy space in the META area.
+    pub meta_space_pages: u32,
+    /// Data pages per buddy space in the LEAF area. Also the upper bound
+    /// on any single segment (the paper's 32 MB max segment lives inside
+    /// ≈64 MB spaces, §3.1).
+    pub leaf_space_pages: u32,
+    /// Whether updates are shadowed (§3.3). On by default; the
+    /// `ablation_shadowing` bench turns it off.
+    pub shadowing: bool,
+}
+
+impl Default for DbConfig {
+    /// The paper's configuration (Table 1 + §3.1).
+    fn default() -> Self {
+        DbConfig {
+            cost: CostModel::default(),
+            pool: PoolConfig::default(),
+            tree: TreeConfig::default(),
+            meta_space_pages: 16 * 1024,
+            leaf_space_pages: 16 * 1024,
+            shadowing: true,
+        }
+    }
+}
+
+/// The database: two areas on one simulated disk, one buffer pool, and a
+/// buddy allocator per area. All manager operations borrow this mutably —
+/// the study is single-client (§3).
+pub struct Db {
+    pub(crate) pool: BufferPool,
+    meta_alloc: BuddyManager,
+    leaf_alloc: BuddyManager,
+    cfg: DbConfig,
+}
+
+impl Db {
+    pub fn new(cfg: DbConfig) -> Self {
+        let disk = SimDisk::new(2, cfg.cost);
+        Db {
+            pool: BufferPool::new(disk, cfg.pool),
+            meta_alloc: BuddyManager::new(BuddyConfig::new(AreaId::META, cfg.meta_space_pages)),
+            leaf_alloc: BuddyManager::new(BuddyConfig::new(AreaId::LEAF, cfg.leaf_space_pages)),
+            cfg,
+        }
+    }
+
+    /// A database with the paper's exact parameters.
+    pub fn paper_default() -> Self {
+        Db::new(DbConfig::default())
+    }
+
+    pub fn config(&self) -> &DbConfig {
+        &self.cfg
+    }
+
+    /// The buffer pool (and through it, the disk).
+    pub fn pool(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    /// Cumulative I/O statistics of the underlying disk.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.io_stats()
+    }
+
+    /// Zero the disk's I/O counters (page contents are untouched).
+    pub fn reset_io_stats(&mut self) {
+        self.pool.disk_mut().reset_stats();
+    }
+
+    /// Allocate one page in the META area (index pages, roots, shadows).
+    pub fn alloc_meta_page(&mut self) -> u32 {
+        self.meta_alloc.allocate(&mut self.pool, 1).start
+    }
+
+    /// Free one META page.
+    pub fn free_meta_page(&mut self, page: u32) {
+        self.meta_alloc
+            .free(&mut self.pool, Extent::new(AreaId::META, page, 1));
+    }
+
+    /// Allocate a contiguous leaf segment of `pages` pages.
+    pub fn alloc_leaf(&mut self, pages: u32) -> Extent {
+        self.leaf_alloc.allocate(&mut self.pool, pages)
+    }
+
+    /// Free a leaf extent (whole segments or trimmed portions).
+    pub fn free_leaf(&mut self, ext: Extent) {
+        self.leaf_alloc.free(&mut self.pool, ext);
+    }
+
+    /// Pages currently allocated in the LEAF area.
+    pub fn leaf_pages_allocated(&self) -> u64 {
+        self.leaf_alloc.allocated_pages()
+    }
+
+    /// Pages currently allocated in the META area.
+    pub fn meta_pages_allocated(&self) -> u64 {
+        self.meta_alloc.allocated_pages()
+    }
+
+    /// Largest single segment this database can allocate, in pages.
+    pub fn max_segment_pages(&self) -> u32 {
+        self.cfg.leaf_space_pages
+    }
+
+    /// The LEAF allocator's current allocation map (for consistency
+    /// checking).
+    pub fn leaf_allocated_ranges(&mut self) -> Vec<Extent> {
+        let Db {
+            pool, leaf_alloc, ..
+        } = self;
+        leaf_alloc.allocated_ranges(pool)
+    }
+
+    /// The META allocator's current allocation map.
+    pub fn meta_allocated_ranges(&mut self) -> Vec<Extent> {
+        let Db {
+            pool, meta_alloc, ..
+        } = self;
+        meta_alloc.allocated_ranges(pool)
+    }
+
+    /// Convenience: fix-read a META page, run `f` on its bytes, unfix.
+    /// (Low-level page access for layers that keep their own structures
+    /// in META pages, such as the record store.)
+    pub fn with_meta_page<R>(&mut self, page: u32, f: impl FnOnce(&[u8]) -> R) -> R {
+        let pid = PageId::new(AreaId::META, page);
+        let r = self.pool.fix(pid);
+        let out = f(&self.pool.page(r)[..]);
+        self.pool.unfix(r);
+        out
+    }
+
+    /// Convenience: fix a META page for update, run `f`, unfix. The page
+    /// is marked dirty; flushing is the caller's (shadow context's) job.
+    pub fn with_meta_page_mut<R>(&mut self, page: u32, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let pid = PageId::new(AreaId::META, page);
+        let r = self.pool.fix(pid);
+        let out = f(&mut self.pool.page_mut(r)[..]);
+        self.pool.unfix(r);
+        out
+    }
+
+    /// Like [`Self::with_meta_page_mut`] but for a freshly allocated page
+    /// that need not be read from disk.
+    pub fn with_new_meta_page<R>(&mut self, page: u32, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let pid = PageId::new(AreaId::META, page);
+        let r = self.pool.fix_new(pid);
+        let out = f(&mut self.pool.page_mut(r)[..]);
+        self.pool.unfix(r);
+        out
+    }
+
+    /// Simulate a crash and restart: the buffer pool loses every unflushed
+    /// page (no write-back) and the space managers re-attach to whatever
+    /// the disk holds, with the paper's optimistic superdirectory
+    /// initialization (§3.1).
+    ///
+    /// The shadowing discipline (§3.3) guarantees that an object whose
+    /// state was flushed before the crash reads back exactly — later
+    /// unflushed operations never overwrite the bytes that state
+    /// references.
+    pub fn crash_and_reboot(&mut self) {
+        self.pool.crash();
+        self.meta_alloc = BuddyManager::open(
+            BuddyConfig::new(AreaId::META, self.cfg.meta_space_pages),
+            &mut self.pool,
+        );
+        self.leaf_alloc = BuddyManager::open(
+            BuddyConfig::new(AreaId::LEAF, self.cfg.leaf_space_pages),
+            &mut self.pool,
+        );
+    }
+
+    /// Flush everything that is dirty — the "checkpoint" matching the end
+    /// of the paper's operations (index shadows are already flushed per
+    /// op; this adds the root pages and space directories).
+    pub fn checkpoint(&mut self) {
+        self.pool.flush_all();
+    }
+
+    /// Checkpoint and serialize the whole database to `w` (the disk-image
+    /// format of `lobstore-simdisk`).
+    pub fn save_image(&mut self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        self.checkpoint();
+        self.pool.disk().write_image(w)
+    }
+
+    /// Load a database from an image. The image's cost model is
+    /// authoritative; pool/tree/space parameters come from `cfg` and must
+    /// match those the image was created with (the space sizes determine
+    /// the directory-page positions).
+    pub fn load_image(r: &mut impl std::io::Read, cfg: DbConfig) -> std::io::Result<Db> {
+        let disk = SimDisk::read_image(r)?;
+        let cfg = DbConfig {
+            cost: disk.cost_model(),
+            ..cfg
+        };
+        let mut pool = BufferPool::new(disk, cfg.pool);
+        let meta_alloc = BuddyManager::open(
+            BuddyConfig::new(AreaId::META, cfg.meta_space_pages),
+            &mut pool,
+        );
+        let leaf_alloc = BuddyManager::open(
+            BuddyConfig::new(AreaId::LEAF, cfg.leaf_space_pages),
+            &mut pool,
+        );
+        Ok(Db {
+            pool,
+            meta_alloc,
+            leaf_alloc,
+            cfg,
+        })
+    }
+
+    /// [`Self::save_image`] to a file path.
+    pub fn save_to_path(&mut self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save_image(&mut w)?;
+        use std::io::Write as _;
+        w.flush()
+    }
+
+    /// [`Self::load_image`] from a file path.
+    pub fn load_from_path(
+        path: impl AsRef<std::path::Path>,
+        cfg: DbConfig,
+    ) -> std::io::Result<Db> {
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        Db::load_image(&mut r, cfg)
+    }
+
+    /// Cost-free snapshot of a META page's current content (newest pool
+    /// copy if resident, else the disk copy). For verification and metric
+    /// code only.
+    pub(crate) fn peek_meta(&self, page: u32) -> Box<[u8; PAGE_SIZE]> {
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        self.pool.peek_page(PageId::new(AreaId::META, page), &mut buf);
+        buf
+    }
+
+    /// Cost-free snapshot of a LEAF page (newest pool copy if resident).
+    pub(crate) fn peek_leaf_page(&self, page: u32) -> Box<[u8; PAGE_SIZE]> {
+        let mut buf = Box::new([0u8; PAGE_SIZE]);
+        self.pool.peek_page(PageId::new(AreaId::LEAF, page), &mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_table_1() {
+        let cfg = DbConfig::default();
+        assert_eq!(cfg.cost.seek_us, 33_000);
+        assert_eq!(cfg.pool.frames, 12);
+        assert_eq!(cfg.pool.max_buffered_seg, 4);
+        assert_eq!(cfg.tree.root_entries, 507);
+        assert_eq!(cfg.tree.node_entries, 511);
+        assert!(cfg.shadowing);
+    }
+
+    #[test]
+    fn meta_and_leaf_allocations_are_independent() {
+        let mut db = Db::paper_default();
+        let m = db.alloc_meta_page();
+        let l = db.alloc_leaf(8);
+        assert_eq!(db.meta_pages_allocated(), 1);
+        assert_eq!(db.leaf_pages_allocated(), 8);
+        db.free_meta_page(m);
+        db.free_leaf(l);
+        assert_eq!(db.meta_pages_allocated(), 0);
+        assert_eq!(db.leaf_pages_allocated(), 0);
+    }
+
+    #[test]
+    fn meta_page_helpers_roundtrip() {
+        let mut db = Db::paper_default();
+        let p = db.alloc_meta_page();
+        db.with_new_meta_page(p, |page| page[100] = 42);
+        let v = db.with_meta_page(p, |page| page[100]);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-out below 4")]
+    fn tiny_tree_config_guards_fanout() {
+        TreeConfig::tiny(3);
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_database() {
+        use crate::{EosObject, EosParams, LargeObject};
+        let mut db = Db::paper_default();
+        let mut obj = EosObject::create(&mut db, EosParams::default()).unwrap();
+        obj.append(&mut db, b"image me").unwrap();
+        let root = obj.root_page();
+        let mut img = Vec::new();
+        db.save_image(&mut img).unwrap();
+
+        let mut db2 = Db::load_image(&mut img.as_slice(), DbConfig::default()).unwrap();
+        let obj2 = EosObject::open(&mut db2, root).unwrap();
+        assert_eq!(obj2.snapshot(&db2), b"image me");
+        assert_eq!(db2.leaf_pages_allocated(), db.leaf_pages_allocated());
+        assert_eq!(db2.meta_pages_allocated(), db.meta_pages_allocated());
+        // The restored database keeps working.
+        let mut obj2 = obj2;
+        obj2.append(&mut db2, b" again").unwrap();
+        assert_eq!(obj2.snapshot(&db2), b"image me again");
+    }
+}

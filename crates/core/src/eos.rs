@@ -1,0 +1,1131 @@
+//! The EOS large-object structure (§2.3).
+//!
+//! EOS generalizes ESM and Starburst: large objects live in a sequence of
+//! **variable-size** segments of physically contiguous pages, indexed by
+//! the same positional count tree as ESM. Segments have no holes — every
+//! page is full except possibly the last page of each segment.
+//!
+//! * **append** — same growth pattern as Starburst (§4.2): fill the
+//!   allocated tail of the rightmost segment in place, then allocate
+//!   segments that double in size up to the maximum.
+//! * **insert** — the affected segment `S` is split at the insertion
+//!   point: its prefix stays exactly where it is, the new bytes go to
+//!   their own fresh segment, and the suffix is copied to another fresh
+//!   segment (the paper: a 100 KB insert lands in a 25-page leaf even
+//!   with a smaller threshold).
+//! * **delete** — fully covered segments are freed without any data I/O;
+//!   a trimmed suffix costs nothing but a tail free; only a surviving
+//!   suffix is copied.
+//! * **threshold `T`** — after an update splits segments, adjacent
+//!   segments that could be stored together in at most `T` pages are
+//!   merged ("it cannot be the case that a number of bytes are kept in
+//!   two adjacent segments, one of which has less than T pages, if they
+//!   can be stored in one"). Larger `T` ⇒ better utilization and reads,
+//!   more reshuffling on updates — the §4.6 trade-off.
+
+use lobstore_buddy::Extent;
+use lobstore_simdisk::{pages_for_bytes, AreaId, PageId, PAGE_SIZE};
+
+use crate::db::Db;
+use crate::error::{LobError, Result};
+use crate::node::{Entry, RootHdr};
+use crate::object::{LargeObject, StorageKind, Utilization};
+use crate::segdata::{append_in_place, patch_in_place, read_seg_bytes, write_new_seg};
+use crate::shadow::OpCtx;
+use crate::tree::PosTree;
+use crate::MAX_OP_BYTES;
+
+const EOS_MAGIC: u32 = 0x454F_5331; // "EOS1"
+const KIND_EOS: u8 = 2;
+
+/// Creation parameters for an EOS object.
+#[derive(Copy, Clone, Debug)]
+pub struct EosParams {
+    /// Segment-size threshold `T` in pages (§2.3). The paper evaluates
+    /// 1, 4, 16, and 64.
+    pub threshold_pages: u32,
+    /// Maximum segment size in pages (32 MB with 4 KB pages, §3.1).
+    pub max_seg_pages: u32,
+}
+
+impl Default for EosParams {
+    fn default() -> Self {
+        EosParams {
+            threshold_pages: 4,
+            max_seg_pages: 8192,
+        }
+    }
+}
+
+/// Handle to one EOS large object.
+#[derive(Debug)]
+pub struct EosObject {
+    tree: PosTree,
+    threshold_pages: u32,
+    max_seg_pages: u32,
+}
+
+impl EosObject {
+    pub fn create(db: &mut Db, params: EosParams) -> Result<Self> {
+        if params.threshold_pages == 0
+            || params.max_seg_pages == 0
+            || params.max_seg_pages > db.max_segment_pages()
+        {
+            return Err(LobError::Corrupt(format!(
+                "invalid EOS parameters: T={} max={}",
+                params.threshold_pages, params.max_seg_pages
+            )));
+        }
+        let root = db.alloc_meta_page();
+        let hdr = RootHdr {
+            magic: EOS_MAGIC,
+            kind: KIND_EOS,
+            level: 0,
+            n_entries: 0,
+            size: 0,
+            params: u64::from(params.threshold_pages) | (u64::from(params.max_seg_pages) << 32),
+            last_seg_alloc: 0,
+            last_seg_ptr: 0,
+        };
+        db.with_new_meta_page(root, |p| hdr.write(p));
+        db.pool.flush_page(PageId::new(AreaId::META, root));
+        Ok(EosObject {
+            tree: PosTree::new(root),
+            threshold_pages: params.threshold_pages,
+            max_seg_pages: params.max_seg_pages,
+        })
+    }
+
+    pub fn open(db: &mut Db, root_page: u32) -> Result<Self> {
+        let tree = PosTree::new(root_page);
+        let hdr = tree.read_hdr(db);
+        if hdr.magic != EOS_MAGIC || hdr.kind != KIND_EOS {
+            return Err(LobError::Corrupt(format!(
+                "page {root_page} is not an EOS object root"
+            )));
+        }
+        Ok(EosObject {
+            tree,
+            threshold_pages: (hdr.params & 0xFFFF_FFFF) as u32,
+            max_seg_pages: (hdr.params >> 32) as u32,
+        })
+    }
+
+    /// The segment-size threshold `T`, in pages.
+    pub fn threshold_pages(&self) -> u32 {
+        self.threshold_pages
+    }
+
+    fn max_bytes(&self) -> u64 {
+        u64::from(self.max_seg_pages) * PAGE_SIZE as u64
+    }
+
+    fn check_range(&self, db: &mut Db, off: u64, len: u64) -> Result<u64> {
+        let size = self.tree.read_hdr(db).size;
+        if off.checked_add(len).is_none_or(|end| end > size) {
+            return Err(LobError::OutOfRange { off, len, size });
+        }
+        if len > MAX_OP_BYTES as u64 {
+            return Err(LobError::OperationTooLarge { len });
+        }
+        Ok(size)
+    }
+
+    /// Pages allocated to the segment behind `entry` (the flagged
+    /// rightmost segment may be over-allocated during append growth).
+    fn alloc_of(&self, hdr: &RootHdr, entry: &Entry) -> u32 {
+        if hdr.last_seg_alloc > 0 && hdr.last_seg_ptr == entry.ptr {
+            hdr.last_seg_alloc
+        } else {
+            pages_for_bytes(entry.count)
+        }
+    }
+
+    /// Queue the whole segment behind `entry` to be freed when the
+    /// operation ends (the old pages must stay intact for recovery,
+    /// §3.3), clearing the over-allocation flag if it pointed here.
+    fn free_seg(&self, ctx: &mut OpCtx, hdr: &mut RootHdr, entry: &Entry) {
+        let alloc = self.alloc_of(hdr, entry);
+        ctx.free_extent_later(Extent::new(AreaId::LEAF, entry.ptr, alloc));
+        if hdr.last_seg_alloc > 0 && hdr.last_seg_ptr == entry.ptr {
+            hdr.last_seg_alloc = 0;
+            hdr.last_seg_ptr = 0;
+        }
+    }
+
+    /// Queue the pages of `entry`'s segment beyond the first `keep_pages`
+    /// for release at operation end, clearing the over-allocation flag if
+    /// it pointed here.
+    fn free_seg_tail(&self, ctx: &mut OpCtx, hdr: &mut RootHdr, entry: &Entry, keep_pages: u32) {
+        let alloc = self.alloc_of(hdr, entry);
+        if alloc > keep_pages {
+            ctx.free_extent_later(Extent::new(
+                AreaId::LEAF,
+                entry.ptr + keep_pages,
+                alloc - keep_pages,
+            ));
+        }
+        if hdr.last_seg_alloc > 0 && hdr.last_seg_ptr == entry.ptr {
+            hdr.last_seg_alloc = 0;
+            hdr.last_seg_ptr = 0;
+        }
+    }
+
+    /// Write `bytes` into an exactly sized fresh segment.
+    fn new_exact_seg(&self, db: &mut Db, bytes: &[u8]) -> Entry {
+        debug_assert!(bytes.len() as u64 <= self.max_bytes());
+        let ext = write_new_seg(db, pages_for_bytes(bytes.len() as u64), bytes);
+        Entry {
+            count: bytes.len() as u64,
+            ptr: ext.start,
+        }
+    }
+
+    /// §2.3 merge rule: two adjacent segments must be merged if their
+    /// bytes can be stored in one segment of at most `T` pages.
+    fn must_merge(&self, a: u64, b: u64) -> bool {
+        pages_for_bytes(a + b) <= self.threshold_pages
+    }
+
+    /// Enforce the threshold constraint around the update window
+    /// `[lo, hi]` (object offsets): merge adjacent segments whose
+    /// boundary falls in the window while the rule demands it.
+    fn merge_around(&self, db: &mut Db, ctx: &mut OpCtx, lo: u64, hi: u64) {
+        let mut cur = lo.saturating_sub(1);
+        loop {
+            let total = self.tree.total(db);
+            if total == 0 {
+                return;
+            }
+            cur = cur.min(total - 1);
+            let x = self.tree.descend(db, cur).expect("nonempty");
+            if x.leaf_end() >= total {
+                return; // no right neighbour
+            }
+            if x.leaf_end() > hi.min(total) {
+                return; // past the update window
+            }
+            let y = self.tree.descend(db, x.leaf_end()).expect("right neighbour");
+            if self.must_merge(x.entry.count, y.entry.count) {
+                let mut hdr = self.tree.read_hdr(db);
+                let mut buf = read_seg_bytes(db, x.entry.ptr, 0, x.entry.count);
+                buf.extend(read_seg_bytes(db, y.entry.ptr, 0, y.entry.count));
+                let merged = self.new_exact_seg(db, &buf);
+                self.free_seg(ctx, &mut hdr, &x.entry);
+                self.free_seg(ctx, &mut hdr, &y.entry);
+                self.tree.write_hdr(db, &hdr);
+                self.tree.remove_entry(db, ctx, &x.path);
+                let again = self
+                    .tree
+                    .descend(db, x.leaf_start)
+                    .expect("right segment of the pair");
+                debug_assert_eq!(again.entry.ptr, y.entry.ptr);
+                self.tree.replace_entry(db, ctx, &again.path, vec![merged]);
+                // Stay at `cur`: the merged segment may merge again.
+            } else {
+                cur = x.leaf_end();
+            }
+        }
+    }
+
+    fn bump_size(&self, db: &mut Db, delta: i64) {
+        let mut hdr = self.tree.read_hdr(db);
+        hdr.size = (hdr.size as i64 + delta) as u64;
+        self.tree.write_hdr(db, &hdr);
+    }
+
+    /// Rebuild a contiguous region of the object: the leaf entries in
+    /// `old` (left to right, starting at object offset `region_start`)
+    /// are replaced by segments materialized from `sources`.
+    ///
+    /// Sources are first grouped by the threshold rule — adjacent pieces
+    /// whose combined bytes fit in `T` pages are coalesced — **before**
+    /// anything is written, so every output segment is written exactly
+    /// once. A singleton [`Src::Seg`] group keeps its segment untouched; a
+    /// singleton [`Src::Prefix`] group keeps the split segment's prefix in
+    /// place and merely trims its tail. `parents` lists the segments that
+    /// contributed `Prefix`/`Tail` pieces; their storage is released here
+    /// (fully, or beyond the kept prefix).
+    ///
+    /// Returns the total byte length of the rebuilt region.
+    fn rebuild_region(
+        &self,
+        db: &mut Db,
+        ctx: &mut OpCtx,
+        region_start: u64,
+        old: &[Entry],
+        sources: Vec<Src>,
+        parents: &[Entry],
+    ) -> u64 {
+        debug_assert!(!old.is_empty() && !sources.is_empty());
+        let region_len: u64 = sources.iter().map(Src::len).sum();
+
+        // Group adjacent sources while the threshold rule demands it.
+        let mut groups: Vec<Vec<Src>> = sources.into_iter().map(|s| vec![s]).collect();
+        loop {
+            let mut merged_any = false;
+            let mut i = 0;
+            while i + 1 < groups.len() {
+                let a: u64 = groups[i].iter().map(Src::len).sum();
+                let b: u64 = groups[i + 1].iter().map(Src::len).sum();
+                if self.must_merge(a, b) {
+                    let g = groups.remove(i + 1);
+                    groups[i].extend(g);
+                    merged_any = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !merged_any {
+                break;
+            }
+        }
+
+        // Materialize each group: untouched segments and in-place
+        // prefixes stay put; everything else is read once and written
+        // once into an exactly sized fresh segment.
+        let mut hdr = self.tree.read_hdr(db);
+        let mut new_entries = Vec::with_capacity(groups.len());
+        let mut kept_prefix: Vec<(u32, u64)> = Vec::new(); // (ptr, kept len)
+        let mut absorbed_segs: Vec<Entry> = Vec::new();
+        for g in groups {
+            match g.as_slice() {
+                [Src::Seg(e)] => new_entries.push(*e),
+                [Src::Prefix { ptr, len }] => {
+                    kept_prefix.push((*ptr, *len));
+                    new_entries.push(Entry {
+                        count: *len,
+                        ptr: *ptr,
+                    });
+                }
+                _ => {
+                    let total: u64 = g.iter().map(Src::len).sum();
+                    let mut buf = Vec::with_capacity(total as usize);
+                    for s in &g {
+                        match s {
+                            Src::Seg(e) => {
+                                buf.extend(read_seg_bytes(db, e.ptr, 0, e.count));
+                                absorbed_segs.push(*e);
+                            }
+                            Src::Prefix { ptr, len } => {
+                                buf.extend(read_seg_bytes(db, *ptr, 0, *len));
+                            }
+                            Src::Tail { ptr, from, len } => {
+                                buf.extend(read_seg_bytes(db, *ptr, *from, *len));
+                            }
+                            Src::Mem(m) => buf.extend_from_slice(m),
+                        }
+                    }
+                    new_entries.push(self.new_exact_seg(db, &buf));
+                }
+            }
+        }
+
+        // Release superseded storage (reads above are all done).
+        for e in absorbed_segs {
+            self.free_seg(ctx, &mut hdr, &e);
+        }
+        for parent in parents {
+            match kept_prefix.iter().find(|(ptr, _)| *ptr == parent.ptr) {
+                Some(&(_, kept)) => {
+                    self.free_seg_tail(ctx, &mut hdr, parent, pages_for_bytes(kept));
+                }
+                None => self.free_seg(ctx, &mut hdr, parent),
+            }
+        }
+        self.tree.write_hdr(db, &hdr);
+
+        // Splice the tree: drop all but the last old entry, then replace
+        // the survivor with the new run (re-descending each time, since
+        // structural updates invalidate paths).
+        for e in &old[..old.len() - 1] {
+            let pos = self
+                .tree
+                .descend(db, region_start)
+                .expect("region entry present");
+            assert_eq!(pos.entry.ptr, e.ptr, "region entry mismatch");
+            self.tree.remove_entry(db, ctx, &pos.path);
+        }
+        let pos = self
+            .tree
+            .descend(db, region_start)
+            .expect("last region entry present");
+        assert_eq!(pos.entry.ptr, old[old.len() - 1].ptr, "last region entry mismatch");
+        self.tree.replace_entry(db, ctx, &pos.path, new_entries);
+        region_len
+    }
+
+    fn insert_inner(&mut self, db: &mut Db, ctx: &mut OpCtx, off: u64, bytes: &[u8]) {
+        let pos = self.tree.descend(db, off).expect("nonempty");
+        let p = pos.off_in_leaf;
+        let s = pos.entry;
+        let total = self.tree.total(db);
+
+        let mut old = Vec::with_capacity(3);
+        let mut sources = Vec::with_capacity(5);
+        let mut parents = Vec::with_capacity(1);
+        let mut region_start = pos.leaf_start;
+
+        // Pull both neighbours into the window so the threshold rule can
+        // coalesce across the update site in one pass.
+        if pos.leaf_start > 0 {
+            let ln = self.tree.descend(db, pos.leaf_start - 1).expect("left");
+            region_start = ln.leaf_start;
+            old.push(ln.entry);
+            sources.push(Src::Seg(ln.entry));
+        }
+        old.push(s);
+        if p == 0 {
+            // Boundary insert: S itself is relocatable but untouched
+            // unless the rule merges it with the new bytes.
+            sources.push(Src::Mem(bytes.to_vec()));
+            sources.push(Src::Seg(s));
+        } else {
+            sources.push(Src::Prefix { ptr: s.ptr, len: p });
+            sources.push(Src::Mem(bytes.to_vec()));
+            sources.push(Src::Tail {
+                ptr: s.ptr,
+                from: p,
+                len: s.count - p,
+            });
+            parents.push(s);
+        }
+        if pos.leaf_end() < total {
+            let rn = self.tree.descend(db, pos.leaf_end()).expect("right");
+            old.push(rn.entry);
+            sources.push(Src::Seg(rn.entry));
+        }
+
+        let region_len = self.rebuild_region(db, ctx, region_start, &old, sources, &parents);
+        self.bump_size(db, bytes.len() as i64);
+        // Cascade at the outer boundaries, in the rare case the edge
+        // groups still violate the rule against segments outside the
+        // window.
+        self.merge_around(db, ctx, region_start, region_start + region_len);
+    }
+}
+
+/// One content source for an EOS region rebuild (see
+/// [`EosObject::rebuild_region`]).
+enum Src {
+    /// An existing whole segment pulled into the window.
+    Seg(Entry),
+    /// The kept prefix of a split segment — stays physically in place if
+    /// it ends up alone in its group.
+    Prefix { ptr: u32, len: u64 },
+    /// A kept part of a split segment that has to move.
+    Tail { ptr: u32, from: u64, len: u64 },
+    /// New bytes supplied by the caller.
+    Mem(Vec<u8>),
+}
+
+impl Src {
+    fn len(&self) -> u64 {
+        match self {
+            Src::Seg(e) => e.count,
+            Src::Prefix { len, .. } | Src::Tail { len, .. } => *len,
+            Src::Mem(m) => m.len() as u64,
+        }
+    }
+}
+
+impl LargeObject for EosObject {
+    fn kind(&self) -> StorageKind {
+        StorageKind::Eos
+    }
+
+    fn root_page(&self) -> u32 {
+        self.tree.root_page
+    }
+
+    fn size(&self, db: &mut Db) -> u64 {
+        self.tree.read_hdr(db).size
+    }
+
+    fn append(&mut self, db: &mut Db, bytes: &[u8]) -> Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        if bytes.len() > MAX_OP_BYTES {
+            return Err(LobError::OperationTooLarge {
+                len: bytes.len() as u64,
+            });
+        }
+        let mut ctx = OpCtx::new();
+        let mut rem = bytes;
+
+        // Fill the allocated tail of the rightmost segment in place.
+        let mut prev_alloc = 0u32;
+        if let Some(pos) = self.tree.rightmost(db) {
+            let hdr = self.tree.read_hdr(db);
+            let alloc = self.alloc_of(&hdr, &pos.entry);
+            prev_alloc = alloc;
+            let space = u64::from(alloc) * PAGE_SIZE as u64 - pos.entry.count;
+            let take = (rem.len() as u64).min(space) as usize;
+            if take > 0 {
+                append_in_place(db, pos.entry.ptr, pos.entry.count, &rem[..take]);
+                self.tree.add_count(db, &mut ctx, &pos.path, take as i64);
+                self.bump_size(db, take as i64);
+                rem = &rem[take..];
+            }
+        }
+
+        // Grow with doubling segments, as Starburst does (§4.2).
+        while !rem.is_empty() {
+            let alloc = if prev_alloc == 0 {
+                pages_for_bytes(rem.len() as u64).min(self.max_seg_pages)
+            } else {
+                (prev_alloc * 2).min(self.max_seg_pages)
+            };
+            let take = (rem.len() as u64).min(u64::from(alloc) * PAGE_SIZE as u64) as usize;
+            let ext = db.alloc_leaf(alloc);
+            db.pool.write_direct(AreaId::LEAF, ext.start, &rem[..take]);
+            self.tree.append_entry(
+                db,
+                &mut ctx,
+                Entry {
+                    count: take as u64,
+                    ptr: ext.start,
+                },
+            );
+            let mut hdr = self.tree.read_hdr(db);
+            hdr.size += take as u64;
+            if alloc > pages_for_bytes(take as u64) {
+                hdr.last_seg_alloc = alloc;
+                hdr.last_seg_ptr = ext.start;
+            } else {
+                hdr.last_seg_alloc = 0;
+                hdr.last_seg_ptr = 0;
+            }
+            self.tree.write_hdr(db, &hdr);
+            prev_alloc = alloc;
+            rem = &rem[take..];
+        }
+        ctx.finish(db);
+        Ok(())
+    }
+
+    fn read(&self, db: &mut Db, off: u64, out: &mut [u8]) -> Result<()> {
+        self.check_range(db, off, out.len() as u64)?;
+        let mut at = off;
+        let mut done = 0usize;
+        while done < out.len() {
+            let pos = self.tree.descend(db, at).expect("range checked");
+            let take = ((pos.leaf_end() - at).min((out.len() - done) as u64)) as usize;
+            db.pool.read_segment(
+                AreaId::LEAF,
+                pos.entry.ptr,
+                pos.off_in_leaf,
+                &mut out[done..done + take],
+            );
+            done += take;
+            at += take as u64;
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()> {
+        let size = self.check_range(db, off, 0)?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        if bytes.len() > MAX_OP_BYTES {
+            return Err(LobError::OperationTooLarge {
+                len: bytes.len() as u64,
+            });
+        }
+        if off == size {
+            return self.append(db, bytes);
+        }
+        if bytes.len() as u64 > self.max_bytes() {
+            return Err(LobError::OperationTooLarge {
+                len: bytes.len() as u64,
+            });
+        }
+        let mut ctx = OpCtx::new();
+        self.insert_inner(db, &mut ctx, off, bytes);
+        ctx.finish(db);
+        Ok(())
+    }
+
+    fn delete(&mut self, db: &mut Db, off: u64, len: u64) -> Result<()> {
+        self.check_range(db, off, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        let mut ctx = OpCtx::new();
+        let del_end = off + len;
+
+        // Survey the affected segments at their pre-delete offsets:
+        // fully covered segments are freed outright (no data I/O); at
+        // most two boundary segments survive partially.
+        let mut whole: Vec<Entry> = Vec::new();
+        // (entry, original leaf_start, kept prefix p, cut end q):
+        // bytes [p, q) of the segment are deleted.
+        let mut partials: Vec<(Entry, u64, u64, u64)> = Vec::new();
+        let mut cursor = off;
+        while cursor < del_end {
+            let pos = self.tree.descend(db, cursor).expect("range checked");
+            let seg_end = pos.leaf_end();
+            if pos.off_in_leaf == 0 && del_end >= seg_end {
+                whole.push(pos.entry);
+            } else {
+                let q = (del_end - pos.leaf_start).min(pos.entry.count);
+                partials.push((pos.entry, pos.leaf_start, pos.off_in_leaf, q));
+            }
+            cursor = seg_end;
+        }
+
+        // Phase 1: drop the fully covered segments. They all sit at the
+        // same post-removal offset (right after the left partial, or at
+        // `off` if there is none).
+        // If there is a left-boundary partial (it contains `off` at p>0),
+        // the covered segments originally start right after it; otherwise
+        // `off` itself is a segment boundary.
+        let w_start = match partials.first() {
+            Some((e, start, p, _)) if *p > 0 => start + e.count,
+            _ => off,
+        };
+        for e in &whole {
+            let pos = self.tree.descend(db, w_start).expect("whole segment present");
+            assert_eq!(pos.entry.ptr, e.ptr, "covered segment mismatch");
+            let mut hdr = self.tree.read_hdr(db);
+            self.free_seg(&mut ctx, &mut hdr, e);
+            self.tree.write_hdr(db, &hdr);
+            self.tree.remove_entry(db, &mut ctx, &pos.path);
+        }
+
+        // Phase 2: rebuild the boundary region, letting the threshold
+        // rule coalesce the surviving pieces with their neighbours.
+        if !partials.is_empty() {
+            // A left partial (p > 0) keeps its original start; a lone
+            // right partial has shifted to `w_start` now that the covered
+            // segments before it are gone.
+            let anchor = if partials[0].2 > 0 { partials[0].1 } else { w_start };
+            let mut old = Vec::with_capacity(4);
+            let mut sources = Vec::with_capacity(6);
+            let mut parents = Vec::with_capacity(2);
+            let mut region_start = anchor;
+            if anchor > 0 {
+                let ln = self.tree.descend(db, anchor - 1).expect("left neighbour");
+                region_start = ln.leaf_start;
+                old.push(ln.entry);
+                sources.push(Src::Seg(ln.entry));
+            }
+            let mut kept_after = anchor;
+            for &(e, _, p, q) in &partials {
+                old.push(e);
+                if p > 0 {
+                    sources.push(Src::Prefix { ptr: e.ptr, len: p });
+                }
+                if q < e.count {
+                    sources.push(Src::Tail {
+                        ptr: e.ptr,
+                        from: q,
+                        len: e.count - q,
+                    });
+                }
+                parents.push(e);
+                kept_after += e.count; // counts not yet reduced in tree
+            }
+            let total = self.tree.total(db);
+            if kept_after < total {
+                let rn = self.tree.descend(db, kept_after).expect("right neighbour");
+                old.push(rn.entry);
+                sources.push(Src::Seg(rn.entry));
+            }
+            let region_len = self.rebuild_region(db, &mut ctx, region_start, &old, sources, &parents);
+            self.bump_size(db, -(len as i64));
+            self.merge_around(db, &mut ctx, region_start, region_start + region_len);
+        } else {
+            // Pure whole-segment delete: the freed gap may have brought
+            // two violating segments together.
+            self.bump_size(db, -(len as i64));
+            self.merge_around(db, &mut ctx, off, off);
+        }
+        ctx.finish(db);
+        Ok(())
+    }
+
+    fn replace(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()> {
+        self.check_range(db, off, bytes.len() as u64)?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let mut ctx = OpCtx::new();
+        let mut at = off;
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let pos = self.tree.descend(db, at).expect("range checked");
+            let take = ((pos.leaf_end() - at).min((bytes.len() - done) as u64)) as usize;
+            let s = pos.off_in_leaf as usize;
+            if db.config().shadowing {
+                let mut hdr = self.tree.read_hdr(db);
+                let mut content = read_seg_bytes(db, pos.entry.ptr, 0, pos.entry.count);
+                content[s..s + take].copy_from_slice(&bytes[done..done + take]);
+                let e = self.new_exact_seg(db, &content);
+                self.free_seg(&mut ctx, &mut hdr, &pos.entry);
+                self.tree.write_hdr(db, &hdr);
+                self.tree.replace_entry(db, &mut ctx, &pos.path, vec![e]);
+            } else {
+                patch_in_place(db, pos.entry.ptr, pos.off_in_leaf, &bytes[done..done + take]);
+            }
+            done += take;
+            at += take as u64;
+        }
+        ctx.finish(db);
+        Ok(())
+    }
+
+    fn trim(&mut self, db: &mut Db) -> Result<()> {
+        let mut hdr = self.tree.read_hdr(db);
+        if hdr.last_seg_alloc == 0 {
+            return Ok(());
+        }
+        let Some(pos) = self.tree.rightmost(db) else {
+            hdr.last_seg_alloc = 0;
+            hdr.last_seg_ptr = 0;
+            self.tree.write_hdr(db, &hdr);
+            return Ok(());
+        };
+        debug_assert_eq!(pos.entry.ptr, hdr.last_seg_ptr, "flag must track the tail");
+        let used = pages_for_bytes(pos.entry.count);
+        if hdr.last_seg_alloc > used {
+            db.free_leaf(Extent::new(
+                AreaId::LEAF,
+                pos.entry.ptr + used,
+                hdr.last_seg_alloc - used,
+            ));
+        }
+        hdr.last_seg_alloc = 0;
+        hdr.last_seg_ptr = 0;
+        self.tree.write_hdr(db, &hdr);
+        Ok(())
+    }
+
+    fn destroy(&mut self, db: &mut Db) -> Result<()> {
+        let hdr = self.tree.read_hdr(db);
+        for (_, e) in self.tree.collect_leaves_costed(db) {
+            let alloc = self.alloc_of(&hdr, &e);
+            db.free_leaf(Extent::new(AreaId::LEAF, e.ptr, alloc));
+        }
+        for page in self.tree.internal_pages(db) {
+            db.free_meta_page(page);
+        }
+        db.free_meta_page(self.tree.root_page);
+        Ok(())
+    }
+
+    fn utilization(&self, db: &Db) -> Utilization {
+        let page = db.peek_meta(self.tree.root_page);
+        let hdr = RootHdr::read(&page[..]);
+        let leaves = self.tree.collect_leaves(db);
+        let mut data_pages = 0u64;
+        for (_, e) in &leaves {
+            data_pages += u64::from(if hdr.last_seg_alloc > 0 && hdr.last_seg_ptr == e.ptr {
+                hdr.last_seg_alloc
+            } else {
+                pages_for_bytes(e.count)
+            });
+        }
+        Utilization {
+            object_bytes: hdr.size,
+            data_pages,
+            index_pages: self.tree.index_page_count(db),
+        }
+    }
+
+    fn segments(&self, db: &Db) -> Vec<crate::object::SegmentInfo> {
+        let page = db.peek_meta(self.tree.root_page);
+        let hdr = RootHdr::read(&page[..]);
+        self.tree
+            .collect_leaves(db)
+            .into_iter()
+            .map(|(offset, e)| crate::object::SegmentInfo {
+                offset,
+                start_page: e.ptr,
+                bytes: e.count,
+                pages: self.alloc_of(&hdr, &e),
+            })
+            .collect()
+    }
+
+    fn index_page_numbers(&self, db: &Db) -> Vec<u32> {
+        let mut out = vec![self.tree.root_page];
+        out.extend(self.tree.internal_pages(db));
+        out
+    }
+
+    fn check_invariants(&self, db: &Db) -> Result<()> {
+        self.tree.check_invariants(db)?;
+        let page = db.peek_meta(self.tree.root_page);
+        let hdr = RootHdr::read(&page[..]);
+        let leaves = self.tree.collect_leaves(db);
+        for (off, e) in &leaves {
+            if e.count == 0 {
+                return Err(LobError::InvariantViolated(format!(
+                    "empty segment at {off}"
+                )));
+            }
+            if e.count > self.max_bytes() {
+                return Err(LobError::InvariantViolated(format!(
+                    "segment at {off} exceeds max size"
+                )));
+            }
+        }
+        if hdr.last_seg_alloc > 0 {
+            let last = leaves.last().ok_or_else(|| {
+                LobError::InvariantViolated("over-allocation flag on empty object".into())
+            })?;
+            if last.1.ptr != hdr.last_seg_ptr {
+                return Err(LobError::InvariantViolated(
+                    "over-allocation flag does not point at the rightmost segment".into(),
+                ));
+            }
+            if pages_for_bytes(last.1.count) > hdr.last_seg_alloc {
+                return Err(LobError::InvariantViolated(
+                    "rightmost segment uses more pages than allocated".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self, db: &Db) -> Vec<u8> {
+        let leaves = self.tree.collect_leaves(db);
+        let mut out = Vec::with_capacity(leaves.iter().map(|(_, e)| e.count as usize).sum());
+        for (_, e) in leaves {
+            let pages = pages_for_bytes(e.count);
+            let mut rem = e.count as usize;
+            for i in 0..pages {
+                let page = db.peek_leaf_page(e.ptr + i);
+                let take = rem.min(PAGE_SIZE);
+                out.extend_from_slice(&page[..take]);
+                rem -= take;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn db() -> Db {
+        Db::paper_default()
+    }
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| ((i * 41 + seed as usize) % 247) as u8).collect()
+    }
+
+    fn make(db: &mut Db, t: u32) -> EosObject {
+        EosObject::create(
+            db,
+            EosParams {
+                threshold_pages: t,
+                max_seg_pages: 8192,
+            },
+        )
+        .unwrap()
+    }
+
+    /// Segment page counts, left to right (allocation-aware).
+    fn seg_pages(db: &Db, obj: &EosObject) -> Vec<u32> {
+        let page = db.peek_meta(obj.tree.root_page);
+        let hdr = RootHdr::read(&page[..]);
+        obj.tree
+            .collect_leaves(db)
+            .iter()
+            .map(|(_, e)| obj.alloc_of(&hdr, e))
+            .collect()
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let mut db = db();
+        let obj = make(&mut db, 16);
+        let again = EosObject::open(&mut db, obj.root_page()).unwrap();
+        assert_eq!(again.threshold_pages(), 16);
+        assert_eq!(again.max_seg_pages, 8192);
+    }
+
+    #[test]
+    fn appends_double_like_starburst() {
+        let mut db = db();
+        let mut obj = make(&mut db, 4);
+        let mut model = Vec::new();
+        for i in 0..20 {
+            let c = pattern(3 * 1024, i);
+            obj.append(&mut db, &c).unwrap();
+            model.extend_from_slice(&c);
+            obj.check_invariants(&db).unwrap();
+        }
+        assert_eq!(obj.snapshot(&db), model);
+        let pages = seg_pages(&db, &obj);
+        assert_eq!(&pages[..4], &[1, 2, 4, 8], "doubling growth: {pages:?}");
+    }
+
+    #[test]
+    fn paper_figure_3_shape() {
+        // §2.3: a 1830-byte object in segments after updates; a 470-byte
+        // range occupies ceil(470/100)=5 pages in the paper's 100-byte
+        // pages. Here: build 1830*41 bytes and check counts stay exact.
+        let mut db = db();
+        let mut obj = make(&mut db, 1);
+        obj.append(&mut db, &pattern(75_030, 1)).unwrap();
+        obj.trim(&mut db).unwrap();
+        let u = obj.utilization(&db);
+        assert_eq!(u.object_bytes, 75_030);
+        assert_eq!(u.data_pages, pages_for_bytes(75_030) as u64);
+    }
+
+    #[test]
+    fn trim_releases_overallocation() {
+        let mut db = db();
+        let mut obj = make(&mut db, 4);
+        obj.append(&mut db, &pattern(3 * 1024, 1)).unwrap();
+        obj.append(&mut db, &pattern(3 * 1024, 2)).unwrap();
+        assert!(db.leaf_pages_allocated() > 2);
+        obj.trim(&mut db).unwrap();
+        assert_eq!(db.leaf_pages_allocated(), 2);
+        obj.check_invariants(&db).unwrap();
+    }
+
+    #[test]
+    fn insert_at_boundary_keeps_segment_untouched() {
+        let mut db = db();
+        let mut obj = make(&mut db, 1); // T=1: no merging
+        let a = pattern(8192, 1);
+        obj.append(&mut db, &a).unwrap();
+        obj.trim(&mut db).unwrap();
+        db.reset_io_stats();
+        let ins = pattern(20_000, 2);
+        obj.insert(&mut db, 0, &ins).unwrap();
+        // Only the new 5-page segment is written; nothing is read. The
+        // root is updated in place and not flushed (§4.2).
+        let s = db.io_stats();
+        assert_eq!(s.pages_read, 0, "{s}");
+        assert_eq!(s.pages_written, 5, "just the new segment's data pages: {s}");
+        assert_eq!(s.write_calls, 1, "one sequential write: {s}");
+        let mut model = a.clone();
+        model.splice(0..0, ins.iter().copied());
+        assert_eq!(obj.snapshot(&db), model);
+    }
+
+    #[test]
+    fn insert_mid_segment_splits_it() {
+        let mut db = db();
+        let mut obj = make(&mut db, 1);
+        let base = pattern(40_000, 1);
+        obj.append(&mut db, &base).unwrap();
+        obj.trim(&mut db).unwrap();
+        let ins = pattern(100_000, 2);
+        obj.insert(&mut db, 10_000, &ins).unwrap();
+        let mut model = base.clone();
+        model.splice(10_000..10_000, ins.iter().copied());
+        assert_eq!(obj.snapshot(&db), model);
+        obj.check_invariants(&db).unwrap();
+        // §4.4.2: the 100K insert lives in its own 25-page segment even
+        // though T=1.
+        let pages = seg_pages(&db, &obj);
+        assert!(pages.contains(&25), "expected a 25-page segment: {pages:?}");
+    }
+
+    #[test]
+    fn threshold_merges_small_pieces() {
+        let mut db = db();
+        let mut obj = make(&mut db, 4); // merge up to 4 pages
+        obj.append(&mut db, &pattern(16_384, 1)).unwrap(); // 4 pages
+        obj.trim(&mut db).unwrap();
+        // Tiny insert in the middle: A + N + B would be 3 pieces, but with
+        // T=4 they must re-merge into one ≤4-page segment... total is
+        // 16384+100 bytes → 5 pages > 4, so pieces merge pairwise only
+        // while they fit.
+        obj.insert(&mut db, 8_000, &pattern(100, 2)).unwrap();
+        obj.check_invariants(&db).unwrap();
+        let pages = seg_pages(&db, &obj);
+        // No adjacent pair may fit in T pages.
+        let leaves = obj.tree.collect_leaves(&db);
+        for w in leaves.windows(2) {
+            assert!(
+                !obj.must_merge(w[0].1.count, w[1].1.count),
+                "unmerged pair: {pages:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn big_threshold_rebuilds_one_segment() {
+        let mut db = db();
+        let mut obj = make(&mut db, 64);
+        obj.append(&mut db, &pattern(40_000, 1)).unwrap(); // 10 pages
+        obj.trim(&mut db).unwrap();
+        obj.insert(&mut db, 20_000, &pattern(100, 2)).unwrap();
+        obj.check_invariants(&db).unwrap();
+        let pages = seg_pages(&db, &obj);
+        assert_eq!(pages.len(), 1, "T=64 re-merges everything: {pages:?}");
+        // 40,100 bytes on 10 data pages + 1 root page.
+        let u = obj.utilization(&db);
+        assert_eq!(u.data_pages, 10);
+        assert!(u.ratio() > 0.85, "ratio {}", u.ratio());
+    }
+
+    #[test]
+    fn delete_suffix_is_free() {
+        let mut db = db();
+        let mut obj = make(&mut db, 1);
+        let base = pattern(40_000, 3);
+        obj.append(&mut db, &base).unwrap();
+        obj.trim(&mut db).unwrap();
+        db.reset_io_stats();
+        obj.delete(&mut db, 20_000, 20_000).unwrap();
+        let s = db.io_stats();
+        assert_eq!(s.pages_read + s.pages_written, 0, "suffix trim is free: {s}");
+        assert_eq!(obj.snapshot(&db), base[..20_000]);
+        obj.check_invariants(&db).unwrap();
+    }
+
+    #[test]
+    fn delete_whole_segments_is_free() {
+        let mut db = db();
+        let mut obj = make(&mut db, 1);
+        // Three exact segments via boundary inserts.
+        obj.append(&mut db, &pattern(8192, 1)).unwrap();
+        obj.trim(&mut db).unwrap();
+        obj.insert(&mut db, 0, &pattern(8192, 2)).unwrap();
+        obj.insert(&mut db, 0, &pattern(8192, 3)).unwrap();
+        db.reset_io_stats();
+        obj.delete(&mut db, 8192, 8192).unwrap();
+        let s = db.io_stats();
+        assert_eq!(s.pages_read + s.pages_written, 0, "{s}");
+        obj.check_invariants(&db).unwrap();
+        assert_eq!(obj.size(&mut db), 2 * 8192);
+    }
+
+    #[test]
+    fn boundary_aligned_delete_over_whole_segments() {
+        // Regression: a delete that starts exactly at a segment boundary,
+        // covers whole segments, and ends inside a later one. The right
+        // partial shifts left as covered segments are dropped; the region
+        // rebuild must anchor at its post-removal position.
+        let mut db = db();
+        let mut obj = make(&mut db, 1); // T=1: segments stay separate
+        // Three exact 2-page segments via boundary inserts.
+        let mut model = Vec::new();
+        for i in 0..4u8 {
+            let chunk = pattern(8192, i);
+            obj.insert(&mut db, 0, &chunk).unwrap();
+            model.splice(0..0, chunk.iter().copied());
+        }
+        obj.check_invariants(&db).unwrap();
+        // Delete from the start of segment 1 through the middle of
+        // segment 3: boundary-aligned start, one whole segment covered.
+        obj.delete(&mut db, 8192, 8192 + 4000).unwrap();
+        model.drain(8192..8192 + 8192 + 4000);
+        assert_eq!(obj.snapshot(&db), model);
+        obj.check_invariants(&db).unwrap();
+        assert_eq!(obj.size(&mut db), model.len() as u64);
+    }
+
+    #[test]
+    fn delete_across_segments_matches_model() {
+        let mut db = db();
+        let mut obj = make(&mut db, 4);
+        let mut model = pattern(200_000, 7);
+        obj.append(&mut db, &model).unwrap();
+        obj.trim(&mut db).unwrap();
+        obj.delete(&mut db, 30_000, 100_000).unwrap();
+        model.drain(30_000..130_000);
+        assert_eq!(obj.snapshot(&db), model);
+        obj.check_invariants(&db).unwrap();
+    }
+
+    #[test]
+    fn delete_everything_frees_all_pages() {
+        let mut db = db();
+        let mut obj = make(&mut db, 4);
+        obj.append(&mut db, &pattern(100_000, 1)).unwrap();
+        obj.delete(&mut db, 0, 100_000).unwrap();
+        assert_eq!(obj.size(&mut db), 0);
+        assert_eq!(db.leaf_pages_allocated(), 0);
+        obj.check_invariants(&db).unwrap();
+    }
+
+    #[test]
+    fn replace_matches_model() {
+        let mut db = db();
+        let mut obj = make(&mut db, 4);
+        let mut model = pattern(60_000, 1);
+        obj.append(&mut db, &model).unwrap();
+        let patch = pattern(9_000, 8);
+        obj.replace(&mut db, 30_000, &patch).unwrap();
+        model[30_000..39_000].copy_from_slice(&patch);
+        assert_eq!(obj.snapshot(&db), model);
+        obj.check_invariants(&db).unwrap();
+    }
+
+    #[test]
+    fn destroy_frees_everything() {
+        let mut db = db();
+        let mut obj = make(&mut db, 4);
+        obj.append(&mut db, &pattern(500_000, 2)).unwrap();
+        obj.insert(&mut db, 1000, &pattern(5_000, 3)).unwrap();
+        obj.destroy(&mut db).unwrap();
+        assert_eq!(db.leaf_pages_allocated(), 0);
+        assert_eq!(db.meta_pages_allocated(), 0);
+    }
+
+    #[test]
+    fn random_ops_match_reference_model() {
+        for t in [1u32, 4, 16] {
+            let mut db = db();
+            let mut obj = make(&mut db, t);
+            let mut model: Vec<u8> = Vec::new();
+            let mut rng = StdRng::seed_from_u64(1234 + u64::from(t));
+            for step in 0..120 {
+                let c = rng.gen_range(0..10);
+                if model.is_empty() || c < 4 {
+                    let chunk = pattern(rng.gen_range(1..25_000), rng.gen());
+                    let off = rng.gen_range(0..=model.len());
+                    obj.insert(&mut db, off as u64, &chunk).unwrap();
+                    model.splice(off..off, chunk.iter().copied());
+                } else if c < 7 {
+                    let off = rng.gen_range(0..model.len());
+                    let len = rng.gen_range(1..=(model.len() - off).min(20_000));
+                    obj.delete(&mut db, off as u64, len as u64).unwrap();
+                    model.drain(off..off + len);
+                } else if c < 9 {
+                    let off = rng.gen_range(0..model.len());
+                    let len = rng.gen_range(1..=(model.len() - off).min(10_000));
+                    let mut out = vec![0u8; len];
+                    obj.read(&mut db, off as u64, &mut out).unwrap();
+                    assert_eq!(out[..], model[off..off + len], "read @{step} T={t}");
+                } else {
+                    let off = rng.gen_range(0..model.len());
+                    let len = rng.gen_range(1..=(model.len() - off).min(8_000));
+                    let patch = pattern(len, rng.gen());
+                    obj.replace(&mut db, off as u64, &patch).unwrap();
+                    model[off..off + len].copy_from_slice(&patch);
+                }
+                obj.check_invariants(&db)
+                    .unwrap_or_else(|e| panic!("T={t} step={step}: {e}"));
+                assert_eq!(obj.snapshot(&db), model, "content @{step} T={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut db = db();
+        let mut obj = make(&mut db, 4);
+        obj.append(&mut db, b"hello").unwrap();
+        let mut out = [0u8; 2];
+        assert!(obj.read(&mut db, 5, &mut out).is_err());
+        assert!(obj.insert(&mut db, 7, b"x").is_err());
+        assert!(obj.delete(&mut db, 2, 9).is_err());
+    }
+}

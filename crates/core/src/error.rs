@@ -1,0 +1,60 @@
+//! Error type shared by all large-object managers.
+
+/// Errors surfaced by large-object operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LobError {
+    /// A byte-range operation referenced bytes beyond the object.
+    OutOfRange {
+        /// Requested start offset.
+        off: u64,
+        /// Requested length.
+        len: u64,
+        /// Current object size.
+        size: u64,
+    },
+    /// A single operation exceeded [`crate::MAX_OP_BYTES`].
+    OperationTooLarge { len: u64 },
+    /// A page failed structural validation (bad magic, impossible counts).
+    Corrupt(String),
+    /// An internal invariant was violated (returned by `check_invariants`).
+    InvariantViolated(String),
+}
+
+impl std::fmt::Display for LobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LobError::OutOfRange { off, len, size } => write!(
+                f,
+                "byte range [{off}, {off}+{len}) out of range for object of {size} bytes"
+            ),
+            LobError::OperationTooLarge { len } => {
+                write!(f, "operation of {len} bytes exceeds the per-op limit")
+            }
+            LobError::Corrupt(msg) => write!(f, "corrupt storage structure: {msg}"),
+            LobError::InvariantViolated(msg) => write!(f, "invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LobError {}
+
+pub type Result<T> = std::result::Result<T, LobError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = LobError::OutOfRange {
+            off: 10,
+            len: 5,
+            size: 12,
+        };
+        assert_eq!(
+            e.to_string(),
+            "byte range [10, 10+5) out of range for object of 12 bytes"
+        );
+        assert!(LobError::Corrupt("x".into()).to_string().contains("corrupt"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Little helpers for fixed-layout page (de)serialization.
+//!
+//! All on-page integers are little-endian. These helpers keep offset
+//! arithmetic in one place and panic on out-of-page access, which would
+//! indicate a layout bug rather than bad input.
+
+#[inline]
+pub(crate) fn get_u16(page: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes(page[off..off + 2].try_into().unwrap())
+}
+
+#[inline]
+pub(crate) fn put_u16(page: &mut [u8], off: usize, v: u16) {
+    page[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub(crate) fn get_u32(page: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(page[off..off + 4].try_into().unwrap())
+}
+
+#[inline]
+pub(crate) fn put_u32(page: &mut [u8], off: usize, v: u32) {
+    page[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+pub(crate) fn get_u64(page: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(page[off..off + 8].try_into().unwrap())
+}
+
+#[inline]
+pub(crate) fn put_u64(page: &mut [u8], off: usize, v: u64) {
+    page[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut page = [0u8; 64];
+        put_u16(&mut page, 0, 0xBEEF);
+        put_u32(&mut page, 2, 0xDEAD_BEEF);
+        put_u64(&mut page, 6, 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_u16(&page, 0), 0xBEEF);
+        assert_eq!(get_u32(&page, 2), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&page, 6), 0x0123_4567_89AB_CDEF);
+    }
+}

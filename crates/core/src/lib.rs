@@ -1,0 +1,67 @@
+//! The three large-object storage structures of Biliris (SIGMOD 1992):
+//! **ESM** (EXODUS), **Starburst**, and **EOS**, implemented over a shared
+//! substrate of simulated disk, buffer manager, and buddy-system space
+//! allocation.
+//!
+//! # Overview
+//!
+//! A *large object* is an uninterpreted byte sequence too big for one
+//! page. All three managers store it in **segments** — runs of physically
+//! adjacent disk pages — and differ in how segments are sized and indexed:
+//!
+//! * [`EsmObject`]: fixed-size multi-page leaf segments under a positional
+//!   B+-tree of `(count, pointer)` pairs (§2.1);
+//! * [`StarburstObject`]: a flat descriptor pointing to segments that
+//!   double in size up to a maximum, with the last segment trimmed (§2.2);
+//! * [`EosObject`]: variable-size segments under the same positional tree,
+//!   governed by a segment-size threshold `T` (§2.3).
+//!
+//! All managers implement [`LargeObject`], whose operations are the ones
+//! the paper measures: append, sequential/random byte-range read, byte
+//! insert and delete at arbitrary offsets, plus byte-range replace.
+//!
+//! # Example
+//!
+//! ```
+//! use lobstore_core::{Db, DbConfig, EsmObject, EsmParams, LargeObject};
+//!
+//! let mut db = Db::new(DbConfig::default());
+//! let mut obj = EsmObject::create(&mut db, EsmParams { leaf_pages: 4 }).unwrap();
+//! obj.append(&mut db, b"hello, large object world").unwrap();
+//! obj.insert(&mut db, 5, b" there").unwrap();
+//! let mut buf = vec![0u8; 11];
+//! obj.read(&mut db, 0, &mut buf).unwrap();
+//! assert_eq!(&buf, b"hello there");
+//! ```
+
+mod catalog;
+mod db;
+mod eos;
+mod error;
+mod esm;
+mod layout;
+mod node;
+mod object;
+mod segdata;
+mod shadow;
+mod shared;
+mod spec;
+mod starburst;
+mod stream;
+mod tree;
+
+pub use catalog::{Catalog, CatalogEntry, MAX_NAME};
+pub use lobstore_buddy::Extent;
+pub use db::{Db, DbConfig, TreeConfig};
+pub use eos::{EosObject, EosParams};
+pub use error::{LobError, Result};
+pub use esm::{EsmInsertAlgo, EsmParams, EsmObject};
+pub use object::{LargeObject, SegmentInfo, StorageKind, Utilization};
+pub use shared::SharedDb;
+pub use spec::{open_object, ManagerSpec};
+pub use stream::{ObjectReader, ObjectWriter};
+pub use starburst::{StarburstObject, StarburstParams};
+
+/// Maximum bytes any single operation may carry, a sanity bound
+/// (object sizes themselves are limited only by disk space).
+pub const MAX_OP_BYTES: usize = 1 << 30;

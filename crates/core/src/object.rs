@@ -1,0 +1,172 @@
+//! The common large-object interface implemented by all three managers.
+
+use crate::db::Db;
+use crate::error::Result;
+
+/// Which storage structure an object uses.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StorageKind {
+    /// EXODUS Storage Manager: fixed-size leaves under a count tree (§2.1).
+    Esm,
+    /// Starburst long-field manager: doubling extents, flat descriptor (§2.2).
+    Starburst,
+    /// EOS: variable-size segments under a count tree with threshold T (§2.3).
+    Eos,
+}
+
+impl StorageKind {
+    /// Stable on-disk tag (matches the root-page `kind` byte).
+    pub fn as_u8(self) -> u8 {
+        match self {
+            StorageKind::Esm => 1,
+            StorageKind::Eos => 2,
+            StorageKind::Starburst => 3,
+        }
+    }
+
+    /// Inverse of [`Self::as_u8`].
+    pub fn from_u8(tag: u8) -> Option<StorageKind> {
+        match tag {
+            1 => Some(StorageKind::Esm),
+            2 => Some(StorageKind::Eos),
+            3 => Some(StorageKind::Starburst),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StorageKind::Esm => "ESM",
+            StorageKind::Starburst => "Starburst",
+            StorageKind::Eos => "EOS",
+        })
+    }
+}
+
+/// Storage-utilization breakdown of one object (§4.4.1: "storage
+/// utilization compares the object size with the actual space required to
+/// store the object including possible index pages").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Utilization {
+    /// Logical object size in bytes.
+    pub object_bytes: u64,
+    /// Pages allocated to the object's data segments.
+    pub data_pages: u64,
+    /// Pages allocated to index structures (root/descriptor + interior
+    /// index pages).
+    pub index_pages: u64,
+}
+
+impl Utilization {
+    /// Object bytes over all allocated bytes (data + index), in `[0, 1]`.
+    pub fn ratio(&self) -> f64 {
+        let denom = (self.data_pages + self.index_pages) * lobstore_simdisk::PAGE_SIZE as u64;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.object_bytes as f64 / denom as f64
+    }
+}
+
+/// One data segment of an object, as reported by
+/// [`LargeObject::segments`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Object offset of the segment's first byte.
+    pub offset: u64,
+    /// First disk page of the segment (LEAF area).
+    pub start_page: u32,
+    /// Bytes stored in the segment.
+    pub bytes: u64,
+    /// Pages allocated to the segment (≥ `ceil(bytes / PAGE_SIZE)`; larger
+    /// only for a tail segment still growing by appends).
+    pub pages: u32,
+}
+
+/// A large object stored in the database.
+///
+/// All operations borrow the [`Db`] because every byte they touch moves
+/// through the buffer pool and the simulated disk; the handle itself holds
+/// only the root page number and immutable parameters.
+pub trait LargeObject {
+    /// Which structure this is.
+    fn kind(&self) -> StorageKind;
+
+    /// Page number (META area) of the object's root / descriptor page.
+    fn root_page(&self) -> u32;
+
+    /// Current object size in bytes.
+    fn size(&self, db: &mut Db) -> u64;
+
+    /// Append `bytes` at the end of the object.
+    fn append(&mut self, db: &mut Db, bytes: &[u8]) -> Result<()>;
+
+    /// Read `out.len()` bytes starting at `off` into `out`.
+    fn read(&self, db: &mut Db, off: u64, out: &mut [u8]) -> Result<()>;
+
+    /// Insert `bytes` so the first inserted byte lands at offset `off`
+    /// (`off == size` appends).
+    fn insert(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()>;
+
+    /// Delete `len` bytes starting at `off`.
+    fn delete(&mut self, db: &mut Db, off: u64, len: u64) -> Result<()>;
+
+    /// Overwrite `bytes.len()` bytes starting at `off` (no size change).
+    fn replace(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()>;
+
+    /// Release build-time over-allocation at the object's tail (Starburst
+    /// trims its last segment, §2.2; EOS likewise). No-op for ESM.
+    fn trim(&mut self, db: &mut Db) -> Result<()>;
+
+    /// Delete the object and free all of its storage. The handle must not
+    /// be used afterwards.
+    fn destroy(&mut self, db: &mut Db) -> Result<()>;
+
+    /// Current storage-utilization breakdown. Cost-free (metric code).
+    fn utilization(&self, db: &Db) -> Utilization;
+
+    /// The object's data segments, left to right. Cost-free (inspection
+    /// and tooling).
+    fn segments(&self, db: &Db) -> Vec<SegmentInfo>;
+
+    /// Every META page of the object's index structure, the root
+    /// included. Cost-free (inspection and tooling).
+    fn index_page_numbers(&self, db: &Db) -> Vec<u32>;
+
+    /// Verify every structural invariant of this object. Cost-free.
+    fn check_invariants(&self, db: &Db) -> Result<()>;
+
+    /// Cost-free snapshot of the full object content, for verification
+    /// against reference models in tests.
+    fn snapshot(&self, db: &Db) -> Vec<u8>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_ratio() {
+        let u = Utilization {
+            object_bytes: 4096 * 3,
+            data_pages: 3,
+            index_pages: 1,
+        };
+        assert!((u.ratio() - 0.75).abs() < 1e-12);
+        let empty = Utilization {
+            object_bytes: 0,
+            data_pages: 0,
+            index_pages: 0,
+        };
+        assert_eq!(empty.ratio(), 1.0);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(StorageKind::Esm.to_string(), "ESM");
+        assert_eq!(StorageKind::Starburst.to_string(), "Starburst");
+        assert_eq!(StorageKind::Eos.to_string(), "EOS");
+    }
+}

@@ -1,0 +1,211 @@
+//! Byte-level helpers over leaf segments, shared by the three managers.
+//!
+//! These encapsulate the paper's write discipline (§3.3, §3.4):
+//!
+//! * reads for internal copies are page-grained, one I/O call per segment;
+//! * a segment write moves only the pages that actually hold bytes
+//!   ("only the blocks that are actually dirty are written, sequentially");
+//! * an in-place append reads the rightmost partial page (if any), then
+//!   writes the pages containing new bytes with a single sequential call.
+
+use lobstore_buddy::Extent;
+use lobstore_simdisk::{pages_for_bytes, AreaId, PageId, PAGE_SIZE};
+
+use crate::db::Db;
+
+/// Read `len` bytes starting at byte `from` of the segment at `ptr`
+/// (LEAF area), using one page-grained I/O call.
+pub(crate) fn read_seg_bytes(db: &mut Db, ptr: u32, from: u64, len: u64) -> Vec<u8> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let first_page = (from / PAGE_SIZE as u64) as u32;
+    let last_page = ((from + len - 1) / PAGE_SIZE as u64) as u32;
+    let n_pages = last_page - first_page + 1;
+    let mut scratch = vec![0u8; n_pages as usize * PAGE_SIZE];
+    db.pool.read_pages(AreaId::LEAF, ptr + first_page, n_pages, &mut scratch);
+    let skip = (from % PAGE_SIZE as u64) as usize;
+    scratch[skip..skip + len as usize].to_vec()
+}
+
+/// Allocate a segment of `alloc_pages` pages and write `bytes` into its
+/// head with one I/O call (only `ceil(bytes/page)` pages are transferred).
+/// Returns the extent.
+pub(crate) fn write_new_seg(db: &mut Db, alloc_pages: u32, bytes: &[u8]) -> Extent {
+    debug_assert!(!bytes.is_empty());
+    debug_assert!(pages_for_bytes(bytes.len() as u64) <= alloc_pages);
+    let ext = db.alloc_leaf(alloc_pages);
+    db.pool.write_direct(AreaId::LEAF, ext.start, bytes);
+    ext
+}
+
+/// Append `new` after the first `old_len` bytes of the segment at `ptr`,
+/// in place. Reads the partial boundary page if `old_len` is not
+/// page-aligned, then writes all pages containing new bytes with one
+/// sequential call — exactly the paper's append cost (§4.2).
+pub(crate) fn append_in_place(db: &mut Db, ptr: u32, old_len: u64, new: &[u8]) {
+    debug_assert!(!new.is_empty());
+    let first_page = (old_len / PAGE_SIZE as u64) as u32;
+    let in_page = (old_len % PAGE_SIZE as u64) as usize;
+    let mut buf = Vec::with_capacity(in_page + new.len());
+    if in_page > 0 {
+        let r = db.pool.fix(PageId::new(AreaId::LEAF, ptr + first_page));
+        buf.extend_from_slice(&db.pool.page(r)[..in_page]);
+        db.pool.unfix(r);
+    }
+    buf.extend_from_slice(new);
+    db.pool.write_direct(AreaId::LEAF, ptr + first_page, &buf);
+}
+
+/// Overwrite bytes `[from, from + patch.len())` of the segment at `ptr`
+/// in place, transferring only the affected pages: boundary pages are
+/// read first (if partially covered) so their surrounding bytes survive.
+pub(crate) fn patch_in_place(db: &mut Db, ptr: u32, from: u64, patch: &[u8]) {
+    debug_assert!(!patch.is_empty());
+    let first_page = (from / PAGE_SIZE as u64) as u32;
+    let end = from + patch.len() as u64;
+    let head_skip = (from % PAGE_SIZE as u64) as usize;
+    let tail_cut = (end % PAGE_SIZE as u64) as usize;
+    let mut buf = Vec::with_capacity(head_skip + patch.len());
+    if head_skip > 0 {
+        let r = db.pool.fix(PageId::new(AreaId::LEAF, ptr + first_page));
+        buf.extend_from_slice(&db.pool.page(r)[..head_skip]);
+        db.pool.unfix(r);
+    }
+    buf.extend_from_slice(patch);
+    if tail_cut > 0 {
+        let last_page = ((end - 1) / PAGE_SIZE as u64) as u32;
+        let r = db.pool.fix(PageId::new(AreaId::LEAF, ptr + last_page));
+        buf.extend_from_slice(&db.pool.page(r)[tail_cut..]);
+        db.pool.unfix(r);
+    }
+    db.pool.write_direct(AreaId::LEAF, ptr + first_page, &buf);
+}
+
+/// Split `total` into even pieces of at most `cap` each (piece count
+/// `ceil(total/cap)`, sizes differing by at most 1). Every piece is at
+/// least `cap/2` when `total > cap` — the half-full leaf rule.
+pub(crate) fn even_sizes(total: u64, cap: u64) -> Vec<u64> {
+    assert!(total > 0);
+    let k = total.div_ceil(cap);
+    let base = total / k;
+    let extra = total % k;
+    (0..k)
+        .map(|i| base + u64::from(i < extra))
+        .collect()
+}
+
+/// The ESM append redistribution rule (§4.2): all but the two rightmost
+/// leaves are full; the remainder is split evenly over the last two
+/// leaves (each ≥ half full), unless it fits in a single leaf.
+pub(crate) fn append_sizes(total: u64, cap: u64) -> Vec<u64> {
+    assert!(total > 0);
+    let mut out = Vec::new();
+    let mut t = total;
+    while t > 2 * cap {
+        out.push(cap);
+        t -= cap;
+    }
+    if t > cap {
+        out.push(t.div_ceil(2));
+        out.push(t / 2);
+    } else {
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lobstore_simdisk::IoStats;
+
+    #[test]
+    fn even_sizes_cover_and_balance() {
+        assert_eq!(even_sizes(10, 4), vec![4, 3, 3]);
+        assert_eq!(even_sizes(8, 4), vec![4, 4]);
+        assert_eq!(even_sizes(3, 4), vec![3]);
+        assert_eq!(even_sizes(9, 4), vec![3, 3, 3]);
+        // half-full rule when total > cap
+        for total in 5..100u64 {
+            let v = even_sizes(total, 4);
+            assert_eq!(v.iter().sum::<u64>(), total);
+            assert!(v.iter().all(|&s| (2..=4).contains(&s)), "{total}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn append_sizes_follow_the_paper_rule() {
+        let cap = 100;
+        assert_eq!(append_sizes(50, cap), vec![50]);
+        assert_eq!(append_sizes(100, cap), vec![100]);
+        assert_eq!(append_sizes(150, cap), vec![75, 75]);
+        assert_eq!(append_sizes(250, cap), vec![100, 75, 75]);
+        assert_eq!(append_sizes(460, cap), vec![100, 100, 100, 80, 80]);
+        // exact multiples end with two full leaves
+        assert_eq!(append_sizes(400, cap), vec![100, 100, 100, 100]);
+        for total in 101..1000u64 {
+            let v = append_sizes(total, cap);
+            assert_eq!(v.iter().sum::<u64>(), total);
+            assert!(v[..v.len() - 2].iter().all(|&s| s == cap));
+            assert!(v[v.len() - 2..].iter().all(|&s| s >= cap / 2 && s <= cap));
+        }
+    }
+
+    #[test]
+    fn write_then_read_seg_roundtrip() {
+        let mut db = Db::paper_default();
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 241) as u8).collect();
+        let ext = write_new_seg(&mut db, 4, &data);
+        assert_eq!(ext.pages, 4);
+        // One write call, 3 pages (only pages holding bytes).
+        let s = db.io_stats();
+        assert_eq!(s.write_calls, 1);
+        assert_eq!(s.pages_written, 3);
+        let back = read_seg_bytes(&mut db, ext.start, 0, data.len() as u64);
+        assert_eq!(back, data);
+        let mid = read_seg_bytes(&mut db, ext.start, 5_000, 2_000);
+        assert_eq!(mid[..], data[5_000..7_000]);
+    }
+
+    #[test]
+    fn append_in_place_reads_partial_page_once() {
+        let mut db = Db::paper_default();
+        let ext = write_new_seg(&mut db, 4, &vec![7u8; 5_000]);
+        db.reset_io_stats();
+        append_in_place(&mut db, ext.start, 5_000, &vec![9u8; 6_000]);
+        let s = db.io_stats();
+        // Partial page 1 read (1 call), pages 1..3 written (1 call).
+        assert_eq!(s.read_calls, 1);
+        assert_eq!(s.pages_read, 1);
+        assert_eq!(s.write_calls, 1);
+        assert_eq!(s.pages_written, 2);
+        let back = read_seg_bytes(&mut db, ext.start, 0, 11_000);
+        assert!(back[..5_000].iter().all(|&b| b == 7));
+        assert!(back[5_000..].iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn append_in_place_aligned_needs_no_read() {
+        let mut db = Db::paper_default();
+        let ext = write_new_seg(&mut db, 4, &[7u8; PAGE_SIZE]);
+        db.reset_io_stats();
+        append_in_place(&mut db, ext.start, PAGE_SIZE as u64, &[9u8; 100]);
+        let s = db.io_stats();
+        assert_eq!(s.read_calls, 0, "aligned append reads nothing");
+        assert_eq!(s, IoStats { write_calls: 1, pages_written: 1, time_us: 37_000, ..s });
+    }
+
+    #[test]
+    fn patch_in_place_preserves_surrounding_bytes() {
+        let mut db = Db::paper_default();
+        let data: Vec<u8> = (0..3 * PAGE_SIZE).map(|i| (i % 251) as u8).collect();
+        let ext = write_new_seg(&mut db, 4, &data);
+        db.reset_io_stats();
+        patch_in_place(&mut db, ext.start, 5_000, &vec![0xEEu8; 1_000]);
+        let back = read_seg_bytes(&mut db, ext.start, 0, data.len() as u64);
+        assert_eq!(back[..5_000], data[..5_000]);
+        assert!(back[5_000..6_000].iter().all(|&b| b == 0xEE));
+        assert_eq!(back[6_000..], data[6_000..]);
+    }
+}

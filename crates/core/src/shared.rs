@@ -1,0 +1,117 @@
+//! Coarse-grained sharing of a database across threads.
+//!
+//! The paper's study — and therefore the engine — is single-client: every
+//! operation takes `&mut Db` and runs to completion. [`SharedDb`] makes
+//! that contract usable from multiple threads by serializing operations
+//! behind one lock (object handles themselves are plain data and travel
+//! freely between threads).
+//!
+//! This is intentionally *not* fine-grained concurrency control: latches,
+//! lock crabbing, and transactions are outside the paper's scope (§3.3:
+//! "our study does not involve transactions"). The wrapper gives a
+//! correct, simple multi-threaded embedding — one operation at a time,
+//! like the paper's simulation driver.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::db::Db;
+
+/// A cloneable, thread-safe handle to one database. All clones refer to
+/// the same underlying [`Db`]; operations are serialized.
+#[derive(Clone)]
+pub struct SharedDb {
+    inner: Arc<Mutex<Db>>,
+}
+
+impl SharedDb {
+    pub fn new(db: Db) -> Self {
+        SharedDb {
+            inner: Arc::new(Mutex::new(db)),
+        }
+    }
+
+    /// Run `f` with exclusive access to the database.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Db) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Recover the unique [`Db`] if this is the last handle.
+    pub fn try_unwrap(self) -> Result<Db, SharedDb> {
+        Arc::try_unwrap(self.inner)
+            .map(Mutex::into_inner)
+            .map_err(|inner| SharedDb { inner })
+    }
+}
+
+// The whole stack must be transferable across threads for SharedDb to be
+// useful; these compile-time assertions pin that property.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Db>();
+    assert_send::<crate::EsmObject>();
+    assert_send::<crate::EosObject>();
+    assert_send::<crate::StarburstObject>();
+    assert_send::<SharedDb>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ManagerSpec;
+
+    #[test]
+    fn threads_share_one_database() {
+        let shared = SharedDb::new(Db::paper_default());
+        // Each thread owns one object and hammers it.
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let shared = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                let spec = match t % 3 {
+                    0 => ManagerSpec::esm(4),
+                    1 => ManagerSpec::eos(4),
+                    _ => ManagerSpec::starburst(),
+                };
+                let mut obj = shared.with(|db| spec.create(db)).unwrap();
+                let mut model = Vec::new();
+                for i in 0..30usize {
+                    let chunk = vec![t.wrapping_mul(31).wrapping_add(i as u8); 5_000];
+                    shared.with(|db| obj.append(db, &chunk)).unwrap();
+                    model.extend_from_slice(&chunk);
+                    if i % 7 == 3 {
+                        shared
+                            .with(|db| obj.delete(db, 0, 2_000))
+                            .unwrap();
+                        model.drain(0..2_000);
+                    }
+                }
+                let snap = shared.with(|db| {
+                    obj.check_invariants(db).unwrap();
+                    obj.snapshot(db)
+                });
+                assert_eq!(snap, model, "thread {t} content diverged");
+                obj.root_page()
+            }));
+        }
+        let roots: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All four objects coexist and are distinct.
+        let unique: std::collections::HashSet<_> = roots.iter().collect();
+        assert_eq!(unique.len(), 4);
+        // The database comes back out once every clone is gone.
+        let mut db = shared.try_unwrap().ok().expect("last handle");
+        assert!(db.leaf_pages_allocated() > 0);
+        let _ = db.io_stats();
+        db.checkpoint();
+    }
+
+    #[test]
+    fn try_unwrap_fails_while_shared() {
+        let a = SharedDb::new(Db::paper_default());
+        let b = a.clone();
+        let a = a.try_unwrap().err().expect("still shared");
+        drop(b);
+        assert!(a.try_unwrap().is_ok());
+    }
+}

@@ -1,0 +1,142 @@
+//! Declarative manager selection, so bench binaries and examples can
+//! sweep configurations uniformly.
+
+use crate::db::Db;
+use crate::eos::{EosObject, EosParams};
+use crate::error::Result;
+use crate::esm::{EsmObject, EsmParams};
+use crate::object::LargeObject;
+use crate::starburst::{StarburstObject, StarburstParams};
+
+/// Which manager to instantiate, with its paper-relevant parameters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ManagerSpec {
+    /// ESM with a fixed leaf size in pages (1, 4, 16, 64 in the paper).
+    Esm { leaf_pages: u32 },
+    /// Starburst with a maximum segment size in pages.
+    Starburst { max_seg_pages: u32, known_size: bool },
+    /// EOS with a segment-size threshold and maximum segment size.
+    Eos {
+        threshold_pages: u32,
+        max_seg_pages: u32,
+    },
+}
+
+impl ManagerSpec {
+    /// The paper's default Starburst configuration (32 MB max segments).
+    pub fn starburst() -> Self {
+        ManagerSpec::Starburst {
+            max_seg_pages: 8192,
+            known_size: false,
+        }
+    }
+
+    /// The paper's EOS configuration for threshold `t`.
+    pub fn eos(t: u32) -> Self {
+        ManagerSpec::Eos {
+            threshold_pages: t,
+            max_seg_pages: 8192,
+        }
+    }
+
+    /// The paper's ESM configuration for a leaf of `pages` pages.
+    pub fn esm(pages: u32) -> Self {
+        ManagerSpec::Esm { leaf_pages: pages }
+    }
+
+    /// Instantiate a fresh object of this kind in `db`.
+    pub fn create(&self, db: &mut Db) -> Result<Box<dyn LargeObject>> {
+        Ok(match *self {
+            ManagerSpec::Esm { leaf_pages } => {
+                Box::new(EsmObject::create(db, EsmParams { leaf_pages })?)
+            }
+            ManagerSpec::Starburst {
+                max_seg_pages,
+                known_size,
+            } => Box::new(StarburstObject::create(
+                db,
+                StarburstParams {
+                    max_seg_pages,
+                    known_size,
+                },
+            )?),
+            ManagerSpec::Eos {
+                threshold_pages,
+                max_seg_pages,
+            } => Box::new(EosObject::create(
+                db,
+                EosParams {
+                    threshold_pages,
+                    max_seg_pages,
+                },
+            )?),
+        })
+    }
+
+    /// Re-open an existing object of this kind by its root page.
+    pub fn open(&self, db: &mut Db, root_page: u32) -> Result<Box<dyn LargeObject>> {
+        Ok(match *self {
+            ManagerSpec::Esm { .. } => Box::new(EsmObject::open(db, root_page)?),
+            ManagerSpec::Starburst { .. } => Box::new(StarburstObject::open(db, root_page)?),
+            ManagerSpec::Eos { .. } => Box::new(EosObject::open(db, root_page)?),
+        })
+    }
+
+    /// Short label for tables ("ESM/4", "EOS/16", "Starburst").
+    pub fn label(&self) -> String {
+        match *self {
+            ManagerSpec::Esm { leaf_pages } => format!("ESM/{leaf_pages}"),
+            ManagerSpec::Starburst { .. } => "Starburst".to_string(),
+            ManagerSpec::Eos {
+                threshold_pages, ..
+            } => format!("EOS/{threshold_pages}"),
+        }
+    }
+}
+
+/// Re-open an existing large object by its storage kind and root page —
+/// the operation a long-field *descriptor* encodes (§2: the small object
+/// holds a `(kind, root)` pair per long field).
+pub fn open_object(
+    db: &mut Db,
+    kind: crate::object::StorageKind,
+    root_page: u32,
+) -> Result<Box<dyn LargeObject>> {
+    use crate::object::StorageKind;
+    Ok(match kind {
+        StorageKind::Esm => Box::new(EsmObject::open(db, root_page)?),
+        StorageKind::Eos => Box::new(EosObject::open(db, root_page)?),
+        StorageKind::Starburst => Box::new(StarburstObject::open(db, root_page)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_all_kinds_and_use_through_dyn() {
+        let mut db = Db::paper_default();
+        for spec in [
+            ManagerSpec::esm(4),
+            ManagerSpec::starburst(),
+            ManagerSpec::eos(16),
+        ] {
+            let mut obj = spec.create(&mut db).unwrap();
+            obj.append(&mut db, b"dyn dispatch works").unwrap();
+            let mut out = vec![0u8; 3];
+            obj.read(&mut db, 4, &mut out).unwrap();
+            assert_eq!(&out, b"dis");
+            obj.check_invariants(&db).unwrap();
+            obj.destroy(&mut db).unwrap();
+        }
+        assert_eq!(db.leaf_pages_allocated(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ManagerSpec::esm(16).label(), "ESM/16");
+        assert_eq!(ManagerSpec::starburst().label(), "Starburst");
+        assert_eq!(ManagerSpec::eos(64).label(), "EOS/64");
+    }
+}

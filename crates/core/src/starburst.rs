@@ -1,0 +1,833 @@
+//! The Starburst long-field manager (§2.2, §3.5).
+//!
+//! A long field is a sequence of extents whose sizes **double** until a
+//! maximum segment size is reached (then max-size segments repeat); the
+//! last segment is trimmed. The descriptor is flat: one root page with an
+//! array of segment pointers — there is no tree, so reads and appends
+//! never touch index pages.
+//!
+//! The price is paid by length-changing updates: inserting (deleting)
+//! bytes in the middle requires **copying every segment from the affected
+//! one rightward** (including it, because of shadowing) into a new set of
+//! segments, streamed through a 512 KB staging buffer (§3.5). Once an
+//! object has been updated, its size is known, so the rewrite uses
+//! maximum-size segments with the last one trimmed — which is why the
+//! steady-state update cost equals a whole-object copy (Table 3).
+//!
+//! Departure from the paper, documented in DESIGN.md: the descriptor
+//! stores an explicit `(bytes, pointer)` pair per segment (8 bytes)
+//! instead of deriving intermediate sizes from the growth pattern; the
+//! I/O behaviour is identical (the descriptor is still one page, up to
+//! 507 segments ≈ 16 GB of max-size segments).
+
+use lobstore_buddy::Extent;
+use lobstore_simdisk::{pages_for_bytes, AreaId, PageId, PAGE_SIZE};
+
+use crate::db::Db;
+use crate::error::{LobError, Result};
+use crate::node::{Entry, Node, RootHdr, ROOT_MAX_ENTRIES};
+use crate::object::{LargeObject, StorageKind, Utilization};
+use crate::segdata::{append_in_place, patch_in_place};
+use crate::MAX_OP_BYTES;
+
+const STAR_MAGIC: u32 = 0x5354_4152; // "STAR"
+const KIND_STARBURST: u8 = 3;
+/// The 512 KB copy buffer of §3.5, in pages.
+const STAGING_PAGES: u32 = 128;
+
+/// Creation parameters for a Starburst long field.
+#[derive(Copy, Clone, Debug)]
+pub struct StarburstParams {
+    /// Maximum segment size in pages. The paper's space manager supports
+    /// 32 MB segments (8192 × 4 KB pages, §3.1).
+    pub max_seg_pages: u32,
+    /// Whether the eventual size is known in advance; if so, maximum-size
+    /// segments are used from the start (§2.2).
+    pub known_size: bool,
+}
+
+impl Default for StarburstParams {
+    fn default() -> Self {
+        StarburstParams {
+            max_seg_pages: 8192,
+            known_size: false,
+        }
+    }
+}
+
+/// Handle to one Starburst long field.
+#[derive(Debug)]
+pub struct StarburstObject {
+    root: u32,
+    max_seg_pages: u32,
+    known_size: bool,
+}
+
+impl StarburstObject {
+    pub fn create(db: &mut Db, params: StarburstParams) -> Result<Self> {
+        if params.max_seg_pages == 0 || params.max_seg_pages > db.max_segment_pages() {
+            return Err(LobError::Corrupt(format!(
+                "max segment of {} pages out of range",
+                params.max_seg_pages
+            )));
+        }
+        let root = db.alloc_meta_page();
+        let hdr = RootHdr {
+            magic: STAR_MAGIC,
+            kind: KIND_STARBURST,
+            level: 0,
+            n_entries: 0,
+            size: 0,
+            params: u64::from(params.max_seg_pages) | (u64::from(params.known_size) << 32),
+            last_seg_alloc: 0,
+            last_seg_ptr: 0,
+        };
+        db.with_new_meta_page(root, |p| hdr.write(p));
+        db.pool.flush_page(PageId::new(AreaId::META, root));
+        Ok(StarburstObject {
+            root,
+            max_seg_pages: params.max_seg_pages,
+            known_size: params.known_size,
+        })
+    }
+
+    pub fn open(db: &mut Db, root_page: u32) -> Result<Self> {
+        let hdr = db.with_meta_page(root_page, RootHdr::read);
+        if hdr.magic != STAR_MAGIC || hdr.kind != KIND_STARBURST {
+            return Err(LobError::Corrupt(format!(
+                "page {root_page} is not a Starburst descriptor"
+            )));
+        }
+        Ok(StarburstObject {
+            root: root_page,
+            max_seg_pages: (hdr.params & 0xFFFF_FFFF) as u32,
+            known_size: (hdr.params >> 32) & 1 == 1,
+        })
+    }
+
+    fn max_bytes(&self) -> u64 {
+        u64::from(self.max_seg_pages) * PAGE_SIZE as u64
+    }
+
+    /// Load the descriptor: header and segment list.
+    fn load(&self, db: &mut Db) -> (RootHdr, Vec<Entry>) {
+        db.with_meta_page(self.root, |p| {
+            let hdr = RootHdr::read(p);
+            let node = Node::read_root(p, &hdr);
+            (hdr, node.entries)
+        })
+    }
+
+    /// Store the descriptor. The root page is left dirty in the pool (no
+    /// forced flush — §4.2: appends write no index pages).
+    fn store(&self, db: &mut Db, hdr: &mut RootHdr, segs: &[Entry]) -> Result<()> {
+        if segs.len() > ROOT_MAX_ENTRIES {
+            return Err(LobError::Corrupt(format!(
+                "descriptor overflow: {} segments",
+                segs.len()
+            )));
+        }
+        let node = Node {
+            level: 0,
+            entries: segs.to_vec(),
+        };
+        db.with_meta_page_mut(self.root, |p| node.write_root(p, hdr));
+        Ok(())
+    }
+
+    /// Pages allocated to segment `i` of `segs` (the last one may be
+    /// over-allocated while the object grows by appends).
+    fn seg_alloc(&self, hdr: &RootHdr, segs: &[Entry], i: usize) -> u32 {
+        if i + 1 == segs.len() && hdr.last_seg_alloc > 0 {
+            hdr.last_seg_alloc
+        } else {
+            pages_for_bytes(segs[i].count)
+        }
+    }
+
+    /// Find the segment containing byte `off` (`off < size`). Returns
+    /// (index, byte offset of the segment's first byte).
+    fn find_seg(segs: &[Entry], off: u64) -> (usize, u64) {
+        let mut start = 0u64;
+        for (i, e) in segs.iter().enumerate() {
+            if off < start + e.count {
+                return (i, start);
+            }
+            start += e.count;
+        }
+        panic!("offset {off} beyond object ({start} bytes)");
+    }
+
+    fn check_range(&self, db: &mut Db, off: u64, len: u64) -> Result<u64> {
+        let size = self.load(db).0.size;
+        if off.checked_add(len).is_none_or(|end| end > size) {
+            return Err(LobError::OutOfRange { off, len, size });
+        }
+        if len > MAX_OP_BYTES as u64 {
+            return Err(LobError::OperationTooLarge { len });
+        }
+        Ok(size)
+    }
+
+    /// Read the bytes of segments `segs[from..]` into one buffer, charging
+    /// one I/O call per ≤ 512 KB chunk per segment (the staging-buffer
+    /// read pattern of §3.5).
+    fn read_tail(&self, db: &mut Db, hdr: &RootHdr, segs: &[Entry], from: usize) -> Vec<u8> {
+        let total: u64 = segs[from..].iter().map(|e| e.count).sum();
+        let mut out = Vec::with_capacity(total as usize);
+        for (i, e) in segs.iter().enumerate().skip(from) {
+            let _ = self.seg_alloc(hdr, segs, i); // (used pages only are read)
+            let used_pages = pages_for_bytes(e.count);
+            let mut scratch = vec![0u8; STAGING_PAGES as usize * PAGE_SIZE];
+            let mut page = 0u32;
+            let mut remaining = e.count as usize;
+            while page < used_pages {
+                let n = (used_pages - page).min(STAGING_PAGES);
+                db.pool
+                    .read_pages(AreaId::LEAF, e.ptr + page, n, &mut scratch);
+                let take = remaining.min(n as usize * PAGE_SIZE);
+                out.extend_from_slice(&scratch[..take]);
+                remaining -= take;
+                page += n;
+            }
+        }
+        out
+    }
+
+    /// Write `bytes` as a fresh run of segments using the known-size
+    /// pattern: maximum-size segments, last one trimmed to exact size.
+    /// Writes go out in ≤ 512 KB staging chunks.
+    fn write_max_segments(&self, db: &mut Db, bytes: &[u8]) -> Vec<Entry> {
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let seg_bytes = ((bytes.len() - off) as u64).min(self.max_bytes()) as usize;
+            let pages = pages_for_bytes(seg_bytes as u64);
+            let ext = db.alloc_leaf(pages);
+            let mut page = 0u32;
+            while page < pages {
+                let n = (pages - page).min(STAGING_PAGES);
+                let lo = off + page as usize * PAGE_SIZE;
+                let hi = (lo + n as usize * PAGE_SIZE).min(off + seg_bytes);
+                db.pool
+                    .write_direct(AreaId::LEAF, ext.start + page, &bytes[lo..hi]);
+                page += n;
+            }
+            out.push(Entry {
+                count: seg_bytes as u64,
+                ptr: ext.start,
+            });
+            off += seg_bytes;
+        }
+        out
+    }
+
+    /// Free segments `segs[from..]` (with the last one's true allocation).
+    fn free_tail(&self, db: &mut Db, hdr: &RootHdr, segs: &[Entry], from: usize) {
+        for i in from..segs.len() {
+            let alloc = self.seg_alloc(hdr, segs, i);
+            db.free_leaf(Extent::new(AreaId::LEAF, segs[i].ptr, alloc));
+        }
+    }
+
+    /// The §3.5 update path shared by insert and delete: rewrite the tail
+    /// from the segment containing `off`, applying `edit` to the stream.
+    ///
+    /// The new segments are written *before* the old ones are freed so
+    /// that, per the shadowing discipline (§3.3), a crash mid-operation
+    /// cannot have clobbered the pages the previous state references.
+    fn rewrite_tail(
+        &mut self,
+        db: &mut Db,
+        off: u64,
+        edit: impl FnOnce(&mut Vec<u8>, usize),
+    ) -> Result<()> {
+        let (mut hdr, mut segs) = self.load(db);
+        let (i, seg_start) = Self::find_seg(&segs, off);
+        let p = (off - seg_start) as usize;
+        let mut tail = self.read_tail(db, &hdr, &segs, i);
+        edit(&mut tail, p);
+        let old = segs.split_off(i);
+        if !tail.is_empty() {
+            segs.extend(self.write_max_segments(db, &tail));
+        }
+        // Writes done; now release the superseded tail.
+        for (j, e) in old.iter().enumerate() {
+            let alloc = if j + 1 == old.len() && hdr.last_seg_alloc > 0 {
+                hdr.last_seg_alloc
+            } else {
+                pages_for_bytes(e.count)
+            };
+            db.free_leaf(Extent::new(AreaId::LEAF, e.ptr, alloc));
+        }
+        hdr.last_seg_alloc = 0; // the rewritten tail is exact
+        hdr.size = segs.iter().map(|e| e.count).sum();
+        self.store(db, &mut hdr, &segs)
+    }
+}
+
+impl LargeObject for StarburstObject {
+    fn kind(&self) -> StorageKind {
+        StorageKind::Starburst
+    }
+
+    fn root_page(&self) -> u32 {
+        self.root
+    }
+
+    fn size(&self, db: &mut Db) -> u64 {
+        self.load(db).0.size
+    }
+
+    fn append(&mut self, db: &mut Db, bytes: &[u8]) -> Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        if bytes.len() > MAX_OP_BYTES {
+            return Err(LobError::OperationTooLarge {
+                len: bytes.len() as u64,
+            });
+        }
+        let (mut hdr, mut segs) = self.load(db);
+        let mut rem = bytes;
+
+        // Fill the allocated tail of the last segment in place.
+        if let Some(last) = segs.last_mut() {
+            let alloc = if hdr.last_seg_alloc > 0 {
+                hdr.last_seg_alloc
+            } else {
+                pages_for_bytes(last.count)
+            };
+            let space = u64::from(alloc) * PAGE_SIZE as u64 - last.count;
+            let take = (rem.len() as u64).min(space) as usize;
+            if take > 0 {
+                append_in_place(db, last.ptr, last.count, &rem[..take]);
+                last.count += take as u64;
+                rem = &rem[take..];
+            }
+        }
+
+        // Allocate new segments, doubling until the max (§2.2) — or
+        // max-sized immediately when the size was declared known.
+        while !rem.is_empty() {
+            let prev_alloc = if segs.is_empty() {
+                0
+            } else if hdr.last_seg_alloc > 0 {
+                hdr.last_seg_alloc
+            } else {
+                pages_for_bytes(segs.last().expect("nonempty").count)
+            };
+            let alloc = if self.known_size {
+                self.max_seg_pages
+            } else if prev_alloc == 0 {
+                pages_for_bytes(rem.len() as u64).min(self.max_seg_pages)
+            } else {
+                (prev_alloc * 2).min(self.max_seg_pages)
+            };
+            let take = (rem.len() as u64).min(u64::from(alloc) * PAGE_SIZE as u64) as usize;
+            let ext = db.alloc_leaf(alloc);
+            db.pool.write_direct(AreaId::LEAF, ext.start, &rem[..take]);
+            segs.push(Entry {
+                count: take as u64,
+                ptr: ext.start,
+            });
+            hdr.last_seg_alloc = alloc;
+            rem = &rem[take..];
+        }
+        hdr.size += bytes.len() as u64;
+        self.store(db, &mut hdr, &segs)
+    }
+
+    fn read(&self, db: &mut Db, off: u64, out: &mut [u8]) -> Result<()> {
+        self.check_range(db, off, out.len() as u64)?;
+        if out.is_empty() {
+            return Ok(());
+        }
+        let (_, segs) = self.load(db);
+        let (mut i, mut seg_start) = Self::find_seg(&segs, off);
+        let mut at = off;
+        let mut done = 0usize;
+        while done < out.len() {
+            let e = segs[i];
+            let within = at - seg_start;
+            let take = ((e.count - within).min((out.len() - done) as u64)) as usize;
+            db.pool
+                .read_segment(AreaId::LEAF, e.ptr, within, &mut out[done..done + take]);
+            done += take;
+            at += take as u64;
+            seg_start += e.count;
+            i += 1;
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()> {
+        let size = self.check_range(db, off, 0)?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        if bytes.len() > MAX_OP_BYTES {
+            return Err(LobError::OperationTooLarge {
+                len: bytes.len() as u64,
+            });
+        }
+        if off == size {
+            return self.append(db, bytes);
+        }
+        self.rewrite_tail(db, off, |tail, p| {
+            tail.splice(p..p, bytes.iter().copied());
+        })
+    }
+
+    fn delete(&mut self, db: &mut Db, off: u64, len: u64) -> Result<()> {
+        self.check_range(db, off, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        self.rewrite_tail(db, off, |tail, p| {
+            tail.drain(p..p + len as usize);
+        })
+    }
+
+    fn replace(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()> {
+        self.check_range(db, off, bytes.len() as u64)?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let (mut hdr, mut segs) = self.load(db);
+        let (first, mut seg_start) = Self::find_seg(&segs, off);
+        let mut at = off;
+        let mut done = 0usize;
+        let mut i = first;
+        // Superseded segments are released only after every new copy has
+        // been written (§3.3 shadowing discipline).
+        let mut free_later: Vec<Extent> = Vec::new();
+        while done < bytes.len() {
+            let e = segs[i];
+            let within = at - seg_start;
+            let take = ((e.count - within).min((bytes.len() - done) as u64)) as usize;
+            if db.config().shadowing {
+                // Shadow the whole affected segment: read, patch, rewrite.
+                let mut content = self.read_tail(db, &hdr, &segs[i..i + 1], 0);
+                content[within as usize..within as usize + take]
+                    .copy_from_slice(&bytes[done..done + take]);
+                let alloc = self.seg_alloc(&hdr, &segs, i);
+                let ext = db.alloc_leaf(alloc);
+                let mut page = 0u32;
+                let used = pages_for_bytes(e.count);
+                while page < used {
+                    let n = (used - page).min(STAGING_PAGES);
+                    let lo = page as usize * PAGE_SIZE;
+                    let hi = (lo + n as usize * PAGE_SIZE).min(content.len());
+                    db.pool
+                        .write_direct(AreaId::LEAF, ext.start + page, &content[lo..hi]);
+                    page += n;
+                }
+                free_later.push(Extent::new(AreaId::LEAF, segs[i].ptr, alloc));
+                segs[i].ptr = ext.start;
+            } else {
+                patch_in_place(db, e.ptr, within, &bytes[done..done + take]);
+            }
+            done += take;
+            at += take as u64;
+            seg_start += e.count;
+            i += 1;
+        }
+        for ext in free_later {
+            db.free_leaf(ext);
+        }
+        self.store(db, &mut hdr, &segs)
+    }
+
+    fn trim(&mut self, db: &mut Db) -> Result<()> {
+        let (mut hdr, segs) = self.load(db);
+        if hdr.last_seg_alloc == 0 || segs.is_empty() {
+            return Ok(());
+        }
+        let last = segs.last().expect("nonempty");
+        let used = pages_for_bytes(last.count);
+        if hdr.last_seg_alloc > used {
+            db.free_leaf(Extent::new(
+                AreaId::LEAF,
+                last.ptr + used,
+                hdr.last_seg_alloc - used,
+            ));
+        }
+        hdr.last_seg_alloc = 0;
+        self.store(db, &mut hdr, &segs)
+    }
+
+    fn destroy(&mut self, db: &mut Db) -> Result<()> {
+        let (hdr, segs) = self.load(db);
+        self.free_tail(db, &hdr, &segs, 0);
+        db.free_meta_page(self.root);
+        Ok(())
+    }
+
+    fn utilization(&self, db: &Db) -> Utilization {
+        let page = db.peek_meta(self.root);
+        let hdr = RootHdr::read(&page[..]);
+        let node = Node::read_root(&page[..], &hdr);
+        let mut data_pages = 0u64;
+        for (i, e) in node.entries.iter().enumerate() {
+            data_pages += u64::from(if i + 1 == node.entries.len() && hdr.last_seg_alloc > 0 {
+                hdr.last_seg_alloc
+            } else {
+                pages_for_bytes(e.count)
+            });
+        }
+        Utilization {
+            object_bytes: hdr.size,
+            data_pages,
+            index_pages: 1,
+        }
+    }
+
+    fn segments(&self, db: &Db) -> Vec<crate::object::SegmentInfo> {
+        let page = db.peek_meta(self.root);
+        let hdr = RootHdr::read(&page[..]);
+        let node = Node::read_root(&page[..], &hdr);
+        let mut off = 0u64;
+        let n = node.entries.len();
+        node.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let info = crate::object::SegmentInfo {
+                    offset: off,
+                    start_page: e.ptr,
+                    bytes: e.count,
+                    pages: if i + 1 == n && hdr.last_seg_alloc > 0 {
+                        hdr.last_seg_alloc
+                    } else {
+                        pages_for_bytes(e.count)
+                    },
+                };
+                off += e.count;
+                info
+            })
+            .collect()
+    }
+
+    fn index_page_numbers(&self, _db: &Db) -> Vec<u32> {
+        vec![self.root] // flat descriptor: the root page is the index
+    }
+
+    fn check_invariants(&self, db: &Db) -> Result<()> {
+        let page = db.peek_meta(self.root);
+        let hdr = RootHdr::read(&page[..]);
+        if hdr.magic != STAR_MAGIC {
+            return Err(LobError::Corrupt("bad descriptor magic".into()));
+        }
+        let node = Node::read_root(&page[..], &hdr);
+        let total: u64 = node.entries.iter().map(|e| e.count).sum();
+        if total != hdr.size {
+            return Err(LobError::InvariantViolated(format!(
+                "descriptor total {total} != size {}",
+                hdr.size
+            )));
+        }
+        for (i, e) in node.entries.iter().enumerate() {
+            if e.count == 0 {
+                return Err(LobError::InvariantViolated(format!("empty segment {i}")));
+            }
+            if e.count > self.max_bytes() {
+                return Err(LobError::InvariantViolated(format!(
+                    "segment {i} of {} bytes exceeds the {} byte max",
+                    e.count,
+                    self.max_bytes()
+                )));
+            }
+        }
+        if hdr.last_seg_alloc > 0 {
+            let last = node.entries.last().ok_or_else(|| {
+                LobError::InvariantViolated("last_seg_alloc set on empty object".into())
+            })?;
+            if pages_for_bytes(last.count) > hdr.last_seg_alloc {
+                return Err(LobError::InvariantViolated(
+                    "last segment uses more pages than allocated".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self, db: &Db) -> Vec<u8> {
+        let page = db.peek_meta(self.root);
+        let hdr = RootHdr::read(&page[..]);
+        let node = Node::read_root(&page[..], &hdr);
+        let mut out = Vec::with_capacity(hdr.size as usize);
+        for e in &node.entries {
+            let pages = pages_for_bytes(e.count);
+            let mut rem = e.count as usize;
+            for i in 0..pages {
+                let pg = db.peek_leaf_page(e.ptr + i);
+                let take = rem.min(PAGE_SIZE);
+                out.extend_from_slice(&pg[..take]);
+                rem -= take;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn db() -> Db {
+        Db::paper_default()
+    }
+
+    fn pattern(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| ((i * 37 + seed as usize) % 249) as u8).collect()
+    }
+
+    fn make(db: &mut Db) -> StarburstObject {
+        StarburstObject::create(db, StarburstParams::default()).unwrap()
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let mut db = db();
+        let obj = make(&mut db);
+        let again = StarburstObject::open(&mut db, obj.root_page()).unwrap();
+        assert_eq!(again.max_seg_pages, 8192);
+        assert!(!again.known_size);
+    }
+
+    #[test]
+    fn segments_double_until_max() {
+        let mut db = db();
+        let mut obj = StarburstObject::create(
+            &mut db,
+            StarburstParams {
+                max_seg_pages: 8,
+                known_size: false,
+            },
+        )
+        .unwrap();
+        // 3 KB appends: first segment 1 page, then 2, 4, 8, 8, ...
+        let mut model = Vec::new();
+        for i in 0..40 {
+            let c = pattern(3 * 1024, i);
+            obj.append(&mut db, &c).unwrap();
+            model.extend_from_slice(&c);
+            obj.check_invariants(&db).unwrap();
+        }
+        let (hdr, segs) = obj.load(&mut db);
+        assert_eq!(hdr.size, model.len() as u64);
+        let page_sizes: Vec<u32> = (0..segs.len())
+            .map(|i| obj.seg_alloc(&hdr, &segs, i))
+            .collect();
+        assert_eq!(&page_sizes[..4], &[1, 2, 4, 8]);
+        assert!(page_sizes[4..].iter().all(|&p| p == 8), "{page_sizes:?}");
+        assert_eq!(obj.snapshot(&db), model);
+    }
+
+    #[test]
+    fn known_size_uses_max_segments_immediately() {
+        let mut db = db();
+        let mut obj = StarburstObject::create(
+            &mut db,
+            StarburstParams {
+                max_seg_pages: 8,
+                known_size: true,
+            },
+        )
+        .unwrap();
+        obj.append(&mut db, &pattern(100_000, 1)).unwrap();
+        let (hdr, segs) = obj.load(&mut db);
+        assert_eq!(obj.seg_alloc(&hdr, &segs, 0), 8);
+        obj.check_invariants(&db).unwrap();
+    }
+
+    #[test]
+    fn trim_frees_the_unused_tail() {
+        let mut db = db();
+        let mut obj = make(&mut db);
+        // Build to where the last segment is over-allocated.
+        obj.append(&mut db, &pattern(3 * 1024, 1)).unwrap();
+        obj.append(&mut db, &pattern(3 * 1024, 2)).unwrap();
+        let before = db.leaf_pages_allocated();
+        obj.trim(&mut db).unwrap();
+        assert!(db.leaf_pages_allocated() < before);
+        let u = obj.utilization(&db);
+        assert_eq!(u.data_pages, 2, "6 KB occupies exactly 2 pages after trim");
+        obj.check_invariants(&db).unwrap();
+        assert_eq!(obj.snapshot(&db).len(), 6 * 1024);
+    }
+
+    #[test]
+    fn reads_across_segment_boundaries() {
+        let mut db = db();
+        let mut obj = StarburstObject::create(
+            &mut db,
+            StarburstParams {
+                max_seg_pages: 2,
+                known_size: false,
+            },
+        )
+        .unwrap();
+        let data = pattern(50_000, 3);
+        obj.append(&mut db, &data).unwrap();
+        let mut out = vec![0u8; 20_000];
+        obj.read(&mut db, 7_000, &mut out).unwrap();
+        assert_eq!(out[..], data[7_000..27_000]);
+    }
+
+    #[test]
+    fn insert_copies_the_tail_into_max_segments() {
+        let mut db = db();
+        let mut obj = StarburstObject::create(
+            &mut db,
+            StarburstParams {
+                max_seg_pages: 16,
+                known_size: false,
+            },
+        )
+        .unwrap();
+        let mut model = pattern(200_000, 1);
+        obj.append(&mut db, &model).unwrap();
+        let ins = pattern(5_000, 2);
+        obj.insert(&mut db, 100_000, &ins).unwrap();
+        model.splice(100_000..100_000, ins.iter().copied());
+        assert_eq!(obj.snapshot(&db), model);
+        obj.check_invariants(&db).unwrap();
+        // Tail now in max-size (16-page) segments, last trimmed.
+        let (hdr, segs) = obj.load(&mut db);
+        assert_eq!(hdr.last_seg_alloc, 0);
+        for e in &segs[segs.len() - 2..segs.len() - 1] {
+            assert_eq!(e.count, 16 * 4096);
+        }
+        // Utilization near-perfect: only the last page of each segment may
+        // be partial, plus the one descriptor page.
+        assert!(obj.utilization(&db).ratio() > 0.95);
+    }
+
+    #[test]
+    fn update_cost_is_a_whole_object_copy_in_steady_state(){
+        let mut db = db();
+        let mut obj = make(&mut db); // 32 MB max segments
+        let size = 1 << 20; // 1 MB object for test speed
+        obj.append(&mut db, &pattern(size, 1)).unwrap();
+        obj.insert(&mut db, 1000, b"x").unwrap(); // first update: rewrite
+        db.reset_io_stats();
+        obj.insert(&mut db, (size / 2) as u64, b"y").unwrap();
+        let s = db.io_stats();
+        let pages = pages_for_bytes(size as u64) as u64;
+        // Whole object read + written once (±1 page of slack).
+        assert!(s.pages_read >= pages && s.pages_read <= pages + 2, "{s}");
+        assert!(s.pages_written >= pages && s.pages_written <= pages + 2, "{s}");
+        // Chunked through the 512 KB buffer: ~2 calls per 128 pages.
+        let expected_calls = 2 * pages.div_ceil(128);
+        assert!(
+            s.calls() >= expected_calls && s.calls() <= expected_calls + 4,
+            "calls {} vs expected ~{expected_calls}",
+            s.calls()
+        );
+    }
+
+    #[test]
+    fn delete_matches_model() {
+        let mut db = db();
+        let mut obj = make(&mut db);
+        let mut model = pattern(300_000, 5);
+        obj.append(&mut db, &model).unwrap();
+        obj.delete(&mut db, 50_000, 100_000).unwrap();
+        model.drain(50_000..150_000);
+        assert_eq!(obj.snapshot(&db), model);
+        obj.check_invariants(&db).unwrap();
+        assert_eq!(obj.size(&mut db), 200_000);
+    }
+
+    #[test]
+    fn delete_everything() {
+        let mut db = db();
+        let mut obj = make(&mut db);
+        obj.append(&mut db, &pattern(100_000, 5)).unwrap();
+        obj.delete(&mut db, 0, 100_000).unwrap();
+        assert_eq!(obj.size(&mut db), 0);
+        assert!(obj.snapshot(&db).is_empty());
+        assert_eq!(db.leaf_pages_allocated(), 0);
+    }
+
+    #[test]
+    fn replace_shadowed_and_in_place() {
+        for shadowing in [true, false] {
+            let mut db = Db::new(crate::DbConfig {
+                shadowing,
+                ..crate::DbConfig::default()
+            });
+            let mut obj = make(&mut db);
+            let mut model = pattern(60_000, 1);
+            obj.append(&mut db, &model).unwrap();
+            let patch = pattern(10_000, 9);
+            obj.replace(&mut db, 20_000, &patch).unwrap();
+            model[20_000..30_000].copy_from_slice(&patch);
+            assert_eq!(obj.snapshot(&db), model, "shadowing={shadowing}");
+            obj.check_invariants(&db).unwrap();
+        }
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut db = db();
+        let mut obj = make(&mut db);
+        obj.append(&mut db, b"hello").unwrap();
+        let mut out = [0u8; 3];
+        assert!(obj.read(&mut db, 4, &mut out).is_err());
+        assert!(obj.insert(&mut db, 9, b"x").is_err());
+        assert!(obj.delete(&mut db, 0, 6).is_err());
+    }
+
+    #[test]
+    fn destroy_frees_everything() {
+        let mut db = db();
+        let mut obj = make(&mut db);
+        obj.append(&mut db, &pattern(500_000, 2)).unwrap();
+        obj.destroy(&mut db).unwrap();
+        assert_eq!(db.leaf_pages_allocated(), 0);
+        assert_eq!(db.meta_pages_allocated(), 0);
+    }
+
+    #[test]
+    fn random_ops_match_reference_model() {
+        let mut db = db();
+        let mut obj = StarburstObject::create(
+            &mut db,
+            StarburstParams {
+                max_seg_pages: 32,
+                known_size: false,
+            },
+        )
+        .unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for step in 0..100 {
+            let c = rng.gen_range(0..10);
+            if model.is_empty() || c < 4 {
+                let chunk = pattern(rng.gen_range(1..30_000), rng.gen());
+                let off = rng.gen_range(0..=model.len());
+                obj.insert(&mut db, off as u64, &chunk).unwrap();
+                model.splice(off..off, chunk.iter().copied());
+            } else if c < 7 {
+                let off = rng.gen_range(0..model.len());
+                let len = rng.gen_range(1..=(model.len() - off).min(20_000));
+                obj.delete(&mut db, off as u64, len as u64).unwrap();
+                model.drain(off..off + len);
+            } else {
+                let off = rng.gen_range(0..model.len());
+                let len = rng.gen_range(1..=(model.len() - off).min(10_000));
+                let mut out = vec![0u8; len];
+                obj.read(&mut db, off as u64, &mut out).unwrap();
+                assert_eq!(out[..], model[off..off + len], "read @{step}");
+            }
+            obj.check_invariants(&db)
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
+            assert_eq!(obj.snapshot(&db), model, "content @{step}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Record-layer errors.
+
+use lobstore_core::LobError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// An error from the underlying large-object layer.
+    Lob(LobError),
+    /// The encoded record does not fit in a heap page.
+    RecordTooLarge(usize),
+    /// A short field exceeded the 64 KB inline limit.
+    ShortFieldTooLarge(usize),
+    /// More fields than the format can count.
+    TooManyFields(usize),
+    /// The record id does not name a live record.
+    NoSuchRecord,
+    /// `as_short` on a long field or vice versa, or a field index out of
+    /// range.
+    WrongFieldType,
+    /// A heap page or record failed structural validation.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Lob(e) => write!(f, "large-object error: {e}"),
+            RecordError::RecordTooLarge(n) => {
+                write!(f, "encoded record of {n} bytes exceeds a heap page")
+            }
+            RecordError::ShortFieldTooLarge(n) => {
+                write!(f, "short field of {n} bytes exceeds the inline limit")
+            }
+            RecordError::TooManyFields(n) => write!(f, "{n} fields exceed the format limit"),
+            RecordError::NoSuchRecord => write!(f, "no such record"),
+            RecordError::WrongFieldType => write!(f, "field has the other storage class"),
+            RecordError::Corrupt(m) => write!(f, "corrupt record structure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecordError::Lob(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LobError> for RecordError {
+    fn from(e: LobError) -> Self {
+        RecordError::Lob(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, RecordError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: RecordError = LobError::OutOfRange {
+            off: 1,
+            len: 2,
+            size: 0,
+        }
+        .into();
+        assert!(e.to_string().contains("large-object error"));
+        assert!(RecordError::NoSuchRecord.to_string().contains("no such"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Slotted heap pages for small records.
+//!
+//! Classic slotted layout: a fixed header, a slot directory growing
+//! forward from the header, and record cells growing backward from the
+//! page end. Deleting a record leaves a tombstone slot (so record ids
+//! stay stable); the freed bytes are reclaimed by compaction when an
+//! insert needs them.
+//!
+//! ```text
+//! ┌──────────┬───────────────┬────── free ──────┬────────┬────────┐
+//! │ header   │ slot dir →    │                  │ cell 1 │ cell 0 │
+//! └──────────┴───────────────┴──────────────────┴────────┴────────┘
+//! 0          16              16+4·n      cell_start          4096
+//! ```
+//!
+//! All functions are pure over a page buffer, so this module is fully
+//! testable without a database.
+
+use lobstore_simdisk::PAGE_SIZE;
+
+const MAGIC: u32 = 0x4845_4150; // "HEAP"
+const HDR: usize = 16;
+const SLOT_BYTES: usize = 4;
+/// Tombstone marker in a slot's offset field.
+const DEAD: u16 = u16::MAX;
+
+fn get_u16(p: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(p[at..at + 2].try_into().expect("2 bytes"))
+}
+
+fn put_u16(p: &mut [u8], at: usize, v: u16) {
+    p[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn n_slots(p: &[u8]) -> u16 {
+    get_u16(p, 4)
+}
+
+fn cell_start(p: &[u8]) -> u16 {
+    get_u16(p, 6)
+}
+
+fn slot_at(p: &[u8], slot: u16) -> (u16, u16) {
+    let at = HDR + slot as usize * SLOT_BYTES;
+    (get_u16(p, at), get_u16(p, at + 2))
+}
+
+fn set_slot(p: &mut [u8], slot: u16, off: u16, len: u16) {
+    let at = HDR + slot as usize * SLOT_BYTES;
+    put_u16(p, at, off);
+    put_u16(p, at + 2, len);
+}
+
+/// Format `page` as an empty heap page.
+pub fn init(page: &mut [u8]) {
+    page.fill(0);
+    page[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    put_u16(page, 4, 0); // n_slots
+    put_u16(page, 6, PAGE_SIZE as u16); // cell_start: cells grow downward
+}
+
+/// Whether `page` carries the heap-page magic.
+pub fn is_heap(page: &[u8]) -> bool {
+    u32::from_le_bytes(page[0..4].try_into().expect("4 bytes")) == MAGIC
+}
+
+/// Contiguous free bytes between the slot directory and the cells
+/// (ignoring reclaimable dead-cell space).
+pub fn contiguous_free(page: &[u8]) -> usize {
+    cell_start(page) as usize - (HDR + n_slots(page) as usize * SLOT_BYTES)
+}
+
+/// Total reclaimable free space: everything compaction can recover —
+/// the contiguous gap, dead cells, and residue left by in-place
+/// shrinking updates. (Tombstone *directory entries* stay, so they count
+/// as used.) An insert of `n` bytes succeeds iff
+/// `usable_free(page) >= n + 4` (or `>= n` when a dead slot can be
+/// recycled).
+pub fn usable_free(page: &[u8]) -> usize {
+    let mut live = 0usize;
+    for s in 0..n_slots(page) {
+        let (off, len) = slot_at(page, s);
+        if off != DEAD {
+            live += len as usize;
+        }
+    }
+    PAGE_SIZE - HDR - n_slots(page) as usize * SLOT_BYTES - live
+}
+
+/// Number of live records on the page.
+pub fn live_records(page: &[u8]) -> usize {
+    (0..n_slots(page))
+        .filter(|&s| slot_at(page, s).0 != DEAD)
+        .count()
+}
+
+/// Insert `bytes`; returns the slot number, or `None` if the page cannot
+/// hold them even after compaction.
+pub fn insert(page: &mut [u8], bytes: &[u8]) -> Option<u16> {
+    assert!(is_heap(page), "not a heap page");
+    let need = bytes.len();
+    if need > u16::MAX as usize {
+        return None;
+    }
+    // Prefer recycling a dead slot (keeps the directory compact).
+    let recycled = (0..n_slots(page)).find(|&s| slot_at(page, s).0 == DEAD);
+    let slot_cost = if recycled.is_some() { 0 } else { SLOT_BYTES };
+    if contiguous_free(page) < need + slot_cost {
+        if usable_free(page) < need + slot_cost {
+            return None;
+        }
+        compact(page);
+        if contiguous_free(page) < need + slot_cost {
+            return None;
+        }
+    }
+    let new_start = cell_start(page) as usize - need;
+    page[new_start..new_start + need].copy_from_slice(bytes);
+    put_u16(page, 6, new_start as u16);
+    let slot = match recycled {
+        Some(s) => s,
+        None => {
+            let s = n_slots(page);
+            put_u16(page, 4, s + 1);
+            s
+        }
+    };
+    set_slot(page, slot, new_start as u16, need as u16);
+    Some(slot)
+}
+
+/// The record in `slot`, or `None` for a tombstone / out-of-range slot.
+pub fn get(page: &[u8], slot: u16) -> Option<&[u8]> {
+    if slot >= n_slots(page) {
+        return None;
+    }
+    let (off, len) = slot_at(page, slot);
+    if off == DEAD {
+        return None;
+    }
+    Some(&page[off as usize..off as usize + len as usize])
+}
+
+/// Delete the record in `slot` (tombstoned; the id is never reused for a
+/// *different* record until the slot is recycled by an insert).
+/// Returns whether a live record was removed.
+pub fn delete(page: &mut [u8], slot: u16) -> bool {
+    if slot >= n_slots(page) {
+        return false;
+    }
+    let (off, len) = slot_at(page, slot);
+    if off == DEAD {
+        return false;
+    }
+    set_slot(page, slot, DEAD, len); // keep len so usable_free can count it
+    let _ = off;
+    true
+}
+
+/// Replace the record in `slot` with `bytes`. Fails (returns `false`,
+/// page unchanged) if the slot is dead or the page cannot host the new
+/// version.
+pub fn update(page: &mut [u8], slot: u16, bytes: &[u8]) -> bool {
+    if slot >= n_slots(page) || slot_at(page, slot).0 == DEAD {
+        return false;
+    }
+    let (off, len) = slot_at(page, slot);
+    if bytes.len() <= len as usize {
+        // Shrinking in place; the residue is reclaimed at compaction.
+        let at = off as usize;
+        page[at..at + bytes.len()].copy_from_slice(bytes);
+        set_slot(page, slot, off, bytes.len() as u16);
+        return true;
+    }
+    // Grow: tombstone then re-insert into the same slot if space allows.
+    set_slot(page, slot, DEAD, len);
+    if usable_free(page) < bytes.len() {
+        set_slot(page, slot, off, len); // roll back
+        return false;
+    }
+    if contiguous_free(page) < bytes.len() {
+        compact(page);
+    }
+    let new_start = cell_start(page) as usize - bytes.len();
+    page[new_start..new_start + bytes.len()].copy_from_slice(bytes);
+    put_u16(page, 6, new_start as u16);
+    set_slot(page, slot, new_start as u16, bytes.len() as u16);
+    true
+}
+
+/// Squeeze out dead cells and shrink-residue so the free space is one
+/// contiguous run again. Slot numbers are preserved.
+pub fn compact(page: &mut [u8]) {
+    let n = n_slots(page);
+    // Gather live cells, sorted by offset descending (right to left).
+    let mut live: Vec<(u16, u16, u16)> = (0..n)
+        .filter_map(|s| {
+            let (off, len) = slot_at(page, s);
+            (off != DEAD).then_some((s, off, len))
+        })
+        .collect();
+    live.sort_by_key(|&(_, off, _)| std::cmp::Reverse(off));
+    let mut write_end = PAGE_SIZE;
+    for (slot, off, len) in live {
+        let new_start = write_end - len as usize;
+        page.copy_within(off as usize..off as usize + len as usize, new_start);
+        set_slot(page, slot, new_start as u16, len);
+        write_end = new_start;
+    }
+    put_u16(page, 6, write_end as u16);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Vec<u8> {
+        let mut p = vec![0u8; PAGE_SIZE];
+        init(&mut p);
+        p
+    }
+
+    #[test]
+    fn init_and_capacity() {
+        let p = fresh();
+        assert!(is_heap(&p));
+        assert_eq!(live_records(&p), 0);
+        assert_eq!(contiguous_free(&p), PAGE_SIZE - HDR);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"alpha").unwrap();
+        let b = insert(&mut p, b"beta").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(get(&p, a).unwrap(), b"alpha");
+        assert_eq!(get(&p, b).unwrap(), b"beta");
+        assert_eq!(live_records(&p), 2);
+        assert!(get(&p, 99).is_none());
+    }
+
+    #[test]
+    fn delete_tombstones_and_recycles() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"first").unwrap();
+        let b = insert(&mut p, b"second").unwrap();
+        assert!(delete(&mut p, a));
+        assert!(!delete(&mut p, a), "double delete is a no-op");
+        assert!(get(&p, a).is_none());
+        assert_eq!(get(&p, b).unwrap(), b"second");
+        // New insert recycles the dead slot.
+        let c = insert(&mut p, b"third").unwrap();
+        assert_eq!(c, a);
+        assert_eq!(get(&p, c).unwrap(), b"third");
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = fresh();
+        let big = vec![7u8; 1000];
+        let mut n = 0;
+        while insert(&mut p, &big).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 4, "4 x (1000+4) fits in a 4 KB page; 5 do not");
+        assert!(insert(&mut p, &[0u8; 900]).is_none());
+        assert!(insert(&mut p, &[0u8; 10]).is_some(), "small ones still fit");
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let mut p = fresh();
+        let slots: Vec<u16> = (0..4).map(|i| insert(&mut p, &vec![i as u8; 900]).unwrap()).collect();
+        // Free two interior cells; contiguous space is now too small...
+        delete(&mut p, slots[1]);
+        delete(&mut p, slots[2]);
+        assert!(contiguous_free(&p) < 1800);
+        // ...but an insert that needs the dead space triggers compaction.
+        let s = insert(&mut p, &vec![9u8; 1700]).unwrap();
+        assert_eq!(get(&p, s).unwrap(), &vec![9u8; 1700][..]);
+        assert_eq!(get(&p, slots[0]).unwrap(), &vec![0u8; 900][..]);
+        assert_eq!(get(&p, slots[3]).unwrap(), &vec![3u8; 900][..]);
+    }
+
+    #[test]
+    fn update_shrink_grow() {
+        let mut p = fresh();
+        let s = insert(&mut p, &[1u8; 500]).unwrap();
+        let other = insert(&mut p, b"anchor").unwrap();
+        assert!(update(&mut p, s, &[2u8; 100]), "shrink in place");
+        assert_eq!(get(&p, s).unwrap(), &vec![2u8; 100][..]);
+        assert!(update(&mut p, s, &[3u8; 2000]), "grow within page");
+        assert_eq!(get(&p, s).unwrap(), &vec![3u8; 2000][..]);
+        assert_eq!(get(&p, other).unwrap(), b"anchor");
+        // A grow that fits only because the old version's space is
+        // reclaimed (page capacity minus header, 2 slots, and the
+        // 6-byte anchor record).
+        assert!(update(&mut p, s, &[4u8; 4000]));
+        assert_eq!(get(&p, s).unwrap(), &vec![4u8; 4000][..]);
+        // A truly hopeless grow fails and leaves the record intact.
+        assert!(!update(&mut p, s, &[5u8; 4080]));
+        assert_eq!(get(&p, s).unwrap(), &vec![4u8; 4000][..]);
+        assert_eq!(get(&p, other).unwrap(), b"anchor");
+    }
+
+    #[test]
+    fn empty_record_is_allowed() {
+        let mut p = fresh();
+        let s = insert(&mut p, b"").unwrap();
+        assert_eq!(get(&p, s).unwrap(), b"");
+        assert_eq!(live_records(&p), 1);
+    }
+
+    #[test]
+    fn compact_preserves_slot_numbers() {
+        let mut p = fresh();
+        let a = insert(&mut p, b"aaa").unwrap();
+        let b = insert(&mut p, b"bbbbbb").unwrap();
+        let c = insert(&mut p, b"ccccccccc").unwrap();
+        delete(&mut p, b);
+        compact(&mut p);
+        assert_eq!(get(&p, a).unwrap(), b"aaa");
+        assert_eq!(get(&p, c).unwrap(), b"ccccccccc");
+        assert!(get(&p, b).is_none());
+    }
+}

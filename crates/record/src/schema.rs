@@ -1,0 +1,188 @@
+//! Record values and their wire format.
+//!
+//! §2 of the paper: *"The small object holds all short fields along with
+//! long field descriptors, each of which describes one of the object's
+//! long fields; the long field itself is stored separately from the
+//! object."* A descriptor here is the `(storage kind, root page)` pair
+//! that [`lobstore_core::open_object`] needs.
+//!
+//! Wire format of a record (little-endian):
+//!
+//! ```text
+//! [n_fields u16] then per field:
+//!   tag 0x00 = short : [len u16][bytes]
+//!   tag 0x01 = long  : [kind u8][root u32]
+//! ```
+
+use lobstore_core::StorageKind;
+
+use crate::error::{RecordError, Result};
+
+const TAG_SHORT: u8 = 0x00;
+const TAG_LONG: u8 = 0x01;
+
+/// Descriptor of a long field stored outside the record.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LongHandle {
+    pub kind: StorageKind,
+    pub root_page: u32,
+}
+
+/// One stored field of a record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Bytes stored inline in the record.
+    Short(Vec<u8>),
+    /// Descriptor of an externally stored large object.
+    Long(LongHandle),
+}
+
+impl Value {
+    /// Convenience constructor for inline fields.
+    pub fn short(bytes: impl Into<Vec<u8>>) -> Value {
+        Value::Short(bytes.into())
+    }
+
+    pub fn as_short(&self) -> Result<&[u8]> {
+        match self {
+            Value::Short(b) => Ok(b),
+            Value::Long(_) => Err(RecordError::WrongFieldType),
+        }
+    }
+
+    pub fn as_long(&self) -> Result<LongHandle> {
+        match self {
+            Value::Long(h) => Ok(*h),
+            Value::Short(_) => Err(RecordError::WrongFieldType),
+        }
+    }
+}
+
+/// Serialize a record.
+pub fn encode(fields: &[Value]) -> Result<Vec<u8>> {
+    if fields.len() > u16::MAX as usize {
+        return Err(RecordError::TooManyFields(fields.len()));
+    }
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&(fields.len() as u16).to_le_bytes());
+    for f in fields {
+        match f {
+            Value::Short(b) => {
+                if b.len() > u16::MAX as usize {
+                    return Err(RecordError::ShortFieldTooLarge(b.len()));
+                }
+                out.push(TAG_SHORT);
+                out.extend_from_slice(&(b.len() as u16).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            Value::Long(h) => {
+                out.push(TAG_LONG);
+                out.push(h.kind.as_u8());
+                out.extend_from_slice(&h.root_page.to_le_bytes());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Deserialize a record.
+pub fn decode(bytes: &[u8]) -> Result<Vec<Value>> {
+    let corrupt = |m: &str| RecordError::Corrupt(m.to_string());
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> Result<&[u8]> {
+        if *at + n > bytes.len() {
+            return Err(corrupt("record truncated"));
+        }
+        let s = &bytes[*at..*at + n];
+        *at += n;
+        Ok(s)
+    };
+    let n = u16::from_le_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tag = take(&mut at, 1)?[0];
+        match tag {
+            TAG_SHORT => {
+                let len =
+                    u16::from_le_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
+                fields.push(Value::Short(take(&mut at, len)?.to_vec()));
+            }
+            TAG_LONG => {
+                let kind_byte = take(&mut at, 1)?[0];
+                let kind = StorageKind::from_u8(kind_byte)
+                    .ok_or_else(|| corrupt("unknown long-field storage kind"))?;
+                let root =
+                    u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes"));
+                fields.push(Value::Long(LongHandle {
+                    kind,
+                    root_page: root,
+                }));
+            }
+            _ => return Err(corrupt("unknown field tag")),
+        }
+    }
+    if at != bytes.len() {
+        return Err(corrupt("trailing bytes after record"));
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_record() {
+        let fields = vec![
+            Value::short(b"Alexandros Biliris".to_vec()),
+            Value::Long(LongHandle {
+                kind: StorageKind::Eos,
+                root_page: 42,
+            }),
+            Value::short(Vec::new()),
+            Value::Long(LongHandle {
+                kind: StorageKind::Starburst,
+                root_page: 7,
+            }),
+        ];
+        let bytes = encode(&fields).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), fields);
+    }
+
+    #[test]
+    fn empty_record_roundtrips() {
+        let bytes = encode(&[]).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[1, 0, 9, 9]).is_err(), "bad tag");
+        assert!(decode(&[1, 0, 0, 5, 0, b'a']).is_err(), "truncated short");
+        let good = encode(&[Value::short(b"x".to_vec())]).unwrap();
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        let s = Value::short(b"s".to_vec());
+        let l = Value::Long(LongHandle {
+            kind: StorageKind::Esm,
+            root_page: 1,
+        });
+        assert!(s.as_short().is_ok() && s.as_long().is_err());
+        assert!(l.as_long().is_ok() && l.as_short().is_err());
+    }
+
+    #[test]
+    fn storage_kind_tags_are_stable() {
+        for kind in [StorageKind::Esm, StorageKind::Eos, StorageKind::Starburst] {
+            assert_eq!(StorageKind::from_u8(kind.as_u8()), Some(kind));
+        }
+        assert_eq!(StorageKind::from_u8(0), None);
+        assert_eq!(StorageKind::from_u8(9), None);
+    }
+}

@@ -1,0 +1,74 @@
+//! The analytical I/O cost model of §4.1 (Table 1).
+
+use crate::PAGE_SIZE;
+
+/// Disk cost parameters, fixed for a whole simulation run.
+///
+/// Costs are kept in integer **microseconds** so that every experiment is
+/// exactly reproducible (no floating-point accumulation error). The paper's
+/// defaults make every quantity an integral number of milliseconds anyway:
+/// a seek is 33 ms and a 4 KB page transfers in 4 ms.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of one disk access (seek + rotational delay), in µs.
+    /// Paper default: 33 ms.
+    pub seek_us: u64,
+    /// Transfer cost per kilobyte, in µs. Paper default: 1 ms/KB.
+    pub transfer_us_per_kb: u64,
+}
+
+impl Default for CostModel {
+    /// The Table 1 parameters: 33 ms seek, 1 KB/ms transfer.
+    fn default() -> Self {
+        CostModel {
+            seek_us: 33_000,
+            transfer_us_per_kb: 1_000,
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model in which I/O is free. Useful for tests that only check
+    /// functional behaviour.
+    pub const FREE: CostModel = CostModel {
+        seek_us: 0,
+        transfer_us_per_kb: 0,
+    };
+
+    /// Transfer cost of one full page, in µs.
+    #[inline]
+    pub fn page_transfer_us(&self) -> u64 {
+        (PAGE_SIZE as u64 / 1024) * self.transfer_us_per_kb
+    }
+
+    /// Total cost of a single I/O call moving `pages` contiguous pages:
+    /// one seek plus the transfer time.
+    #[inline]
+    pub fn io_cost_us(&self, pages: u32) -> u64 {
+        self.seek_us + u64::from(pages) * self.page_transfer_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_three_page_segment() {
+        // §4.1: reading a 3-block (12 KB) segment costs 33 + 4×3 = 45 ms;
+        // the same blocks in 3 calls cost (33 + 4) × 3 = 111 ms.
+        let m = CostModel::default();
+        assert_eq!(m.io_cost_us(3), 45_000);
+        assert_eq!(3 * m.io_cost_us(1), 111_000);
+    }
+
+    #[test]
+    fn page_transfer_is_4ms() {
+        assert_eq!(CostModel::default().page_transfer_us(), 4_000);
+    }
+
+    #[test]
+    fn free_model_costs_nothing() {
+        assert_eq!(CostModel::FREE.io_cost_us(1000), 0);
+    }
+}

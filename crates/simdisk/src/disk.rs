@@ -1,0 +1,322 @@
+//! The simulated disk itself.
+
+use crate::cost::CostModel;
+use crate::stats::IoStats;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::{AreaId, PAGE_SIZE};
+
+type PageBox = Box<[u8; PAGE_SIZE]>;
+
+/// One database area: a flat, growable array of pages.
+///
+/// Pages are materialized lazily; a never-written page reads as zeroes,
+/// like a freshly formatted volume.
+#[derive(Default)]
+struct Area {
+    pages: Vec<Option<PageBox>>,
+}
+
+impl Area {
+    fn ensure(&mut self, page: u32) -> &mut PageBox {
+        let idx = page as usize;
+        if idx >= self.pages.len() {
+            self.pages.resize_with(idx + 1, || None);
+        }
+        self.pages[idx].get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    fn get(&self, page: u32) -> Option<&PageBox> {
+        self.pages.get(page as usize).and_then(|p| p.as_ref())
+    }
+}
+
+/// A simulated multi-area disk that stores real page contents and accounts
+/// for every access with the paper's seek/transfer cost model.
+///
+/// The unit of I/O is the page; one *call* moves `n` physically contiguous
+/// pages of a single area and is charged one seek plus `n` page transfers
+/// (§3.3, §4.1). There is no notion of caching here — that is the buffer
+/// manager's job one layer up.
+pub struct SimDisk {
+    areas: Vec<Area>,
+    cost: CostModel,
+    stats: IoStats,
+    trace: Option<Trace>,
+}
+
+impl SimDisk {
+    /// Create a disk with `n_areas` empty areas and the given cost model.
+    pub fn new(n_areas: u8, cost: CostModel) -> Self {
+        SimDisk {
+            areas: (0..n_areas).map(|_| Area::default()).collect(),
+            cost,
+            stats: IoStats::default(),
+            trace: None,
+        }
+    }
+
+    /// A two-area disk (META + LEAF) with the paper's default cost model.
+    pub fn paper_default() -> Self {
+        SimDisk::new(2, CostModel::default())
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Cumulative statistics since creation (or the last [`Self::reset_stats`]).
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Zero all counters. Page contents are unaffected.
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    /// Start recording up to `capacity` I/O calls; see [`Self::take_trace`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// Drain the recorded trace (empty if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(Trace::take).unwrap_or_default()
+    }
+
+    fn area_mut(&mut self, area: AreaId) -> &mut Area {
+        self.areas
+            .get_mut(area.0 as usize)
+            .unwrap_or_else(|| panic!("no such disk area {area}"))
+    }
+
+    fn area(&self, area: AreaId) -> &Area {
+        self.areas
+            .get(area.0 as usize)
+            .unwrap_or_else(|| panic!("no such disk area {area}"))
+    }
+
+    fn charge(&mut self, kind: TraceKind, area: AreaId, start: u32, pages: u32) {
+        let cost = self.cost.io_cost_us(pages);
+        match kind {
+            TraceKind::Read => {
+                self.stats.read_calls += 1;
+                self.stats.pages_read += u64::from(pages);
+            }
+            TraceKind::Write => {
+                self.stats.write_calls += 1;
+                self.stats.pages_written += u64::from(pages);
+            }
+        }
+        self.stats.time_us += cost;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent {
+                kind,
+                area,
+                start,
+                pages,
+                cost_us: cost,
+            });
+        }
+    }
+
+    /// One read call: fetch `ceil(out.len() / PAGE_SIZE)` contiguous pages
+    /// starting at `start_page` into `out`.
+    ///
+    /// Cost: one seek + one page transfer per page touched, even if `out`
+    /// ends mid-page — the disk always moves whole pages.
+    ///
+    /// # Panics
+    /// If `out` is empty or the area does not exist.
+    pub fn read(&mut self, area: AreaId, start_page: u32, out: &mut [u8]) {
+        assert!(!out.is_empty(), "zero-length disk read");
+        let n_pages = out.len().div_ceil(PAGE_SIZE) as u32;
+        self.charge(TraceKind::Read, area, start_page, n_pages);
+        self.copy_out(area, start_page, out);
+    }
+
+    /// One write call: store `data` on `ceil(data.len() / PAGE_SIZE)`
+    /// contiguous pages starting at `start_page`.
+    ///
+    /// If `data` ends mid-page, the remaining bytes of the final page are
+    /// left untouched (read-modify-write of the trailing page); the cost
+    /// still charges the whole page, as the disk moves whole pages.
+    ///
+    /// # Panics
+    /// If `data` is empty or the area does not exist.
+    pub fn write(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
+        assert!(!data.is_empty(), "zero-length disk write");
+        let n_pages = data.len().div_ceil(PAGE_SIZE) as u32;
+        self.charge(TraceKind::Write, area, start_page, n_pages);
+        self.copy_in(area, start_page, data);
+    }
+
+    /// Cost-free read used by verification code and by the buffer manager
+    /// when overlaying already-resident pages. Not part of the simulated
+    /// I/O stream.
+    pub fn peek(&self, area: AreaId, start_page: u32, out: &mut [u8]) {
+        let a = self.area(area);
+        for (i, chunk) in out.chunks_mut(PAGE_SIZE).enumerate() {
+            match a.get(start_page + i as u32) {
+                Some(p) => chunk.copy_from_slice(&p[..chunk.len()]),
+                None => chunk.fill(0),
+            }
+        }
+    }
+
+    /// Cost-free write, for tests and debugging only.
+    pub fn poke(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
+        self.copy_in(area, start_page, data);
+    }
+
+    fn copy_out(&mut self, area: AreaId, start_page: u32, out: &mut [u8]) {
+        let a = self.area_mut(area);
+        for (i, chunk) in out.chunks_mut(PAGE_SIZE).enumerate() {
+            match a.get(start_page + i as u32) {
+                Some(p) => chunk.copy_from_slice(&p[..chunk.len()]),
+                None => chunk.fill(0),
+            }
+        }
+    }
+
+    fn copy_in(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
+        let a = self.area_mut(area);
+        for (i, chunk) in data.chunks(PAGE_SIZE).enumerate() {
+            let page = a.ensure(start_page + i as u32);
+            page[..chunk.len()].copy_from_slice(chunk);
+        }
+    }
+
+    /// Number of pages ever materialized in `area` (a memory-usage metric,
+    /// not a cost metric).
+    pub fn materialized_pages(&self, area: AreaId) -> usize {
+        self.area(area).pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Page numbers of every materialized page in `area`, ascending.
+    pub fn materialized_page_numbers(&self, area: AreaId) -> Vec<u32> {
+        self.area(area)
+            .pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| i as u32))
+            .collect()
+    }
+
+    /// Number of areas on this disk.
+    pub fn n_areas(&self) -> u8 {
+        self.areas.len() as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> SimDisk {
+        SimDisk::paper_default()
+    }
+
+    #[test]
+    fn read_of_unwritten_pages_is_zeroes() {
+        let mut d = disk();
+        let mut buf = vec![0xAAu8; PAGE_SIZE * 2];
+        d.read(AreaId::META, 7, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut d = disk();
+        let data: Vec<u8> = (0..PAGE_SIZE * 3).map(|i| (i % 251) as u8).collect();
+        d.write(AreaId::LEAF, 10, &data);
+        let mut out = vec![0u8; data.len()];
+        d.read(AreaId::LEAF, 10, &mut out);
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn costs_match_paper_examples() {
+        let mut d = disk();
+        let mut buf = vec![0u8; PAGE_SIZE * 3];
+        d.read(AreaId::LEAF, 0, &mut buf);
+        // One call, 3 pages: 33 + 4*3 = 45 ms.
+        assert_eq!(d.stats().time_us, 45_000);
+        d.reset_stats();
+        for p in 0..3 {
+            d.read(AreaId::LEAF, p, &mut buf[..PAGE_SIZE]);
+        }
+        // Three calls of 1 page: (33 + 4) * 3 = 111 ms.
+        assert_eq!(d.stats().time_us, 111_000);
+        assert_eq!(d.stats().read_calls, 3);
+        assert_eq!(d.stats().pages_read, 3);
+    }
+
+    #[test]
+    fn partial_page_write_preserves_rest_of_page() {
+        let mut d = disk();
+        let full = vec![0xFFu8; PAGE_SIZE];
+        d.write(AreaId::META, 0, &full);
+        d.write(AreaId::META, 0, &[1, 2, 3]);
+        let mut out = vec![0u8; PAGE_SIZE];
+        d.read(AreaId::META, 0, &mut out);
+        assert_eq!(&out[..3], &[1, 2, 3]);
+        assert!(out[3..].iter().all(|&b| b == 0xFF));
+        // Both writes charged one full page.
+        assert_eq!(d.stats().pages_written, 2);
+    }
+
+    #[test]
+    fn partial_page_read_charges_whole_page() {
+        let mut d = disk();
+        let mut small = [0u8; 100];
+        d.read(AreaId::META, 0, &mut small);
+        assert_eq!(d.stats().pages_read, 1);
+        assert_eq!(d.stats().time_us, 37_000); // 33 + 4 ms
+    }
+
+    #[test]
+    fn peek_and_poke_are_free() {
+        let mut d = disk();
+        d.poke(AreaId::META, 0, &[9u8; 64]);
+        let mut out = [0u8; 64];
+        d.peek(AreaId::META, 0, &mut out);
+        assert_eq!(out, [9u8; 64]);
+        assert_eq!(d.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn trace_records_calls() {
+        let mut d = disk();
+        d.enable_trace(16);
+        d.write(AreaId::LEAF, 5, &[0u8; PAGE_SIZE * 2]);
+        let mut buf = [0u8; 10];
+        d.read(AreaId::LEAF, 5, &mut buf);
+        let t = d.take_trace();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].kind, TraceKind::Write);
+        assert_eq!(t[0].pages, 2);
+        assert_eq!(t[1].kind, TraceKind::Read);
+        assert_eq!(t[1].pages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such disk area")]
+    fn bad_area_panics() {
+        let mut d = SimDisk::new(1, CostModel::FREE);
+        let mut buf = [0u8; 1];
+        d.read(AreaId(3), 0, &mut buf);
+    }
+
+    #[test]
+    fn materialized_pages_counts_lazily() {
+        let mut d = disk();
+        assert_eq!(d.materialized_pages(AreaId::LEAF), 0);
+        d.write(AreaId::LEAF, 100, &[0u8; PAGE_SIZE]);
+        assert_eq!(d.materialized_pages(AreaId::LEAF), 1);
+        let mut buf = [0u8; 8];
+        d.read(AreaId::LEAF, 0, &mut buf); // reads don't materialize
+        assert_eq!(d.materialized_pages(AreaId::LEAF), 1);
+    }
+}

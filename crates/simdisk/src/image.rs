@@ -1,0 +1,134 @@
+//! Disk-image serialization: save a [`SimDisk`]'s full state to a writer
+//! and load it back. Only materialized pages are stored, so images stay
+//! proportional to actual content.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! [magic  8B "LOBIMG01"]
+//! [seek_us u64][transfer_us_per_kb u64]
+//! [n_areas u8]
+//! per area:
+//!   [n_pages u32]
+//!   n_pages × ( [page_no u32][PAGE_SIZE bytes] )
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::cost::CostModel;
+use crate::disk::SimDisk;
+use crate::{AreaId, PAGE_SIZE};
+
+const MAGIC: &[u8; 8] = b"LOBIMG01";
+
+impl SimDisk {
+    /// Serialize the disk (cost model + every materialized page).
+    pub fn write_image(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        let cost = self.cost_model();
+        w.write_all(&cost.seek_us.to_le_bytes())?;
+        w.write_all(&cost.transfer_us_per_kb.to_le_bytes())?;
+        w.write_all(&[self.n_areas()])?;
+        for a in 0..self.n_areas() {
+            let area = AreaId(a);
+            let pages = self.materialized_page_numbers(area);
+            w.write_all(&(pages.len() as u32).to_le_bytes())?;
+            let mut buf = [0u8; PAGE_SIZE];
+            for page in pages {
+                w.write_all(&page.to_le_bytes())?;
+                self.peek(area, page, &mut buf);
+                w.write_all(&buf)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load a disk from an image produced by [`Self::write_image`]. The
+    /// image's cost model is restored; statistics start at zero.
+    pub fn read_image(r: &mut impl Read) -> io::Result<SimDisk> {
+        let bad = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a lobstore disk image"));
+        }
+        let mut u64buf = [0u8; 8];
+        r.read_exact(&mut u64buf)?;
+        let seek_us = u64::from_le_bytes(u64buf);
+        r.read_exact(&mut u64buf)?;
+        let transfer_us_per_kb = u64::from_le_bytes(u64buf);
+        let mut n_areas = [0u8; 1];
+        r.read_exact(&mut n_areas)?;
+        let mut disk = SimDisk::new(
+            n_areas[0],
+            CostModel {
+                seek_us,
+                transfer_us_per_kb,
+            },
+        );
+        let mut u32buf = [0u8; 4];
+        let mut page_buf = [0u8; PAGE_SIZE];
+        for a in 0..n_areas[0] {
+            r.read_exact(&mut u32buf)?;
+            let n_pages = u32::from_le_bytes(u32buf);
+            for _ in 0..n_pages {
+                r.read_exact(&mut u32buf)?;
+                let page_no = u32::from_le_bytes(u32buf);
+                r.read_exact(&mut page_buf)?;
+                disk.poke(AreaId(a), page_no, &page_buf);
+            }
+        }
+        Ok(disk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_roundtrips_pages_and_cost_model() {
+        let mut d = SimDisk::new(2, CostModel::default());
+        d.poke(AreaId(0), 3, &[7u8; PAGE_SIZE]);
+        d.poke(AreaId(1), 100, &[9u8; 100]);
+        d.poke(AreaId(1), 0, b"hello");
+        let mut img = Vec::new();
+        d.write_image(&mut img).unwrap();
+
+        let d2 = SimDisk::read_image(&mut img.as_slice()).unwrap();
+        assert_eq!(d2.cost_model(), CostModel::default());
+        assert_eq!(d2.n_areas(), 2);
+        let mut buf = [0u8; PAGE_SIZE];
+        d2.peek(AreaId(0), 3, &mut buf);
+        assert_eq!(buf, [7u8; PAGE_SIZE]);
+        d2.peek(AreaId(1), 100, &mut buf);
+        assert_eq!(&buf[..100], &[9u8; 100]);
+        d2.peek(AreaId(1), 0, &mut buf);
+        assert_eq!(&buf[..5], b"hello");
+        // Unmaterialized pages are still zero.
+        d2.peek(AreaId(0), 50, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn image_size_tracks_content() {
+        let mut d = SimDisk::new(1, CostModel::FREE);
+        let mut empty = Vec::new();
+        d.write_image(&mut empty).unwrap();
+        d.poke(AreaId(0), 0, &[1u8; PAGE_SIZE]);
+        let mut one = Vec::new();
+        d.write_image(&mut one).unwrap();
+        assert_eq!(one.len() - empty.len(), 4 + PAGE_SIZE);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(SimDisk::read_image(&mut &b"not an image"[..]).is_err());
+        let mut truncated = Vec::new();
+        let mut d = SimDisk::new(1, CostModel::FREE);
+        d.poke(AreaId(0), 0, &[1u8; 10]);
+        d.write_image(&mut truncated).unwrap();
+        truncated.truncate(truncated.len() - 100);
+        assert!(SimDisk::read_image(&mut truncated.as_slice()).is_err());
+    }
+}

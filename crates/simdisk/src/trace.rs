@@ -1,0 +1,73 @@
+//! Optional I/O tracing, used by tests to assert exact call patterns
+//! (e.g. that a boundary-mismatched big read really is a 3-step I/O).
+
+use crate::AreaId;
+
+/// Direction of a traced I/O call.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    Read,
+    Write,
+}
+
+/// One disk access: `pages` contiguous pages starting at `start` in `area`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub kind: TraceKind,
+    pub area: AreaId,
+    pub start: u32,
+    pub pages: u32,
+    /// Simulated cost of this single call, in µs.
+    pub cost_us: u64,
+}
+
+/// A bounded in-memory trace of disk accesses.
+#[derive(Debug, Default)]
+pub(crate) struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+}
+
+impl Trace {
+    pub(crate) fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+        }
+    }
+
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        }
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_respects_capacity() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.record(TraceEvent {
+                kind: TraceKind::Read,
+                area: AreaId::META,
+                start: i,
+                pages: 1,
+                cost_us: 0,
+            });
+        }
+        let evs = t.take();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].start, 0);
+        assert_eq!(evs[1].start, 1);
+        // take() drains
+        assert!(t.take().is_empty());
+    }
+}

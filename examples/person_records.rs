@@ -1,0 +1,96 @@
+//! The §2 example, end to end: *"a person object with attributes name,
+//! picture, and voice ... can be mapped to a small database object that
+//! contains the short field name and two long field descriptors"* — with
+//! each long field choosing the storage structure that suits it:
+//!
+//! * pictures are write-once and read whole → Starburst;
+//! * voice notes get trimmed and spliced → EOS;
+//! * the name is a short field inline in the record.
+//!
+//! The example also saves the database to an image file and reloads it,
+//! showing that records, descriptors, and long-field bytes all persist.
+//!
+//! ```sh
+//! cargo run --release --example person_records
+//! ```
+
+use lobstore::{Db, FieldInput, ManagerSpec, RecordStore, Value};
+
+fn synth(len: usize, seed: u64) -> Vec<u8> {
+    (0..len).map(|i| ((i as u64 * 31 + seed * 7) % 251) as u8).collect()
+}
+
+fn main() {
+    let mut db = Db::paper_default();
+    let mut people = RecordStore::create(&mut db).expect("create store");
+    let store_root = people.root_page();
+
+    println!("person records: short name + picture (Starburst) + voice (EOS)\n");
+
+    // Ingest a few people.
+    let mut ids = Vec::new();
+    for (i, name) in ["Ada Lovelace", "Edgar Codd", "Grace Hopper"].iter().enumerate() {
+        let picture = synth(300_000 + i * 50_000, i as u64); // ~0.3 MB portrait
+        let voice = synth(120_000, 100 + i as u64); // ~0.12 MB voice note
+        let id = people
+            .insert(
+                &mut db,
+                &[
+                    FieldInput::Short(name.as_bytes()),
+                    FieldInput::Long {
+                        spec: ManagerSpec::starburst(),
+                        content: &picture,
+                    },
+                    FieldInput::Long {
+                        spec: ManagerSpec::eos(16),
+                        content: &voice,
+                    },
+                ],
+            )
+            .expect("insert person");
+        ids.push(id);
+        println!("  stored {name:<14} as {id}  (picture {} B, voice {} B)", picture.len(), voice.len());
+    }
+
+    // Edit one voice note in place: trim silence at the front, splice an
+    // intro — the length-changing updates EOS is built for.
+    let fields = people.get(&mut db, ids[2]).expect("get");
+    let voice = fields[2].as_long().expect("voice descriptor");
+    let mut note = people.read_long(&mut db, voice).expect("open voice");
+    note.delete(&mut db, 0, 10_000).expect("trim silence");
+    note.insert(&mut db, 0, &synth(2_000, 999)).expect("splice intro");
+    println!("\n  edited Grace Hopper's voice note: -10000 bytes silence, +2000 bytes intro");
+    println!("  new length: {} bytes", note.size(&mut db));
+
+    // Persist the whole database to an image and reload it.
+    let path = std::env::temp_dir().join("person_records.lob");
+    db.save_to_path(&path).expect("save image");
+    println!("\nsaved database image: {} ({} KB)", path.display(),
+        std::fs::metadata(&path).map(|m| m.len() / 1024).unwrap_or(0));
+
+    let mut db2 = Db::load_from_path(&path, lobstore::DbConfig::default()).expect("reload");
+    let people2 = RecordStore::open(&mut db2, store_root).expect("reopen store");
+    println!("reloaded; verifying every record...");
+    for (i, id) in ids.iter().enumerate() {
+        let fields = people2.get(&mut db2, *id).expect("get after reload");
+        let name = String::from_utf8_lossy(match &fields[0] {
+            Value::Short(b) => b,
+            _ => unreachable!(),
+        })
+        .into_owned();
+        let pic = people2
+            .read_long(&mut db2, fields[1].as_long().expect("pic"))
+            .expect("open pic");
+        let expected = synth(300_000 + i * 50_000, i as u64);
+        assert_eq!(pic.snapshot(&db2), expected, "picture bytes survived");
+        let u = pic.utilization(&db2);
+        println!(
+            "  {name:<14} picture {:>7} B on {:>3} pages ({:}), util {:.1}%",
+            expected.len(),
+            u.data_pages,
+            fields[1].as_long().unwrap().kind,
+            u.ratio() * 100.0
+        );
+    }
+    println!("\nall records intact across the image round-trip.");
+}

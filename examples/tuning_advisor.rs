@@ -1,0 +1,89 @@
+//! Tuning advisor — operationalizes §4.6's parameter-selection guidance.
+//!
+//! Given an expected access profile (typical read size, update rate), the
+//! advisor sweeps ESM leaf sizes and EOS thresholds on a miniature
+//! version of the workload and prints measured read cost, update cost,
+//! and utilization, plus the §4.6 rules of thumb:
+//!
+//! * never pick an EOS threshold below 4 pages — better utilization and
+//!   reads come for free up to there;
+//! * for often-updated objects, set T a bit above the expected read size;
+//! * for mostly-static objects, the bigger the better;
+//! * for ESM there is no free lunch: leaf size trades reads against
+//!   utilization and cannot optimize both.
+//!
+//! ```sh
+//! cargo run --release --example tuning_advisor
+//! ```
+
+use lobstore::{Db, ManagerSpec, MixedConfig, MixedWorkload};
+use lobstore::workload::OpKind;
+
+const OBJECT: u64 = 2 << 20;
+const READ_SIZE: u64 = 10_000; // the profile we advise for
+
+fn main() {
+    println!("tuning advisor — expected read size {READ_SIZE} B, update-heavy profile\n");
+
+    let sweep: Vec<ManagerSpec> = [1u32, 4, 16, 64]
+        .iter()
+        .flat_map(|&n| [ManagerSpec::esm(n), ManagerSpec::eos(n)])
+        .collect();
+
+    println!(
+        "{:<8} {:>14} {:>16} {:>13}",
+        "config", "avg read (ms)", "avg update (ms)", "utilization"
+    );
+    println!("{}", "-".repeat(55));
+
+    let mut best: Option<(f64, String)> = None;
+    for spec in sweep {
+        let mut db = Db::paper_default();
+        let mut obj = spec.create(&mut db).expect("create");
+        let chunk = vec![7u8; 64 * 1024];
+        let mut built = 0;
+        while built < OBJECT {
+            obj.append(&mut db, &chunk).expect("build");
+            built += chunk.len() as u64;
+        }
+        obj.trim(&mut db).expect("trim");
+
+        let mut w = MixedWorkload::new(MixedConfig {
+            ops: 1_500,
+            mark_every: 500,
+            mean_op_bytes: READ_SIZE,
+            ..MixedConfig::default()
+        });
+        let rep = w.run(&mut db, obj.as_mut()).expect("workload");
+        let read = rep.avg_ms(OpKind::Read, &rep.marks).unwrap_or(f64::NAN);
+        let ins = rep.avg_ms(OpKind::Insert, &rep.marks).unwrap_or(0.0);
+        let del = rep.avg_ms(OpKind::Delete, &rep.marks).unwrap_or(0.0);
+        let update = (ins + del) / 2.0;
+        let util = rep.marks.last().expect("marks").utilization;
+
+        println!(
+            "{:<8} {:>14.1} {:>16.1} {:>12.1}%",
+            spec.label(),
+            read,
+            update,
+            util * 100.0
+        );
+
+        // Simple combined score for an update-heavy profile: reads and
+        // updates weighted equally; wasted space priced at 5 ms per
+        // percentage point (disk space is what the DBA is paying for).
+        let score = read + update + (1.0 - util) * 500.0;
+        if best.as_ref().is_none_or(|(s, _)| score < *s) {
+            best = Some((score, spec.label()));
+        }
+    }
+
+    let (_, winner) = best.expect("at least one config");
+    println!("\nAdvisor pick for this profile: {winner}");
+    println!("\n§4.6 rules of thumb:");
+    println!("  - EOS: never set T below 4 pages; above that, pick T slightly larger");
+    println!("    than your typical read ({} pages here), larger still if updates are rare.",
+        READ_SIZE.div_ceil(4096));
+    println!("  - ESM: small leaves favour utilization, large leaves favour reads —");
+    println!("    you cannot have both (§4.6), so EOS dominates when in doubt.");
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerate every table and figure at the paper's scale (10 MB / 10k ops).
+set -u
+cd /root/repo
+for b in fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 table3 fig_deletes summary46 \
+         ablation_insert_algo ablation_buffering ablation_shadowing ablation_scaling; do
+  echo "[$(date +%T)] running $b"
+  ./target/release/$b "$@" > results/$b.txt 2>&1 || echo "$b FAILED"
+done
+echo "[$(date +%T)] all done"

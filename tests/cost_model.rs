@@ -1,0 +1,155 @@
+//! End-to-end cost-model checks: the numbers the paper derives
+//! analytically must fall out of the full stack.
+
+use lobstore::{build_object, random_reads, sequential_scan, Db, ManagerSpec};
+
+const MB: u64 = 1 << 20;
+
+/// §4.1: one seek per call, 4 ms per page. A cold 100-byte read of a
+/// built object costs exactly one call + one page = 37 ms.
+#[test]
+fn single_page_read_costs_37ms() {
+    let mut db = Db::paper_default();
+    let (obj, _) = build_object(&mut db, &ManagerSpec::starburst(), MB, 256 * 1024).unwrap();
+    db.reset_io_stats();
+    let mut out = [0u8; 100];
+    obj.read(&mut db, 512 * 1024 + 10, &mut out).unwrap();
+    assert_eq!(db.io_stats().time_us, 37_000);
+    assert_eq!(db.io_stats().read_calls, 1);
+}
+
+/// §4.4.2 / Table 2 analysis: a large unaligned read bypasses the pool
+/// and performs the 3-step I/O — 3 seeks + the pages.
+#[test]
+fn large_unaligned_read_is_three_step() {
+    let mut db = Db::paper_default();
+    let (mut obj, _) = build_object(&mut db, &ManagerSpec::starburst(), MB, 256 * 1024).unwrap();
+    // Steady state: one exact segment.
+    obj.insert(&mut db, 100, b"x").unwrap();
+    db.reset_io_stats();
+    let mut out = vec![0u8; 100_000];
+    obj.read(&mut db, 123_456, &mut out).unwrap();
+    let s = db.io_stats();
+    let pages = s.pages_read;
+    assert_eq!(s.read_calls, 3, "{s}");
+    assert!((25..=26).contains(&pages), "{s}");
+    assert_eq!(s.time_us, 3 * 33_000 + pages * 4_000);
+}
+
+/// §4.3: scanning approaches the transfer rate for segment-based layouts
+/// but degenerates to one-seek-per-page for 1-page ESM leaves.
+#[test]
+fn scan_rates_bracket_the_structures() {
+    let scan = |spec: ManagerSpec| {
+        let mut db = Db::paper_default();
+        let (obj, _) = build_object(&mut db, &spec, MB, 64 * 1024).unwrap();
+        sequential_scan(&mut db, obj.as_ref(), 64 * 1024).unwrap().seconds()
+    };
+    let floor = MB as f64 / 1024.0 / 1000.0; // pure transfer
+    let esm1 = scan(ManagerSpec::esm(1));
+    let esm64 = scan(ManagerSpec::esm(64));
+    let star = scan(ManagerSpec::starburst());
+    // 1-page leaves: ~37 ms per page → ≈ 9.5 s per MB.
+    assert!(esm1 > 8.0 * floor, "ESM/1 scan {esm1:.2}s");
+    assert!(esm64 < 2.0 * floor, "ESM/64 scan {esm64:.2}s");
+    assert!(star < 2.0 * floor, "Starburst scan {star:.2}s");
+}
+
+/// Table 3 shape at 1 MB scale: a steady-state Starburst insert costs a
+/// whole-object copy (≈ 2×1 MB transfer + chunking seeks ≈ 2.2 s).
+#[test]
+fn starburst_insert_is_whole_object_copy() {
+    let mut db = Db::paper_default();
+    let (mut obj, _) = build_object(&mut db, &ManagerSpec::starburst(), MB, 256 * 1024).unwrap();
+    obj.insert(&mut db, 1, b"warm").unwrap();
+    db.reset_io_stats();
+    obj.insert(&mut db, MB / 2, b"x").unwrap();
+    let t = db.io_stats().time_s();
+    assert!((2.0..2.6).contains(&t), "steady-state insert took {t:.2}s");
+}
+
+/// §4.4.3: ESM/EOS update cost does not depend on the object size (we
+/// compare a 1 MB and a 4 MB object); Starburst's scales linearly.
+#[test]
+fn update_cost_scaling() {
+    let update_cost = |spec: ManagerSpec, mb: u64| {
+        let mut db = Db::paper_default();
+        let (mut obj, _) = build_object(&mut db, &spec, mb * MB, 64 * 1024).unwrap();
+        // Warm to steady state.
+        for i in 0..10u64 {
+            let size = obj.size(&mut db);
+            obj.insert(&mut db, (i * 97_001) % size, &[7u8; 5_000]).unwrap();
+            let size = obj.size(&mut db);
+            obj.delete(&mut db, (i * 31_337) % (size - 5_000), 5_000).unwrap();
+        }
+        let before = db.io_stats();
+        for i in 0..5u64 {
+            let size = obj.size(&mut db);
+            obj.insert(&mut db, (i * 131_071) % size, &[9u8; 5_000]).unwrap();
+        }
+        (db.io_stats() - before).time_s() / 5.0
+    };
+    for spec in [ManagerSpec::esm(16), ManagerSpec::eos(16)] {
+        let small = update_cost(spec, 1);
+        let large = update_cost(spec, 4);
+        assert!(
+            large < small * 2.0,
+            "{}: update cost grew with object size ({small:.2}s → {large:.2}s)",
+            spec.label()
+        );
+    }
+    let small = update_cost(ManagerSpec::starburst(), 1);
+    let large = update_cost(ManagerSpec::starburst(), 4);
+    assert!(
+        large > small * 3.0,
+        "Starburst update must scale with size ({small:.2}s → {large:.2}s)"
+    );
+}
+
+/// §4.2: Starburst/EOS build time beats or equals ESM's best case at the
+/// same append size.
+#[test]
+fn starburst_eos_builds_dominate_esm() {
+    for append_kb in [4usize, 16, 64] {
+        let build = |spec: ManagerSpec| {
+            let mut db = Db::paper_default();
+            let (_, rep) = build_object(&mut db, &spec, MB, append_kb * 1024).unwrap();
+            rep.seconds()
+        };
+        let esm_best = [1u32, 4, 16, 64]
+            .iter()
+            .map(|&p| build(ManagerSpec::esm(p)))
+            .fold(f64::INFINITY, f64::min);
+        let star = build(ManagerSpec::starburst());
+        let eos = build(ManagerSpec::eos(4));
+        assert!(star <= esm_best * 1.05, "{append_kb}K: star {star:.2} vs esm {esm_best:.2}");
+        assert!(eos <= esm_best * 1.05, "{append_kb}K: eos {eos:.2} vs esm {esm_best:.2}");
+        assert!((star - eos).abs() < 0.05 * star.max(eos), "same growth pattern");
+    }
+}
+
+/// Table 2 at 1 MB: the read-cost ladder 37 / ~54 / ~200 ms.
+#[test]
+fn table2_read_ladder() {
+    let mut db = Db::paper_default();
+    let (mut obj, _) = build_object(&mut db, &ManagerSpec::starburst(), MB, 256 * 1024).unwrap();
+    obj.insert(&mut db, 9, b"steady").unwrap();
+    let r100 = random_reads(&mut db, obj.as_ref(), 200, 100, 1).unwrap().avg_read_ms();
+    let r10k = random_reads(&mut db, obj.as_ref(), 200, 10_000, 2).unwrap().avg_read_ms();
+    let r100k = random_reads(&mut db, obj.as_ref(), 100, 100_000, 3).unwrap().avg_read_ms();
+    assert!((33.0..41.0).contains(&r100), "{r100:.1}");
+    assert!((45.0..65.0).contains(&r10k), "{r10k:.1}");
+    assert!((180.0..215.0).contains(&r100k), "{r100k:.1}");
+}
+
+/// EOS's free lunches: suffix deletes and whole-segment deletes move no
+/// data at all.
+#[test]
+fn eos_free_deletes() {
+    let mut db = Db::paper_default();
+    let (mut obj, _) = build_object(&mut db, &ManagerSpec::eos(1), MB, 256 * 1024).unwrap();
+    db.reset_io_stats();
+    obj.delete(&mut db, MB - 100_000, 100_000).unwrap();
+    let s = db.io_stats();
+    assert_eq!(s.pages(), 0, "suffix delete moved data: {s}");
+}

@@ -1,0 +1,208 @@
+//! Property-based model checking: arbitrary operation sequences against
+//! an in-memory reference `Vec<u8>`, for every manager, plus allocator
+//! and buffer-pool properties.
+
+use lobstore::{Db, ManagerSpec};
+use proptest::prelude::*;
+
+/// One abstract operation; offsets/lengths are fractions so they stay
+/// meaningful as the object grows and shrinks.
+#[derive(Clone, Debug)]
+enum Op {
+    Append { len: usize },
+    Insert { at: f64, len: usize },
+    Delete { at: f64, len: usize },
+    Replace { at: f64, len: usize },
+    Read { at: f64, len: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..30_000).prop_map(|len| Op::Append { len }),
+        (0.0f64..=1.0, 1usize..30_000).prop_map(|(at, len)| Op::Insert { at, len }),
+        (0.0f64..=1.0, 1usize..20_000).prop_map(|(at, len)| Op::Delete { at, len }),
+        (0.0f64..=1.0, 1usize..10_000).prop_map(|(at, len)| Op::Replace { at, len }),
+        (0.0f64..=1.0, 1usize..10_000).prop_map(|(at, len)| Op::Read { at, len }),
+    ]
+}
+
+fn fill(len: usize, seed: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 37 + seed * 11 + 5) % 251) as u8).collect()
+}
+
+fn run_model(spec: ManagerSpec, ops: &[Op]) {
+    let mut db = Db::paper_default();
+    let mut obj = spec.create(&mut db).unwrap();
+    let mut model: Vec<u8> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let size = model.len();
+        match *op {
+            Op::Append { len } => {
+                let bytes = fill(len, i);
+                obj.append(&mut db, &bytes).unwrap();
+                model.extend_from_slice(&bytes);
+            }
+            Op::Insert { at, len } => {
+                let off = (at * size as f64) as usize;
+                let bytes = fill(len, i);
+                obj.insert(&mut db, off as u64, &bytes).unwrap();
+                model.splice(off..off, bytes.iter().copied());
+            }
+            Op::Delete { at, len } => {
+                if size == 0 {
+                    continue;
+                }
+                let off = ((at * size as f64) as usize).min(size - 1);
+                let len = len.min(size - off);
+                if len == 0 {
+                    continue;
+                }
+                obj.delete(&mut db, off as u64, len as u64).unwrap();
+                model.drain(off..off + len);
+            }
+            Op::Replace { at, len } => {
+                if size == 0 {
+                    continue;
+                }
+                let off = ((at * size as f64) as usize).min(size - 1);
+                let len = len.min(size - off);
+                if len == 0 {
+                    continue;
+                }
+                let bytes = fill(len, i + 7777);
+                obj.replace(&mut db, off as u64, &bytes).unwrap();
+                model[off..off + len].copy_from_slice(&bytes);
+            }
+            Op::Read { at, len } => {
+                if size == 0 {
+                    continue;
+                }
+                let off = ((at * size as f64) as usize).min(size - 1);
+                let len = len.min(size - off);
+                if len == 0 {
+                    continue;
+                }
+                let mut out = vec![0u8; len];
+                obj.read(&mut db, off as u64, &mut out).unwrap();
+                prop_assert_eq_bytes(&out, &model[off..off + len], i);
+            }
+        }
+        obj.check_invariants(&db)
+            .unwrap_or_else(|e| panic!("op {i} ({op:?}): {e}"));
+        assert_eq!(obj.size(&mut db), model.len() as u64, "size after op {i}");
+    }
+    assert_eq!(obj.snapshot(&db), model, "final content");
+    obj.destroy(&mut db).unwrap();
+    assert_eq!(db.leaf_pages_allocated(), 0, "leaf leak");
+    assert_eq!(db.meta_pages_allocated(), 0, "meta leak");
+}
+
+fn prop_assert_eq_bytes(a: &[u8], b: &[u8], op: usize) {
+    if a != b {
+        let first = a.iter().zip(b).position(|(x, y)| x != y);
+        panic!("read mismatch at op {op}, first divergence at {first:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn esm_small_leaves_match_model(ops in prop::collection::vec(op_strategy(), 1..35)) {
+        run_model(ManagerSpec::esm(1), &ops);
+    }
+
+    #[test]
+    fn esm_large_leaves_match_model(ops in prop::collection::vec(op_strategy(), 1..35)) {
+        run_model(ManagerSpec::esm(16), &ops);
+    }
+
+    #[test]
+    fn eos_small_threshold_matches_model(ops in prop::collection::vec(op_strategy(), 1..35)) {
+        run_model(ManagerSpec::eos(1), &ops);
+    }
+
+    #[test]
+    fn eos_large_threshold_matches_model(ops in prop::collection::vec(op_strategy(), 1..35)) {
+        run_model(ManagerSpec::eos(64), &ops);
+    }
+
+    #[test]
+    fn starburst_matches_model(ops in prop::collection::vec(op_strategy(), 1..20)) {
+        run_model(ManagerSpec::starburst(), &ops);
+    }
+}
+
+// ---- allocator properties ------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random allocate/free interleavings never hand out overlapping
+    /// extents, and freeing everything returns the allocator to empty.
+    #[test]
+    fn buddy_never_overlaps(script in prop::collection::vec((1u32..100, any::<bool>()), 1..60)) {
+        use lobstore::buddy::{BuddyConfig, BuddyManager, Extent};
+        use lobstore::bufpool::{BufferPool, PoolConfig};
+        use lobstore::simdisk::{AreaId, CostModel, SimDisk};
+
+        let mut pool = BufferPool::new(SimDisk::new(2, CostModel::FREE), PoolConfig::default());
+        let mut mgr = BuddyManager::new(BuddyConfig::new(AreaId::LEAF, 256));
+        let mut held: Vec<Extent> = Vec::new();
+
+        for (pages, free_one) in script {
+            if free_one && !held.is_empty() {
+                let e = held.swap_remove(pages as usize % held.len());
+                mgr.free(&mut pool, e);
+            } else {
+                let e = mgr.allocate(&mut pool, pages);
+                for h in &held {
+                    prop_assert!(e.end() <= h.start || h.end() <= e.start,
+                        "overlap {e} vs {h}");
+                }
+                held.push(e);
+            }
+            let total: u32 = held.iter().map(|e| e.pages).sum();
+            prop_assert_eq!(mgr.allocated_pages(), u64::from(total));
+        }
+        for e in held.drain(..) {
+            mgr.free(&mut pool, e);
+        }
+        prop_assert_eq!(mgr.allocated_pages(), 0);
+    }
+
+    /// The buffer pool preserves page contents across arbitrary
+    /// fix/modify/evict patterns (write-back correctness).
+    #[test]
+    fn bufpool_preserves_contents(script in prop::collection::vec((0u32..40, any::<u8>()), 1..80)) {
+        use lobstore::bufpool::{BufferPool, PoolConfig};
+        use lobstore::simdisk::{AreaId, CostModel, PageId, SimDisk};
+        use std::collections::HashMap;
+
+        let mut pool = BufferPool::new(
+            SimDisk::new(1, CostModel::FREE),
+            PoolConfig { frames: 4, max_buffered_seg: 2 },
+        );
+        let mut model: HashMap<u32, u8> = HashMap::new();
+        for (page, val) in script {
+            let pid = PageId::new(AreaId(0), page);
+            let r = pool.fix(pid);
+            let cur = pool.page(r)[0];
+            prop_assert_eq!(cur, model.get(&page).copied().unwrap_or(0),
+                "stale content on page {}", page);
+            pool.page_mut(r)[0] = val;
+            pool.unfix(r);
+            model.insert(page, val);
+        }
+        pool.flush_all();
+        for (page, val) in model {
+            let mut out = [0u8; 1];
+            pool.disk().peek(AreaId(0), page, &mut out);
+            prop_assert_eq!(out[0], val);
+        }
+    }
+}
