@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI driver: the exact gate sequence .github/workflows/ci.yml runs.
+# Usage: ./ci.sh   (from the workspace root; offline, no network needed)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+# Style and static analysis first: these fail fastest.
+run cargo fmt --all --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo run -q -p xtask -- loblint
+
+# Functional gates: the whole suite, then again with deep runtime
+# verification compiled into every mutating operation.
+run cargo test -q --workspace
+run cargo test -q --features paranoid
+run cargo test -q -p lobstore-core -p lobstore-buddy --features paranoid
+
+echo
+echo "ci.sh: all gates passed"

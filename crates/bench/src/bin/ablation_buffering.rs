@@ -9,15 +9,23 @@ use lobstore_workload::{build_by_appends, random_reads};
 
 fn main() {
     let scale = Scale::from_args();
-    print_banner("Ablation: page-grained vs whole-leaf read I/O in ESM", scale);
+    print_banner(
+        "Ablation: page-grained vs whole-leaf read I/O in ESM",
+        scale,
+    );
 
     let mut rows = Vec::new();
     for leaf_pages in [4u32, 16, 64] {
         for whole in [false, true] {
             let mut db = fresh_db();
             let mut obj = EsmObject::create(&mut db, EsmParams { leaf_pages }).expect("create");
-            build_by_appends(&mut db, &mut obj, scale.object_bytes, leaf_pages as usize * 4096)
-                .expect("build");
+            build_by_appends(
+                &mut db,
+                &mut obj,
+                scale.object_bytes,
+                leaf_pages as usize * 4096,
+            )
+            .expect("build");
             obj.whole_leaf_io = whole;
             let mut cells = vec![format!(
                 "ESM/{leaf_pages} {}",

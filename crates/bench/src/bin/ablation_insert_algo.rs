@@ -17,8 +17,13 @@ fn main() {
             let mut db = fresh_db();
             let mut obj = EsmObject::create(&mut db, EsmParams { leaf_pages }).expect("create");
             obj.insert_algo = algo;
-            build_by_appends(&mut db, &mut obj, scale.object_bytes, leaf_pages as usize * 4096)
-                .expect("build");
+            build_by_appends(
+                &mut db,
+                &mut obj,
+                scale.object_bytes,
+                leaf_pages as usize * 4096,
+            )
+            .expect("build");
             let mut w = MixedWorkload::new(MixedConfig {
                 ops: scale.ops,
                 mark_every: scale.mark_every,
@@ -35,7 +40,11 @@ fn main() {
         }
     }
     print_table(
-        &["config".to_string(), "utilization".to_string(), "avg insert (ms)".to_string()],
+        &[
+            "config".to_string(),
+            "utilization".to_string(),
+            "avg insert (ms)".to_string(),
+        ],
         &rows,
     );
     println!("Expected: Improved holds noticeably higher utilization for ~equal insert cost.");

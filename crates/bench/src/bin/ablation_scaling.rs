@@ -79,5 +79,7 @@ fn main() {
         rows.push(row);
     }
     print_table(&headers, &rows);
-    println!("Expected: build columns scale linearly; ESM/EOS update flat; Starburst update linear.");
+    println!(
+        "Expected: build columns scale linearly; ESM/EOS update flat; Starburst update linear."
+    );
 }

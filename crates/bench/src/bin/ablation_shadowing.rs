@@ -53,5 +53,7 @@ fn main() {
         ],
         &rows,
     );
-    println!("Expected: with shadowing the cost grows with segment size; without it, it barely does.");
+    println!(
+        "Expected: with shadowing the cost grows with segment size; without it, it barely does."
+    );
 }

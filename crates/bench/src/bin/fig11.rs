@@ -6,11 +6,16 @@
 //! because large parts of the segment must be rewritten; 1-page leaves
 //! are poor for 100 KB inserts because 25 new pages land as random I/O.
 
-use lobstore_bench::{esm_specs, fmt_ms, print_banner, print_mark_table, run_update_sweep, Scale, MEAN_OP_SIZES};
+use lobstore_bench::{
+    esm_specs, fmt_ms, print_banner, print_mark_table, run_update_sweep, Scale, MEAN_OP_SIZES,
+};
 
 fn main() {
     let scale = Scale::from_args();
-    print_banner("Figure 11: ESM insert I/O cost (ms) vs number of operations", scale);
+    print_banner(
+        "Figure 11: ESM insert I/O cost (ms) vs number of operations",
+        scale,
+    );
     for (panel, &mean) in ["a", "b", "c"].iter().zip(&MEAN_OP_SIZES) {
         let sweep = run_update_sweep(&esm_specs(), scale, mean);
         print_mark_table(

@@ -14,7 +14,10 @@ use lobstore_workload::{build_object, ManagerSpec};
 
 fn main() {
     let scale = Scale::from_args();
-    print_banner("Figure 5: object creation time (seconds) vs append size", scale);
+    print_banner(
+        "Figure 5: object creation time (seconds) vs append size",
+        scale,
+    );
 
     let mut specs = esm_specs();
     specs.push(ManagerSpec::starburst());

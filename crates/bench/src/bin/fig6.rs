@@ -14,7 +14,10 @@ use lobstore_workload::{build_object, sequential_scan, ManagerSpec};
 
 fn main() {
     let scale = Scale::from_args();
-    print_banner("Figure 6: sequential scan time (seconds) vs scan size", scale);
+    print_banner(
+        "Figure 6: sequential scan time (seconds) vs scan size",
+        scale,
+    );
 
     let mut specs = esm_specs();
     specs.push(ManagerSpec::starburst());

@@ -7,11 +7,16 @@
 //! 80 %s; for 100 KB ops the ordering inverts decisively — 1-page leaves
 //! stay near 96 % while 64-page leaves fall toward 75 %.
 
-use lobstore_bench::{esm_specs, fmt_pct, print_banner, print_mark_table, run_update_sweep, Scale, MEAN_OP_SIZES};
+use lobstore_bench::{
+    esm_specs, fmt_pct, print_banner, print_mark_table, run_update_sweep, Scale, MEAN_OP_SIZES,
+};
 
 fn main() {
     let scale = Scale::from_args();
-    print_banner("Figure 7: ESM storage utilization vs number of operations", scale);
+    print_banner(
+        "Figure 7: ESM storage utilization vs number of operations",
+        scale,
+    );
     for (panel, &mean) in ["a", "b", "c"].iter().zip(&MEAN_OP_SIZES) {
         let sweep = run_update_sweep(&esm_specs(), scale, mean);
         print_mark_table(

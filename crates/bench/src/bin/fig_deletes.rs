@@ -2,7 +2,10 @@
 //! graphs — "the trends mentioned for inserts are also valid for the
 //! delete operations"; the graphs lived in the technical report).
 
-use lobstore_bench::{eos_specs, esm_specs, fmt_ms, print_banner, print_mark_table, run_update_sweep, Scale, MEAN_OP_SIZES};
+use lobstore_bench::{
+    eos_specs, esm_specs, fmt_ms, print_banner, print_mark_table, run_update_sweep, Scale,
+    MEAN_OP_SIZES,
+};
 
 fn main() {
     let scale = Scale::from_args();

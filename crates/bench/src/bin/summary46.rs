@@ -25,8 +25,7 @@ fn main() {
             ManagerSpec::Esm { leaf_pages } => leaf_pages as usize * 4096,
             _ => 256 * 1024,
         };
-        let (mut obj, _) =
-            build_object(&mut db, &spec, scale.object_bytes, append).expect("build");
+        let (mut obj, _) = build_object(&mut db, &spec, scale.object_bytes, append).expect("build");
 
         let (read_ms, insert_s, util) = if matches!(spec, ManagerSpec::Starburst { .. }) {
             // Starburst updates copy the whole object; a few suffice.
@@ -40,10 +39,12 @@ fn main() {
                 fill_bytes(&mut buf[..len as usize], u64::from(i));
                 let off = rng.gen_range(0..=size);
                 let before = db.io_stats();
-                obj.insert(&mut db, off, &buf[..len as usize]).expect("insert");
+                obj.insert(&mut db, off, &buf[..len as usize])
+                    .expect("insert");
                 insert_us += (db.io_stats() - before).time_us;
                 let size = obj.size(&mut db);
-                obj.delete(&mut db, rng.gen_range(0..=size - len), len).expect("delete");
+                obj.delete(&mut db, rng.gen_range(0..=size - len), len)
+                    .expect("delete");
             }
             let reads = random_reads(&mut db, obj.as_ref(), 300, mean, 46).expect("reads");
             (

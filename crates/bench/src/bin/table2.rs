@@ -14,12 +14,18 @@ fn main() {
     print_banner("Table 2: Starburst read I/O cost", scale);
 
     let mut db = fresh_db();
-    let (mut obj, _) =
-        build_object(&mut db, &ManagerSpec::starburst(), scale.object_bytes, 256 * 1024)
-            .expect("build");
+    let (mut obj, _) = build_object(
+        &mut db,
+        &ManagerSpec::starburst(),
+        scale.object_bytes,
+        256 * 1024,
+    )
+    .expect("build");
     // One length-changing update reorganizes into max-size segments.
-    obj.insert(&mut db, scale.object_bytes / 2, b"steady state").expect("insert");
-    obj.delete(&mut db, scale.object_bytes / 2, 12).expect("delete");
+    obj.insert(&mut db, scale.object_bytes / 2, b"steady state")
+        .expect("insert");
+    obj.delete(&mut db, scale.object_bytes / 2, 12)
+        .expect("delete");
 
     let reads = (scale.ops / 10).max(100);
     let headers = vec![

@@ -32,9 +32,13 @@ fn main() {
 
     for &mean in &MEAN_OP_SIZES {
         let mut db = fresh_db();
-        let (mut obj, _) =
-            build_object(&mut db, &ManagerSpec::starburst(), scale.object_bytes, 256 * 1024)
-                .expect("build");
+        let (mut obj, _) = build_object(
+            &mut db,
+            &ManagerSpec::starburst(),
+            scale.object_bytes,
+            256 * 1024,
+        )
+        .expect("build");
         let mut buf = vec![0u8; (mean + mean / 2) as usize + 1];
         let mut insert_us = 0u64;
         let mut delete_us = 0u64;
@@ -44,7 +48,8 @@ fn main() {
             fill_bytes(&mut buf[..len as usize], i as u64);
             let off = rng.gen_range(0..=size);
             let before = db.io_stats();
-            obj.insert(&mut db, off, &buf[..len as usize]).expect("insert");
+            obj.insert(&mut db, off, &buf[..len as usize])
+                .expect("insert");
             insert_us += (db.io_stats() - before).time_us;
 
             // The paper's rule: each delete removes what the previous

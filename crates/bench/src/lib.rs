@@ -92,7 +92,9 @@ impl Scale {
                     std::fs::create_dir_all(&dir).expect("create --csv directory");
                     let _ = CSV_DIR.set(Some(dir));
                 }
-                other => panic!("unknown argument {other} (try --mb N, --ops N, --quick, --csv DIR)"),
+                other => {
+                    panic!("unknown argument {other} (try --mb N, --ops N, --quick, --csv DIR)")
+                }
             }
             i += 1;
         }
@@ -112,9 +114,7 @@ pub fn fresh_db() -> Db {
 /// Print the Table 1 banner every figure shares.
 pub fn print_banner(title: &str, scale: Scale) {
     println!("== {title} ==");
-    println!(
-        "   4K pages | 12-page pool | 4-page buffering limit | 33 ms seek | 1 KB/ms transfer"
-    );
+    println!("   4K pages | 12-page pool | 4-page buffering limit | 33 ms seek | 1 KB/ms transfer");
     println!(
         "   object {:.0} MB | {} ops, marks every {}\n",
         scale.object_mb(),
@@ -125,11 +125,17 @@ pub fn print_banner(title: &str, scale: Scale) {
 
 /// Column specs of the standard manager sweeps.
 pub fn esm_specs() -> Vec<ManagerSpec> {
-    ESM_LEAF_PAGES.iter().map(|&p| ManagerSpec::esm(p)).collect()
+    ESM_LEAF_PAGES
+        .iter()
+        .map(|&p| ManagerSpec::esm(p))
+        .collect()
 }
 
 pub fn eos_specs() -> Vec<ManagerSpec> {
-    EOS_THRESHOLDS.iter().map(|&t| ManagerSpec::eos(t)).collect()
+    EOS_THRESHOLDS
+        .iter()
+        .map(|&t| ManagerSpec::eos(t))
+        .collect()
 }
 
 /// Run the §4.4 update experiment for every spec: build the object with
@@ -160,7 +166,8 @@ pub fn run_update_sweep(
                 ..MixedConfig::default()
             });
             let report = w.run(&mut db, obj.as_mut()).expect("mixed workload");
-            obj.check_invariants(&db).expect("invariants after workload");
+            obj.check_invariants(&db)
+                .expect("invariants after workload");
             (spec.label(), report)
         })
         .collect()
@@ -209,7 +216,10 @@ pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
         s
     };
     println!("{}", line(headers));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         println!("{}", line(row));
     }
@@ -219,7 +229,11 @@ pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
 /// Write a CSV copy of a printed table into the `--csv` directory (if
 /// one was given), named `<binary>_<sequence>.csv`.
 fn write_csv(headers: &[String], rows: &[Vec<String>]) {
-    let Some(Some(dir)) = CSV_DIR.get().map(Option::as_ref).map(|d| d.map(|p| p.to_path_buf())) else {
+    let Some(Some(dir)) = CSV_DIR
+        .get()
+        .map(Option::as_ref)
+        .map(|d| d.map(|p| p.to_path_buf()))
+    else {
         return;
     };
     let bin = std::env::args()
@@ -240,7 +254,13 @@ fn write_csv(headers: &[String], rows: &[Vec<String>]) {
             c.to_string()
         }
     };
-    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

@@ -57,7 +57,10 @@ fn fig9c_read_cost_falls_with_leaf_size() {
         tiny(),
         100_000,
     );
-    let (r1, r64) = (avg(&sweep[0].1, OpKind::Read), avg(&sweep[1].1, OpKind::Read));
+    let (r1, r64) = (
+        avg(&sweep[0].1, OpKind::Read),
+        avg(&sweep[1].1, OpKind::Read),
+    );
     assert!(
         r1 > 2.5 * r64,
         "ESM/1 reads {r1:.0} ms should dwarf ESM/64 {r64:.0} ms"
@@ -80,14 +83,21 @@ fn eos_reads_beat_esm_for_small_segments() {
 #[test]
 fn fig11c_insert_cost_minimized_near_insert_size() {
     let sweep = run_update_sweep(
-        &[ManagerSpec::esm(1), ManagerSpec::esm(16), ManagerSpec::esm(64)],
+        &[
+            ManagerSpec::esm(1),
+            ManagerSpec::esm(16),
+            ManagerSpec::esm(64),
+        ],
         tiny(),
         100_000,
     );
     let i1 = avg(&sweep[0].1, OpKind::Insert);
     let i16 = avg(&sweep[1].1, OpKind::Insert);
     let i64_ = avg(&sweep[2].1, OpKind::Insert);
-    assert!(i16 < i64_, "16-page {i16:.0} ms must beat 64-page {i64_:.0} ms");
+    assert!(
+        i16 < i64_,
+        "16-page {i16:.0} ms must beat 64-page {i64_:.0} ms"
+    );
     assert!(i16 < i1, "16-page {i16:.0} ms must beat 1-page {i1:.0} ms");
 }
 
@@ -95,7 +105,11 @@ fn fig11c_insert_cost_minimized_near_insert_size() {
 #[test]
 fn fig12_eos_insert_cost_rises_above_t4() {
     let sweep = run_update_sweep(
-        &[ManagerSpec::eos(1), ManagerSpec::eos(4), ManagerSpec::eos(64)],
+        &[
+            ManagerSpec::eos(1),
+            ManagerSpec::eos(4),
+            ManagerSpec::eos(64),
+        ],
         tiny(),
         10_000,
     );
@@ -106,7 +120,10 @@ fn fig12_eos_insert_cost_rises_above_t4() {
         (i1 - i4).abs() < 0.35 * i1.max(i4),
         "T=1 ({i1:.0}) and T=4 ({i4:.0}) should be close"
     );
-    assert!(i64_ > 1.5 * i4, "T=64 ({i64_:.0}) must exceed T=4 ({i4:.0})");
+    assert!(
+        i64_ > 1.5 * i4,
+        "T=64 ({i64_:.0}) must exceed T=4 ({i4:.0})"
+    );
 }
 
 /// §4.4.3: delete trends mirror insert trends for EOS.
@@ -115,5 +132,8 @@ fn deletes_mirror_inserts() {
     let sweep = run_update_sweep(&[ManagerSpec::eos(4), ManagerSpec::eos(64)], tiny(), 10_000);
     let d4 = avg(&sweep[0].1, OpKind::Delete);
     let d64 = avg(&sweep[1].1, OpKind::Delete);
-    assert!(d64 > d4, "T=64 deletes ({d64:.0}) must cost more than T=4 ({d4:.0})");
+    assert!(
+        d64 > d4,
+        "T=64 deletes ({d64:.0}) must cost more than T=4 ({d4:.0})"
+    );
 }

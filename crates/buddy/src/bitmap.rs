@@ -5,6 +5,8 @@
 //! is implicit: a buddy block is free exactly when all its bits are set,
 //! so freeing any range automatically re-forms larger blocks.
 
+use lobstore_simdisk::{bytes, cast};
+
 /// An in-memory working copy of a directory bitmap.
 ///
 /// `pages` must be a power of two so that the buddy levels line up.
@@ -20,7 +22,7 @@ impl BuddyBitmap {
         assert!(pages.is_power_of_two(), "buddy space size must be 2^k");
         assert!(pages >= 64, "buddy space must hold at least 64 pages");
         BuddyBitmap {
-            words: vec![u64::MAX; (pages / 64) as usize],
+            words: vec![u64::MAX; cast::u32_to_usize(pages / 64)],
             pages,
         }
     }
@@ -28,11 +30,11 @@ impl BuddyBitmap {
     /// Deserialize from directory-page bytes (little-endian u64 words).
     pub fn from_bytes(bytes: &[u8], pages: u32) -> Self {
         assert!(pages.is_power_of_two() && pages >= 64);
-        let n_words = (pages / 64) as usize;
+        let n_words = cast::u32_to_usize(pages / 64);
         assert!(bytes.len() >= n_words * 8, "directory bytes too short");
         let words = bytes[..n_words * 8]
             .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .map(bytes::le_u64)
             .collect();
         BuddyBitmap { words, pages }
     }
@@ -49,6 +51,7 @@ impl BuddyBitmap {
         self.words.len() * 8
     }
 
+    /// Pages covered by this bitmap (the buddy-space size).
     pub fn pages(&self) -> u32 {
         self.pages
     }
@@ -58,10 +61,11 @@ impl BuddyBitmap {
         self.pages.trailing_zeros()
     }
 
+    /// Whether `page` is free.
     #[inline]
     pub fn is_free(&self, page: u32) -> bool {
         assert!(page < self.pages, "page out of space");
-        self.words[(page / 64) as usize] & (1u64 << (page % 64)) != 0
+        self.words[cast::u32_to_usize(page / 64)] & (1u64 << (page % 64)) != 0
     }
 
     /// Whether all pages in `[start, start + n)` are free.
@@ -76,7 +80,7 @@ impl BuddyBitmap {
     pub fn mark_used(&mut self, start: u32, n: u32) {
         for p in start..start + n {
             debug_assert!(self.is_free(p), "double allocation of page {p}");
-            self.words[(p / 64) as usize] &= !(1u64 << (p % 64));
+            self.words[cast::u32_to_usize(p / 64)] &= !(1u64 << (p % 64));
         }
     }
 
@@ -88,7 +92,7 @@ impl BuddyBitmap {
     pub fn mark_free(&mut self, start: u32, n: u32) {
         for p in start..start + n {
             debug_assert!(!self.is_free(p), "double free of page {p}");
-            self.words[(p / 64) as usize] |= 1u64 << (p % 64);
+            self.words[cast::u32_to_usize(p / 64)] |= 1u64 << (p % 64);
         }
     }
 
@@ -182,7 +186,11 @@ mod tests {
         assert_eq!(b.find_block(2), Some(4));
         // Order-0 block: page 3 is the trim remainder.
         assert_eq!(b.find_block(0), Some(3));
-        assert_eq!(b.max_free_order(), Some(7), "half the space still free as one block");
+        assert_eq!(
+            b.max_free_order(),
+            Some(7),
+            "half the space still free as one block"
+        );
     }
 
     #[test]

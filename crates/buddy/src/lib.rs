@@ -39,6 +39,7 @@ pub struct Extent {
 }
 
 impl Extent {
+    /// Build an extent from its area, first page, and page count.
     pub fn new(area: AreaId, start: u32, pages: u32) -> Self {
         Extent { area, start, pages }
     }

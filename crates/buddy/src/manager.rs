@@ -1,7 +1,7 @@
 //! The buddy-space manager: spaces, directory pages, superdirectory.
 
 use lobstore_bufpool::BufferPool;
-use lobstore_simdisk::{AreaId, PageId};
+use lobstore_simdisk::{bytes, AreaId, PageId};
 
 use crate::bitmap::BuddyBitmap;
 use crate::Extent;
@@ -23,6 +23,10 @@ pub struct BuddyConfig {
 }
 
 impl BuddyConfig {
+    /// Validate and build a configuration.
+    ///
+    /// # Panics
+    /// If `space_pages` is not a power of two ≥ 64.
     pub fn new(area: AreaId, space_pages: u32) -> Self {
         assert!(
             space_pages.is_power_of_two() && space_pages >= 64,
@@ -59,6 +63,7 @@ pub struct BuddyManager {
 }
 
 impl BuddyManager {
+    /// A manager over a fresh area with no spaces yet.
     pub fn new(cfg: BuddyConfig) -> Self {
         BuddyManager {
             cfg,
@@ -79,10 +84,15 @@ impl BuddyManager {
         let mut mgr = BuddyManager::new(cfg);
         loop {
             let dir = PageId::new(cfg.area, mgr.dir_page(mgr.n_spaces));
-            // Probe cost-free first: a missing space reads as zeroes.
+            // Probe cost-free first: a missing space reads as zeroes. A
+            // directory whose magic or size field does not match is
+            // treated as "no more spaces" rather than a panic, so opening
+            // a damaged image stays total — the consistency checker then
+            // reports every page beyond the truncation point as dangling.
             let mut probe = [0u8; lobstore_simdisk::PAGE_SIZE];
             pool.peek_page(dir, &mut probe);
-            if u32::from_le_bytes(probe[0..4].try_into().expect("4 bytes")) != DIR_MAGIC {
+            if bytes::le_u32(&probe) != DIR_MAGIC || bytes::le_u32(&probe[4..8]) != cfg.space_pages
+            {
                 break;
             }
             // Real (costed) read of the directory, as a restart would do.
@@ -96,6 +106,7 @@ impl BuddyManager {
         mgr
     }
 
+    /// The configuration this manager was built with.
     pub fn config(&self) -> BuddyConfig {
         self.cfg
     }
@@ -161,9 +172,10 @@ impl BuddyManager {
         }
         // No existing space can satisfy the request: open a new one.
         let s = self.create_space(pool);
-        let ext = self
-            .try_alloc_in_space(pool, s, order, n_pages)
-            .expect("fresh space must satisfy any in-range allocation");
+        let ext = match self.try_alloc_in_space(pool, s, order, n_pages) {
+            Some(ext) => ext,
+            None => unreachable!("fresh space must satisfy any in-range allocation"),
+        };
         self.allocated += u64::from(n_pages);
         ext
     }
@@ -262,6 +274,54 @@ impl BuddyManager {
         out
     }
 
+    /// Deep self-check (the `paranoid` feature): re-read every space
+    /// directory and verify that the on-disk bitmaps agree with the
+    /// in-memory bookkeeping — the allocated-page counter must equal the
+    /// total of used bits, and no superdirectory hint may *under*-report
+    /// a space (hints are allowed to be optimistic, §3.1, but a hint
+    /// below the true maximum free order would hide free storage
+    /// forever).
+    #[cfg(feature = "paranoid")]
+    pub fn paranoid_verify(&self, pool: &mut BufferPool) -> Result<(), String> {
+        let mut used_total = 0u64;
+        for s in 0..self.n_spaces {
+            let dir = PageId::new(self.cfg.area, self.dir_page(s));
+            let r = pool.fix(dir);
+            let page = pool.page(r);
+            if bytes::le_u32(&page[0..4]) != DIR_MAGIC {
+                pool.unfix(r);
+                return Err(format!("space {s}: directory magic corrupted"));
+            }
+            if bytes::le_u32(&page[4..8]) != self.cfg.space_pages {
+                pool.unfix(r);
+                return Err(format!("space {s}: directory space-size field mismatch"));
+            }
+            let bm = BuddyBitmap::from_bytes(&page[BITMAP_OFF..], self.cfg.space_pages);
+            pool.unfix(r);
+            used_total += u64::from(self.cfg.space_pages - bm.free_pages());
+            match (self.superdir_hint(s), bm.max_free_order()) {
+                (None, Some(order)) => {
+                    return Err(format!(
+                        "space {s}: superdirectory says full but an order-{order} block is free"
+                    ));
+                }
+                (Some(hint), Some(order)) if hint < order => {
+                    return Err(format!(
+                        "space {s}: superdirectory hint {hint} below actual max free order {order}"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if used_total != self.allocated {
+            return Err(format!(
+                "allocated counter {} disagrees with directory bitmaps ({used_total} pages used)",
+                self.allocated
+            ));
+        }
+        Ok(())
+    }
+
     fn create_space(&mut self, pool: &mut BufferPool) -> u32 {
         let s = self.n_spaces;
         self.n_spaces += 1;
@@ -278,9 +338,9 @@ impl BuddyManager {
     }
 
     fn parse_dir(&self, page: &[u8]) -> BuddyBitmap {
-        let magic = u32::from_le_bytes(page[0..4].try_into().unwrap());
+        let magic = bytes::le_u32(&page[0..4]);
         assert_eq!(magic, DIR_MAGIC, "corrupt buddy directory page");
-        let pages = u32::from_le_bytes(page[4..8].try_into().unwrap());
+        let pages = bytes::le_u32(&page[4..8]);
         assert_eq!(pages, self.cfg.space_pages, "directory/config mismatch");
         BuddyBitmap::from_bytes(&page[BITMAP_OFF..], pages)
     }
@@ -298,10 +358,7 @@ mod tests {
     use lobstore_simdisk::{CostModel, SimDisk};
 
     fn setup(space_pages: u32) -> (BuddyManager, BufferPool) {
-        let pool = BufferPool::new(
-            SimDisk::new(2, CostModel::default()),
-            PoolConfig::default(),
-        );
+        let pool = BufferPool::new(SimDisk::new(2, CostModel::default()), PoolConfig::default());
         let mgr = BuddyManager::new(BuddyConfig::new(AreaId::LEAF, space_pages));
         (mgr, pool)
     }
@@ -457,13 +514,60 @@ mod tests {
         // Every held extent is covered by some range.
         for held in [a, b] {
             assert!(
-                ranges.iter().any(|r| r.start <= held.start && held.end() <= r.end()),
+                ranges
+                    .iter()
+                    .any(|r| r.start <= held.start && held.end() <= r.end()),
                 "{held} not covered by {ranges:?}"
             );
         }
         m.free(&mut pool, a);
         let total: u32 = m.allocated_ranges(&mut pool).iter().map(|e| e.pages).sum();
         assert_eq!(total, 8);
+    }
+
+    #[cfg(feature = "paranoid")]
+    mod paranoid {
+        use super::*;
+
+        #[test]
+        fn healthy_manager_verifies() {
+            let (mut m, mut pool) = setup(256);
+            assert!(m.paranoid_verify(&mut pool).is_ok(), "no spaces yet");
+            let a = m.allocate(&mut pool, 8);
+            let _b = m.allocate(&mut pool, 3);
+            m.free(&mut pool, a);
+            m.paranoid_verify(&mut pool).unwrap();
+        }
+
+        #[test]
+        fn bitmap_tampering_is_detected() {
+            let (mut m, mut pool) = setup(256);
+            let e = m.allocate(&mut pool, 8);
+            m.paranoid_verify(&mut pool).unwrap();
+            // Flip an allocated page back to free behind the manager's
+            // back, as a lost directory write would.
+            let dir = PageId::new(AreaId::LEAF, 0);
+            let r = pool.fix(dir);
+            let mut bm = BuddyBitmap::from_bytes(&pool.page(r)[BITMAP_OFF..], 256);
+            bm.mark_free(e.start - 1, 1);
+            let page = pool.page_mut(r);
+            bm.write_bytes(&mut page[BITMAP_OFF..BITMAP_OFF + bm.byte_len()]);
+            pool.unfix(r);
+            let err = m.paranoid_verify(&mut pool).unwrap_err();
+            assert!(err.contains("allocated counter"), "{err}");
+        }
+
+        #[test]
+        fn corrupt_directory_magic_is_detected() {
+            let (mut m, mut pool) = setup(256);
+            let _e = m.allocate(&mut pool, 4);
+            let dir = PageId::new(AreaId::LEAF, 0);
+            let r = pool.fix(dir);
+            pool.page_mut(r)[0..4].copy_from_slice(b"XXXX");
+            pool.unfix(r);
+            let err = m.paranoid_verify(&mut pool).unwrap_err();
+            assert!(err.contains("magic"), "{err}");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub(crate) struct Frame {
 }
 
 impl Frame {
+    /// A frame holding no page.
     pub fn empty() -> Self {
         Frame {
             pid: None,
@@ -26,6 +27,7 @@ impl Frame {
         }
     }
 
+    /// Whether the frame holds no page.
     pub fn is_free(&self) -> bool {
         self.pid.is_none()
     }

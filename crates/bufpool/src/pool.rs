@@ -56,6 +56,10 @@ pub struct BufferPool {
 }
 
 impl BufferPool {
+    /// A pool of `cfg.frames` empty frames over `disk`.
+    ///
+    /// # Panics
+    /// If `cfg.frames < 2`.
     pub fn new(disk: SimDisk, cfg: PoolConfig) -> Self {
         assert!(cfg.frames >= 2, "pool needs at least 2 frames");
         BufferPool {
@@ -74,6 +78,7 @@ impl BufferPool {
         BufferPool::new(SimDisk::paper_default(), PoolConfig::default())
     }
 
+    /// The sizing parameters this pool was built with.
     pub fn config(&self) -> PoolConfig {
         self.cfg
     }
@@ -93,6 +98,7 @@ impl BufferPool {
         &self.disk
     }
 
+    /// Mutable access to the disk (for tracing and test seeding).
     pub fn disk_mut(&mut self) -> &mut SimDisk {
         &mut self.disk
     }
@@ -129,9 +135,10 @@ impl BufferPool {
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(i, _)| i)
         };
-        let idx = lru_of(&self.frames, false)
-            .or_else(|| lru_of(&self.frames, true))
-            .expect("buffer pool exhausted: every frame is pinned");
+        let idx = match lru_of(&self.frames, false).or_else(|| lru_of(&self.frames, true)) {
+            Some(i) => i,
+            None => panic!("buffer pool exhausted: every frame is pinned"),
+        };
         self.evict(idx);
         idx
     }
@@ -162,7 +169,8 @@ impl BufferPool {
         }
         self.stats.misses += 1;
         let idx = self.victim();
-        self.disk.read(pid.area, pid.page, &mut self.frames[idx].data[..]);
+        self.disk
+            .read(pid.area, pid.page, &mut self.frames[idx].data[..]);
         self.install(idx, pid)
     }
 
@@ -236,7 +244,8 @@ impl BufferPool {
         for idx in 0..self.frames.len() {
             if let Some(pid) = self.frames[idx].pid {
                 if self.frames[idx].dirty {
-                    self.disk.write(pid.area, pid.page, &self.frames[idx].data[..]);
+                    self.disk
+                        .write(pid.area, pid.page, &self.frames[idx].data[..]);
                     self.frames[idx].dirty = false;
                 }
             }

@@ -8,7 +8,7 @@
 //!   does not match page boundaries (Figure 4) — the partial first/last
 //!   pages are staged through the pool, giving the paper's 3-step I/O.
 
-use lobstore_simdisk::{AreaId, PageId, PAGE_SIZE};
+use lobstore_simdisk::{cast, AreaId, PageId, PAGE_SIZE, PAGE_SIZE_U64};
 
 use crate::pool::{BufferPool, FrameRef};
 
@@ -20,13 +20,15 @@ impl BufferPool {
             return;
         }
         let len = out.len() as u64;
-        let first = start_page + (byte_off / PAGE_SIZE as u64) as u32;
-        let last = start_page + ((byte_off + len - 1) / PAGE_SIZE as u64) as u32;
+        let first = start_page + cast::to_u32(byte_off / PAGE_SIZE_U64);
+        let last = start_page + cast::to_u32((byte_off + len - 1) / PAGE_SIZE_U64);
         let n_pages = last - first + 1;
         // Offset of the requested range within the first page.
-        let head_skip = (byte_off % PAGE_SIZE as u64) as usize;
+        let head_skip = cast::to_usize(byte_off % PAGE_SIZE_U64);
 
-        if n_pages <= self.cfg.max_buffered_seg && self.available_frames() >= n_pages as usize {
+        if n_pages <= self.cfg.max_buffered_seg
+            && self.available_frames() >= cast::u32_to_usize(n_pages)
+        {
             self.read_buffered(area, first, n_pages, head_skip, out);
         } else {
             self.read_direct(area, first, last, head_skip, out);
@@ -43,7 +45,7 @@ impl BufferPool {
         head_skip: usize,
         out: &mut [u8],
     ) {
-        let mut refs: Vec<Option<FrameRef>> = Vec::with_capacity(n_pages as usize);
+        let mut refs: Vec<Option<FrameRef>> = Vec::with_capacity(cast::u32_to_usize(n_pages));
         // Pass 1: pin what is already resident so eviction can't steal it.
         for i in 0..n_pages {
             let pid = PageId::new(area, first + i);
@@ -67,9 +69,9 @@ impl BufferPool {
             let run_len = i - run_start;
             let mut tmp = vec![0u8; run_len * PAGE_SIZE];
             self.disk
-                .read(area, first + run_start as u32, &mut tmp);
+                .read(area, first + cast::usize_to_u32(run_start), &mut tmp);
             for (j, chunk) in tmp.chunks(PAGE_SIZE).enumerate() {
-                let pid = PageId::new(area, first + (run_start + j) as u32);
+                let pid = PageId::new(area, first + cast::usize_to_u32(run_start + j));
                 let r = self.install_clean(pid, chunk);
                 refs[run_start + j] = Some(r);
             }
@@ -77,7 +79,10 @@ impl BufferPool {
         // Copy the byte range out and release the pins.
         let mut copied = 0usize;
         for (i, r) in refs.iter().enumerate() {
-            let r = r.expect("all pages pinned by now");
+            let r = match r {
+                Some(r) => *r,
+                None => unreachable!("pass 2 installed a frame for every missing page"),
+            };
             let page = self.page(r);
             let from = if i == 0 { head_skip } else { 0 };
             let take = (PAGE_SIZE - from).min(out.len() - copied);
@@ -108,11 +113,19 @@ impl BufferPool {
     }
 
     /// Direct path with 3-step I/O on boundary mismatch.
-    fn read_direct(&mut self, area: AreaId, first: u32, last: u32, head_skip: usize, out: &mut [u8]) {
+    fn read_direct(
+        &mut self,
+        area: AreaId,
+        first: u32,
+        last: u32,
+        head_skip: usize,
+        out: &mut [u8],
+    ) {
         let len = out.len();
         let tail_end = (head_skip + len) % PAGE_SIZE; // 0 == aligned
         let head_partial = head_skip != 0;
-        let tail_partial = tail_end != 0 && last > first || (last == first && (head_partial || tail_end != 0));
+        let tail_partial =
+            tail_end != 0 && last > first || (last == first && (head_partial || tail_end != 0));
 
         // Single-page direct request (only possible when the pool had no
         // room): stage through one frame.
@@ -143,13 +156,14 @@ impl BufferPool {
         }
         // Step 2: interior pages straight into the caller's buffer.
         if mid_first <= mid_last {
-            let mid_pages = (mid_last - mid_first + 1) as usize;
+            let mid_pages = cast::u32_to_usize(mid_last - mid_first + 1);
             let mid_len = mid_pages * PAGE_SIZE;
-            self.disk.read(area, mid_first, &mut out[pos..pos + mid_len]);
+            self.disk
+                .read(area, mid_first, &mut out[pos..pos + mid_len]);
             // Overlay any resident *dirty* pages: the pool copy is newer
             // than the disk copy we just read.
             for i in 0..mid_pages {
-                let pid = PageId::new(area, mid_first + i as u32);
+                let pid = PageId::new(area, mid_first + cast::usize_to_u32(i));
                 if let Some(&idx) = self.map.get(&pid) {
                     if self.frames[idx].dirty {
                         out[pos + i * PAGE_SIZE..pos + (i + 1) * PAGE_SIZE]
@@ -173,14 +187,14 @@ impl BufferPool {
     /// where page-grained reads need no boundary staging.
     pub fn read_pages(&mut self, area: AreaId, start_page: u32, n_pages: u32, out: &mut [u8]) {
         assert!(n_pages > 0);
-        assert!(out.len() >= n_pages as usize * PAGE_SIZE);
-        let out = &mut out[..n_pages as usize * PAGE_SIZE];
+        assert!(out.len() >= cast::u32_to_usize(n_pages) * PAGE_SIZE);
+        let out = &mut out[..cast::u32_to_usize(n_pages) * PAGE_SIZE];
         self.disk.read(area, start_page, out);
         for i in 0..n_pages {
             let pid = PageId::new(area, start_page + i);
             if let Some(&idx) = self.map.get(&pid) {
                 if self.frames[idx].dirty {
-                    let off = i as usize * PAGE_SIZE;
+                    let off = cast::u32_to_usize(i) * PAGE_SIZE;
                     out[off..off + PAGE_SIZE].copy_from_slice(&self.frames[idx].data[..]);
                 }
             }
@@ -194,7 +208,7 @@ impl BufferPool {
     /// disk-side read-modify-write.
     pub fn write_direct(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
         assert!(!data.is_empty(), "zero-length direct write");
-        let n_pages = data.len().div_ceil(PAGE_SIZE) as u32;
+        let n_pages = cast::usize_to_u32(data.len().div_ceil(PAGE_SIZE));
         let partial_tail = !data.len().is_multiple_of(PAGE_SIZE);
         if partial_tail {
             let tail_pid = PageId::new(area, start_page + n_pages - 1);
@@ -232,10 +246,10 @@ impl BufferPool {
             {
                 run_end += 1;
             }
-            let run_len = (run_end - run_start + 1) as usize;
+            let run_len = cast::u32_to_usize(run_end - run_start + 1);
             let mut buf = vec![0u8; run_len * PAGE_SIZE];
             for i in 0..run_len {
-                let pid = PageId::new(area, run_start + i as u32);
+                let pid = PageId::new(area, run_start + cast::usize_to_u32(i));
                 let idx = self.map[&pid];
                 buf[i * PAGE_SIZE..(i + 1) * PAGE_SIZE].copy_from_slice(&self.frames[idx].data[..]);
                 self.frames[idx].dirty = false;

@@ -10,6 +10,11 @@
 //!    from objects (no leaks, no dangling references);
 //! 4. the same for META pages (catalog chain + object roots + interior
 //!    index pages).
+//!
+//! The CLI maps results to exit codes the way `fsck` does: 0 when the
+//! image is consistent, 1 when findings were reported, 2 when the image
+//! could not be read at all. `--json` emits the findings in the same
+//! `{"count": N, "findings": [...]}` shape the workspace linter uses.
 
 use std::collections::HashMap;
 
@@ -26,6 +31,21 @@ pub enum Finding {
     MetaDangling { owner: String, page: u32 },
 }
 
+impl Finding {
+    /// Stable machine-readable name of this finding class (the `kind`
+    /// field of the JSON output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Finding::ObjectBroken { .. } => "object-broken",
+            Finding::LeafOverlap { .. } => "leaf-overlap",
+            Finding::LeafLeaked { .. } => "leaf-leaked",
+            Finding::LeafDangling { .. } => "leaf-dangling",
+            Finding::MetaLeaked { .. } => "meta-leaked",
+            Finding::MetaDangling { .. } => "meta-dangling",
+        }
+    }
+}
+
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -33,7 +53,10 @@ impl std::fmt::Display for Finding {
                 write!(f, "object '{name}' failed invariants: {detail}")
             }
             Finding::LeafOverlap { page, owners } => {
-                write!(f, "leaf page {page} claimed by multiple objects: {owners:?}")
+                write!(
+                    f,
+                    "leaf page {page} claimed by multiple objects: {owners:?}"
+                )
             }
             Finding::LeafLeaked { page } => {
                 write!(f, "leaf page {page} allocated but unreachable (leak)")
@@ -51,6 +74,61 @@ impl std::fmt::Display for Finding {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as `{"count": N, "findings": [...]}`, one object per
+/// finding carrying its stable [`Finding::kind`] and the human-readable
+/// message.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    if findings.is_empty() {
+        return "{\"count\": 0, \"findings\": []}".to_string();
+    }
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"kind\": \"{}\", \"message\": \"{}\"}}",
+                f.kind(),
+                json_escape(&f.to_string())
+            )
+        })
+        .collect();
+    format!(
+        "{{\"count\": {}, \"findings\": [\n{}\n]}}",
+        findings.len(),
+        items.join(",\n")
+    )
+}
+
+/// Run `f`, converting a panic into an error message. Deep page-parsing
+/// code asserts on structurally impossible values (entry counts beyond
+/// page capacity and the like); the checker must stay total on garbage
+/// input, so those asserts become findings rather than aborts.
+fn catching<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    })
+}
+
 /// Run all checks; an empty result means the database is consistent.
 pub fn check_database(db: &mut Db, cat: &mut Catalog) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -59,63 +137,85 @@ pub fn check_database(db: &mut Db, cat: &mut Catalog) -> Vec<Finding> {
     let mut leaf_owner: HashMap<u32, String> = HashMap::new();
     let mut meta_owner: HashMap<u32, String> = HashMap::new();
 
-    match cat.pages(db) {
-        Ok(pages) => {
+    match catching(|| cat.pages(db)) {
+        Ok(Ok(pages)) => {
             for p in pages {
                 meta_owner.insert(p, "<catalog>".to_string());
             }
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             findings.push(Finding::ObjectBroken {
                 name: "<catalog>".into(),
                 detail: e.to_string(),
             });
             return findings;
         }
+        Err(msg) => {
+            findings.push(Finding::ObjectBroken {
+                name: "<catalog>".into(),
+                detail: format!("checker panicked: {msg}"),
+            });
+            return findings;
+        }
     }
 
-    let entries = match cat.list(db) {
-        Ok(e) => e,
-        Err(e) => {
+    let entries = match catching(|| cat.list(db)) {
+        Ok(Ok(e)) => e,
+        Ok(Err(e)) => {
             findings.push(Finding::ObjectBroken {
                 name: "<catalog>".into(),
                 detail: e.to_string(),
+            });
+            return findings;
+        }
+        Err(msg) => {
+            findings.push(Finding::ObjectBroken {
+                name: "<catalog>".into(),
+                detail: format!("checker panicked: {msg}"),
             });
             return findings;
         }
     };
 
     for entry in &entries {
-        let obj = match open_object(db, entry.kind, entry.root_page) {
-            Ok(o) => o,
-            Err(e) => {
+        let walked = catching(|| {
+            let obj = match open_object(db, entry.kind, entry.root_page) {
+                Ok(o) => o,
+                Err(e) => {
+                    findings.push(Finding::ObjectBroken {
+                        name: entry.name.clone(),
+                        detail: e.to_string(),
+                    });
+                    return;
+                }
+            };
+            if let Err(e) = obj.check_invariants(db) {
                 findings.push(Finding::ObjectBroken {
                     name: entry.name.clone(),
                     detail: e.to_string(),
                 });
-                continue;
             }
-        };
-        if let Err(e) = obj.check_invariants(db) {
-            findings.push(Finding::ObjectBroken {
-                name: entry.name.clone(),
-                detail: e.to_string(),
-            });
-        }
-        for page in obj.index_page_numbers(db) {
-            meta_owner.insert(page, entry.name.clone());
-        }
-        for seg in obj.segments(db) {
-            for p in seg.start_page..seg.start_page + seg.pages {
-                if let Some(prev) = leaf_owner.insert(p, entry.name.clone()) {
-                    if prev != entry.name {
-                        findings.push(Finding::LeafOverlap {
-                            page: p,
-                            owners: vec![prev, entry.name.clone()],
-                        });
+            for page in obj.index_page_numbers(db) {
+                meta_owner.insert(page, entry.name.clone());
+            }
+            for seg in obj.segments(db) {
+                for p in seg.start_page..seg.start_page + seg.pages {
+                    if let Some(prev) = leaf_owner.insert(p, entry.name.clone()) {
+                        if prev != entry.name {
+                            findings.push(Finding::LeafOverlap {
+                                page: p,
+                                owners: vec![prev, entry.name.clone()],
+                            });
+                        }
                     }
                 }
             }
+        });
+        if let Err(msg) = walked {
+            findings.push(Finding::ObjectBroken {
+                name: entry.name.clone(),
+                detail: format!("checker panicked: {msg}"),
+            });
         }
     }
 
@@ -245,12 +345,30 @@ mod tests {
     }
 
     #[test]
+    fn json_output_shape() {
+        assert_eq!(findings_to_json(&[]), "{\"count\": 0, \"findings\": []}");
+        let findings = [
+            Finding::LeafLeaked { page: 9 },
+            Finding::ObjectBroken {
+                name: "a\"b".into(),
+                detail: "broken".into(),
+            },
+        ];
+        let json = findings_to_json(&findings);
+        assert!(json.contains("\"count\": 2"), "{json}");
+        assert!(json.contains("\"kind\": \"leaf-leaked\""), "{json}");
+        assert!(json.contains("\"kind\": \"object-broken\""), "{json}");
+        assert!(json.contains("a\\\"b"), "quotes escaped: {json}");
+    }
+
+    #[test]
     fn detects_kind_confusion() {
         let (mut db, mut cat) = setup();
         // Re-register object "a" under the wrong kind.
         let e = cat.get(&mut db, "a").unwrap().unwrap();
         cat.remove(&mut db, "a").unwrap();
-        cat.put(&mut db, "a", StorageKind::Starburst, e.root_page).unwrap();
+        cat.put(&mut db, "a", StorageKind::Starburst, e.root_page)
+            .unwrap();
         let findings = check_database(&mut db, &mut cat);
         assert!(!findings.is_empty());
     }

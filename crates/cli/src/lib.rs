@@ -16,14 +16,18 @@
 //! lobctl <image> stat <name>                   size, utilization, segments
 //! lobctl <image> rm <name>                     destroy object + name
 //! lobctl <image> info                          database totals
+//! lobctl <image> check [--json]                consistency check (fsck)
 //! ```
+//!
+//! `check` exits 0 when the image is consistent, 1 when it reported
+//! findings, and 2 when the image could not be read at all.
 //!
 //! Every mutating command reports the simulated I/O it cost, so the CLI
 //! doubles as a hands-on explorer of the paper's cost model.
 
 mod check;
 
-pub use check::{check_database, Finding};
+pub use check::{check_database, findings_to_json, Finding};
 
 use std::io::Write as _;
 
@@ -81,14 +85,23 @@ pub fn run(args: &[String]) -> Outcome {
         };
     }
 
-    // Every other command works on an existing image.
+    // Every other command works on an existing image. `check` signals an
+    // unreadable image with exit status 2 (fsck convention) so scripts can
+    // tell "could not even look" from "looked and found problems".
+    let unreadable = |msg: String| {
+        let mut o = Outcome::err(msg);
+        if cmd == "check" {
+            o.status = 2;
+        }
+        o
+    };
     let mut db = match Db::load_from_path(image, DbConfig::default()) {
         Ok(db) => db,
-        Err(e) => return Outcome::err(format!("cannot open {image}: {e}")),
+        Err(e) => return unreadable(format!("cannot open {image}: {e}")),
     };
     let mut cat = match Catalog::open(&mut db, CATALOG_ROOT) {
         Ok(c) => c,
-        Err(e) => return Outcome::err(format!("{image} has no catalog: {e}")),
+        Err(e) => return unreadable(format!("{image} has no catalog: {e}")),
     };
 
     let before = db.io_stats();
@@ -275,15 +288,28 @@ pub fn run(args: &[String]) -> Outcome {
         }
         "check" => {
             mutating = false;
+            let json = match rest {
+                [] => false,
+                [flag] if flag == "--json" => true,
+                _ => bail!("usage: check [--json]"),
+            };
             let findings = check::check_database(&mut db, &mut cat);
-            if findings.is_empty() {
+            if json {
+                let _ = writeln!(out, "{}", check::findings_to_json(&findings));
+            } else if findings.is_empty() {
                 let _ = writeln!(out, "ok: catalog, objects, and space maps are consistent");
             } else {
                 for f in &findings {
                     let _ = writeln!(out, "PROBLEM: {f}");
                 }
+            }
+            if !findings.is_empty() {
                 let stderr = format!("{} problem(s) found\n", findings.len());
-                return Outcome { status: 2, stdout: out, stderr };
+                return Outcome {
+                    status: 1,
+                    stdout: out,
+                    stderr,
+                };
             }
         }
         "info" => {
@@ -325,11 +351,7 @@ pub fn run(args: &[String]) -> Outcome {
     }
 }
 
-fn open_named(
-    db: &mut Db,
-    cat: &mut Catalog,
-    name: &str,
-) -> Result<Box<dyn LargeObject>, Outcome> {
+fn open_named(db: &mut Db, cat: &mut Catalog, name: &str) -> Result<Box<dyn LargeObject>, Outcome> {
     let entry = cat
         .get(db, name)
         .map_err(|e| Outcome::err(e.to_string()))?
@@ -378,7 +400,10 @@ mod tests {
         assert!(cat_out.stderr.contains("simulated I/O"));
 
         std::fs::write(&payload, b"BIG ").unwrap();
-        assert_eq!(run(&argv(&[&img, "insert", "doc", "6", &payload])).status, 0);
+        assert_eq!(
+            run(&argv(&[&img, "insert", "doc", "6", &payload])).status,
+            0
+        );
         let cat_out = run(&argv(&[&img, "cat", "doc"]));
         assert_eq!(cat_out.stdout, b"hello BIG large object world");
 
@@ -404,6 +429,51 @@ mod tests {
         let info_text = String::from_utf8_lossy(&info.stdout).into_owned();
         assert!(info_text.contains("objects:     0"), "{info_text}");
         assert!(info_text.contains("leaf pages:  0"), "{info_text}");
+    }
+
+    #[test]
+    fn check_exit_codes_and_json() {
+        let img = tmp("check-codes.lob");
+        let _ = std::fs::remove_file(&img);
+
+        // Missing or garbage image: "could not even look" is exit 2.
+        assert_eq!(run(&argv(&[&img, "check"])).status, 2);
+        std::fs::write(&img, b"not a database image").unwrap();
+        assert_eq!(run(&argv(&[&img, "check", "--json"])).status, 2);
+        let _ = std::fs::remove_file(&img);
+
+        run(&argv(&[&img, "init"]));
+        run(&argv(&[&img, "create", "doc", "esm", "4"]));
+        let payload = tmp("check-codes.bin");
+        std::fs::write(&payload, vec![1u8; 20_000]).unwrap();
+        assert_eq!(run(&argv(&[&img, "put", "doc", &payload])).status, 0);
+
+        let clean = run(&argv(&[&img, "check", "--json"]));
+        assert_eq!(clean.status, 0, "{}", clean.stderr);
+        assert_eq!(
+            String::from_utf8_lossy(&clean.stdout).trim(),
+            "{\"count\": 0, \"findings\": []}"
+        );
+        assert_eq!(run(&argv(&[&img, "check", "--bogus"])).status, 1);
+
+        // Leak pages no object references, then persist the damage.
+        let mut db = Db::load_from_path(&img, DbConfig::default()).unwrap();
+        let _leak = db.alloc_leaf(2);
+        db.save_to_path(&img).unwrap();
+
+        let bad = run(&argv(&[&img, "check"]));
+        assert_eq!(bad.status, 1);
+        assert!(
+            String::from_utf8_lossy(&bad.stdout).contains("PROBLEM:"),
+            "{}",
+            String::from_utf8_lossy(&bad.stdout)
+        );
+        assert!(bad.stderr.contains("problem(s) found"), "{}", bad.stderr);
+
+        let bad_json = run(&argv(&[&img, "check", "--json"]));
+        assert_eq!(bad_json.status, 1);
+        let text = String::from_utf8_lossy(&bad_json.stdout).into_owned();
+        assert!(text.contains("\"kind\": \"leaf-leaked\""), "{text}");
     }
 
     #[test]
@@ -439,7 +509,10 @@ mod tests {
             assert_eq!(run(&argv(&[&img, "put", name, &payload])).status, 0);
         }
         let ls = String::from_utf8(run(&argv(&[&img, "ls"])).stdout).unwrap();
-        assert!(ls.contains("ESM") && ls.contains("EOS") && ls.contains("Starburst"), "{ls}");
+        assert!(
+            ls.contains("ESM") && ls.contains("EOS") && ls.contains("Starburst"),
+            "{ls}"
+        );
         for name in ["a", "b", "c"] {
             let out = run(&argv(&[&img, "cat", name, "49000", "100"]));
             assert_eq!(out.stdout, vec![7u8; 100], "{name}");

@@ -51,3 +51,60 @@ fn binary_end_to_end() {
     let out = lobctl(&[img, "info"]);
     assert!(String::from_utf8_lossy(&out.stdout).contains("objects:     0"));
 }
+
+// `check` follows the fsck exit-code convention: 0 consistent, 1 findings
+// reported, 2 image unreadable.
+#[test]
+fn check_exit_codes_through_the_binary() {
+    let dir = std::env::temp_dir().join("lobctl-binary-check-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let img_path = dir.join("db.lob");
+    let img = img_path.to_str().unwrap();
+    let _ = std::fs::remove_file(img);
+
+    // Unreadable: missing file, then a file that is not an image.
+    let out = lobctl(&[img, "check"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    std::fs::write(img, b"garbage, not an image").unwrap();
+    let out = lobctl(&[img, "check", "--json"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let _ = std::fs::remove_file(img);
+
+    // A healthy image checks clean, in text and in JSON.
+    assert!(lobctl(&[img, "init"]).status.success());
+    assert!(lobctl(&[img, "create", "doc", "eos", "16"])
+        .status
+        .success());
+    let payload = dir.join("doc.bin");
+    std::fs::write(&payload, vec![0x5Au8; 50_000]).unwrap();
+    assert!(lobctl(&[img, "put", "doc", payload.to_str().unwrap()])
+        .status
+        .success());
+    let out = lobctl(&[img, "check"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok:"));
+    let out = lobctl(&[img, "check", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        "{\"count\": 0, \"findings\": []}"
+    );
+
+    // Stamp garbage over the object root's magic: findings are exit 1.
+    {
+        use lobstore_core::{Catalog, Db, DbConfig};
+        let mut db = Db::load_from_path(img, DbConfig::default()).unwrap();
+        let cat = Catalog::open(&mut db, 1).unwrap();
+        let entry = cat.get(&mut db, "doc").unwrap().unwrap();
+        db.with_meta_page_mut(entry.root_page, |p| p[0..4].copy_from_slice(b"XXXX"));
+        db.save_to_path(img).unwrap();
+    }
+    let out = lobctl(&[img, "check"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PROBLEM:"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("problem(s) found"));
+    let out = lobctl(&[img, "check", "--json"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let json = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(json.contains("\"kind\": \"object-broken\""), "{json}");
+}

@@ -15,7 +15,7 @@
 //! [10..)  entries: [name_len u8][name bytes][kind u8][root u32]
 //! ```
 
-use lobstore_simdisk::{AreaId, PageId, PAGE_SIZE};
+use lobstore_simdisk::{bytes as le, cast, AreaId, PageId, PAGE_SIZE};
 
 use crate::db::Db;
 use crate::error::{LobError, Result};
@@ -51,8 +51,7 @@ impl Catalog {
 
     /// Open an existing catalog by its first page.
     pub fn open(db: &mut Db, root: u32) -> Result<Self> {
-        let magic =
-            db.with_meta_page(root, |p| u32::from_le_bytes(p[0..4].try_into().expect("4")));
+        let magic = db.with_meta_page(root, |p| le::le_u32(p));
         if magic != CAT_MAGIC {
             return Err(LobError::Corrupt(format!(
                 "page {root} is not a catalog page"
@@ -61,12 +60,19 @@ impl Catalog {
         Ok(Catalog { root })
     }
 
+    /// The first page of the catalog chain.
     pub fn root_page(&self) -> u32 {
         self.root
     }
 
     /// Register `name`. Fails if the name exists or is too long.
-    pub fn put(&mut self, db: &mut Db, name: &str, kind: StorageKind, root_page: u32) -> Result<()> {
+    pub fn put(
+        &mut self,
+        db: &mut Db,
+        name: &str,
+        kind: StorageKind,
+        root_page: u32,
+    ) -> Result<()> {
         if name.is_empty() || name.len() > MAX_NAME {
             return Err(LobError::Corrupt(format!(
                 "catalog name must be 1..={MAX_NAME} bytes"
@@ -127,6 +133,7 @@ impl Catalog {
                 let (n, next) = header(p);
                 (parse_entries(p, n), next)
             });
+            let entries = entries?;
             if let Some(pos) = entries.iter().position(|e| e.name == name) {
                 let mut keep = entries;
                 removed = Some(keep.remove(pos));
@@ -145,7 +152,7 @@ impl Catalog {
                         p[at..at + 4].copy_from_slice(&e.root_page.to_le_bytes());
                         at += 4;
                     }
-                    p[4..6].copy_from_slice(&(keep.len() as u16).to_le_bytes());
+                    p[4..6].copy_from_slice(&cast::usize_to_u16(keep.len()).to_le_bytes());
                 });
                 self.flush(db, page);
                 break;
@@ -161,15 +168,14 @@ impl Catalog {
         let mut page = self.root;
         while page != 0 {
             let (entries, next) = db.with_meta_page(page, |p| {
-                let magic = u32::from_le_bytes(p[0..4].try_into().expect("4"));
-                if magic != CAT_MAGIC {
+                if le::le_u32(p) != CAT_MAGIC {
                     return (None, 0);
                 }
                 let (n, next) = header(p);
                 (Some(parse_entries(p, n)), next)
             });
             let entries =
-                entries.ok_or_else(|| LobError::Corrupt("broken catalog chain".into()))?;
+                entries.ok_or_else(|| LobError::Corrupt("broken catalog chain".into()))??;
             out.extend(entries);
             page = next;
         }
@@ -182,19 +188,19 @@ impl Catalog {
         let mut page = self.root;
         while page != 0 {
             out.push(page);
-            let next = db.with_meta_page(page, |p| {
-                let magic = u32::from_le_bytes(p[0..4].try_into().expect("4"));
-                (magic == CAT_MAGIC).then(|| header(p).1)
-            });
+            let next =
+                db.with_meta_page(page, |p| (le::le_u32(p) == CAT_MAGIC).then(|| header(p).1));
             page = next.ok_or_else(|| LobError::Corrupt("broken catalog chain".into()))?;
         }
         Ok(out)
     }
 
+    /// Number of registered names.
     pub fn len(&self, db: &mut Db) -> Result<usize> {
         Ok(self.list(db)?.len())
     }
 
+    /// Whether the catalog holds no names.
     pub fn is_empty(&self, db: &mut Db) -> Result<bool> {
         Ok(self.len(db)? == 0)
     }
@@ -210,23 +216,22 @@ fn init_page(p: &mut [u8]) {
 }
 
 fn header(p: &[u8]) -> (u16, u32) {
-    (
-        u16::from_le_bytes(p[4..6].try_into().expect("2")),
-        u32::from_le_bytes(p[6..10].try_into().expect("4")),
-    )
+    (le::le_u16(&p[4..]), le::le_u32(&p[6..]))
 }
 
-fn parse_entries(p: &[u8], n: u16) -> Vec<CatalogEntry> {
-    let mut out = Vec::with_capacity(n as usize);
+fn parse_entries(p: &[u8], n: u16) -> Result<Vec<CatalogEntry>> {
+    let mut out = Vec::with_capacity(usize::from(n));
     let mut at = HDR;
     for _ in 0..n {
-        let len = p[at] as usize;
+        let len = usize::from(p[at]);
         at += 1;
         let name = String::from_utf8_lossy(&p[at..at + len]).into_owned();
         at += len;
-        let kind = StorageKind::from_u8(p[at]).expect("valid kind byte");
+        let kind = StorageKind::from_u8(p[at]).ok_or_else(|| {
+            LobError::Corrupt(format!("bad storage-kind byte {} in catalog", p[at]))
+        })?;
         at += 1;
-        let root = u32::from_le_bytes(p[at..at + 4].try_into().expect("4"));
+        let root = le::le_u32(&p[at..]);
         at += 4;
         out.push(CatalogEntry {
             name,
@@ -234,13 +239,13 @@ fn parse_entries(p: &[u8], n: u16) -> Vec<CatalogEntry> {
             root_page: root,
         });
     }
-    out
+    Ok(out)
 }
 
 fn used_bytes(p: &[u8], n: u16) -> usize {
     let mut at = HDR;
     for _ in 0..n {
-        let len = p[at] as usize;
+        let len = usize::from(p[at]);
         at += 1 + len + 1 + 4;
     }
     at
@@ -310,7 +315,8 @@ mod tests {
         let mut cat = Catalog::create(&mut db).unwrap();
         let mut obj = ManagerSpec::eos(4).create(&mut db).unwrap();
         obj.append(&mut db, b"persistent bytes").unwrap();
-        cat.put(&mut db, "thing", obj.kind(), obj.root_page()).unwrap();
+        cat.put(&mut db, "thing", obj.kind(), obj.root_page())
+            .unwrap();
         let cat_root = cat.root_page();
         db.checkpoint();
         db.crash_and_reboot();

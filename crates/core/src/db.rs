@@ -79,6 +79,7 @@ pub struct Db {
 }
 
 impl Db {
+    /// Build a database over a fresh two-area simulated disk.
     pub fn new(cfg: DbConfig) -> Self {
         let disk = SimDisk::new(2, cfg.cost);
         Db {
@@ -94,6 +95,7 @@ impl Db {
         Db::new(DbConfig::default())
     }
 
+    /// The configuration this database was built with.
     pub fn config(&self) -> &DbConfig {
         &self.cfg
     }
@@ -268,12 +270,30 @@ impl Db {
     }
 
     /// [`Self::load_image`] from a file path.
-    pub fn load_from_path(
-        path: impl AsRef<std::path::Path>,
-        cfg: DbConfig,
-    ) -> std::io::Result<Db> {
+    pub fn load_from_path(path: impl AsRef<std::path::Path>, cfg: DbConfig) -> std::io::Result<Db> {
         let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
         Db::load_image(&mut r, cfg)
+    }
+
+    /// Deep allocator verification (the `paranoid` feature): both buddy
+    /// managers re-read their space directories and cross-check the
+    /// bitmaps against their in-memory bookkeeping.
+    #[cfg(feature = "paranoid")]
+    pub fn paranoid_verify_allocators(&mut self) -> crate::error::Result<()> {
+        use crate::error::LobError;
+        let Db {
+            pool,
+            meta_alloc,
+            leaf_alloc,
+            ..
+        } = self;
+        meta_alloc
+            .paranoid_verify(pool)
+            .map_err(|e| LobError::InvariantViolated(format!("META allocator: {e}")))?;
+        leaf_alloc
+            .paranoid_verify(pool)
+            .map_err(|e| LobError::InvariantViolated(format!("LEAF allocator: {e}")))?;
+        Ok(())
     }
 
     /// Cost-free snapshot of a META page's current content (newest pool
@@ -281,14 +301,16 @@ impl Db {
     /// code only.
     pub(crate) fn peek_meta(&self, page: u32) -> Box<[u8; PAGE_SIZE]> {
         let mut buf = Box::new([0u8; PAGE_SIZE]);
-        self.pool.peek_page(PageId::new(AreaId::META, page), &mut buf);
+        self.pool
+            .peek_page(PageId::new(AreaId::META, page), &mut buf);
         buf
     }
 
     /// Cost-free snapshot of a LEAF page (newest pool copy if resident).
     pub(crate) fn peek_leaf_page(&self, page: u32) -> Box<[u8; PAGE_SIZE]> {
         let mut buf = Box::new([0u8; PAGE_SIZE]);
-        self.pool.peek_page(PageId::new(AreaId::LEAF, page), &mut buf);
+        self.pool
+            .peek_page(PageId::new(AreaId::LEAF, page), &mut buf);
         buf
     }
 }

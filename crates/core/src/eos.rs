@@ -24,7 +24,7 @@
 //!   more reshuffling on updates — the §4.6 trade-off.
 
 use lobstore_buddy::Extent;
-use lobstore_simdisk::{pages_for_bytes, AreaId, PageId, PAGE_SIZE};
+use lobstore_simdisk::{cast, pages_for_bytes, AreaId, PageId, PAGE_SIZE, PAGE_SIZE_U64};
 
 use crate::db::Db;
 use crate::error::{LobError, Result};
@@ -66,6 +66,7 @@ pub struct EosObject {
 }
 
 impl EosObject {
+    /// Create a new, empty EOS object.
     pub fn create(db: &mut Db, params: EosParams) -> Result<Self> {
         if params.threshold_pages == 0
             || params.max_seg_pages == 0
@@ -96,6 +97,7 @@ impl EosObject {
         })
     }
 
+    /// Open an existing EOS object by its root page.
     pub fn open(db: &mut Db, root_page: u32) -> Result<Self> {
         let tree = PosTree::new(root_page);
         let hdr = tree.read_hdr(db);
@@ -106,8 +108,8 @@ impl EosObject {
         }
         Ok(EosObject {
             tree,
-            threshold_pages: (hdr.params & 0xFFFF_FFFF) as u32,
-            max_seg_pages: (hdr.params >> 32) as u32,
+            threshold_pages: cast::to_u32(hdr.params & 0xFFFF_FFFF),
+            max_seg_pages: cast::to_u32(hdr.params >> 32),
         })
     }
 
@@ -117,7 +119,7 @@ impl EosObject {
     }
 
     fn max_bytes(&self) -> u64 {
-        u64::from(self.max_seg_pages) * PAGE_SIZE as u64
+        u64::from(self.max_seg_pages) * PAGE_SIZE_U64
     }
 
     fn check_range(&self, db: &mut Db, off: u64, len: u64) -> Result<u64> {
@@ -190,22 +192,22 @@ impl EosObject {
     /// Enforce the threshold constraint around the update window
     /// `[lo, hi]` (object offsets): merge adjacent segments whose
     /// boundary falls in the window while the rule demands it.
-    fn merge_around(&self, db: &mut Db, ctx: &mut OpCtx, lo: u64, hi: u64) {
+    fn merge_around(&self, db: &mut Db, ctx: &mut OpCtx, lo: u64, hi: u64) -> Result<()> {
         let mut cur = lo.saturating_sub(1);
         loop {
             let total = self.tree.total(db);
             if total == 0 {
-                return;
+                return Ok(());
             }
             cur = cur.min(total - 1);
-            let x = self.tree.descend(db, cur).expect("nonempty");
+            let x = self.tree.try_descend(db, cur)?;
             if x.leaf_end() >= total {
-                return; // no right neighbour
+                return Ok(()); // no right neighbour
             }
             if x.leaf_end() > hi.min(total) {
-                return; // past the update window
+                return Ok(()); // past the update window
             }
-            let y = self.tree.descend(db, x.leaf_end()).expect("right neighbour");
+            let y = self.tree.try_descend(db, x.leaf_end())?;
             if self.must_merge(x.entry.count, y.entry.count) {
                 let mut hdr = self.tree.read_hdr(db);
                 let mut buf = read_seg_bytes(db, x.entry.ptr, 0, x.entry.count);
@@ -215,10 +217,7 @@ impl EosObject {
                 self.free_seg(ctx, &mut hdr, &y.entry);
                 self.tree.write_hdr(db, &hdr);
                 self.tree.remove_entry(db, ctx, &x.path);
-                let again = self
-                    .tree
-                    .descend(db, x.leaf_start)
-                    .expect("right segment of the pair");
+                let again = self.tree.try_descend(db, x.leaf_start)?;
                 debug_assert_eq!(again.entry.ptr, y.entry.ptr);
                 self.tree.replace_entry(db, ctx, &again.path, vec![merged]);
                 // Stay at `cur`: the merged segment may merge again.
@@ -256,7 +255,7 @@ impl EosObject {
         old: &[Entry],
         sources: Vec<Src>,
         parents: &[Entry],
-    ) -> u64 {
+    ) -> Result<u64> {
         debug_assert!(!old.is_empty() && !sources.is_empty());
         let region_len: u64 = sources.iter().map(Src::len).sum();
 
@@ -300,7 +299,7 @@ impl EosObject {
                 }
                 _ => {
                     let total: u64 = g.iter().map(Src::len).sum();
-                    let mut buf = Vec::with_capacity(total as usize);
+                    let mut buf = Vec::with_capacity(cast::to_usize(total));
                     for s in &g {
                         match s {
                             Src::Seg(e) => {
@@ -339,24 +338,22 @@ impl EosObject {
         // the survivor with the new run (re-descending each time, since
         // structural updates invalidate paths).
         for e in &old[..old.len() - 1] {
-            let pos = self
-                .tree
-                .descend(db, region_start)
-                .expect("region entry present");
+            let pos = self.tree.try_descend(db, region_start)?;
             assert_eq!(pos.entry.ptr, e.ptr, "region entry mismatch");
             self.tree.remove_entry(db, ctx, &pos.path);
         }
-        let pos = self
-            .tree
-            .descend(db, region_start)
-            .expect("last region entry present");
-        assert_eq!(pos.entry.ptr, old[old.len() - 1].ptr, "last region entry mismatch");
+        let pos = self.tree.try_descend(db, region_start)?;
+        assert_eq!(
+            pos.entry.ptr,
+            old[old.len() - 1].ptr,
+            "last region entry mismatch"
+        );
         self.tree.replace_entry(db, ctx, &pos.path, new_entries);
-        region_len
+        Ok(region_len)
     }
 
-    fn insert_inner(&mut self, db: &mut Db, ctx: &mut OpCtx, off: u64, bytes: &[u8]) {
-        let pos = self.tree.descend(db, off).expect("nonempty");
+    fn insert_inner(&mut self, db: &mut Db, ctx: &mut OpCtx, off: u64, bytes: &[u8]) -> Result<()> {
+        let pos = self.tree.try_descend(db, off)?;
         let p = pos.off_in_leaf;
         let s = pos.entry;
         let total = self.tree.total(db);
@@ -369,7 +366,7 @@ impl EosObject {
         // Pull both neighbours into the window so the threshold rule can
         // coalesce across the update site in one pass.
         if pos.leaf_start > 0 {
-            let ln = self.tree.descend(db, pos.leaf_start - 1).expect("left");
+            let ln = self.tree.try_descend(db, pos.leaf_start - 1)?;
             region_start = ln.leaf_start;
             old.push(ln.entry);
             sources.push(Src::Seg(ln.entry));
@@ -391,17 +388,17 @@ impl EosObject {
             parents.push(s);
         }
         if pos.leaf_end() < total {
-            let rn = self.tree.descend(db, pos.leaf_end()).expect("right");
+            let rn = self.tree.try_descend(db, pos.leaf_end())?;
             old.push(rn.entry);
             sources.push(Src::Seg(rn.entry));
         }
 
-        let region_len = self.rebuild_region(db, ctx, region_start, &old, sources, &parents);
+        let region_len = self.rebuild_region(db, ctx, region_start, &old, sources, &parents)?;
         self.bump_size(db, bytes.len() as i64);
         // Cascade at the outer boundaries, in the rare case the edge
         // groups still violate the rule against segments outside the
         // window.
-        self.merge_around(db, ctx, region_start, region_start + region_len);
+        self.merge_around(db, ctx, region_start, region_start + region_len)
     }
 }
 
@@ -426,6 +423,21 @@ impl Src {
             Src::Prefix { len, .. } | Src::Tail { len, .. } => *len,
             Src::Mem(m) => m.len() as u64,
         }
+    }
+}
+
+#[cfg(feature = "paranoid")]
+impl EosObject {
+    /// Post-operation deep verification (the `paranoid` feature). The
+    /// threshold rule is checked only inside `window`: the merge rule is
+    /// an *update* postcondition — append growth legitimately leaves
+    /// small doubling segments adjacent (§4.2).
+    fn paranoid_verify(&self, db: &mut Db, window: Option<(u64, u64)>) -> Result<()> {
+        crate::paranoid::verify_object(self, db)?;
+        if let Some((lo, hi)) = window {
+            crate::paranoid::verify_eos_threshold(self, db, lo, hi)?;
+        }
+        Ok(())
     }
 }
 
@@ -460,8 +472,8 @@ impl LargeObject for EosObject {
             let hdr = self.tree.read_hdr(db);
             let alloc = self.alloc_of(&hdr, &pos.entry);
             prev_alloc = alloc;
-            let space = u64::from(alloc) * PAGE_SIZE as u64 - pos.entry.count;
-            let take = (rem.len() as u64).min(space) as usize;
+            let space = u64::from(alloc) * PAGE_SIZE_U64 - pos.entry.count;
+            let take = cast::to_usize((rem.len() as u64).min(space));
             if take > 0 {
                 append_in_place(db, pos.entry.ptr, pos.entry.count, &rem[..take]);
                 self.tree.add_count(db, &mut ctx, &pos.path, take as i64);
@@ -477,7 +489,7 @@ impl LargeObject for EosObject {
             } else {
                 (prev_alloc * 2).min(self.max_seg_pages)
             };
-            let take = (rem.len() as u64).min(u64::from(alloc) * PAGE_SIZE as u64) as usize;
+            let take = cast::to_usize((rem.len() as u64).min(u64::from(alloc) * PAGE_SIZE_U64));
             let ext = db.alloc_leaf(alloc);
             db.pool.write_direct(AreaId::LEAF, ext.start, &rem[..take]);
             self.tree.append_entry(
@@ -502,6 +514,8 @@ impl LargeObject for EosObject {
             rem = &rem[take..];
         }
         ctx.finish(db);
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db, None)?;
         Ok(())
     }
 
@@ -510,8 +524,8 @@ impl LargeObject for EosObject {
         let mut at = off;
         let mut done = 0usize;
         while done < out.len() {
-            let pos = self.tree.descend(db, at).expect("range checked");
-            let take = ((pos.leaf_end() - at).min((out.len() - done) as u64)) as usize;
+            let pos = self.tree.try_descend(db, at)?;
+            let take = cast::to_usize((pos.leaf_end() - at).min((out.len() - done) as u64));
             db.pool.read_segment(
                 AreaId::LEAF,
                 pos.entry.ptr,
@@ -543,8 +557,10 @@ impl LargeObject for EosObject {
             });
         }
         let mut ctx = OpCtx::new();
-        self.insert_inner(db, &mut ctx, off, bytes);
+        self.insert_inner(db, &mut ctx, off, bytes)?;
         ctx.finish(db);
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db, Some((off, off + bytes.len() as u64)))?;
         Ok(())
     }
 
@@ -565,7 +581,7 @@ impl LargeObject for EosObject {
         let mut partials: Vec<(Entry, u64, u64, u64)> = Vec::new();
         let mut cursor = off;
         while cursor < del_end {
-            let pos = self.tree.descend(db, cursor).expect("range checked");
+            let pos = self.tree.try_descend(db, cursor)?;
             let seg_end = pos.leaf_end();
             if pos.off_in_leaf == 0 && del_end >= seg_end {
                 whole.push(pos.entry);
@@ -587,7 +603,7 @@ impl LargeObject for EosObject {
             _ => off,
         };
         for e in &whole {
-            let pos = self.tree.descend(db, w_start).expect("whole segment present");
+            let pos = self.tree.try_descend(db, w_start)?;
             assert_eq!(pos.entry.ptr, e.ptr, "covered segment mismatch");
             let mut hdr = self.tree.read_hdr(db);
             self.free_seg(&mut ctx, &mut hdr, e);
@@ -601,13 +617,17 @@ impl LargeObject for EosObject {
             // A left partial (p > 0) keeps its original start; a lone
             // right partial has shifted to `w_start` now that the covered
             // segments before it are gone.
-            let anchor = if partials[0].2 > 0 { partials[0].1 } else { w_start };
+            let anchor = if partials[0].2 > 0 {
+                partials[0].1
+            } else {
+                w_start
+            };
             let mut old = Vec::with_capacity(4);
             let mut sources = Vec::with_capacity(6);
             let mut parents = Vec::with_capacity(2);
             let mut region_start = anchor;
             if anchor > 0 {
-                let ln = self.tree.descend(db, anchor - 1).expect("left neighbour");
+                let ln = self.tree.try_descend(db, anchor - 1)?;
                 region_start = ln.leaf_start;
                 old.push(ln.entry);
                 sources.push(Src::Seg(ln.entry));
@@ -630,20 +650,23 @@ impl LargeObject for EosObject {
             }
             let total = self.tree.total(db);
             if kept_after < total {
-                let rn = self.tree.descend(db, kept_after).expect("right neighbour");
+                let rn = self.tree.try_descend(db, kept_after)?;
                 old.push(rn.entry);
                 sources.push(Src::Seg(rn.entry));
             }
-            let region_len = self.rebuild_region(db, &mut ctx, region_start, &old, sources, &parents);
+            let region_len =
+                self.rebuild_region(db, &mut ctx, region_start, &old, sources, &parents)?;
             self.bump_size(db, -(len as i64));
-            self.merge_around(db, &mut ctx, region_start, region_start + region_len);
+            self.merge_around(db, &mut ctx, region_start, region_start + region_len)?;
         } else {
             // Pure whole-segment delete: the freed gap may have brought
             // two violating segments together.
             self.bump_size(db, -(len as i64));
-            self.merge_around(db, &mut ctx, off, off);
+            self.merge_around(db, &mut ctx, off, off)?;
         }
         ctx.finish(db);
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db, Some((off, off)))?;
         Ok(())
     }
 
@@ -656,9 +679,9 @@ impl LargeObject for EosObject {
         let mut at = off;
         let mut done = 0usize;
         while done < bytes.len() {
-            let pos = self.tree.descend(db, at).expect("range checked");
-            let take = ((pos.leaf_end() - at).min((bytes.len() - done) as u64)) as usize;
-            let s = pos.off_in_leaf as usize;
+            let pos = self.tree.try_descend(db, at)?;
+            let take = cast::to_usize((pos.leaf_end() - at).min((bytes.len() - done) as u64));
+            let s = cast::to_usize(pos.off_in_leaf);
             if db.config().shadowing {
                 let mut hdr = self.tree.read_hdr(db);
                 let mut content = read_seg_bytes(db, pos.entry.ptr, 0, pos.entry.count);
@@ -668,12 +691,19 @@ impl LargeObject for EosObject {
                 self.tree.write_hdr(db, &hdr);
                 self.tree.replace_entry(db, &mut ctx, &pos.path, vec![e]);
             } else {
-                patch_in_place(db, pos.entry.ptr, pos.off_in_leaf, &bytes[done..done + take]);
+                patch_in_place(
+                    db,
+                    pos.entry.ptr,
+                    pos.off_in_leaf,
+                    &bytes[done..done + take],
+                );
             }
             done += take;
             at += take as u64;
         }
         ctx.finish(db);
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db, None)?;
         Ok(())
     }
 
@@ -700,6 +730,8 @@ impl LargeObject for EosObject {
         hdr.last_seg_alloc = 0;
         hdr.last_seg_ptr = 0;
         self.tree.write_hdr(db, &hdr);
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db, None)?;
         Ok(())
     }
 
@@ -796,7 +828,7 @@ impl LargeObject for EosObject {
         let mut out = Vec::with_capacity(leaves.iter().map(|(_, e)| e.count as usize).sum());
         for (_, e) in leaves {
             let pages = pages_for_bytes(e.count);
-            let mut rem = e.count as usize;
+            let mut rem = cast::to_usize(e.count);
             for i in 0..pages {
                 let page = db.peek_leaf_page(e.ptr + i);
                 let take = rem.min(PAGE_SIZE);
@@ -819,7 +851,9 @@ mod tests {
     }
 
     fn pattern(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| ((i * 41 + seed as usize) % 247) as u8).collect()
+        (0..len)
+            .map(|i| ((i * 41 + seed as usize) % 247) as u8)
+            .collect()
     }
 
     fn make(db: &mut Db, t: u32) -> EosObject {
@@ -984,7 +1018,11 @@ mod tests {
         db.reset_io_stats();
         obj.delete(&mut db, 20_000, 20_000).unwrap();
         let s = db.io_stats();
-        assert_eq!(s.pages_read + s.pages_written, 0, "suffix trim is free: {s}");
+        assert_eq!(
+            s.pages_read + s.pages_written,
+            0,
+            "suffix trim is free: {s}"
+        );
         assert_eq!(obj.snapshot(&db), base[..20_000]);
         obj.check_invariants(&db).unwrap();
     }
@@ -1014,7 +1052,7 @@ mod tests {
         // rebuild must anchor at its post-removal position.
         let mut db = db();
         let mut obj = make(&mut db, 1); // T=1: segments stay separate
-        // Three exact 2-page segments via boundary inserts.
+                                        // Three exact 2-page segments via boundary inserts.
         let mut model = Vec::new();
         for i in 0..4u8 {
             let chunk = pattern(8192, i);

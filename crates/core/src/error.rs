@@ -38,6 +38,7 @@ impl std::fmt::Display for LobError {
 
 impl std::error::Error for LobError {}
 
+/// Shorthand for results carrying a [`LobError`].
 pub type Result<T> = std::result::Result<T, LobError>;
 
 #[cfg(test)]
@@ -55,6 +56,8 @@ mod tests {
             e.to_string(),
             "byte range [10, 10+5) out of range for object of 12 bytes"
         );
-        assert!(LobError::Corrupt("x".into()).to_string().contains("corrupt"));
+        assert!(LobError::Corrupt("x".into())
+            .to_string()
+            .contains("corrupt"));
     }
 }

@@ -22,13 +22,15 @@
 //! (§3.3). Only pages actually holding bytes are ever transferred.
 
 use lobstore_buddy::Extent;
-use lobstore_simdisk::{AreaId, PAGE_SIZE};
+use lobstore_simdisk::{cast, AreaId, PAGE_SIZE, PAGE_SIZE_U64};
 
 use crate::db::Db;
 use crate::error::{LobError, Result};
 use crate::node::{Entry, RootHdr};
 use crate::object::{LargeObject, StorageKind, Utilization};
-use crate::segdata::{append_in_place, append_sizes, even_sizes, patch_in_place, read_seg_bytes, write_new_seg};
+use crate::segdata::{
+    append_in_place, append_sizes, even_sizes, patch_in_place, read_seg_bytes, write_new_seg,
+};
 use crate::shadow::OpCtx;
 use crate::tree::{LeafPos, PosTree};
 use crate::MAX_OP_BYTES;
@@ -116,7 +118,7 @@ impl EsmObject {
         }
         Ok(EsmObject {
             tree,
-            leaf_pages: hdr.params as u32,
+            leaf_pages: cast::to_u32(hdr.params),
             insert_algo: EsmInsertAlgo::default(),
             whole_leaf_io: false,
         })
@@ -129,7 +131,7 @@ impl EsmObject {
 
     /// Leaf capacity in bytes.
     fn cap(&self) -> u64 {
-        u64::from(self.leaf_pages) * PAGE_SIZE as u64
+        u64::from(self.leaf_pages) * PAGE_SIZE_U64
     }
 
     fn leaf_extent(&self, ptr: u32) -> Extent {
@@ -164,16 +166,19 @@ impl EsmObject {
 
     /// The append-overflow redistribution of §4.2. `pos` is the rightmost
     /// leaf; `bytes` did not fit in its free space.
-    fn append_overflow(&self, db: &mut Db, ctx: &mut OpCtx, pos: LeafPos, bytes: &[u8]) {
+    fn append_overflow(
+        &self,
+        db: &mut Db,
+        ctx: &mut OpCtx,
+        pos: LeafPos,
+        bytes: &[u8],
+    ) -> Result<()> {
         let cap = self.cap();
         // Participants, leftmost first: the left neighbour if it has free
         // space, then the rightmost leaf.
         let mut parts: Vec<LeafPos> = Vec::with_capacity(2);
         if pos.leaf_start > 0 {
-            let ln = self
-                .tree
-                .descend(db, pos.leaf_start - 1)
-                .expect("left neighbour must exist");
+            let ln = self.tree.try_descend(db, pos.leaf_start - 1)?;
             if ln.entry.count < cap {
                 parts.push(ln);
             }
@@ -199,8 +204,9 @@ impl EsmObject {
         let mut new_entries = Vec::with_capacity(sizes.len() - skip);
         let mut off = 0usize;
         for &s in &sizes[skip..] {
-            new_entries.push(self.new_leaf(db, &buf[off..off + s as usize]));
-            off += s as usize;
+            let s = cast::to_usize(s);
+            new_entries.push(self.new_leaf(db, &buf[off..off + s]));
+            off += s;
         }
         debug_assert_eq!(off, buf.len());
 
@@ -211,7 +217,10 @@ impl EsmObject {
         match parts.len() - skip {
             0 => {
                 // Everything kept; the new leaves follow the rightmost one.
-                let last = parts.last().expect("at least the rightmost leaf");
+                let last = match parts.last() {
+                    Some(p) => p,
+                    None => unreachable!("parts always includes the rightmost leaf"),
+                };
                 let mut repl = Vec::with_capacity(1 + new_entries.len());
                 repl.push(last.entry);
                 repl.extend(new_entries);
@@ -226,15 +235,13 @@ impl EsmObject {
                 // remove the neighbour's entry, re-find the rightmost leaf
                 // (offsets shifted), and replace it with the new entries.
                 self.tree.remove_entry(db, ctx, &parts[0].path);
-                let again = self
-                    .tree
-                    .descend(db, parts[0].leaf_start)
-                    .expect("rightmost leaf still present");
+                let again = self.tree.try_descend(db, parts[0].leaf_start)?;
                 debug_assert_eq!(again.entry.ptr, parts[1].entry.ptr);
                 self.tree.replace_entry(db, ctx, &again.path, new_entries);
             }
             _ => unreachable!("at most two participants"),
         }
+        Ok(())
     }
 
     /// Rewrite the leaf at `pos` with `content` (shadowed, or in place
@@ -254,11 +261,11 @@ impl EsmObject {
             e
         } else {
             // In place: write only the pages from the first changed byte on.
-            let first_page = keep_prefix / PAGE_SIZE as u64;
-            let from = (first_page * PAGE_SIZE as u64) as usize;
+            let first_page = keep_prefix / PAGE_SIZE_U64;
+            let from = cast::to_usize(first_page * PAGE_SIZE_U64);
             db.pool.write_direct(
                 AreaId::LEAF,
-                pos.entry.ptr + first_page as u32,
+                pos.entry.ptr + cast::to_u32(first_page),
                 &content[from..],
             );
             Entry {
@@ -270,24 +277,24 @@ impl EsmObject {
 
     /// If the leaf at `at` is under half full (and not alone), merge with
     /// or borrow from a neighbour.
-    fn fix_underflow(&self, db: &mut Db, ctx: &mut OpCtx, at: u64) {
+    fn fix_underflow(&self, db: &mut Db, ctx: &mut OpCtx, at: u64) -> Result<()> {
         let cap = self.cap();
         let Some(pos) = self.tree.descend(db, at) else {
-            return;
+            return Ok(());
         };
         if pos.entry.count * 2 >= cap {
-            return;
+            return Ok(());
         }
         // Prefer the left neighbour.
         let (left, right) = if pos.leaf_start > 0 {
-            let ln = self.tree.descend(db, pos.leaf_start - 1).expect("left");
+            let ln = self.tree.try_descend(db, pos.leaf_start - 1)?;
             (ln, pos)
         } else {
             let total = self.tree.read_hdr(db).size;
             if pos.leaf_end() >= total {
-                return; // only leaf in the object
+                return Ok(()); // only leaf in the object
             }
-            let rn = self.tree.descend(db, pos.leaf_end()).expect("right");
+            let rn = self.tree.try_descend(db, pos.leaf_end())?;
             (pos, rn)
         };
         let mut buf = read_seg_bytes(db, left.entry.ptr, 0, left.entry.count);
@@ -298,25 +305,26 @@ impl EsmObject {
         } else {
             let sizes = even_sizes(total, cap);
             debug_assert_eq!(sizes.len(), 2);
-            let split = sizes[0] as usize;
-            vec![self.new_leaf(db, &buf[..split]), self.new_leaf(db, &buf[split..])]
+            let split = cast::to_usize(sizes[0]);
+            vec![
+                self.new_leaf(db, &buf[..split]),
+                self.new_leaf(db, &buf[split..]),
+            ]
         };
         ctx.free_extent_later(self.leaf_extent(left.entry.ptr));
         ctx.free_extent_later(self.leaf_extent(right.entry.ptr));
         self.tree.remove_entry(db, ctx, &left.path);
-        let again = self
-            .tree
-            .descend(db, left.leaf_start)
-            .expect("right leaf of the pair");
+        let again = self.tree.try_descend(db, left.leaf_start)?;
         debug_assert_eq!(again.entry.ptr, right.entry.ptr);
         self.tree.replace_entry(db, ctx, &again.path, new_entries);
+        Ok(())
     }
 
-    fn insert_inner(&mut self, db: &mut Db, ctx: &mut OpCtx, off: u64, bytes: &[u8]) {
+    fn insert_inner(&mut self, db: &mut Db, ctx: &mut OpCtx, off: u64, bytes: &[u8]) -> Result<()> {
         let cap = self.cap();
         let len = bytes.len() as u64;
-        let pos = self.tree.descend(db, off).expect("non-empty object");
-        let p = pos.off_in_leaf as usize;
+        let pos = self.tree.try_descend(db, off)?;
+        let p = cast::to_usize(pos.off_in_leaf);
 
         if pos.entry.count + len <= cap {
             // Fits in the target leaf: rewrite it.
@@ -324,16 +332,22 @@ impl EsmObject {
             content.splice(p..p, bytes.iter().copied());
             let e = self.rewrite_leaf(db, ctx, &pos, &content, pos.off_in_leaf);
             self.tree.replace_entry(db, ctx, &pos.path, vec![e]);
-            return;
+            return Ok(());
         }
 
         if self.insert_algo == EsmInsertAlgo::Improved {
             // Try to avoid a new leaf by redistributing with one neighbour.
             let size = self.tree.read_hdr(db).size;
-            let left = (pos.leaf_start > 0)
-                .then(|| self.tree.descend(db, pos.leaf_start - 1).expect("left"));
-            let right = (pos.leaf_end() < size)
-                .then(|| self.tree.descend(db, pos.leaf_end()).expect("right"));
+            let left = if pos.leaf_start > 0 {
+                Some(self.tree.try_descend(db, pos.leaf_start - 1)?)
+            } else {
+                None
+            };
+            let right = if pos.leaf_end() < size {
+                Some(self.tree.try_descend(db, pos.leaf_end())?)
+            } else {
+                None
+            };
             let fits = |n: &LeafPos| n.entry.count + pos.entry.count + len <= 2 * cap;
             let neighbour = match (left, right) {
                 (Some(l), _) if fits(&l) => Some((l, true)),
@@ -346,7 +360,7 @@ impl EsmObject {
                 if n_is_left {
                     buf = read_seg_bytes(db, n.entry.ptr, 0, n.entry.count);
                     buf.extend(read_seg_bytes(db, pos.entry.ptr, 0, pos.entry.count));
-                    let at = n.entry.count as usize + p;
+                    let at = cast::to_usize(n.entry.count) + p;
                     buf.splice(at..at, bytes.iter().copied());
                 } else {
                     buf = read_seg_bytes(db, pos.entry.ptr, 0, pos.entry.count);
@@ -354,8 +368,11 @@ impl EsmObject {
                     buf.extend(read_seg_bytes(db, n.entry.ptr, 0, n.entry.count));
                 }
                 let total = buf.len() as u64;
-                let split = total.div_ceil(2) as usize;
-                let entries = vec![self.new_leaf(db, &buf[..split]), self.new_leaf(db, &buf[split..])];
+                let split = cast::to_usize(total.div_ceil(2));
+                let entries = vec![
+                    self.new_leaf(db, &buf[..split]),
+                    self.new_leaf(db, &buf[split..]),
+                ];
                 ctx.free_extent_later(self.leaf_extent(pos.entry.ptr));
                 ctx.free_extent_later(self.leaf_extent(n.entry.ptr));
                 let (first, first_start) = if n_is_left {
@@ -364,12 +381,9 @@ impl EsmObject {
                     (&pos, pos.leaf_start)
                 };
                 self.tree.remove_entry(db, ctx, &first.path);
-                let again = self
-                    .tree
-                    .descend(db, first_start)
-                    .expect("second leaf of the pair");
+                let again = self.tree.try_descend(db, first_start)?;
                 self.tree.replace_entry(db, ctx, &again.path, entries);
-                return;
+                return Ok(());
             }
         }
 
@@ -381,11 +395,21 @@ impl EsmObject {
         let mut entries = Vec::with_capacity(sizes.len());
         let mut o = 0usize;
         for &s in &sizes {
-            entries.push(self.new_leaf(db, &buf[o..o + s as usize]));
-            o += s as usize;
+            let s = cast::to_usize(s);
+            entries.push(self.new_leaf(db, &buf[o..o + s]));
+            o += s;
         }
         ctx.free_extent_later(self.leaf_extent(pos.entry.ptr));
         self.tree.replace_entry(db, ctx, &pos.path, entries);
+        Ok(())
+    }
+}
+
+#[cfg(feature = "paranoid")]
+impl EsmObject {
+    /// Post-operation deep verification (the `paranoid` feature).
+    fn paranoid_verify(&self, db: &mut Db) -> Result<()> {
+        crate::paranoid::verify_object(self, db)
     }
 }
 
@@ -418,9 +442,10 @@ impl LargeObject for EsmObject {
                 let sizes = append_sizes(bytes.len() as u64, self.cap());
                 let mut off = 0usize;
                 for &s in &sizes {
-                    let e = self.new_leaf(db, &bytes[off..off + s as usize]);
+                    let s = cast::to_usize(s);
+                    let e = self.new_leaf(db, &bytes[off..off + s]);
                     self.tree.append_entry(db, &mut ctx, e);
-                    off += s as usize;
+                    off += s;
                 }
             }
             Some(pos) => {
@@ -430,12 +455,14 @@ impl LargeObject for EsmObject {
                     self.tree
                         .add_count(db, &mut ctx, &pos.path, bytes.len() as i64);
                 } else {
-                    self.append_overflow(db, &mut ctx, pos, bytes);
+                    self.append_overflow(db, &mut ctx, pos, bytes)?;
                 }
             }
         }
         self.bump_size(db, bytes.len() as i64);
         ctx.finish(db);
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db)?;
         Ok(())
     }
 
@@ -444,12 +471,12 @@ impl LargeObject for EsmObject {
         let mut at = off;
         let mut done = 0usize;
         while done < out.len() {
-            let pos = self.tree.descend(db, at).expect("range checked");
-            let take = ((pos.leaf_end() - at).min((out.len() - done) as u64)) as usize;
+            let pos = self.tree.try_descend(db, at)?;
+            let take = cast::to_usize((pos.leaf_end() - at).min((out.len() - done) as u64));
             if self.whole_leaf_io {
                 // §4.5 ablation: fetch the entire leaf, then copy.
                 let whole = read_seg_bytes(db, pos.entry.ptr, 0, pos.entry.count);
-                let s = pos.off_in_leaf as usize;
+                let s = cast::to_usize(pos.off_in_leaf);
                 out[done..done + take].copy_from_slice(&whole[s..s + take]);
             } else {
                 db.pool.read_segment(
@@ -479,9 +506,11 @@ impl LargeObject for EsmObject {
             });
         }
         let mut ctx = OpCtx::new();
-        self.insert_inner(db, &mut ctx, off, bytes);
+        self.insert_inner(db, &mut ctx, off, bytes)?;
         self.bump_size(db, bytes.len() as i64);
         ctx.finish(db);
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db)?;
         Ok(())
     }
 
@@ -493,7 +522,7 @@ impl LargeObject for EsmObject {
         let mut ctx = OpCtx::new();
         let mut remaining = len;
         while remaining > 0 {
-            let pos = self.tree.descend(db, off).expect("range checked");
+            let pos = self.tree.try_descend(db, off)?;
             let del = (pos.leaf_end() - off).min(remaining);
             if del == pos.entry.count {
                 // The whole leaf goes: no data I/O at all.
@@ -501,8 +530,8 @@ impl LargeObject for EsmObject {
                 self.tree.remove_entry(db, &mut ctx, &pos.path);
             } else {
                 let mut content = read_seg_bytes(db, pos.entry.ptr, 0, pos.entry.count);
-                let s = pos.off_in_leaf as usize;
-                content.drain(s..s + del as usize);
+                let s = cast::to_usize(pos.off_in_leaf);
+                content.drain(s..s + cast::to_usize(del));
                 let e = self.rewrite_leaf(db, &mut ctx, &pos, &content, pos.off_in_leaf);
                 self.tree.replace_entry(db, &mut ctx, &pos.path, vec![e]);
             }
@@ -512,13 +541,15 @@ impl LargeObject for EsmObject {
         self.bump_size(db, -(len as i64));
         let total = self.tree.read_hdr(db).size;
         if total > 0 {
-            self.fix_underflow(db, &mut ctx, off.min(total - 1));
+            self.fix_underflow(db, &mut ctx, off.min(total - 1))?;
             if off > 0 {
                 let total = self.tree.read_hdr(db).size;
-                self.fix_underflow(db, &mut ctx, (off - 1).min(total - 1));
+                self.fix_underflow(db, &mut ctx, (off - 1).min(total - 1))?;
             }
         }
         ctx.finish(db);
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db)?;
         Ok(())
     }
 
@@ -531,21 +562,28 @@ impl LargeObject for EsmObject {
         let mut at = off;
         let mut done = 0usize;
         while done < bytes.len() {
-            let pos = self.tree.descend(db, at).expect("range checked");
-            let take = ((pos.leaf_end() - at).min((bytes.len() - done) as u64)) as usize;
-            let s = pos.off_in_leaf as usize;
+            let pos = self.tree.try_descend(db, at)?;
+            let take = cast::to_usize((pos.leaf_end() - at).min((bytes.len() - done) as u64));
+            let s = cast::to_usize(pos.off_in_leaf);
             if db.config().shadowing {
                 let mut content = read_seg_bytes(db, pos.entry.ptr, 0, pos.entry.count);
                 content[s..s + take].copy_from_slice(&bytes[done..done + take]);
                 let e = self.rewrite_leaf(db, &mut ctx, &pos, &content, pos.off_in_leaf);
                 self.tree.replace_entry(db, &mut ctx, &pos.path, vec![e]);
             } else {
-                patch_in_place(db, pos.entry.ptr, pos.off_in_leaf, &bytes[done..done + take]);
+                patch_in_place(
+                    db,
+                    pos.entry.ptr,
+                    pos.off_in_leaf,
+                    &bytes[done..done + take],
+                );
             }
             done += take;
             at += take as u64;
         }
         ctx.finish(db);
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db)?;
         Ok(())
     }
 
@@ -620,7 +658,7 @@ impl LargeObject for EsmObject {
         let mut out = Vec::with_capacity(leaves.iter().map(|(_, e)| e.count as usize).sum());
         for (_, e) in leaves {
             let pages = lobstore_simdisk::pages_for_bytes(e.count);
-            let mut rem = e.count as usize;
+            let mut rem = cast::to_usize(e.count);
             for i in 0..pages {
                 let page = db.peek_leaf_page(e.ptr + i);
                 let take = rem.min(PAGE_SIZE);
@@ -643,7 +681,9 @@ mod tests {
     }
 
     fn pattern(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| ((i * 31 + seed as usize) % 251) as u8).collect()
+        (0..len)
+            .map(|i| ((i * 31 + seed as usize) % 251) as u8)
+            .collect()
     }
 
     fn make(db: &mut Db, leaf_pages: u32) -> EsmObject {

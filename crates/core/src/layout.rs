@@ -4,9 +4,11 @@
 //! arithmetic in one place and panic on out-of-page access, which would
 //! indicate a layout bug rather than bad input.
 
+use lobstore_simdisk::bytes;
+
 #[inline]
 pub(crate) fn get_u16(page: &[u8], off: usize) -> u16 {
-    u16::from_le_bytes(page[off..off + 2].try_into().unwrap())
+    bytes::le_u16(&page[off..])
 }
 
 #[inline]
@@ -16,7 +18,7 @@ pub(crate) fn put_u16(page: &mut [u8], off: usize, v: u16) {
 
 #[inline]
 pub(crate) fn get_u32(page: &[u8], off: usize) -> u32 {
-    u32::from_le_bytes(page[off..off + 4].try_into().unwrap())
+    bytes::le_u32(&page[off..])
 }
 
 #[inline]
@@ -26,7 +28,7 @@ pub(crate) fn put_u32(page: &mut [u8], off: usize, v: u32) {
 
 #[inline]
 pub(crate) fn get_u64(page: &[u8], off: usize) -> u64 {
-    u64::from_le_bytes(page[off..off + 8].try_into().unwrap())
+    bytes::le_u64(&page[off..])
 }
 
 #[inline]

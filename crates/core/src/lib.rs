@@ -42,6 +42,10 @@ mod esm;
 mod layout;
 mod node;
 mod object;
+/// Deep runtime verification helpers, compiled in by the `paranoid`
+/// cargo feature (see the module docs).
+#[cfg(feature = "paranoid")]
+pub mod paranoid;
 mod segdata;
 mod shadow;
 mod shared;
@@ -51,16 +55,16 @@ mod stream;
 mod tree;
 
 pub use catalog::{Catalog, CatalogEntry, MAX_NAME};
-pub use lobstore_buddy::Extent;
 pub use db::{Db, DbConfig, TreeConfig};
 pub use eos::{EosObject, EosParams};
 pub use error::{LobError, Result};
-pub use esm::{EsmInsertAlgo, EsmParams, EsmObject};
+pub use esm::{EsmInsertAlgo, EsmObject, EsmParams};
+pub use lobstore_buddy::Extent;
 pub use object::{LargeObject, SegmentInfo, StorageKind, Utilization};
 pub use shared::SharedDb;
 pub use spec::{open_object, ManagerSpec};
-pub use stream::{ObjectReader, ObjectWriter};
 pub use starburst::{StarburstObject, StarburstParams};
+pub use stream::{ObjectReader, ObjectWriter};
 
 /// Maximum bytes any single operation may carry, a sanity bound
 /// (object sizes themselves are limited only by disk space).

@@ -26,7 +26,7 @@
 //!
 //! matching the paper's 511/507 pair capacities (§4.1).
 
-use lobstore_simdisk::PAGE_SIZE;
+use lobstore_simdisk::{cast, PAGE_SIZE};
 
 use crate::layout::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64};
 
@@ -102,7 +102,7 @@ impl Node {
 
     /// Parse an interior node page.
     pub fn read_page(page: &[u8]) -> Node {
-        let n = get_u16(page, 0) as usize;
+        let n = usize::from(get_u16(page, 0));
         let level = page[2];
         assert!(n <= NODE_MAX_ENTRIES, "corrupt node: {n} entries");
         let mut entries = Vec::with_capacity(n);
@@ -119,7 +119,7 @@ impl Node {
     /// Serialize into an interior node page.
     pub fn write_page(&self, page: &mut [u8]) {
         assert!(self.entries.len() <= NODE_MAX_ENTRIES, "node overflow");
-        put_u16(page, 0, self.entries.len() as u16);
+        put_u16(page, 0, cast::usize_to_u16(self.entries.len()));
         page[2] = self.level;
         page[3..NODE_ENTRIES_OFF].fill(0);
         write_entries(&self.entries, &mut page[NODE_ENTRIES_OFF..]);
@@ -128,7 +128,7 @@ impl Node {
     /// Parse the entry array of a root page (level/count come from the
     /// header, already parsed into `hdr`).
     pub fn read_root(page: &[u8], hdr: &RootHdr) -> Node {
-        let n = hdr.n_entries as usize;
+        let n = usize::from(hdr.n_entries);
         assert!(n <= ROOT_MAX_ENTRIES, "corrupt root: {n} entries");
         let mut entries = Vec::with_capacity(n);
         for i in 0..n {
@@ -149,7 +149,7 @@ impl Node {
     pub fn write_root(&self, page: &mut [u8], hdr: &mut RootHdr) {
         assert!(self.entries.len() <= ROOT_MAX_ENTRIES, "root overflow");
         hdr.level = self.level;
-        hdr.n_entries = self.entries.len() as u16;
+        hdr.n_entries = cast::usize_to_u16(self.entries.len());
         hdr.write(page);
         write_entries(&self.entries, &mut page[ROOT_ENTRIES_OFF..]);
     }
@@ -158,7 +158,7 @@ impl Node {
 fn write_entries(entries: &[Entry], out: &mut [u8]) {
     for (i, e) in entries.iter().enumerate() {
         assert!(e.count <= u64::from(u32::MAX), "count exceeds on-page u32");
-        put_u32(out, i * 8, e.count as u32);
+        put_u32(out, i * 8, cast::to_u32(e.count));
         put_u32(out, i * 8 + 4, e.ptr);
     }
 }
@@ -187,6 +187,7 @@ pub(crate) struct RootHdr {
 }
 
 impl RootHdr {
+    /// Parse the header fields of a root page.
     pub fn read(page: &[u8]) -> RootHdr {
         RootHdr {
             magic: get_u32(page, 0),
@@ -200,6 +201,7 @@ impl RootHdr {
         }
     }
 
+    /// Serialize the header fields into a root page.
     pub fn write(&self, page: &mut [u8]) {
         put_u32(page, 0, self.magic);
         page[4] = self.kind;

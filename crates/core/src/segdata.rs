@@ -9,7 +9,7 @@
 //!   writes the pages containing new bytes with a single sequential call.
 
 use lobstore_buddy::Extent;
-use lobstore_simdisk::{pages_for_bytes, AreaId, PageId, PAGE_SIZE};
+use lobstore_simdisk::{cast, pages_for_bytes, AreaId, PageId, PAGE_SIZE, PAGE_SIZE_U64};
 
 use crate::db::Db;
 
@@ -19,13 +19,14 @@ pub(crate) fn read_seg_bytes(db: &mut Db, ptr: u32, from: u64, len: u64) -> Vec<
     if len == 0 {
         return Vec::new();
     }
-    let first_page = (from / PAGE_SIZE as u64) as u32;
-    let last_page = ((from + len - 1) / PAGE_SIZE as u64) as u32;
+    let first_page = cast::to_u32(from / PAGE_SIZE_U64);
+    let last_page = cast::to_u32((from + len - 1) / PAGE_SIZE_U64);
     let n_pages = last_page - first_page + 1;
-    let mut scratch = vec![0u8; n_pages as usize * PAGE_SIZE];
-    db.pool.read_pages(AreaId::LEAF, ptr + first_page, n_pages, &mut scratch);
-    let skip = (from % PAGE_SIZE as u64) as usize;
-    scratch[skip..skip + len as usize].to_vec()
+    let mut scratch = vec![0u8; cast::u32_to_usize(n_pages) * PAGE_SIZE];
+    db.pool
+        .read_pages(AreaId::LEAF, ptr + first_page, n_pages, &mut scratch);
+    let skip = cast::to_usize(from % PAGE_SIZE_U64);
+    scratch[skip..skip + cast::to_usize(len)].to_vec()
 }
 
 /// Allocate a segment of `alloc_pages` pages and write `bytes` into its
@@ -45,8 +46,8 @@ pub(crate) fn write_new_seg(db: &mut Db, alloc_pages: u32, bytes: &[u8]) -> Exte
 /// sequential call — exactly the paper's append cost (§4.2).
 pub(crate) fn append_in_place(db: &mut Db, ptr: u32, old_len: u64, new: &[u8]) {
     debug_assert!(!new.is_empty());
-    let first_page = (old_len / PAGE_SIZE as u64) as u32;
-    let in_page = (old_len % PAGE_SIZE as u64) as usize;
+    let first_page = cast::to_u32(old_len / PAGE_SIZE_U64);
+    let in_page = cast::to_usize(old_len % PAGE_SIZE_U64);
     let mut buf = Vec::with_capacity(in_page + new.len());
     if in_page > 0 {
         let r = db.pool.fix(PageId::new(AreaId::LEAF, ptr + first_page));
@@ -62,10 +63,10 @@ pub(crate) fn append_in_place(db: &mut Db, ptr: u32, old_len: u64, new: &[u8]) {
 /// read first (if partially covered) so their surrounding bytes survive.
 pub(crate) fn patch_in_place(db: &mut Db, ptr: u32, from: u64, patch: &[u8]) {
     debug_assert!(!patch.is_empty());
-    let first_page = (from / PAGE_SIZE as u64) as u32;
+    let first_page = cast::to_u32(from / PAGE_SIZE_U64);
     let end = from + patch.len() as u64;
-    let head_skip = (from % PAGE_SIZE as u64) as usize;
-    let tail_cut = (end % PAGE_SIZE as u64) as usize;
+    let head_skip = cast::to_usize(from % PAGE_SIZE_U64);
+    let tail_cut = cast::to_usize(end % PAGE_SIZE_U64);
     let mut buf = Vec::with_capacity(head_skip + patch.len());
     if head_skip > 0 {
         let r = db.pool.fix(PageId::new(AreaId::LEAF, ptr + first_page));
@@ -74,7 +75,7 @@ pub(crate) fn patch_in_place(db: &mut Db, ptr: u32, from: u64, patch: &[u8]) {
     }
     buf.extend_from_slice(patch);
     if tail_cut > 0 {
-        let last_page = ((end - 1) / PAGE_SIZE as u64) as u32;
+        let last_page = cast::to_u32((end - 1) / PAGE_SIZE_U64);
         let r = db.pool.fix(PageId::new(AreaId::LEAF, ptr + last_page));
         buf.extend_from_slice(&db.pool.page(r)[tail_cut..]);
         db.pool.unfix(r);
@@ -90,9 +91,7 @@ pub(crate) fn even_sizes(total: u64, cap: u64) -> Vec<u64> {
     let k = total.div_ceil(cap);
     let base = total / k;
     let extra = total % k;
-    (0..k)
-        .map(|i| base + u64::from(i < extra))
-        .collect()
+    (0..k).map(|i| base + u64::from(i < extra)).collect()
 }
 
 /// The ESM append redistribution rule (§4.2): all but the two rightmost
@@ -193,7 +192,15 @@ mod tests {
         append_in_place(&mut db, ext.start, PAGE_SIZE as u64, &[9u8; 100]);
         let s = db.io_stats();
         assert_eq!(s.read_calls, 0, "aligned append reads nothing");
-        assert_eq!(s, IoStats { write_calls: 1, pages_written: 1, time_us: 37_000, ..s });
+        assert_eq!(
+            s,
+            IoStats {
+                write_calls: 1,
+                pages_written: 1,
+                time_us: 37_000,
+                ..s
+            }
+        );
     }
 
     #[test]

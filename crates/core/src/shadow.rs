@@ -40,6 +40,7 @@ pub(crate) struct OpCtx {
 }
 
 impl OpCtx {
+    /// Start an empty operation context.
     pub fn new() -> Self {
         OpCtx {
             created: HashSet::new(),
@@ -106,9 +107,51 @@ impl OpCtx {
         }
     }
 
+    /// Deep self-audit (the `paranoid` feature): the page sets an
+    /// operation tracks must be mutually consistent — a shadow copy is
+    /// always a page created this operation and never one of the
+    /// superseded originals, no superseded META page is queued twice,
+    /// and no two queued LEAF extents overlap (either would become a
+    /// double free at [`Self::finish`], handing live pages back to the
+    /// allocator).
+    #[cfg(feature = "paranoid")]
+    pub(crate) fn paranoid_audit(&self) -> Result<(), String> {
+        for (old, new) in &self.remap {
+            if old == new {
+                return Err(format!("page {old} shadowed onto itself"));
+            }
+            if !self.created.contains(new) {
+                return Err(format!("shadow copy {new} of {old} not tracked as created"));
+            }
+            if self.created.contains(old) {
+                return Err(format!(
+                    "old version {old} of a shadowed page was allocated this operation"
+                ));
+            }
+        }
+        let mut seen = HashSet::new();
+        for &p in &self.free_old {
+            if !seen.insert(p) {
+                return Err(format!("META page {p} queued for free twice"));
+            }
+        }
+        let mut exts: Vec<&Extent> = self.free_extents.iter().collect();
+        exts.sort_by_key(|e| (e.area, e.start));
+        for w in exts.windows(2) {
+            if w[0].area == w[1].area && w[0].end() > w[1].start {
+                return Err(format!("queued extents overlap: {} and {}", w[0], w[1]));
+            }
+        }
+        Ok(())
+    }
+
     /// End of operation: flush every updated index page (one 1-page write
     /// call each) and release the superseded page versions and extents.
     pub fn finish(self, db: &mut Db) {
+        #[cfg(feature = "paranoid")]
+        if let Err(e) = self.paranoid_audit() {
+            panic!("shadow-context invariant violated: {e}");
+        }
         for page in self.flush {
             db.pool.flush_page(PageId::new(AreaId::META, page));
         }
@@ -166,6 +209,28 @@ mod tests {
         let mut out = [0u8; 2];
         db.pool().disk().peek(AreaId::META, new, &mut out);
         assert_eq!(out, [1, 2]);
+    }
+
+    #[cfg(feature = "paranoid")]
+    #[test]
+    fn overlapping_queued_extents_fail_the_audit() {
+        let mut ctx = OpCtx::new();
+        ctx.free_extent_later(Extent::new(AreaId::LEAF, 10, 4));
+        ctx.free_extent_later(Extent::new(AreaId::LEAF, 12, 4));
+        let err = ctx.paranoid_audit().unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[cfg(feature = "paranoid")]
+    #[test]
+    #[should_panic(expected = "shadow-context invariant violated")]
+    fn finish_panics_on_double_queued_meta_page() {
+        let mut db = Db::paper_default();
+        let p = db.alloc_meta_page();
+        let mut ctx = OpCtx::new();
+        ctx.free_page_later(p);
+        ctx.free_page_later(p);
+        ctx.finish(&mut db);
     }
 
     #[test]

@@ -12,9 +12,7 @@
 //! correct, simple multi-threaded embedding — one operation at a time,
 //! like the paper's simulation driver.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::db::Db;
 
@@ -26,21 +24,25 @@ pub struct SharedDb {
 }
 
 impl SharedDb {
+    /// Wrap a database for shared, serialized access.
     pub fn new(db: Db) -> Self {
         SharedDb {
             inner: Arc::new(Mutex::new(db)),
         }
     }
 
-    /// Run `f` with exclusive access to the database.
+    /// Run `f` with exclusive access to the database. A poisoned lock
+    /// (a panic in another thread's closure) is recovered rather than
+    /// propagated: the database state itself carries no partial-update
+    /// hazard across the lock, every operation re-validates on entry.
     pub fn with<R>(&self, f: impl FnOnce(&mut Db) -> R) -> R {
-        f(&mut self.inner.lock())
+        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Recover the unique [`Db`] if this is the last handle.
     pub fn try_unwrap(self) -> Result<Db, SharedDb> {
         Arc::try_unwrap(self.inner)
-            .map(Mutex::into_inner)
+            .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
             .map_err(|inner| SharedDb { inner })
     }
 }
@@ -81,9 +83,7 @@ mod tests {
                     shared.with(|db| obj.append(db, &chunk)).unwrap();
                     model.extend_from_slice(&chunk);
                     if i % 7 == 3 {
-                        shared
-                            .with(|db| obj.delete(db, 0, 2_000))
-                            .unwrap();
+                        shared.with(|db| obj.delete(db, 0, 2_000)).unwrap();
                         model.drain(0..2_000);
                     }
                 }

@@ -14,7 +14,10 @@ pub enum ManagerSpec {
     /// ESM with a fixed leaf size in pages (1, 4, 16, 64 in the paper).
     Esm { leaf_pages: u32 },
     /// Starburst with a maximum segment size in pages.
-    Starburst { max_seg_pages: u32, known_size: bool },
+    Starburst {
+        max_seg_pages: u32,
+        known_size: bool,
+    },
     /// EOS with a segment-size threshold and maximum segment size.
     Eos {
         threshold_pages: u32,

@@ -21,7 +21,7 @@
 //! 507 segments ≈ 16 GB of max-size segments).
 
 use lobstore_buddy::Extent;
-use lobstore_simdisk::{pages_for_bytes, AreaId, PageId, PAGE_SIZE};
+use lobstore_simdisk::{cast, pages_for_bytes, AreaId, PageId, PAGE_SIZE, PAGE_SIZE_U64};
 
 use crate::db::Db;
 use crate::error::{LobError, Result};
@@ -64,6 +64,7 @@ pub struct StarburstObject {
 }
 
 impl StarburstObject {
+    /// Create a new, empty Starburst long field.
     pub fn create(db: &mut Db, params: StarburstParams) -> Result<Self> {
         if params.max_seg_pages == 0 || params.max_seg_pages > db.max_segment_pages() {
             return Err(LobError::Corrupt(format!(
@@ -91,6 +92,7 @@ impl StarburstObject {
         })
     }
 
+    /// Open an existing long field by its descriptor page.
     pub fn open(db: &mut Db, root_page: u32) -> Result<Self> {
         let hdr = db.with_meta_page(root_page, RootHdr::read);
         if hdr.magic != STAR_MAGIC || hdr.kind != KIND_STARBURST {
@@ -100,13 +102,13 @@ impl StarburstObject {
         }
         Ok(StarburstObject {
             root: root_page,
-            max_seg_pages: (hdr.params & 0xFFFF_FFFF) as u32,
+            max_seg_pages: cast::to_u32(hdr.params & 0xFFFF_FFFF),
             known_size: (hdr.params >> 32) & 1 == 1,
         })
     }
 
     fn max_bytes(&self) -> u64 {
-        u64::from(self.max_seg_pages) * PAGE_SIZE as u64
+        u64::from(self.max_seg_pages) * PAGE_SIZE_U64
     }
 
     /// Load the descriptor: header and segment list.
@@ -174,18 +176,18 @@ impl StarburstObject {
     /// read pattern of §3.5).
     fn read_tail(&self, db: &mut Db, hdr: &RootHdr, segs: &[Entry], from: usize) -> Vec<u8> {
         let total: u64 = segs[from..].iter().map(|e| e.count).sum();
-        let mut out = Vec::with_capacity(total as usize);
+        let mut out = Vec::with_capacity(cast::to_usize(total));
         for (i, e) in segs.iter().enumerate().skip(from) {
             let _ = self.seg_alloc(hdr, segs, i); // (used pages only are read)
             let used_pages = pages_for_bytes(e.count);
-            let mut scratch = vec![0u8; STAGING_PAGES as usize * PAGE_SIZE];
+            let mut scratch = vec![0u8; cast::u32_to_usize(STAGING_PAGES) * PAGE_SIZE];
             let mut page = 0u32;
-            let mut remaining = e.count as usize;
+            let mut remaining = cast::to_usize(e.count);
             while page < used_pages {
                 let n = (used_pages - page).min(STAGING_PAGES);
                 db.pool
                     .read_pages(AreaId::LEAF, e.ptr + page, n, &mut scratch);
-                let take = remaining.min(n as usize * PAGE_SIZE);
+                let take = remaining.min(cast::u32_to_usize(n) * PAGE_SIZE);
                 out.extend_from_slice(&scratch[..take]);
                 remaining -= take;
                 page += n;
@@ -201,14 +203,14 @@ impl StarburstObject {
         let mut out = Vec::new();
         let mut off = 0usize;
         while off < bytes.len() {
-            let seg_bytes = ((bytes.len() - off) as u64).min(self.max_bytes()) as usize;
+            let seg_bytes = cast::to_usize(((bytes.len() - off) as u64).min(self.max_bytes()));
             let pages = pages_for_bytes(seg_bytes as u64);
             let ext = db.alloc_leaf(pages);
             let mut page = 0u32;
             while page < pages {
                 let n = (pages - page).min(STAGING_PAGES);
-                let lo = off + page as usize * PAGE_SIZE;
-                let hi = (lo + n as usize * PAGE_SIZE).min(off + seg_bytes);
+                let lo = off + cast::u32_to_usize(page) * PAGE_SIZE;
+                let hi = (lo + cast::u32_to_usize(n) * PAGE_SIZE).min(off + seg_bytes);
                 db.pool
                     .write_direct(AreaId::LEAF, ext.start + page, &bytes[lo..hi]);
                 page += n;
@@ -244,7 +246,7 @@ impl StarburstObject {
     ) -> Result<()> {
         let (mut hdr, mut segs) = self.load(db);
         let (i, seg_start) = Self::find_seg(&segs, off);
-        let p = (off - seg_start) as usize;
+        let p = cast::to_usize(off - seg_start);
         let mut tail = self.read_tail(db, &hdr, &segs, i);
         edit(&mut tail, p);
         let old = segs.split_off(i);
@@ -263,6 +265,15 @@ impl StarburstObject {
         hdr.last_seg_alloc = 0; // the rewritten tail is exact
         hdr.size = segs.iter().map(|e| e.count).sum();
         self.store(db, &mut hdr, &segs)
+    }
+}
+
+#[cfg(feature = "paranoid")]
+impl StarburstObject {
+    /// Post-operation deep verification (the `paranoid` feature).
+    fn paranoid_verify(&self, db: &mut Db) -> Result<()> {
+        crate::paranoid::verify_object(self, db)?;
+        crate::paranoid::verify_starburst_descriptor(self, db)
     }
 }
 
@@ -298,8 +309,8 @@ impl LargeObject for StarburstObject {
             } else {
                 pages_for_bytes(last.count)
             };
-            let space = u64::from(alloc) * PAGE_SIZE as u64 - last.count;
-            let take = (rem.len() as u64).min(space) as usize;
+            let space = u64::from(alloc) * PAGE_SIZE_U64 - last.count;
+            let take = cast::to_usize((rem.len() as u64).min(space));
             if take > 0 {
                 append_in_place(db, last.ptr, last.count, &rem[..take]);
                 last.count += take as u64;
@@ -315,7 +326,10 @@ impl LargeObject for StarburstObject {
             } else if hdr.last_seg_alloc > 0 {
                 hdr.last_seg_alloc
             } else {
-                pages_for_bytes(segs.last().expect("nonempty").count)
+                match segs.last() {
+                    Some(last) => pages_for_bytes(last.count),
+                    None => unreachable!("branch guarded by segs.is_empty()"),
+                }
             };
             let alloc = if self.known_size {
                 self.max_seg_pages
@@ -324,7 +338,7 @@ impl LargeObject for StarburstObject {
             } else {
                 (prev_alloc * 2).min(self.max_seg_pages)
             };
-            let take = (rem.len() as u64).min(u64::from(alloc) * PAGE_SIZE as u64) as usize;
+            let take = cast::to_usize((rem.len() as u64).min(u64::from(alloc) * PAGE_SIZE_U64));
             let ext = db.alloc_leaf(alloc);
             db.pool.write_direct(AreaId::LEAF, ext.start, &rem[..take]);
             segs.push(Entry {
@@ -335,7 +349,10 @@ impl LargeObject for StarburstObject {
             rem = &rem[take..];
         }
         hdr.size += bytes.len() as u64;
-        self.store(db, &mut hdr, &segs)
+        self.store(db, &mut hdr, &segs)?;
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db)?;
+        Ok(())
     }
 
     fn read(&self, db: &mut Db, off: u64, out: &mut [u8]) -> Result<()> {
@@ -350,7 +367,7 @@ impl LargeObject for StarburstObject {
         while done < out.len() {
             let e = segs[i];
             let within = at - seg_start;
-            let take = ((e.count - within).min((out.len() - done) as u64)) as usize;
+            let take = cast::to_usize((e.count - within).min((out.len() - done) as u64));
             db.pool
                 .read_segment(AreaId::LEAF, e.ptr, within, &mut out[done..done + take]);
             done += take;
@@ -376,7 +393,10 @@ impl LargeObject for StarburstObject {
         }
         self.rewrite_tail(db, off, |tail, p| {
             tail.splice(p..p, bytes.iter().copied());
-        })
+        })?;
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db)?;
+        Ok(())
     }
 
     fn delete(&mut self, db: &mut Db, off: u64, len: u64) -> Result<()> {
@@ -385,8 +405,11 @@ impl LargeObject for StarburstObject {
             return Ok(());
         }
         self.rewrite_tail(db, off, |tail, p| {
-            tail.drain(p..p + len as usize);
-        })
+            tail.drain(p..p + cast::to_usize(len));
+        })?;
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db)?;
+        Ok(())
     }
 
     fn replace(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()> {
@@ -405,20 +428,20 @@ impl LargeObject for StarburstObject {
         while done < bytes.len() {
             let e = segs[i];
             let within = at - seg_start;
-            let take = ((e.count - within).min((bytes.len() - done) as u64)) as usize;
+            let take = cast::to_usize((e.count - within).min((bytes.len() - done) as u64));
             if db.config().shadowing {
                 // Shadow the whole affected segment: read, patch, rewrite.
                 let mut content = self.read_tail(db, &hdr, &segs[i..i + 1], 0);
-                content[within as usize..within as usize + take]
-                    .copy_from_slice(&bytes[done..done + take]);
+                let w = cast::to_usize(within);
+                content[w..w + take].copy_from_slice(&bytes[done..done + take]);
                 let alloc = self.seg_alloc(&hdr, &segs, i);
                 let ext = db.alloc_leaf(alloc);
                 let mut page = 0u32;
                 let used = pages_for_bytes(e.count);
                 while page < used {
                     let n = (used - page).min(STAGING_PAGES);
-                    let lo = page as usize * PAGE_SIZE;
-                    let hi = (lo + n as usize * PAGE_SIZE).min(content.len());
+                    let lo = cast::u32_to_usize(page) * PAGE_SIZE;
+                    let hi = (lo + cast::u32_to_usize(n) * PAGE_SIZE).min(content.len());
                     db.pool
                         .write_direct(AreaId::LEAF, ext.start + page, &content[lo..hi]);
                     page += n;
@@ -436,7 +459,10 @@ impl LargeObject for StarburstObject {
         for ext in free_later {
             db.free_leaf(ext);
         }
-        self.store(db, &mut hdr, &segs)
+        self.store(db, &mut hdr, &segs)?;
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db)?;
+        Ok(())
     }
 
     fn trim(&mut self, db: &mut Db) -> Result<()> {
@@ -444,7 +470,9 @@ impl LargeObject for StarburstObject {
         if hdr.last_seg_alloc == 0 || segs.is_empty() {
             return Ok(());
         }
-        let last = segs.last().expect("nonempty");
+        let Some(last) = segs.last() else {
+            return Ok(());
+        };
         let used = pages_for_bytes(last.count);
         if hdr.last_seg_alloc > used {
             db.free_leaf(Extent::new(
@@ -454,7 +482,10 @@ impl LargeObject for StarburstObject {
             ));
         }
         hdr.last_seg_alloc = 0;
-        self.store(db, &mut hdr, &segs)
+        self.store(db, &mut hdr, &segs)?;
+        #[cfg(feature = "paranoid")]
+        self.paranoid_verify(db)?;
+        Ok(())
     }
 
     fn destroy(&mut self, db: &mut Db) -> Result<()> {
@@ -556,10 +587,10 @@ impl LargeObject for StarburstObject {
         let page = db.peek_meta(self.root);
         let hdr = RootHdr::read(&page[..]);
         let node = Node::read_root(&page[..], &hdr);
-        let mut out = Vec::with_capacity(hdr.size as usize);
+        let mut out = Vec::with_capacity(cast::to_usize(hdr.size));
         for e in &node.entries {
             let pages = pages_for_bytes(e.count);
-            let mut rem = e.count as usize;
+            let mut rem = cast::to_usize(e.count);
             for i in 0..pages {
                 let pg = db.peek_leaf_page(e.ptr + i);
                 let take = rem.min(PAGE_SIZE);
@@ -582,7 +613,9 @@ mod tests {
     }
 
     fn pattern(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| ((i * 37 + seed as usize) % 249) as u8).collect()
+        (0..len)
+            .map(|i| ((i * 37 + seed as usize) % 249) as u8)
+            .collect()
     }
 
     fn make(db: &mut Db) -> StarburstObject {
@@ -708,7 +741,7 @@ mod tests {
     }
 
     #[test]
-    fn update_cost_is_a_whole_object_copy_in_steady_state(){
+    fn update_cost_is_a_whole_object_copy_in_steady_state() {
         let mut db = db();
         let mut obj = make(&mut db); // 32 MB max segments
         let size = 1 << 20; // 1 MB object for test speed
@@ -720,7 +753,10 @@ mod tests {
         let pages = pages_for_bytes(size as u64) as u64;
         // Whole object read + written once (±1 page of slack).
         assert!(s.pages_read >= pages && s.pages_read <= pages + 2, "{s}");
-        assert!(s.pages_written >= pages && s.pages_written <= pages + 2, "{s}");
+        assert!(
+            s.pages_written >= pages && s.pages_written <= pages + 2,
+            "{s}"
+        );
         // Chunked through the 512 KB buffer: ~2 calls per 128 pages.
         let expected_calls = 2 * pages.div_ceil(128);
         assert!(

@@ -24,6 +24,7 @@ pub struct ObjectReader<'a> {
 }
 
 impl<'a> ObjectReader<'a> {
+    /// Start a sequential reader at offset 0 of `obj`.
     pub fn new(db: &'a mut Db, obj: &'a dyn LargeObject) -> Self {
         let size = obj.size(db);
         ObjectReader {
@@ -225,7 +226,9 @@ mod tests {
         // Two-phase copy (the borrow rules forbid reading and writing the
         // same Db simultaneously — single-client, like the paper).
         let mut tmp = Vec::new();
-        ObjectReader::new(&mut db, &src).read_to_end(&mut tmp).unwrap();
+        ObjectReader::new(&mut db, &src)
+            .read_to_end(&mut tmp)
+            .unwrap();
         let mut w = ObjectWriter::new(&mut db, &mut dst, 32 * 1024);
         w.write_all(&tmp).unwrap();
         w.finish().unwrap();

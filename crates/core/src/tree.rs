@@ -59,6 +59,7 @@ pub(crate) struct PosTree {
 }
 
 impl PosTree {
+    /// Wrap an existing root page in a tree handle.
     pub fn new(root_page: u32) -> Self {
         PosTree { root_page }
     }
@@ -77,10 +78,12 @@ impl PosTree {
 
     // ----- page access ---------------------------------------------------
 
+    /// Read the object header stored on the root page.
     pub fn read_hdr(&self, db: &mut Db) -> RootHdr {
         db.with_meta_page(self.root_page, RootHdr::read)
     }
 
+    /// Write the object header back to the root page.
     pub fn write_hdr(&self, db: &mut Db, hdr: &RootHdr) {
         db.with_meta_page_mut(self.root_page, |p| hdr.write(p));
     }
@@ -140,6 +143,19 @@ impl PosTree {
             rem = within;
             node = self.load_node(db, page);
         }
+    }
+
+    /// [`Self::descend`], required to succeed. Callers use it only after
+    /// the offset has been range-checked, so an absent leaf means the
+    /// tree and the stored object size disagree — an invariant violation,
+    /// not a caller error.
+    pub fn try_descend(&self, db: &mut Db, off: u64) -> Result<LeafPos> {
+        self.descend(db, off).ok_or_else(|| {
+            LobError::InvariantViolated(format!(
+                "count tree at page {} has no leaf covering offset {off}",
+                self.root_page
+            ))
+        })
     }
 
     /// The rightmost leaf, if any. Uses the tree's actual entry total (not
@@ -234,7 +250,10 @@ impl PosTree {
         remove_len: usize,
         repl: Vec<Entry>,
     ) {
-        let mut start = path.last().expect("empty path").idx;
+        let mut start = match path.last() {
+            Some(step) => step.idx,
+            None => unreachable!("search paths always contain at least the root"),
+        };
         let mut remove_len = remove_len;
         let mut repl = repl;
         let mut d = path.len() - 1;
@@ -296,7 +315,11 @@ impl PosTree {
                     parent_start = pidx;
                     parent_remove = 1;
                 } else {
-                    let (lo, hi) = if pidx > 0 { (pidx - 1, pidx) } else { (pidx, pidx + 1) };
+                    let (lo, hi) = if pidx > 0 {
+                        (pidx - 1, pidx)
+                    } else {
+                        (pidx, pidx + 1)
+                    };
                     let sib_is_left = pidx > 0;
                     let sib_old = parent_node.entries[if sib_is_left { lo } else { hi }].ptr;
                     let sib_target = ctx.shadow_page(db, sib_old);
@@ -427,7 +450,6 @@ impl PosTree {
     /// really does have to read the index to find the segments.
     pub fn collect_leaves_costed(&self, db: &mut Db) -> Vec<(u64, Entry)> {
         let (_, root) = self.load_root(db);
-        let mut stack = vec![root];
         let mut out = Vec::new();
         let mut off = 0u64;
         // Depth-first, preserving left-to-right order.
@@ -448,7 +470,6 @@ impl PosTree {
                 }
             }
         }
-        let root = stack.pop().expect("root pushed above");
         walk(self, db, &root, &mut off, &mut out);
         out
     }

@@ -2,6 +2,7 @@
 
 use lobstore_core::LobError;
 
+/// Everything that can go wrong in the record layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecordError {
     /// An error from the underlying large-object layer.
@@ -54,6 +55,7 @@ impl From<LobError> for RecordError {
     }
 }
 
+/// Shorthand result type for record-layer operations.
 pub type Result<T> = std::result::Result<T, RecordError>;
 
 #[cfg(test)]

@@ -33,6 +33,8 @@
 //! ```
 
 mod error;
+/// Pure slotted heap-page primitives (insert/get/delete/compact over a
+/// raw page buffer).
 pub mod page;
 mod schema;
 mod store;

@@ -16,7 +16,7 @@
 //! All functions are pure over a page buffer, so this module is fully
 //! testable without a database.
 
-use lobstore_simdisk::PAGE_SIZE;
+use lobstore_simdisk::{bytes, cast, PAGE_SIZE};
 
 const MAGIC: u32 = 0x4845_4150; // "HEAP"
 const HDR: usize = 16;
@@ -25,7 +25,7 @@ const SLOT_BYTES: usize = 4;
 const DEAD: u16 = u16::MAX;
 
 fn get_u16(p: &[u8], at: usize) -> u16 {
-    u16::from_le_bytes(p[at..at + 2].try_into().expect("2 bytes"))
+    bytes::le_u16(&p[at..])
 }
 
 fn put_u16(p: &mut [u8], at: usize, v: u16) {
@@ -41,12 +41,12 @@ fn cell_start(p: &[u8]) -> u16 {
 }
 
 fn slot_at(p: &[u8], slot: u16) -> (u16, u16) {
-    let at = HDR + slot as usize * SLOT_BYTES;
+    let at = HDR + usize::from(slot) * SLOT_BYTES;
     (get_u16(p, at), get_u16(p, at + 2))
 }
 
 fn set_slot(p: &mut [u8], slot: u16, off: u16, len: u16) {
-    let at = HDR + slot as usize * SLOT_BYTES;
+    let at = HDR + usize::from(slot) * SLOT_BYTES;
     put_u16(p, at, off);
     put_u16(p, at + 2, len);
 }
@@ -56,18 +56,18 @@ pub fn init(page: &mut [u8]) {
     page.fill(0);
     page[0..4].copy_from_slice(&MAGIC.to_le_bytes());
     put_u16(page, 4, 0); // n_slots
-    put_u16(page, 6, PAGE_SIZE as u16); // cell_start: cells grow downward
+    put_u16(page, 6, cast::usize_to_u16(PAGE_SIZE)); // cell_start: cells grow downward
 }
 
 /// Whether `page` carries the heap-page magic.
 pub fn is_heap(page: &[u8]) -> bool {
-    u32::from_le_bytes(page[0..4].try_into().expect("4 bytes")) == MAGIC
+    bytes::le_u32(page) == MAGIC
 }
 
 /// Contiguous free bytes between the slot directory and the cells
 /// (ignoring reclaimable dead-cell space).
 pub fn contiguous_free(page: &[u8]) -> usize {
-    cell_start(page) as usize - (HDR + n_slots(page) as usize * SLOT_BYTES)
+    usize::from(cell_start(page)) - (HDR + usize::from(n_slots(page)) * SLOT_BYTES)
 }
 
 /// Total reclaimable free space: everything compaction can recover —
@@ -81,10 +81,10 @@ pub fn usable_free(page: &[u8]) -> usize {
     for s in 0..n_slots(page) {
         let (off, len) = slot_at(page, s);
         if off != DEAD {
-            live += len as usize;
+            live += usize::from(len);
         }
     }
-    PAGE_SIZE - HDR - n_slots(page) as usize * SLOT_BYTES - live
+    PAGE_SIZE - HDR - usize::from(n_slots(page)) * SLOT_BYTES - live
 }
 
 /// Number of live records on the page.
@@ -99,7 +99,7 @@ pub fn live_records(page: &[u8]) -> usize {
 pub fn insert(page: &mut [u8], bytes: &[u8]) -> Option<u16> {
     assert!(is_heap(page), "not a heap page");
     let need = bytes.len();
-    if need > u16::MAX as usize {
+    if need > usize::from(u16::MAX) {
         return None;
     }
     // Prefer recycling a dead slot (keeps the directory compact).
@@ -114,9 +114,9 @@ pub fn insert(page: &mut [u8], bytes: &[u8]) -> Option<u16> {
             return None;
         }
     }
-    let new_start = cell_start(page) as usize - need;
+    let new_start = usize::from(cell_start(page)) - need;
     page[new_start..new_start + need].copy_from_slice(bytes);
-    put_u16(page, 6, new_start as u16);
+    put_u16(page, 6, cast::usize_to_u16(new_start));
     let slot = match recycled {
         Some(s) => s,
         None => {
@@ -125,7 +125,12 @@ pub fn insert(page: &mut [u8], bytes: &[u8]) -> Option<u16> {
             s
         }
     };
-    set_slot(page, slot, new_start as u16, need as u16);
+    set_slot(
+        page,
+        slot,
+        cast::usize_to_u16(new_start),
+        cast::usize_to_u16(need),
+    );
     Some(slot)
 }
 
@@ -138,7 +143,7 @@ pub fn get(page: &[u8], slot: u16) -> Option<&[u8]> {
     if off == DEAD {
         return None;
     }
-    Some(&page[off as usize..off as usize + len as usize])
+    Some(&page[usize::from(off)..usize::from(off) + usize::from(len)])
 }
 
 /// Delete the record in `slot` (tombstoned; the id is never reused for a
@@ -165,11 +170,11 @@ pub fn update(page: &mut [u8], slot: u16, bytes: &[u8]) -> bool {
         return false;
     }
     let (off, len) = slot_at(page, slot);
-    if bytes.len() <= len as usize {
+    if bytes.len() <= usize::from(len) {
         // Shrinking in place; the residue is reclaimed at compaction.
-        let at = off as usize;
+        let at = usize::from(off);
         page[at..at + bytes.len()].copy_from_slice(bytes);
-        set_slot(page, slot, off, bytes.len() as u16);
+        set_slot(page, slot, off, cast::usize_to_u16(bytes.len()));
         return true;
     }
     // Grow: tombstone then re-insert into the same slot if space allows.
@@ -181,10 +186,15 @@ pub fn update(page: &mut [u8], slot: u16, bytes: &[u8]) -> bool {
     if contiguous_free(page) < bytes.len() {
         compact(page);
     }
-    let new_start = cell_start(page) as usize - bytes.len();
+    let new_start = usize::from(cell_start(page)) - bytes.len();
     page[new_start..new_start + bytes.len()].copy_from_slice(bytes);
-    put_u16(page, 6, new_start as u16);
-    set_slot(page, slot, new_start as u16, bytes.len() as u16);
+    put_u16(page, 6, cast::usize_to_u16(new_start));
+    set_slot(
+        page,
+        slot,
+        cast::usize_to_u16(new_start),
+        cast::usize_to_u16(bytes.len()),
+    );
     true
 }
 
@@ -202,12 +212,15 @@ pub fn compact(page: &mut [u8]) {
     live.sort_by_key(|&(_, off, _)| std::cmp::Reverse(off));
     let mut write_end = PAGE_SIZE;
     for (slot, off, len) in live {
-        let new_start = write_end - len as usize;
-        page.copy_within(off as usize..off as usize + len as usize, new_start);
-        set_slot(page, slot, new_start as u16, len);
+        let new_start = write_end - usize::from(len);
+        page.copy_within(
+            usize::from(off)..usize::from(off) + usize::from(len),
+            new_start,
+        );
+        set_slot(page, slot, cast::usize_to_u16(new_start), len);
         write_end = new_start;
     }
-    put_u16(page, 6, write_end as u16);
+    put_u16(page, 6, cast::usize_to_u16(write_end));
 }
 
 #[cfg(test)]
@@ -271,7 +284,9 @@ mod tests {
     #[test]
     fn compaction_reclaims_dead_space() {
         let mut p = fresh();
-        let slots: Vec<u16> = (0..4).map(|i| insert(&mut p, &vec![i as u8; 900]).unwrap()).collect();
+        let slots: Vec<u16> = (0..4)
+            .map(|i| insert(&mut p, &vec![i as u8; 900]).unwrap())
+            .collect();
         // Free two interior cells; contiguous space is now too small...
         delete(&mut p, slots[1]);
         delete(&mut p, slots[2]);

@@ -15,6 +15,7 @@
 //! ```
 
 use lobstore_core::StorageKind;
+use lobstore_simdisk::{bytes as le, cast};
 
 use crate::error::{RecordError, Result};
 
@@ -43,6 +44,7 @@ impl Value {
         Value::Short(bytes.into())
     }
 
+    /// The inline bytes, or `WrongFieldType` for a long field.
     pub fn as_short(&self) -> Result<&[u8]> {
         match self {
             Value::Short(b) => Ok(b),
@@ -50,6 +52,7 @@ impl Value {
         }
     }
 
+    /// The long-field descriptor, or `WrongFieldType` for a short field.
     pub fn as_long(&self) -> Result<LongHandle> {
         match self {
             Value::Long(h) => Ok(*h),
@@ -60,19 +63,19 @@ impl Value {
 
 /// Serialize a record.
 pub fn encode(fields: &[Value]) -> Result<Vec<u8>> {
-    if fields.len() > u16::MAX as usize {
+    if fields.len() > usize::from(u16::MAX) {
         return Err(RecordError::TooManyFields(fields.len()));
     }
     let mut out = Vec::with_capacity(32);
-    out.extend_from_slice(&(fields.len() as u16).to_le_bytes());
+    out.extend_from_slice(&cast::usize_to_u16(fields.len()).to_le_bytes());
     for f in fields {
         match f {
             Value::Short(b) => {
-                if b.len() > u16::MAX as usize {
+                if b.len() > usize::from(u16::MAX) {
                     return Err(RecordError::ShortFieldTooLarge(b.len()));
                 }
                 out.push(TAG_SHORT);
-                out.extend_from_slice(&(b.len() as u16).to_le_bytes());
+                out.extend_from_slice(&cast::usize_to_u16(b.len()).to_le_bytes());
                 out.extend_from_slice(b);
             }
             Value::Long(h) => {
@@ -97,22 +100,20 @@ pub fn decode(bytes: &[u8]) -> Result<Vec<Value>> {
         *at += n;
         Ok(s)
     };
-    let n = u16::from_le_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
+    let n = usize::from(le::le_u16(take(&mut at, 2)?));
     let mut fields = Vec::with_capacity(n);
     for _ in 0..n {
         let tag = take(&mut at, 1)?[0];
         match tag {
             TAG_SHORT => {
-                let len =
-                    u16::from_le_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
+                let len = usize::from(le::le_u16(take(&mut at, 2)?));
                 fields.push(Value::Short(take(&mut at, len)?.to_vec()));
             }
             TAG_LONG => {
                 let kind_byte = take(&mut at, 1)?[0];
                 let kind = StorageKind::from_u8(kind_byte)
                     .ok_or_else(|| corrupt("unknown long-field storage kind"))?;
-                let root =
-                    u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes"));
+                let root = le::le_u32(take(&mut at, 4)?);
                 fields.push(Value::Long(LongHandle {
                     kind,
                     root_page: root,

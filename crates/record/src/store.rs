@@ -2,7 +2,7 @@
 //! in the large-object managers.
 
 use lobstore_core::{open_object, Db, LargeObject, ManagerSpec};
-use lobstore_simdisk::{AreaId, PageId, PAGE_SIZE};
+use lobstore_simdisk::{bytes as le, cast, AreaId, PageId, PAGE_SIZE};
 
 use crate::error::{RecordError, Result};
 use crate::page;
@@ -60,9 +60,7 @@ impl RecordStore {
 
     /// Re-open a store by its root page.
     pub fn open(db: &mut Db, root: u32) -> Result<Self> {
-        let magic = db.with_meta_page(root, |p| {
-            u32::from_le_bytes(p[0..4].try_into().expect("4 bytes"))
-        });
+        let magic = db.with_meta_page(root, |p| le::le_u32(p));
         if magic != STORE_MAGIC {
             return Err(RecordError::Corrupt(format!(
                 "page {root} is not a record-store root"
@@ -71,18 +69,15 @@ impl RecordStore {
         Ok(RecordStore { root })
     }
 
+    /// The META page anchoring this store.
     pub fn root_page(&self) -> u32 {
         self.root
     }
 
     fn heap_pages(&self, db: &mut Db) -> Vec<u32> {
         db.with_meta_page(self.root, |p| {
-            let n = u16::from_le_bytes(p[4..6].try_into().expect("2 bytes")) as usize;
-            (0..n)
-                .map(|i| {
-                    u32::from_le_bytes(p[HDR + i * 4..HDR + i * 4 + 4].try_into().expect("4"))
-                })
-                .collect()
+            let n = usize::from(le::le_u16(&p[4..]));
+            (0..n).map(|i| le::le_u32(&p[HDR + i * 4..])).collect()
         })
     }
 
@@ -95,7 +90,7 @@ impl RecordStore {
         db.with_new_meta_page(new, page::init);
         let idx = pages.len();
         db.with_meta_page_mut(self.root, |p| {
-            p[4..6].copy_from_slice(&((idx + 1) as u16).to_le_bytes());
+            p[4..6].copy_from_slice(&cast::usize_to_u16(idx + 1).to_le_bytes());
             p[HDR + idx * 4..HDR + idx * 4 + 4].copy_from_slice(&new.to_le_bytes());
         });
         Ok(new)
@@ -165,15 +160,12 @@ impl RecordStore {
 
     /// Fix a heap page for update, run `f`, flush it (record operations
     /// persist at operation end, like leaf flushes in §3.3).
-    fn with_heap_page<R>(
-        &self,
-        db: &mut Db,
-        hp: u32,
-        f: impl FnOnce(&mut [u8]) -> R,
-    ) -> Result<R> {
+    fn with_heap_page<R>(&self, db: &mut Db, hp: u32, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
         let out = db.with_meta_page_mut(hp, |p| {
             if !page::is_heap(p) {
-                return Err(RecordError::Corrupt(format!("page {hp} is not a heap page")));
+                return Err(RecordError::Corrupt(format!(
+                    "page {hp} is not a heap page"
+                )));
             }
             Ok(f(p))
         })?;
@@ -264,6 +256,7 @@ impl RecordStore {
             .sum())
     }
 
+    /// Whether the store holds no live records.
     pub fn is_empty(&self, db: &mut Db) -> Result<bool> {
         Ok(self.len(db)? == 0)
     }
@@ -271,8 +264,7 @@ impl RecordStore {
 
 /// Whether the slot directory extends to `slot` (live or tombstoned).
 fn still_has_slot(p: &[u8], slot: u16) -> bool {
-    let n = u16::from_le_bytes(p[4..6].try_into().expect("2 bytes"));
-    slot < n
+    slot < le::le_u16(&p[4..])
 }
 
 #[cfg(test)]
@@ -353,7 +345,11 @@ mod tests {
             .collect();
         assert_eq!(store.len(&mut db).unwrap(), 50);
         assert!(
-            ids.iter().map(|id| id.page).collect::<std::collections::HashSet<_>>().len() > 1,
+            ids.iter()
+                .map(|id| id.page)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1,
             "50 x 300 B records must span multiple heap pages"
         );
         // Every record readable, ids unique.
@@ -369,9 +365,14 @@ mod tests {
         let mut db = db();
         let mut store = RecordStore::create(&mut db).unwrap();
         let id = store
-            .insert(&mut db, &[FieldInput::Short(b"old"), FieldInput::Short(b"keep")])
+            .insert(
+                &mut db,
+                &[FieldInput::Short(b"old"), FieldInput::Short(b"keep")],
+            )
             .unwrap();
-        store.update_short(&mut db, id, 0, b"brand new value").unwrap();
+        store
+            .update_short(&mut db, id, 0, b"brand new value")
+            .unwrap();
         let f = store.get(&mut db, id).unwrap();
         assert_eq!(f[0].as_short().unwrap(), b"brand new value");
         assert_eq!(f[1].as_short().unwrap(), b"keep");

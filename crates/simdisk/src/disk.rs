@@ -3,7 +3,7 @@
 use crate::cost::CostModel;
 use crate::stats::IoStats;
 use crate::trace::{Trace, TraceEvent, TraceKind};
-use crate::{AreaId, PAGE_SIZE};
+use crate::{cast, AreaId, PAGE_SIZE};
 
 type PageBox = Box<[u8; PAGE_SIZE]>;
 
@@ -18,7 +18,7 @@ struct Area {
 
 impl Area {
     fn ensure(&mut self, page: u32) -> &mut PageBox {
-        let idx = page as usize;
+        let idx = cast::u32_to_usize(page);
         if idx >= self.pages.len() {
             self.pages.resize_with(idx + 1, || None);
         }
@@ -26,7 +26,9 @@ impl Area {
     }
 
     fn get(&self, page: u32) -> Option<&PageBox> {
-        self.pages.get(page as usize).and_then(|p| p.as_ref())
+        self.pages
+            .get(cast::u32_to_usize(page))
+            .and_then(|p| p.as_ref())
     }
 }
 
@@ -131,7 +133,7 @@ impl SimDisk {
     /// If `out` is empty or the area does not exist.
     pub fn read(&mut self, area: AreaId, start_page: u32, out: &mut [u8]) {
         assert!(!out.is_empty(), "zero-length disk read");
-        let n_pages = out.len().div_ceil(PAGE_SIZE) as u32;
+        let n_pages = cast::usize_to_u32(out.len().div_ceil(PAGE_SIZE));
         self.charge(TraceKind::Read, area, start_page, n_pages);
         self.copy_out(area, start_page, out);
     }
@@ -147,7 +149,7 @@ impl SimDisk {
     /// If `data` is empty or the area does not exist.
     pub fn write(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
         assert!(!data.is_empty(), "zero-length disk write");
-        let n_pages = data.len().div_ceil(PAGE_SIZE) as u32;
+        let n_pages = cast::usize_to_u32(data.len().div_ceil(PAGE_SIZE));
         self.charge(TraceKind::Write, area, start_page, n_pages);
         self.copy_in(area, start_page, data);
     }
@@ -158,7 +160,7 @@ impl SimDisk {
     pub fn peek(&self, area: AreaId, start_page: u32, out: &mut [u8]) {
         let a = self.area(area);
         for (i, chunk) in out.chunks_mut(PAGE_SIZE).enumerate() {
-            match a.get(start_page + i as u32) {
+            match a.get(start_page + cast::usize_to_u32(i)) {
                 Some(p) => chunk.copy_from_slice(&p[..chunk.len()]),
                 None => chunk.fill(0),
             }
@@ -173,7 +175,7 @@ impl SimDisk {
     fn copy_out(&mut self, area: AreaId, start_page: u32, out: &mut [u8]) {
         let a = self.area_mut(area);
         for (i, chunk) in out.chunks_mut(PAGE_SIZE).enumerate() {
-            match a.get(start_page + i as u32) {
+            match a.get(start_page + cast::usize_to_u32(i)) {
                 Some(p) => chunk.copy_from_slice(&p[..chunk.len()]),
                 None => chunk.fill(0),
             }
@@ -183,7 +185,7 @@ impl SimDisk {
     fn copy_in(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
         let a = self.area_mut(area);
         for (i, chunk) in data.chunks(PAGE_SIZE).enumerate() {
-            let page = a.ensure(start_page + i as u32);
+            let page = a.ensure(start_page + cast::usize_to_u32(i));
             page[..chunk.len()].copy_from_slice(chunk);
         }
     }
@@ -200,7 +202,7 @@ impl SimDisk {
             .pages
             .iter()
             .enumerate()
-            .filter_map(|(i, p)| p.as_ref().map(|_| i as u32))
+            .filter_map(|(i, p)| p.as_ref().map(|_| cast::usize_to_u32(i)))
             .collect()
     }
 

@@ -17,7 +17,7 @@ use std::io::{self, Read, Write};
 
 use crate::cost::CostModel;
 use crate::disk::SimDisk;
-use crate::{AreaId, PAGE_SIZE};
+use crate::{cast, AreaId, PAGE_SIZE};
 
 const MAGIC: &[u8; 8] = b"LOBIMG01";
 
@@ -32,7 +32,7 @@ impl SimDisk {
         for a in 0..self.n_areas() {
             let area = AreaId(a);
             let pages = self.materialized_page_numbers(area);
-            w.write_all(&(pages.len() as u32).to_le_bytes())?;
+            w.write_all(&cast::usize_to_u32(pages.len()).to_le_bytes())?;
             let mut buf = [0u8; PAGE_SIZE];
             for page in pages {
                 w.write_all(&page.to_le_bytes())?;

@@ -20,12 +20,14 @@
 //! all higher-level algorithms are verifiable end to end; simulated time
 //! is accumulated in [`IoStats`] from the [`CostModel`] parameters.
 
+mod convert;
 mod cost;
 mod disk;
 mod image;
 mod stats;
 mod trace;
 
+pub use convert::{bytes, cast};
 pub use cost::CostModel;
 pub use disk::SimDisk;
 pub use stats::IoStats;
@@ -34,6 +36,10 @@ pub use trace::{TraceEvent, TraceKind};
 /// Size of a disk page (block) in bytes. The paper runs all experiments on
 /// 4 KB pages (§4.1) and the on-page layouts of the count tree assume it.
 pub const PAGE_SIZE: usize = 4096;
+
+/// [`PAGE_SIZE`] as a `u64`, for byte-offset arithmetic that lives in
+/// `u64` space (object sizes, file offsets).
+pub const PAGE_SIZE_U64: u64 = PAGE_SIZE as u64;
 
 /// Identifier of a database area.
 ///
@@ -64,6 +70,7 @@ pub struct PageId {
 }
 
 impl PageId {
+    /// Build a page address from an area and a page number.
     pub const fn new(area: AreaId, page: u32) -> Self {
         PageId { area, page }
     }
@@ -77,8 +84,8 @@ impl std::fmt::Display for PageId {
 
 /// Number of pages needed to hold `bytes` bytes.
 #[inline]
-pub const fn pages_for_bytes(bytes: u64) -> u32 {
-    (bytes.div_ceil(PAGE_SIZE as u64)) as u32
+pub fn pages_for_bytes(bytes: u64) -> u32 {
+    cast::to_u32(bytes.div_ceil(PAGE_SIZE_U64))
 }
 
 #[cfg(test)]

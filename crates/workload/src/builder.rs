@@ -126,8 +126,7 @@ mod tests {
     fn build_cost_is_linear_in_object_size() {
         let run = |bytes: u64| {
             let mut db = Db::paper_default();
-            let (_, rep) =
-                build_object(&mut db, &ManagerSpec::eos(4), bytes, 16 * 1024).unwrap();
+            let (_, rep) = build_object(&mut db, &ManagerSpec::eos(4), bytes, 16 * 1024).unwrap();
             rep.seconds()
         };
         let one = run(1 << 20);

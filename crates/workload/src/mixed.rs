@@ -6,8 +6,8 @@ use lobstore_simdisk::IoStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::scanner::sample_op_size;
 use crate::fill_bytes;
+use crate::scanner::sample_op_size;
 
 /// Kind of one workload operation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -160,9 +160,7 @@ impl MixedWorkload {
             win[k].1 += cost.time_us;
 
             if op_no % self.cfg.mark_every == 0 {
-                let avg = |(n, us): (usize, u64)| {
-                    (n > 0).then(|| us as f64 / 1_000.0 / n as f64)
-                };
+                let avg = |(n, us): (usize, u64)| (n > 0).then(|| us as f64 / 1_000.0 / n as f64);
                 marks.push(Mark {
                     ops_done: op_no,
                     read_ms: avg(win[OpKind::Read as usize]),
@@ -220,8 +218,7 @@ mod tests {
     #[test]
     fn object_size_stays_roughly_stable() {
         let mut db = Db::paper_default();
-        let (mut obj, _) =
-            build_object(&mut db, &ManagerSpec::eos(4), 1 << 20, 16 * 1024).unwrap();
+        let (mut obj, _) = build_object(&mut db, &ManagerSpec::eos(4), 1 << 20, 16 * 1024).unwrap();
         let mut w = MixedWorkload::new(small_cfg(10_000));
         let rep = w.run(&mut db, obj.as_mut()).unwrap();
         let size = obj.size(&mut db);
@@ -237,8 +234,7 @@ mod tests {
     #[test]
     fn mix_ratios_are_respected() {
         let mut db = Db::paper_default();
-        let (mut obj, _) =
-            build_object(&mut db, &ManagerSpec::esm(4), 1 << 19, 16 * 1024).unwrap();
+        let (mut obj, _) = build_object(&mut db, &ManagerSpec::esm(4), 1 << 19, 16 * 1024).unwrap();
         let mut w = MixedWorkload::new(MixedConfig {
             ops: 2_000,
             mark_every: 500,
@@ -255,8 +251,7 @@ mod tests {
     #[test]
     fn marks_report_costs_and_utilization() {
         let mut db = Db::paper_default();
-        let (mut obj, _) =
-            build_object(&mut db, &ManagerSpec::esm(1), 1 << 20, 64 * 1024).unwrap();
+        let (mut obj, _) = build_object(&mut db, &ManagerSpec::esm(1), 1 << 20, 64 * 1024).unwrap();
         let mut w = MixedWorkload::new(small_cfg(10_000));
         let rep = w.run(&mut db, obj.as_mut()).unwrap();
         for m in &rep.marks {

@@ -126,7 +126,9 @@ mod tests {
             let mut db = Db::paper_default();
             let (obj, _) =
                 build_object(&mut db, &ManagerSpec::starburst(), 1 << 20, chunk).unwrap();
-            sequential_scan(&mut db, obj.as_ref(), chunk).unwrap().seconds()
+            sequential_scan(&mut db, obj.as_ref(), chunk)
+                .unwrap()
+                .seconds()
         };
         assert!(run(128 * 1024) < run(4 * 1024));
     }
@@ -140,7 +142,11 @@ mod tests {
             build_object(&mut db, &ManagerSpec::starburst(), 1 << 20, 512 * 1024).unwrap();
         let rep = sequential_scan(&mut db, obj.as_ref(), 512 * 1024).unwrap();
         let floor = 1.024; // 1 MB / (1 KB/ms)
-        assert!(rep.seconds() < 2.0 * floor, "scan took {:.2}s", rep.seconds());
+        assert!(
+            rep.seconds() < 2.0 * floor,
+            "scan took {:.2}s",
+            rep.seconds()
+        );
         assert!(rep.seconds() >= floor);
     }
 

@@ -1,0 +1,805 @@
+//! `loblint` — project-specific static analysis for the lobstore
+//! workspace (std-only, text-based, deliberately simple).
+//!
+//! # Rules
+//!
+//! | rule | scope | meaning |
+//! |------|-------|---------|
+//! | `unwrap` | library crates, non-test code | no `.unwrap()` / `.expect(` — propagate `LobError` instead |
+//! | `truncating-cast` | library crates, non-test code | no bare `as u8/u16/u32/usize` on page/byte-offset arithmetic — use `try_into` or the checked helpers in `lobstore_simdisk::cast` |
+//! | `magic-duplicate` | whole workspace | each on-disk magic value is defined by exactly one `*MAGIC*` const |
+//! | `magic-literal` | whole workspace | a defined magic value may not appear as a bare literal outside its defining const |
+//! | `missing-docs` | library crates | every `pub` item carries a `///` doc comment |
+//! | `todo` | all non-test code | no `todo!` / `unimplemented!` |
+//!
+//! Library crates are `core`, `buddy`, `bufpool`, `simdisk`, `record`.
+//! Test modules (`#[cfg(test)]`), `tests/`, `benches/`, `examples/`, the
+//! CLI, bench, workload, xtask crates and the dependency shims are exempt
+//! from the library-only rules.
+//!
+//! # Suppression
+//!
+//! Any finding can be waived with a comment on the same line or the line
+//! directly above: `// loblint: allow(<rule>)`, e.g.
+//! `// loblint: allow(truncating-cast)`. Multiple rules separate with
+//! commas. Each waiver is local — there is no file- or crate-level allow.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The rule identifiers, as used in findings and `allow(...)` comments.
+pub const RULES: [&str; 6] = [
+    "unwrap",
+    "truncating-cast",
+    "magic-duplicate",
+    "magic-literal",
+    "missing-docs",
+    "todo",
+];
+
+const LIBRARY_CRATES: [&str; 5] = ["core", "buddy", "bufpool", "simdisk", "record"];
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// How a file participates in the lint pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Subject to the library-only rules (unwrap, truncating-cast,
+    /// missing-docs)?
+    pub library: bool,
+    /// Entirely test/bench/example code (library rules and `todo` off)?
+    pub test_code: bool,
+}
+
+/// Classify a workspace-relative path (forward slashes).
+pub fn classify(rel: &str) -> FileClass {
+    let test_code = rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("benches/")
+        || rel.starts_with("examples/");
+    let library = !test_code
+        && LIBRARY_CRATES
+            .iter()
+            .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    FileClass { library, test_code }
+}
+
+/// A magic-constant definition discovered in pass one.
+#[derive(Debug, Clone)]
+pub struct MagicDef {
+    file: String,
+    line: usize,
+    name: String,
+    /// Normalized literal (lowercase hex without underscores, or the raw
+    /// byte-string token).
+    value: String,
+}
+
+impl MagicDef {
+    /// The const's name, for reporting.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Everything `loblint` found across the workspace.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+
+    let mut sources = Vec::with_capacity(files.len());
+    for path in &files {
+        let rel = relative_name(root, path);
+        let content = std::fs::read_to_string(path)?;
+        sources.push((rel, content));
+    }
+
+    let magics = collect_magic_defs(&sources);
+    let mut findings = Vec::new();
+    check_magic_duplicates(&magics, &mut findings);
+    for (rel, content) in &sources {
+        let class = classify(rel);
+        lint_source(class, rel, content, &magics, &mut findings);
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// CLI entry point: print findings (text or JSON) and map them to an
+/// exit code — 0 clean, 1 findings, 2 unable to run.
+pub fn run(root: &Path, json: bool) -> ExitCode {
+    let findings = match lint_workspace(root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("loblint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        eprintln!(
+            "loblint: {} finding{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn relative_name(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---- pass one: magic constants ------------------------------------------
+
+fn collect_magic_defs(sources: &[(String, String)]) -> Vec<MagicDef> {
+    let mut defs = Vec::new();
+    for (rel, content) in sources {
+        for (i, raw) in content.lines().enumerate() {
+            let code = strip_line_comment(raw);
+            let Some((name, value)) = parse_magic_def(code) else {
+                continue;
+            };
+            defs.push(MagicDef {
+                file: rel.clone(),
+                line: i + 1,
+                name,
+                value,
+            });
+        }
+    }
+    defs
+}
+
+/// Parse `const <NAME>: .. = <literal>;` where NAME contains MAGIC.
+fn parse_magic_def(code: &str) -> Option<(String, String)> {
+    let after = code.trim_start();
+    let after = after.strip_prefix("pub ").unwrap_or(after);
+    let after = after
+        .strip_prefix("pub(crate) ")
+        .unwrap_or(after)
+        .trim_start();
+    let rest = after.strip_prefix("const ")?;
+    let name_end = rest.find(':')?;
+    let name = rest[..name_end].trim();
+    if !name.contains("MAGIC") {
+        return None;
+    }
+    let eq = rest.find('=')?;
+    let value_src = rest[eq + 1..].trim().trim_end_matches(';').trim();
+    let value = normalize_literal(value_src)?;
+    Some((name.to_string(), value))
+}
+
+/// Normalize a numeric or byte-string literal for value comparison.
+/// Returns `None` when the initializer is not a literal (e.g. a
+/// reference to another const, which is fine).
+fn normalize_literal(src: &str) -> Option<String> {
+    if let Some(hex) = src.strip_prefix("0x") {
+        let digits: String = hex
+            .chars()
+            .take_while(|c| c.is_ascii_hexdigit() || *c == '_')
+            .filter(|c| *c != '_')
+            .collect();
+        if digits.is_empty() {
+            return None;
+        }
+        return Some(format!("0x{}", digits.to_ascii_lowercase()));
+    }
+    if let Some(body) = src.strip_prefix("b\"") {
+        let end = body.find('"')?;
+        return Some(src[..end + 3].to_string());
+    }
+    if src.chars().next()?.is_ascii_digit() {
+        let digits: String = src
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '_')
+            .filter(|c| *c != '_')
+            .collect();
+        return Some(digits);
+    }
+    None
+}
+
+fn check_magic_duplicates(defs: &[MagicDef], findings: &mut Vec<Finding>) {
+    let mut by_value: BTreeMap<&str, Vec<&MagicDef>> = BTreeMap::new();
+    for d in defs {
+        by_value.entry(&d.value).or_default().push(d);
+    }
+    for (value, group) in by_value {
+        if group.len() > 1 {
+            for d in &group[1..] {
+                findings.push(Finding {
+                    file: d.file.clone(),
+                    line: d.line,
+                    rule: "magic-duplicate",
+                    message: format!(
+                        "magic value {value} of `{}` already defined as `{}` at {}:{}",
+                        d.name(),
+                        group[0].name(),
+                        group[0].file,
+                        group[0].line
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---- pass two: per-file rules -------------------------------------------
+
+/// Lint one file's content. `magics` is the workspace-wide magic table
+/// from pass one. Findings are appended to `out`.
+pub fn lint_source(
+    class: FileClass,
+    rel: &str,
+    content: &str,
+    magics: &[MagicDef],
+    out: &mut Vec<Finding>,
+) {
+    let lines: Vec<&str> = content.lines().collect();
+    let test_lines = test_region_lines(&lines);
+    let mut in_block_comment = false;
+
+    for (i, raw) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        let in_test = class.test_code || test_lines.contains(&i);
+        let prev_raw = if i > 0 { lines[i - 1] } else { "" };
+
+        let (code, still_in_block) = strip_comments(raw, in_block_comment);
+        let was_in_block = in_block_comment;
+        in_block_comment = still_in_block;
+        if was_in_block && still_in_block && !raw.contains("*/") {
+            continue;
+        }
+        let code = code.as_str();
+
+        let allowed = |rule: &str| {
+            has_allow(raw, rule) || (is_comment_only(prev_raw) && has_allow(prev_raw, rule))
+        };
+
+        // -- todo: everywhere outside tests --
+        if !in_test
+            && (code.contains("todo!") || code.contains("unimplemented!")) // loblint: allow(todo)
+            && !allowed("todo")
+        {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "todo",
+                message: "todo!/unimplemented! outside test code".into(), // loblint: allow(todo)
+            });
+        }
+
+        // -- magic-literal: everywhere, skipping the defining const --
+        if parse_magic_def(code).is_none() {
+            for lit in extract_literals(code) {
+                if let Some(def) = magics.iter().find(|d| d.value == lit) {
+                    if !allowed("magic-literal") {
+                        out.push(Finding {
+                            file: rel.to_string(),
+                            line: lineno,
+                            rule: "magic-literal",
+                            message: format!(
+                                "bare magic literal {lit}; reference `{}` ({}:{}) instead",
+                                def.name, def.file, def.line
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        if !class.library || in_test {
+            continue;
+        }
+
+        // -- unwrap: library non-test code --
+        if (code.contains(".unwrap()") || code.contains(".expect(")) && !allowed("unwrap") {
+            out.push(Finding {
+                file: rel.to_string(),
+                line: lineno,
+                rule: "unwrap",
+                message: "unwrap()/expect() in library code; propagate LobError instead".into(),
+            });
+        }
+
+        // -- truncating-cast: library non-test code --
+        if !allowed("truncating-cast") {
+            if let Some(width) = truncating_cast(code) {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "truncating-cast",
+                    message: format!(
+                        "bare `as {width}` on page/offset arithmetic; use try_into or lobstore_simdisk::cast"
+                    ),
+                });
+            }
+        }
+
+        // -- missing-docs: library non-test code --
+        if let Some(item) = pub_item_kind(code) {
+            if !has_doc_above(&lines, i) && !allowed("missing-docs") {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: "missing-docs",
+                    message: format!("pub {item} without a /// doc comment"),
+                });
+            }
+        }
+    }
+}
+
+/// Detect a bare narrowing cast on a line doing page/offset arithmetic.
+/// Returns the cast width when found.
+fn truncating_cast(code: &str) -> Option<&'static str> {
+    const WIDTHS: [&str; 4] = ["u8", "u16", "u32", "usize"];
+    const CONTEXT: [&str; 6] = ["off", "page", "pos", "byte", "pgno", "pid"];
+    let lower = code.to_ascii_lowercase();
+    if !CONTEXT.iter().any(|c| lower.contains(c)) {
+        return None;
+    }
+    for width in WIDTHS {
+        let needle = format!("as {width}");
+        let mut start = 0;
+        while let Some(at) = code[start..].find(&needle) {
+            let abs = start + at;
+            let before_ok = abs == 0
+                || code[..abs]
+                    .chars()
+                    .next_back()
+                    .is_some_and(|c| c.is_whitespace() || c == '(');
+            let after = abs + needle.len();
+            let after_ok = code[after..]
+                .chars()
+                .next()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            if before_ok && after_ok {
+                return Some(width);
+            }
+            start = after;
+        }
+    }
+    None
+}
+
+/// Identify a `pub` item declaration (not `pub(crate)`/`pub use`).
+fn pub_item_kind(code: &str) -> Option<&'static str> {
+    let trimmed = code.trim_start();
+    let rest = trimmed.strip_prefix("pub ")?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("async ").unwrap_or(rest);
+    let rest = rest.strip_prefix("unsafe ").unwrap_or(rest);
+    for kind in [
+        "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
+    ] {
+        if let Some(after) = rest.strip_prefix(kind) {
+            if after.starts_with(char::is_whitespace) {
+                return Some(match kind {
+                    "fn" => "fn",
+                    "struct" => "struct",
+                    "enum" => "enum",
+                    "trait" => "trait",
+                    "const" => "const",
+                    "static" => "static",
+                    "type" => "type",
+                    "mod" => "mod",
+                    _ => "union",
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Walk upward over attributes; the first non-attribute line above must
+/// be a `///` doc comment (or `#[doc...]`).
+fn has_doc_above(lines: &[&str], mut i: usize) -> bool {
+    while i > 0 {
+        let above = lines[i - 1].trim();
+        if above.starts_with("#[") || above.starts_with("#!") {
+            i -= 1;
+            continue;
+        }
+        // Tolerate multiline attributes: a line that closes one, e.g. `)]`.
+        if above.ends_with(")]") && !above.starts_with("///") {
+            i -= 1;
+            continue;
+        }
+        return above.starts_with("///") || above.starts_with("#[doc");
+    }
+    false
+}
+
+/// Line indices inside `#[cfg(test)] mod … { … }` blocks.
+fn test_region_lines(lines: &[&str]) -> std::collections::BTreeSet<usize> {
+    let mut out = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim_start();
+        let is_cfg_test = t.starts_with("#[cfg(test)]")
+            || t.starts_with("#[cfg(all(test")
+            || t.starts_with("#[cfg(any(test");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let mut depth: i64 = 0;
+        let mut started = false;
+        let mut j = i;
+        while j < lines.len() {
+            out.insert(j);
+            for c in lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if started && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// All normalized numeric/byte-string literals appearing in a code line.
+fn extract_literals(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'0' && i + 1 < bytes.len() && bytes[i + 1] == b'x' {
+            let start = i;
+            i += 2;
+            while i < bytes.len() && (bytes[i].is_ascii_hexdigit() || bytes[i] == b'_') {
+                i += 1;
+            }
+            if let Some(lit) = normalize_literal(&code[start..i]) {
+                out.push(lit);
+            }
+        } else if bytes[i] == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+            let start = i;
+            i += 2;
+            while i < bytes.len() && bytes[i] != b'"' {
+                i += 1;
+            }
+            i = (i + 1).min(bytes.len());
+            if let Some(lit) = normalize_literal(&code[start..i]) {
+                out.push(lit);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Does this raw line carry `loblint: allow(<rule>)` for `rule`?
+fn has_allow(raw: &str, rule: &str) -> bool {
+    debug_assert!(RULES.contains(&rule), "unknown lint rule `{rule}`");
+    let Some(at) = raw.find("loblint: allow(") else {
+        return false;
+    };
+    let inner_start = at + "loblint: allow(".len();
+    let Some(close) = raw[inner_start..].find(')') else {
+        return false;
+    };
+    raw[inner_start..inner_start + close]
+        .split(',')
+        .any(|r| r.trim() == rule)
+}
+
+fn is_comment_only(raw: &str) -> bool {
+    raw.trim_start().starts_with("//")
+}
+
+fn strip_line_comment(raw: &str) -> &str {
+    match raw.find("//") {
+        Some(at) => &raw[..at],
+        None => raw,
+    }
+}
+
+/// Strip `//` and `/* */` comments from a line; returns the remaining
+/// code and whether a block comment continues onto the next line.
+fn strip_comments(raw: &str, mut in_block: bool) -> (String, bool) {
+    let mut out = String::new();
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if in_block {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            break;
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            in_block = true;
+            i += 2;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    (out, in_block)
+}
+
+// ---- output --------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON object: `{"count": N, "findings": [...]}`.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n");
+    let _ = write!(out, "  \"count\": {},\n  \"findings\": [", findings.len());
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            json_escape(&f.message)
+        );
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: FileClass = FileClass {
+        library: true,
+        test_code: false,
+    };
+
+    fn lint_lib(content: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        lint_source(LIB, "crates/core/src/x.rs", content, &[], &mut out);
+        out
+    }
+
+    #[test]
+    fn reintroduced_unwrap_is_flagged() {
+        let found = lint_lib("fn f() { let x = g().unwrap(); }\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "unwrap");
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn expect_is_flagged_like_unwrap() {
+        let found = lint_lib("fn f() { g().expect(\"boom\"); }\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        assert!(lint_lib("fn f() { g().unwrap_or_else(|| 3); }\n").is_empty());
+        assert!(lint_lib("fn f() { g().unwrap_or_default(); }\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_inside_cfg_test_module_is_exempt() {
+        let src =
+            "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x().unwrap(); }\n}\n";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_non_library_file_is_exempt() {
+        let mut out = Vec::new();
+        let class = classify("crates/cli/src/main.rs");
+        assert!(!class.library);
+        lint_source(
+            class,
+            "crates/cli/src/main.rs",
+            "fn f() { g().unwrap(); }\n",
+            &[],
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reintroduced_truncating_page_cast_is_flagged() {
+        let found = lint_lib("fn f(off: u64) -> u32 { off as u32 }\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "truncating-cast");
+        // Same cast without offset-ish context is not page arithmetic.
+        assert!(lint_lib("fn f(mask: u64) -> u32 { mask as u32 }\n").is_empty());
+        // Widening casts are fine.
+        assert!(lint_lib("fn f(off: u32) -> u64 { off as u64 }\n").is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_on_same_or_previous_line() {
+        let same = "fn f(off: u64) -> u32 { off as u32 } // loblint: allow(truncating-cast)\n";
+        assert!(lint_lib(same).is_empty());
+        let above = "// loblint: allow(truncating-cast)\nfn f(off: u64) -> u32 { off as u32 }\n";
+        assert!(lint_lib(above).is_empty());
+        // An allow for a different rule does not suppress.
+        let wrong = "fn f(off: u64) -> u32 { off as u32 } // loblint: allow(unwrap)\n";
+        assert_eq!(lint_lib(wrong).len(), 1);
+    }
+
+    #[test]
+    fn todo_flagged_everywhere_outside_tests() {
+        let mut out = Vec::new();
+        lint_source(
+            classify("crates/cli/src/main.rs"),
+            "crates/cli/src/main.rs",
+            "fn f() { todo!() }\n",
+            &[],
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "todo");
+    }
+
+    #[test]
+    fn magic_duplicate_and_bare_literal_detected() {
+        let sources = vec![
+            (
+                "crates/core/src/a.rs".to_string(),
+                "const A_MAGIC: u32 = 0x1234_5678;\n".to_string(),
+            ),
+            (
+                "crates/buddy/src/b.rs".to_string(),
+                "const B_MAGIC: u32 = 0x12345678;\nfn f() { let x = 0x1234_5678; }\n".to_string(),
+            ),
+        ];
+        let defs = collect_magic_defs(&sources);
+        assert_eq!(defs.len(), 2);
+        let mut findings = Vec::new();
+        check_magic_duplicates(&defs, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "magic-duplicate");
+        let mut per_file = Vec::new();
+        lint_source(
+            classify("crates/buddy/src/b.rs"),
+            "crates/buddy/src/b.rs",
+            &sources[1].1,
+            &defs,
+            &mut per_file,
+        );
+        let lit: Vec<_> = per_file
+            .iter()
+            .filter(|f| f.rule == "magic-literal")
+            .collect();
+        assert_eq!(lit.len(), 1);
+        assert_eq!(lit[0].line, 2);
+    }
+
+    #[test]
+    fn missing_docs_on_pub_items_only() {
+        let undocumented = "pub fn f() {}\n";
+        let found = lint_lib(undocumented);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "missing-docs");
+        let documented = "/// Does f things.\npub fn f() {}\n";
+        assert!(lint_lib(documented).is_empty());
+        let attr_between = "/// Docs.\n#[inline]\npub fn f() {}\n";
+        assert!(lint_lib(attr_between).is_empty());
+        let private = "fn f() {}\npub(crate) fn g() {}\n";
+        assert!(lint_lib(private).is_empty());
+    }
+
+    #[test]
+    fn block_comments_do_not_hide_or_cause_findings() {
+        assert!(lint_lib("/* x.unwrap() */ fn f() {}\n").is_empty());
+        let multi = "/*\n x.unwrap()\n*/\nfn f() {}\n";
+        assert!(lint_lib(multi).is_empty());
+    }
+
+    /// End-to-end: a synthetic workspace on disk, scanned via
+    /// `lint_workspace`, exits nonzero through `run`'s finding count.
+    #[test]
+    fn workspace_walk_finds_violations_on_disk() {
+        let dir = std::env::temp_dir().join(format!("loblint-selftest-{}", std::process::id()));
+        let lib = dir.join("crates/core/src");
+        std::fs::create_dir_all(&lib).unwrap();
+        std::fs::write(
+            lib.join("bad.rs"),
+            "pub fn f(off: u64) -> u32 { g().unwrap(); off as u32 }\n",
+        )
+        .unwrap();
+        let findings = lint_workspace(&dir).unwrap();
+        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"unwrap"), "{findings:?}");
+        assert!(rules.contains(&"truncating-cast"), "{findings:?}");
+        assert!(rules.contains(&"missing-docs"), "{findings:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let findings = vec![Finding {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "unwrap",
+            message: "msg with \"quotes\"".into(),
+        }];
+        let json = to_json(&findings);
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(to_json(&[]).contains("\"count\": 0"));
+    }
+}

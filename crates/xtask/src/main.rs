@@ -1,0 +1,51 @@
+//! `cargo xtask`-style workspace automation (std-only, no dependencies).
+//!
+//! Subcommands:
+//!
+//! * `loblint [--json] [--root <dir>]` — run the project-specific static
+//!   analysis pass over every workspace `.rs` source. Exit code 0 means
+//!   clean, 1 means findings were reported, 2 means the pass itself could
+//!   not run (bad root, unreadable files).
+//!
+//! See `loblint::RULES` for the rule set and `DESIGN.md` ("Correctness
+//! tooling") for the rationale.
+
+mod loblint;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("loblint") => {
+            let mut json = false;
+            let mut root = String::from(".");
+            let mut rest = args;
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--root" => match rest.next() {
+                        Some(dir) => root = dir,
+                        None => {
+                            eprintln!("loblint: --root needs a directory argument");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("loblint: unknown argument `{other}`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            loblint::run(std::path::Path::new(&root), json)
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}` (try `loblint`)");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- loblint [--json] [--root <dir>]");
+            ExitCode::from(2)
+        }
+    }
+}

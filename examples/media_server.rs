@@ -22,8 +22,10 @@ const INGEST_CHUNK: usize = 16 * FRAME;
 const FRAMES: usize = 300;
 
 fn main() {
-    println!("media server: ingest a {} MB clip, play it back, then seek around\n",
-        (FRAMES * FRAME) >> 20);
+    println!(
+        "media server: ingest a {} MB clip, play it back, then seek around\n",
+        (FRAMES * FRAME) >> 20
+    );
 
     for spec in [
         ManagerSpec::starburst(),
@@ -44,7 +46,8 @@ fn main() {
                 let at = f * FRAME;
                 buf[at..at + 4].copy_from_slice(&(frame_no + f as u32).to_le_bytes());
             }
-            clip.append(&mut db, &buf[..frames_now * FRAME]).expect("append");
+            clip.append(&mut db, &buf[..frames_now * FRAME])
+                .expect("append");
             frame_no += frames_now as u32;
         }
         clip.trim(&mut db).expect("trim");
@@ -53,7 +56,8 @@ fn main() {
         // --- playback: sequential frame reads -------------------------
         let mut frame = vec![0u8; FRAME];
         for f in 0..FRAMES as u64 {
-            clip.read(&mut db, f * FRAME as u64, &mut frame).expect("frame read");
+            clip.read(&mut db, f * FRAME as u64, &mut frame)
+                .expect("frame read");
             let stamp = u32::from_le_bytes(frame[..4].try_into().unwrap());
             assert_eq!(stamp, f as u32, "frame corrupted during storage");
         }
@@ -66,7 +70,8 @@ fn main() {
             state ^= state >> 7;
             state ^= state << 17;
             let f = state % FRAMES as u64;
-            clip.read(&mut db, f * FRAME as u64, &mut frame).expect("seek read");
+            clip.read(&mut db, f * FRAME as u64, &mut frame)
+                .expect("seek read");
         }
         let seeks = db.io_stats() - ingest - playback;
 

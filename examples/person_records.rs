@@ -17,7 +17,9 @@
 use lobstore::{Db, FieldInput, ManagerSpec, RecordStore, Value};
 
 fn synth(len: usize, seed: u64) -> Vec<u8> {
-    (0..len).map(|i| ((i as u64 * 31 + seed * 7) % 251) as u8).collect()
+    (0..len)
+        .map(|i| ((i as u64 * 31 + seed * 7) % 251) as u8)
+        .collect()
 }
 
 fn main() {
@@ -29,7 +31,10 @@ fn main() {
 
     // Ingest a few people.
     let mut ids = Vec::new();
-    for (i, name) in ["Ada Lovelace", "Edgar Codd", "Grace Hopper"].iter().enumerate() {
+    for (i, name) in ["Ada Lovelace", "Edgar Codd", "Grace Hopper"]
+        .iter()
+        .enumerate()
+    {
         let picture = synth(300_000 + i * 50_000, i as u64); // ~0.3 MB portrait
         let voice = synth(120_000, 100 + i as u64); // ~0.12 MB voice note
         let id = people
@@ -49,7 +54,11 @@ fn main() {
             )
             .expect("insert person");
         ids.push(id);
-        println!("  stored {name:<14} as {id}  (picture {} B, voice {} B)", picture.len(), voice.len());
+        println!(
+            "  stored {name:<14} as {id}  (picture {} B, voice {} B)",
+            picture.len(),
+            voice.len()
+        );
     }
 
     // Edit one voice note in place: trim silence at the front, splice an
@@ -58,15 +67,21 @@ fn main() {
     let voice = fields[2].as_long().expect("voice descriptor");
     let mut note = people.read_long(&mut db, voice).expect("open voice");
     note.delete(&mut db, 0, 10_000).expect("trim silence");
-    note.insert(&mut db, 0, &synth(2_000, 999)).expect("splice intro");
+    note.insert(&mut db, 0, &synth(2_000, 999))
+        .expect("splice intro");
     println!("\n  edited Grace Hopper's voice note: -10000 bytes silence, +2000 bytes intro");
     println!("  new length: {} bytes", note.size(&mut db));
 
     // Persist the whole database to an image and reload it.
     let path = std::env::temp_dir().join("person_records.lob");
     db.save_to_path(&path).expect("save image");
-    println!("\nsaved database image: {} ({} KB)", path.display(),
-        std::fs::metadata(&path).map(|m| m.len() / 1024).unwrap_or(0));
+    println!(
+        "\nsaved database image: {} ({} KB)",
+        path.display(),
+        std::fs::metadata(&path)
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0)
+    );
 
     let mut db2 = Db::load_from_path(&path, lobstore::DbConfig::default()).expect("reload");
     let people2 = RecordStore::open(&mut db2, store_root).expect("reopen store");

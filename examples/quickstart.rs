@@ -38,10 +38,12 @@ fn main() {
         // Insert and delete in the middle — the operation Starburst hates.
         // One warm-up edit first, so we measure the steady-state cost and
         // not the one-off split of a large freshly-built segment.
-        obj.insert(&mut db, 700_000, b"warm-up edit").expect("warm-up");
+        obj.insert(&mut db, 700_000, b"warm-up edit")
+            .expect("warm-up");
         obj.delete(&mut db, 700_000, 12).expect("warm-up delete");
         let warm = db.io_stats();
-        obj.insert(&mut db, 500_000, b"spliced right in").expect("insert");
+        obj.insert(&mut db, 500_000, b"spliced right in")
+            .expect("insert");
         let insert = db.io_stats() - warm;
         obj.delete(&mut db, 500_000, 16).expect("delete");
 
@@ -52,7 +54,8 @@ fn main() {
         obj.check_invariants(&db).expect("invariants");
 
         let u = obj.utilization(&db);
-        println!("{:<12} build {:>8}  |  10K read {:>7}  |  insert {:>8}  |  util {:>6.1}%",
+        println!(
+            "{:<12} build {:>8}  |  10K read {:>7}  |  insert {:>8}  |  util {:>6.1}%",
             spec.label(),
             fmt(build),
             fmt(read),

@@ -16,8 +16,8 @@
 //! cargo run --release --example tuning_advisor
 //! ```
 
-use lobstore::{Db, ManagerSpec, MixedConfig, MixedWorkload};
 use lobstore::workload::OpKind;
+use lobstore::{Db, ManagerSpec, MixedConfig, MixedWorkload};
 
 const OBJECT: u64 = 2 << 20;
 const READ_SIZE: u64 = 10_000; // the profile we advise for
@@ -82,8 +82,10 @@ fn main() {
     println!("\nAdvisor pick for this profile: {winner}");
     println!("\n§4.6 rules of thumb:");
     println!("  - EOS: never set T below 4 pages; above that, pick T slightly larger");
-    println!("    than your typical read ({} pages here), larger still if updates are rare.",
-        READ_SIZE.div_ceil(4096));
+    println!(
+        "    than your typical read ({} pages here), larger still if updates are rare.",
+        READ_SIZE.div_ceil(4096)
+    );
     println!("  - ESM: small leaves favour utilization, large leaves favour reads —");
     println!("    you cannot have both (§4.6), so EOS dominates when in doubt.");
 }

@@ -1,0 +1,203 @@
+//! Offline stand-in for the subset of `criterion 0.5` this workspace's
+//! benches call: `Criterion::benchmark_group`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access. This shim keeps
+//! `cargo bench` compiling and producing *rough* wall-clock numbers
+//! (median of a short fixed-duration run) without the statistical
+//! machinery, HTML reports, or CLI of the real crate. Numbers printed
+//! here are indicative only — regressions should be judged on the real
+//! criterion once network access exists.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; accepted for API compatibility. The
+/// shim runs one setup per measured call regardless of the hint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Drives one benchmark body and records its timing.
+pub struct Bencher {
+    measured: Vec<Duration>,
+}
+
+/// Target wall-clock budget for one `bench_function` call.
+const BUDGET: Duration = Duration::from_millis(200);
+/// Hard cap on measured iterations per benchmark.
+const MAX_ITERS: u64 = 10_000;
+
+impl Bencher {
+    /// Time `routine` repeatedly until the budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let started = Instant::now();
+        while started.elapsed() < BUDGET && (self.measured.len() as u64) < MAX_ITERS {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.measured.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let started = Instant::now();
+        while started.elapsed() < BUDGET && (self.measured.len() as u64) < MAX_ITERS {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.measured.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but hands the routine `&mut I`.
+    pub fn iter_batched_ref<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> O,
+        _size: BatchSize,
+    ) {
+        let started = Instant::now();
+        while started.elapsed() < BUDGET && (self.measured.len() as u64) < MAX_ITERS {
+            let mut input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.measured.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.measured.is_empty() {
+            println!("{label:<48} (no samples)");
+            return;
+        }
+        let mut sorted = self.measured.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        println!(
+            "{label:<48} median {median:>12?}  mean {mean:>12?}  ({} iters)",
+            sorted.len()
+        );
+    }
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group; the shim group only prefixes labels.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.to_string(), &mut body);
+        self
+    }
+}
+
+/// Group of related benchmarks sharing a label prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut body: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut body);
+        self
+    }
+
+    /// Accepted for compatibility; the shim's iteration count is fixed by
+    /// the measurement loop, not a sample budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the shim has no per-group state.
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, body: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        measured: Vec::new(),
+    };
+    body(&mut bencher);
+    bencher.report(label);
+}
+
+/// `criterion_group!(name, target, ...)` — defines `fn name()` running
+/// each target against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — defines `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("iter", |b| b.iter(|| 1 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, sample_bench);
+
+    #[test]
+    fn group_and_bencher_run() {
+        smoke();
+    }
+}

@@ -43,7 +43,9 @@ fn scan_rates_bracket_the_structures() {
     let scan = |spec: ManagerSpec| {
         let mut db = Db::paper_default();
         let (obj, _) = build_object(&mut db, &spec, MB, 64 * 1024).unwrap();
-        sequential_scan(&mut db, obj.as_ref(), 64 * 1024).unwrap().seconds()
+        sequential_scan(&mut db, obj.as_ref(), 64 * 1024)
+            .unwrap()
+            .seconds()
     };
     let floor = MB as f64 / 1024.0 / 1000.0; // pure transfer
     let esm1 = scan(ManagerSpec::esm(1));
@@ -78,14 +80,17 @@ fn update_cost_scaling() {
         // Warm to steady state.
         for i in 0..10u64 {
             let size = obj.size(&mut db);
-            obj.insert(&mut db, (i * 97_001) % size, &[7u8; 5_000]).unwrap();
+            obj.insert(&mut db, (i * 97_001) % size, &[7u8; 5_000])
+                .unwrap();
             let size = obj.size(&mut db);
-            obj.delete(&mut db, (i * 31_337) % (size - 5_000), 5_000).unwrap();
+            obj.delete(&mut db, (i * 31_337) % (size - 5_000), 5_000)
+                .unwrap();
         }
         let before = db.io_stats();
         for i in 0..5u64 {
             let size = obj.size(&mut db);
-            obj.insert(&mut db, (i * 131_071) % size, &[9u8; 5_000]).unwrap();
+            obj.insert(&mut db, (i * 131_071) % size, &[9u8; 5_000])
+                .unwrap();
         }
         (db.io_stats() - before).time_s() / 5.0
     };
@@ -122,9 +127,18 @@ fn starburst_eos_builds_dominate_esm() {
             .fold(f64::INFINITY, f64::min);
         let star = build(ManagerSpec::starburst());
         let eos = build(ManagerSpec::eos(4));
-        assert!(star <= esm_best * 1.05, "{append_kb}K: star {star:.2} vs esm {esm_best:.2}");
-        assert!(eos <= esm_best * 1.05, "{append_kb}K: eos {eos:.2} vs esm {esm_best:.2}");
-        assert!((star - eos).abs() < 0.05 * star.max(eos), "same growth pattern");
+        assert!(
+            star <= esm_best * 1.05,
+            "{append_kb}K: star {star:.2} vs esm {esm_best:.2}"
+        );
+        assert!(
+            eos <= esm_best * 1.05,
+            "{append_kb}K: eos {eos:.2} vs esm {esm_best:.2}"
+        );
+        assert!(
+            (star - eos).abs() < 0.05 * star.max(eos),
+            "same growth pattern"
+        );
     }
 }
 
@@ -134,9 +148,15 @@ fn table2_read_ladder() {
     let mut db = Db::paper_default();
     let (mut obj, _) = build_object(&mut db, &ManagerSpec::starburst(), MB, 256 * 1024).unwrap();
     obj.insert(&mut db, 9, b"steady").unwrap();
-    let r100 = random_reads(&mut db, obj.as_ref(), 200, 100, 1).unwrap().avg_read_ms();
-    let r10k = random_reads(&mut db, obj.as_ref(), 200, 10_000, 2).unwrap().avg_read_ms();
-    let r100k = random_reads(&mut db, obj.as_ref(), 100, 100_000, 3).unwrap().avg_read_ms();
+    let r100 = random_reads(&mut db, obj.as_ref(), 200, 100, 1)
+        .unwrap()
+        .avg_read_ms();
+    let r10k = random_reads(&mut db, obj.as_ref(), 200, 10_000, 2)
+        .unwrap()
+        .avg_read_ms();
+    let r100k = random_reads(&mut db, obj.as_ref(), 100, 100_000, 3)
+        .unwrap()
+        .avg_read_ms();
     assert!((33.0..41.0).contains(&r100), "{r100:.1}");
     assert!((45.0..65.0).contains(&r10k), "{r10k:.1}");
     assert!((180.0..215.0).contains(&r100k), "{r100k:.1}");

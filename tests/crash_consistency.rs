@@ -17,7 +17,9 @@
 use lobstore::{Db, EsmObject, LargeObject, ManagerSpec};
 
 fn pattern(len: usize, seed: u64) -> Vec<u8> {
-    (0..len).map(|i| ((i as u64 * 89 + seed * 13 + 1) % 250) as u8).collect()
+    (0..len)
+        .map(|i| ((i as u64 * 89 + seed * 13 + 1) % 250) as u8)
+        .collect()
 }
 
 fn specs() -> Vec<ManagerSpec> {

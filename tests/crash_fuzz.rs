@@ -25,7 +25,9 @@ fn step_strategy() -> impl Strategy<Value = Step> {
 }
 
 fn fill(len: usize, seed: usize) -> Vec<u8> {
-    (0..len).map(|i| ((i * 41 + seed * 3 + 11) % 253) as u8).collect()
+    (0..len)
+        .map(|i| ((i * 41 + seed * 3 + 11) % 253) as u8)
+        .collect()
 }
 
 fn run_fuzz(spec: ManagerSpec, steps: &[Step]) {
@@ -92,12 +94,7 @@ fn run_fuzz(spec: ManagerSpec, steps: &[Step]) {
             }
             Step::Crash => {
                 db.crash_and_reboot();
-                let recovered = lobstore::open_object(
-                    &mut db,
-                    obj.kind(),
-                    root,
-                )
-                .unwrap();
+                let recovered = lobstore::open_object(&mut db, obj.kind(), root).unwrap();
                 assert_eq!(
                     recovered.snapshot(&db),
                     checkpointed,

@@ -17,7 +17,9 @@ fn all_specs() -> Vec<ManagerSpec> {
 }
 
 fn pattern(len: usize, seed: u64) -> Vec<u8> {
-    (0..len).map(|i| ((i as u64 * 131 + seed * 7 + 3) % 251) as u8).collect()
+    (0..len)
+        .map(|i| ((i as u64 * 131 + seed * 7 + 3) % 251) as u8)
+        .collect()
 }
 
 /// Drive the same scripted edit session everywhere and diff the results.
@@ -36,7 +38,10 @@ fn scripted_session_is_identical_everywhere() {
         obj.delete(&mut db, 100_000, 10_000).unwrap();
         obj.trim(&mut db).unwrap();
         obj.check_invariants(&db).unwrap();
-        assert_eq!(obj.size(&mut db), 100_000 + 9_000 - 15_000 + 30_000 + 777 - 10_000);
+        assert_eq!(
+            obj.size(&mut db),
+            100_000 + 9_000 - 15_000 + 30_000 + 777 - 10_000
+        );
         snapshots.push((spec.label(), obj.snapshot(&db)));
     }
     let (ref_label, reference) = &snapshots[0];
@@ -92,7 +97,12 @@ fn random_sessions_agree_with_model() {
         assert_eq!(obj.snapshot(&db), model, "{}", spec.label());
         // Tear down and verify no storage leaks.
         obj.destroy(&mut db).unwrap();
-        assert_eq!(db.leaf_pages_allocated(), 0, "{} leaked leaves", spec.label());
+        assert_eq!(
+            db.leaf_pages_allocated(),
+            0,
+            "{} leaked leaves",
+            spec.label()
+        );
         assert_eq!(db.meta_pages_allocated(), 0, "{} leaked meta", spec.label());
     }
 }
@@ -106,11 +116,13 @@ fn mixed_kinds_share_one_database() {
         .map(|s| s.create(&mut db).unwrap())
         .collect();
     for (i, obj) in objs.iter_mut().enumerate() {
-        obj.append(&mut db, &pattern(50_000 + i * 1_000, i as u64)).unwrap();
+        obj.append(&mut db, &pattern(50_000 + i * 1_000, i as u64))
+            .unwrap();
     }
     // Interleaved edits must not interfere.
     for (i, obj) in objs.iter_mut().enumerate() {
-        obj.insert(&mut db, 10_000, &pattern(2_000, 99 + i as u64)).unwrap();
+        obj.insert(&mut db, 10_000, &pattern(2_000, 99 + i as u64))
+            .unwrap();
     }
     for (i, obj) in objs.iter_mut().enumerate() {
         let mut expected = pattern(50_000 + i * 1_000, i as u64);

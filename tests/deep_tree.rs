@@ -16,7 +16,9 @@ fn tiny_db(fanout: usize) -> Db {
 }
 
 fn pattern(len: usize, seed: u64) -> Vec<u8> {
-    (0..len).map(|i| ((i as u64 * 61 + seed * 17 + 3) % 251) as u8).collect()
+    (0..len)
+        .map(|i| ((i as u64 * 61 + seed * 17 + 3) % 251) as u8)
+        .collect()
 }
 
 /// Build enough 1-page ESM leaves that the tree is several levels tall,
@@ -98,7 +100,11 @@ fn eos_mixed_ops_on_a_deep_tree() {
     }
     assert_eq!(obj.snapshot(&db), model);
     let segs = obj.segments(&db);
-    assert!(segs.len() > 25, "T=1 should leave many segments: {}", segs.len());
+    assert!(
+        segs.len() > 25,
+        "T=1 should leave many segments: {}",
+        segs.len()
+    );
     // Crash-recovery still works on deep trees.
     db.checkpoint();
     let checkpointed = model.clone();

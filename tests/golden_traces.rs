@@ -48,11 +48,7 @@ fn starburst_unaligned_append_reads_boundary_writes_new() {
     // the remaining 7600 B open the next doubling segment (one 2-page
     // write): exactly "read the rightmost page and flush the pages
     // containing the new bytes".
-    assert_eq!(
-        t,
-        vec![(R, LEAF, 1), (W, LEAF, 1), (W, LEAF, 2)],
-        "{t:?}"
-    );
+    assert_eq!(t, vec![(R, LEAF, 1), (W, LEAF, 1), (W, LEAF, 2)], "{t:?}");
 }
 
 /// Page-aligned append: no boundary read at all.

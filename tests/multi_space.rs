@@ -17,7 +17,9 @@ fn small_space_db() -> Db {
 }
 
 fn pattern(len: usize, seed: u64) -> Vec<u8> {
-    (0..len).map(|i| ((i as u64 * 131 + seed) % 251) as u8).collect()
+    (0..len)
+        .map(|i| ((i as u64 * 131 + seed) % 251) as u8)
+        .collect()
 }
 
 #[test]
@@ -59,7 +61,8 @@ fn object_spanning_many_buddy_spaces() {
         let at = (i * 334_961) % size;
         obj.insert(&mut db, at, &pattern(9_000, i)).unwrap();
         let size = obj.size(&mut db);
-        obj.delete(&mut db, (i * 746_773) % (size - 9_000), 9_000).unwrap();
+        obj.delete(&mut db, (i * 746_773) % (size - 9_000), 9_000)
+            .unwrap();
     }
     obj.check_invariants(&db).unwrap();
     obj.destroy(&mut db).unwrap();
@@ -102,7 +105,8 @@ fn many_objects_fill_and_release_spaces() {
         .collect();
     let mut db_ref = db;
     for (i, obj) in survivors.into_iter().enumerate() {
-        obj.append(&mut db_ref, &pattern(1 << 20, 100 + i as u64)).unwrap();
+        obj.append(&mut db_ref, &pattern(1 << 20, 100 + i as u64))
+            .unwrap();
         obj.check_invariants(&db_ref).unwrap();
         let expected_tail = pattern(1 << 20, 100 + i as u64);
         let size = obj.size(&mut db_ref);

@@ -75,7 +75,10 @@ fn hundred_mb_tree_levels_match_section_4_2() {
     // Starburst/EOS stay flat even at 100 MB.
     let (index, segs) = structure(ManagerSpec::eos(4), 100 * MB);
     assert_eq!(index, 1);
-    assert!(segs < 50, "doubling growth keeps the segment count tiny: {segs}");
+    assert!(
+        segs < 50,
+        "doubling growth keeps the segment count tiny: {segs}"
+    );
 }
 
 #[test]

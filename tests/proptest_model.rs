@@ -27,7 +27,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn fill(len: usize, seed: usize) -> Vec<u8> {
-    (0..len).map(|i| ((i * 37 + seed * 11 + 5) % 251) as u8).collect()
+    (0..len)
+        .map(|i| ((i * 37 + seed * 11 + 5) % 251) as u8)
+        .collect()
 }
 
 fn run_model(spec: ManagerSpec, ops: &[Op]) {
