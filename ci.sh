@@ -21,5 +21,11 @@ run cargo test -q --workspace
 run cargo test -q --features paranoid
 run cargo test -q -p lobstore-core -p lobstore-buddy --features paranoid
 
+# Machine-readable bench output: run one small bench and validate its
+# --json-out document against the lobstore-bench-report/v1 schema.
+run cargo run -q -p lobstore-bench --bin table2 -- --quick \
+    --out-dir target/bench-smoke --json-out target/bench-smoke/table2.json
+run cargo run -q -p xtask -- check-bench-json target/bench-smoke/table2.json
+
 echo
 echo "ci.sh: all gates passed"

@@ -3,7 +3,7 @@
 //! the pages holding the requested bytes, which is what reveals the
 //! advantage of large leaves for reads.
 
-use lobstore_bench::{fmt_ms, fresh_db, print_banner, print_table, Scale};
+use lobstore_bench::{finalize, fmt_ms, fresh_db, note, print_banner, print_table, Scale};
 use lobstore_core::{EsmObject, EsmParams};
 use lobstore_workload::{build_by_appends, random_reads};
 
@@ -47,5 +47,6 @@ fn main() {
         ],
         &rows,
     );
-    println!("Expected: whole-leaf I/O erases the large-leaf read advantage (§4.5).");
+    note("Expected: whole-leaf I/O erases the large-leaf read advantage (§4.5).");
+    finalize();
 }

@@ -8,7 +8,7 @@
 //! update figures likewise measure a structure under churn, not the
 //! pristine build.
 
-use lobstore_bench::{fmt_s, fresh_db, print_banner, print_table, Scale};
+use lobstore_bench::{finalize, fmt_s, fresh_db, note, print_banner, print_table, Scale};
 use lobstore_core::{Db, LargeObject};
 use lobstore_workload::{build_object, fill_bytes, ManagerSpec};
 use rand::rngs::StdRng;
@@ -79,7 +79,6 @@ fn main() {
         rows.push(row);
     }
     print_table(&headers, &rows);
-    println!(
-        "Expected: build columns scale linearly; ESM/EOS update flat; Starburst update linear."
-    );
+    note("Expected: build columns scale linearly; ESM/EOS update flat; Starburst update linear.");
+    finalize();
 }

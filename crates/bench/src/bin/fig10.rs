@@ -6,7 +6,8 @@
 //! threshold of 16 is enough to match Starburst (Table 2).
 
 use lobstore_bench::{
-    eos_specs, fmt_ms, print_banner, print_mark_table, run_update_sweep, Scale, MEAN_OP_SIZES,
+    eos_specs, finalize, fmt_ms, print_banner, print_mark_table, run_update_sweep, Scale,
+    MEAN_OP_SIZES,
 };
 
 fn main() {
@@ -23,4 +24,5 @@ fn main() {
             |m| fmt_ms(m.read_ms),
         );
     }
+    finalize();
 }

@@ -7,7 +7,8 @@
 //! reads larger leaves win clearly.
 
 use lobstore_bench::{
-    esm_specs, fmt_ms, print_banner, print_mark_table, run_update_sweep, Scale, MEAN_OP_SIZES,
+    esm_specs, finalize, fmt_ms, print_banner, print_mark_table, run_update_sweep, Scale,
+    MEAN_OP_SIZES,
 };
 
 fn main() {
@@ -24,4 +25,5 @@ fn main() {
             |m| fmt_ms(m.read_ms),
         );
     }
+    finalize();
 }

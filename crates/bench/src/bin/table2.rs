@@ -6,7 +6,9 @@
 //! build puts the object into its steady state (maximum-size segments).
 //! Paper values: 37 / 54 / 201 ms.
 
-use lobstore_bench::{fmt_ms, fresh_db, print_banner, print_table, Scale, MEAN_OP_SIZES};
+use lobstore_bench::{
+    finalize, fmt_ms, fresh_db, note, print_banner, print_table, Scale, MEAN_OP_SIZES,
+};
 use lobstore_workload::{build_object, random_reads, ManagerSpec};
 
 fn main() {
@@ -40,5 +42,6 @@ fn main() {
         row.push(fmt_ms(Some(rep.avg_read_ms())));
     }
     print_table(&headers, &[row]);
-    println!("Paper reports: 37 / 54 / 201 ms.");
+    note("Paper reports: 37 / 54 / 201 ms.");
+    finalize();
 }

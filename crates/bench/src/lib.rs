@@ -8,22 +8,87 @@
 //! All binaries accept:
 //!
 //! ```text
-//! --mb <N>     object size in MB        (default 10, the paper's)
-//! --ops <N>    mixed-workload ops       (default 10000)
-//! --quick      1 MB / 1000 ops smoke scale
-//! --csv <dir>  also write every table as CSV into <dir>
+//! --mb <N>         object size in MB        (default 10, the paper's)
+//! --ops <N>        mixed-workload ops       (default 10000)
+//! --quick          1 MB / 1000 ops smoke scale
+//! --csv <dir>      also write every table as CSV into <dir>
+//! --out-dir <dir>  directory for the human-readable report text
+//!                  (default `results/`; created on demand)
+//! --json-out <p>   also write a machine-readable JSON report to <p>
+//!                  (schema `lobstore-bench-report/v1`)
 //! ```
+//!
+//! Every printed banner, table, and note is also accumulated into an
+//! in-process report; [`finalize`] (called at the end of every binary)
+//! writes it as `<out-dir>/<bin>.txt` and, with `--json-out`, as one
+//! JSON document with a record per table row (see DESIGN.md,
+//! "Observability").
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 use lobstore_core::{Db, DbConfig};
+use lobstore_obs::json::Value;
 use lobstore_workload::ManagerSpec;
+
+pub use lobstore_obs::BENCH_REPORT_SCHEMA;
 
 /// Directory for machine-readable CSV copies of every printed table
 /// (`--csv <dir>`); tables are numbered per process in print order.
 static CSV_DIR: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
 static CSV_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// One printed table, retained for the JSON report.
+struct TableRecord {
+    table: usize,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+/// Everything the running binary has printed, accumulated for
+/// [`finalize`].
+#[derive(Default)]
+struct ReportState {
+    title: String,
+    scale: Option<Scale>,
+    tables: Vec<TableRecord>,
+    notes: Vec<String>,
+    text: String,
+    /// Title to attach to the next table (set by [`print_mark_table`]).
+    next_table_title: Option<String>,
+    out_dir: Option<PathBuf>,
+    json_out: Option<PathBuf>,
+}
+
+static REPORT: Mutex<Option<ReportState>> = Mutex::new(None);
+
+fn with_report<R>(f: impl FnOnce(&mut ReportState) -> R) -> R {
+    let mut guard = REPORT.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(ReportState::default))
+}
+
+/// Print `line` and retain it for the `<out-dir>/<bin>.txt` report.
+fn emit_line(line: &str) {
+    println!("{line}");
+    with_report(|r| {
+        r.text.push_str(line);
+        r.text.push('\n');
+    });
+}
+
+/// The running binary's name (file stem of `argv[0]`).
+fn bin_name() -> String {
+    std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_else(|| "bench".to_string())
+}
 
 /// The exact append/scan sizes of Figure 5's x-axis (in KB), from the
 /// paper's footnote 2.
@@ -92,8 +157,21 @@ impl Scale {
                     std::fs::create_dir_all(&dir).expect("create --csv directory");
                     let _ = CSV_DIR.set(Some(dir));
                 }
+                "--out-dir" => {
+                    i += 1;
+                    let dir = PathBuf::from(&args[i]);
+                    with_report(|r| r.out_dir = Some(dir));
+                }
+                "--json-out" => {
+                    i += 1;
+                    let path = PathBuf::from(&args[i]);
+                    with_report(|r| r.json_out = Some(path));
+                }
                 other => {
-                    panic!("unknown argument {other} (try --mb N, --ops N, --quick, --csv DIR)")
+                    panic!(
+                        "unknown argument {other} \
+                         (try --mb N, --ops N, --quick, --csv DIR, --out-dir DIR, --json-out PATH)"
+                    )
                 }
             }
             i += 1;
@@ -111,16 +189,108 @@ pub fn fresh_db() -> Db {
     Db::new(DbConfig::default())
 }
 
-/// Print the Table 1 banner every figure shares.
+/// Print the Table 1 banner every figure shares (also recorded as the
+/// report's title and scale).
 pub fn print_banner(title: &str, scale: Scale) {
-    println!("== {title} ==");
-    println!("   4K pages | 12-page pool | 4-page buffering limit | 33 ms seek | 1 KB/ms transfer");
-    println!(
+    with_report(|r| {
+        r.title = title.to_string();
+        r.scale = Some(scale);
+    });
+    emit_line(&format!("== {title} =="));
+    emit_line(
+        "   4K pages | 12-page pool | 4-page buffering limit | 33 ms seek | 1 KB/ms transfer",
+    );
+    emit_line(&format!(
         "   object {:.0} MB | {} ops, marks every {}\n",
         scale.object_mb(),
         scale.ops,
         scale.mark_every
-    );
+    ));
+}
+
+/// Print a trailing remark (expected shapes, paper values) and retain it
+/// in the report's `notes` array.
+pub fn note(msg: &str) {
+    with_report(|r| r.notes.push(msg.to_string()));
+    emit_line(msg);
+}
+
+/// Write the accumulated report: always `<out-dir>/<bin>.txt` (the
+/// directory defaults to `results/` and is created on demand), plus the
+/// versioned JSON document when `--json-out` was given. Every binary
+/// calls this once, last.
+pub fn finalize() {
+    let bin = bin_name();
+    with_report(|r| {
+        let out_dir = r
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results"));
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("warning: cannot create {}: {e}", out_dir.display());
+        } else {
+            let txt = out_dir.join(format!("{bin}.txt"));
+            if let Err(e) = std::fs::write(&txt, &r.text) {
+                eprintln!("warning: cannot write {}: {e}", txt.display());
+            }
+        }
+        if let Some(path) = r.json_out.clone() {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let doc = report_json(&bin, r);
+            if let Err(e) = std::fs::write(&path, doc.to_json() + "\n") {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+    });
+}
+
+/// The report as a `lobstore-bench-report/v1` JSON document: one record
+/// per table row, `values` keyed by the column headers.
+fn report_json(bin: &str, r: &ReportState) -> Value {
+    let scale = r.scale.unwrap_or_else(Scale::paper);
+    let mut records = Vec::new();
+    for t in &r.tables {
+        for row in &t.rows {
+            let values = Value::Obj(
+                t.headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| (h.clone(), Value::from(c.as_str())))
+                    .collect(),
+            );
+            records.push(Value::Obj(vec![
+                ("table".to_string(), Value::from(t.table as u64)),
+                ("title".to_string(), Value::from(t.title.as_str())),
+                ("values".to_string(), values),
+            ]));
+        }
+    }
+    Value::Obj(vec![
+        (
+            "schema".to_string(),
+            Value::from(lobstore_obs::BENCH_REPORT_SCHEMA),
+        ),
+        ("bin".to_string(), Value::from(bin)),
+        ("title".to_string(), Value::from(r.title.as_str())),
+        (
+            "scale".to_string(),
+            Value::Obj(vec![
+                ("object_bytes".to_string(), Value::from(scale.object_bytes)),
+                ("ops".to_string(), Value::from(scale.ops as u64)),
+                (
+                    "mark_every".to_string(),
+                    Value::from(scale.mark_every as u64),
+                ),
+            ]),
+        ),
+        ("records".to_string(), Value::Arr(records)),
+        (
+            "notes".to_string(),
+            Value::Arr(r.notes.iter().map(|n| Value::from(n.as_str())).collect()),
+        ),
+    ])
 }
 
 /// Column specs of the standard manager sweeps.
@@ -179,7 +349,8 @@ pub fn print_mark_table(
     sweep: &[(String, lobstore_workload::MixedReport)],
     metric: impl Fn(&lobstore_workload::Mark) -> String,
 ) {
-    println!("{title}");
+    with_report(|r| r.next_table_title = Some(title.to_string()));
+    emit_line(title);
     let mut headers = vec!["ops".to_string()];
     headers.extend(sweep.iter().map(|(l, _)| l.clone()));
     let n_marks = sweep[0].1.marks.len();
@@ -195,6 +366,7 @@ pub fn print_mark_table(
 }
 
 /// Render an aligned text table: `headers` then rows of equal length.
+/// The table is also retained as a set of JSON report records.
 pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
     let cols = headers.len();
     let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
@@ -205,6 +377,16 @@ pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
         }
     }
     write_csv(headers, rows);
+    with_report(|r| {
+        let table = r.tables.len();
+        let title = r.next_table_title.take().unwrap_or_default();
+        r.tables.push(TableRecord {
+            table,
+            title,
+            headers: headers.to_vec(),
+            rows: rows.to_vec(),
+        });
+    });
     let line = |cells: &[String]| {
         let mut s = String::new();
         for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
@@ -215,15 +397,12 @@ pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
         }
         s
     };
-    println!("{}", line(headers));
-    println!(
-        "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
-    );
+    emit_line(&line(headers));
+    emit_line(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
     for row in rows {
-        println!("{}", line(row));
+        emit_line(&line(row));
     }
-    println!();
+    emit_line("");
 }
 
 /// Write a CSV copy of a printed table into the `--csv` directory (if
@@ -301,6 +480,55 @@ mod tests {
         assert_eq!(esm_specs().len(), 4);
         assert_eq!(eos_specs().len(), 4);
         assert_eq!(esm_specs()[2].label(), "ESM/16");
+    }
+
+    #[test]
+    fn report_json_round_trips_tables_and_notes() {
+        let r = ReportState {
+            title: "Figure X".to_string(),
+            scale: Some(Scale::quick()),
+            tables: vec![TableRecord {
+                table: 0,
+                title: "read cost".to_string(),
+                headers: vec!["ops".to_string(), "ESM/1".to_string()],
+                rows: vec![
+                    vec!["200".to_string(), "37.0".to_string()],
+                    vec!["400".to_string(), "38.5".to_string()],
+                ],
+            }],
+            notes: vec!["expected shape: flat".to_string()],
+            ..ReportState::default()
+        };
+        let doc = report_json("figx", &r);
+        let v = lobstore_obs::json::parse(&doc.to_json()).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some(BENCH_REPORT_SCHEMA)
+        );
+        assert_eq!(v.get("bin").and_then(Value::as_str), Some("figx"));
+        assert_eq!(
+            v.get("scale")
+                .and_then(|s| s.get("object_bytes"))
+                .and_then(Value::as_u64),
+            Some(1 << 20)
+        );
+        let records = v.get("records").and_then(Value::as_arr).unwrap();
+        assert_eq!(records.len(), 2, "one record per table row");
+        let first = &records[0];
+        assert_eq!(first.get("table").and_then(Value::as_u64), Some(0));
+        assert_eq!(
+            first.get("title").and_then(Value::as_str),
+            Some("read cost")
+        );
+        assert_eq!(
+            first
+                .get("values")
+                .and_then(|o| o.get("ESM/1"))
+                .and_then(Value::as_str),
+            Some("37.0")
+        );
+        let notes = v.get("notes").and_then(Value::as_arr).unwrap();
+        assert_eq!(notes.len(), 1);
     }
 
     #[test]

@@ -151,8 +151,27 @@ impl BufferPool {
                 self.disk.write(pid.area, pid.page, &frame.data[..]);
                 frame.dirty = false;
                 self.stats.eviction_writes += 1;
+                lobstore_obs::counter_add("bufpool.eviction_writes", 1);
+                lobstore_obs::counter_add("bufpool.dirty_writebacks", 1);
             }
             self.map.remove(&pid);
+        }
+    }
+
+    /// Record one fix outcome in the observability registry and refresh
+    /// the derived hit-ratio gauge.
+    fn note_fix(&self, hit: bool) {
+        lobstore_obs::counter_add(
+            if hit {
+                "bufpool.hits"
+            } else {
+                "bufpool.misses"
+            },
+            1,
+        );
+        let total = self.stats.hits + self.stats.misses;
+        if total > 0 {
+            lobstore_obs::gauge_set("bufpool.hit_ratio", self.stats.hits as f64 / total as f64);
         }
     }
 
@@ -161,6 +180,7 @@ impl BufferPool {
     pub fn fix(&mut self, pid: PageId) -> FrameRef {
         if let Some(&idx) = self.map.get(&pid) {
             self.stats.hits += 1;
+            self.note_fix(true);
             let t = self.tick();
             let f = &mut self.frames[idx];
             f.pins += 1;
@@ -168,6 +188,7 @@ impl BufferPool {
             return FrameRef(idx);
         }
         self.stats.misses += 1;
+        self.note_fix(false);
         let idx = self.victim();
         self.disk
             .read(pid.area, pid.page, &mut self.frames[idx].data[..]);
@@ -235,6 +256,7 @@ impl BufferPool {
             if f.dirty {
                 self.disk.write(pid.area, pid.page, &f.data[..]);
                 f.dirty = false;
+                lobstore_obs::counter_add("bufpool.dirty_writebacks", 1);
             }
         }
     }
@@ -247,6 +269,7 @@ impl BufferPool {
                     self.disk
                         .write(pid.area, pid.page, &self.frames[idx].data[..]);
                     self.frames[idx].dirty = false;
+                    lobstore_obs::counter_add("bufpool.dirty_writebacks", 1);
                 }
             }
         }
@@ -442,6 +465,72 @@ mod tests {
         assert_eq!(pool.io_stats().write_calls, 3);
         pool.flush_all(); // everything clean now
         assert_eq!(pool.io_stats().write_calls, 3);
+    }
+
+    #[test]
+    fn scripted_pattern_pins_hit_miss_eviction_counts() {
+        // 3-frame pool, scripted page sequence. Every outcome is forced
+        // by LRU, so the exact hit/miss/eviction counts are pinned here
+        // and in the obs registry.
+        lobstore_obs::reset();
+        let mut pool = pool_with_frames(3);
+        // Phase 1 — cold: fix 0,1,2 → 3 misses, pool now [0,1,2].
+        for p in 0..3 {
+            let r = pool.fix(pid(p));
+            pool.unfix(r);
+        }
+        // Phase 2 — warm: fix 0,1,2 again, dirtying each → 3 hits, no
+        // clean frame left.
+        for p in 0..3 {
+            let r = pool.fix(pid(p));
+            pool.page_mut(r)[0] = 0xE0 | p as u8;
+            pool.unfix(r);
+        }
+        // Phase 3 — fix 3: miss, and with every frame dirty the LRU dirty
+        // page 0 is evicted with a writeback. Pool: [3,1,2].
+        let r = pool.fix(pid(3));
+        pool.unfix(r);
+        // Phase 4 — fix 1: hit. Fix 0: miss; page 3 is the only clean
+        // frame, so it is evicted without a writeback, and the re-read
+        // page 0 comes back with the content written in phase 2.
+        let r = pool.fix(pid(1));
+        pool.unfix(r);
+        let r = pool.fix(pid(0));
+        assert_eq!(pool.page(r)[0], 0xE0, "writeback survived the round trip");
+        pool.unfix(r);
+        assert!(!pool.contains(pid(3)), "clean page 3 was the victim");
+        let s = pool.pool_stats();
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.misses, 5);
+        assert_eq!(s.eviction_writes, 1, "only the dirty page 0 wrote back");
+        // The obs registry mirrors PoolStats and derives the hit ratio.
+        assert_eq!(lobstore_obs::counter_value("bufpool.hits"), 4);
+        assert_eq!(lobstore_obs::counter_value("bufpool.misses"), 5);
+        assert_eq!(lobstore_obs::counter_value("bufpool.eviction_writes"), 1);
+        assert_eq!(lobstore_obs::counter_value("bufpool.dirty_writebacks"), 1);
+        let ratio = lobstore_obs::gauge_value("bufpool.hit_ratio").unwrap();
+        assert!(
+            (ratio - 4.0 / 9.0).abs() < 1e-12,
+            "4 hits / 9 fixes, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn explicit_flushes_count_dirty_writebacks() {
+        lobstore_obs::reset();
+        let mut pool = pool_with_frames(4);
+        for p in 0..2 {
+            let r = pool.fix_new(pid(p));
+            pool.page_mut(r)[0] = 1;
+            pool.unfix(r);
+        }
+        pool.flush_page(pid(0));
+        assert_eq!(lobstore_obs::counter_value("bufpool.dirty_writebacks"), 1);
+        pool.flush_page(pid(0)); // clean now: no-op
+        assert_eq!(lobstore_obs::counter_value("bufpool.dirty_writebacks"), 1);
+        pool.flush_all(); // page 1 still dirty
+        assert_eq!(lobstore_obs::counter_value("bufpool.dirty_writebacks"), 2);
+        assert_eq!(lobstore_obs::counter_value("bufpool.eviction_writes"), 0);
     }
 
     #[test]

@@ -255,6 +255,7 @@ impl BufferPool {
                 self.frames[idx].dirty = false;
             }
             self.disk.write(area, run_start, &buf);
+            lobstore_obs::counter_add("bufpool.dirty_writebacks", run_len as u64);
             p = run_end + 1;
         }
     }

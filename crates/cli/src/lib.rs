@@ -16,6 +16,7 @@
 //! lobctl <image> stat <name>                   size, utilization, segments
 //! lobctl <image> rm <name>                     destroy object + name
 //! lobctl <image> info                          database totals
+//! lobctl <image> stats [--json]                per-scheme storage summary
 //! lobctl <image> check [--json]                consistency check (fsck)
 //! ```
 //!
@@ -64,7 +65,8 @@ const CATALOG_ROOT: u32 = 1;
 
 /// Run one `lobctl` invocation. `args` excludes the program name.
 pub fn run(args: &[String]) -> Outcome {
-    let usage = "usage: lobctl <image> <init|create|ls|put|cat|insert|cut|stat|rm|info|check> ...";
+    let usage =
+        "usage: lobctl <image> <init|create|ls|put|cat|insert|cut|stat|rm|info|stats|check> ...";
     if args.len() < 2 {
         return Outcome::err(usage);
     }
@@ -312,6 +314,112 @@ pub fn run(args: &[String]) -> Outcome {
                 };
             }
         }
+        "stats" => {
+            mutating = false;
+            let json = match rest {
+                [] => false,
+                [flag] if flag == "--json" => true,
+                _ => bail!("usage: stats [--json]"),
+            };
+            let entries = match cat.list(&mut db) {
+                Ok(e) => e,
+                Err(e) => bail!("{e}"),
+            };
+            // One accumulator per scheme, in StorageKind order.
+            let kinds = [StorageKind::Esm, StorageKind::Starburst, StorageKind::Eos];
+            let mut objects = [0u64; 3];
+            let mut object_bytes = [0u64; 3];
+            let mut alloc_pages = [0u64; 3];
+            // log2 buckets over segment page counts: bucket b holds
+            // segments of 2^b ..= 2^(b+1)-1 pages.
+            let mut seg_hist = [0u64; 33];
+            for e in &entries {
+                let obj = match lobstore_core::open_object(&mut db, e.kind, e.root_page) {
+                    Ok(o) => o,
+                    Err(err) => bail!("{err}"),
+                };
+                let size = obj.size(&mut db);
+                let u = obj.utilization(&db);
+                let k = kinds.iter().position(|&k| k == e.kind).unwrap_or(0);
+                objects[k] += 1;
+                object_bytes[k] += size;
+                alloc_pages[k] += u.data_pages + u.index_pages;
+                for s in obj.segments(&db) {
+                    let b = 63 - u64::from(s.pages.max(1)).leading_zeros() as usize;
+                    seg_hist[b.min(32)] += 1;
+                }
+            }
+            let page = lobstore_simdisk::PAGE_SIZE as u64;
+            let util = |k: usize| {
+                if alloc_pages[k] == 0 {
+                    1.0
+                } else {
+                    object_bytes[k] as f64 / (alloc_pages[k] * page) as f64
+                }
+            };
+            if json {
+                use lobstore_obs::json::Value;
+                let schemes = kinds
+                    .iter()
+                    .enumerate()
+                    .map(|(k, kind)| {
+                        Value::Obj(vec![
+                            ("scheme".to_string(), Value::from(kind_name(*kind))),
+                            ("objects".to_string(), Value::from(objects[k])),
+                            ("object_bytes".to_string(), Value::from(object_bytes[k])),
+                            (
+                                "allocated_bytes".to_string(),
+                                Value::from(alloc_pages[k] * page),
+                            ),
+                            ("utilization".to_string(), Value::Num(util(k))),
+                        ])
+                    })
+                    .collect();
+                let hist = seg_hist
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &n)| n > 0)
+                    .map(|(b, &n)| {
+                        Value::Obj(vec![
+                            ("min_pages".to_string(), Value::from(1u64 << b)),
+                            ("max_pages".to_string(), Value::from((1u64 << (b + 1)) - 1)),
+                            ("segments".to_string(), Value::from(n)),
+                        ])
+                    })
+                    .collect();
+                let doc = Value::Obj(vec![
+                    ("schema".to_string(), Value::from("lobstore-stats/v1")),
+                    ("schemes".to_string(), Value::Arr(schemes)),
+                    ("segment_pages_log2".to_string(), Value::Arr(hist)),
+                    ("io".to_string(), (db.io_stats() - before).to_value()),
+                ]);
+                let _ = writeln!(out, "{}", doc.to_json());
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>8} {:>14} {:>14} {:>7}",
+                    "scheme", "objects", "bytes", "allocated", "util"
+                );
+                for (k, kind) in kinds.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "{:<10} {:>8} {:>14} {:>14} {:>6.1}%",
+                        kind_name(*kind),
+                        objects[k],
+                        object_bytes[k],
+                        alloc_pages[k] * page,
+                        util(k) * 100.0
+                    );
+                }
+                let _ = writeln!(out, "segment sizes (pages, log2 buckets):");
+                for (b, &n) in seg_hist.iter().enumerate() {
+                    if n > 0 {
+                        let _ =
+                            writeln!(out, "  {:>6}-{:<6} : {n}", 1u64 << b, (1u64 << (b + 1)) - 1);
+                    }
+                }
+            }
+        }
         "info" => {
             mutating = false;
             let n = match cat.len(&mut db) {
@@ -474,6 +582,62 @@ mod tests {
         assert_eq!(bad_json.status, 1);
         let text = String::from_utf8_lossy(&bad_json.stdout).into_owned();
         assert!(text.contains("\"kind\": \"leaf-leaked\""), "{text}");
+    }
+
+    #[test]
+    fn stats_summarizes_per_scheme() {
+        let img = tmp("stats.lob");
+        let _ = std::fs::remove_file(&img);
+        run(&argv(&[&img, "init"]));
+        run(&argv(&[&img, "create", "a", "esm", "4"]));
+        run(&argv(&[&img, "create", "b", "eos", "16"]));
+        let payload = tmp("stats-payload.bin");
+        std::fs::write(&payload, vec![9u8; 30_000]).unwrap();
+        for name in ["a", "b"] {
+            assert_eq!(run(&argv(&[&img, "put", name, &payload])).status, 0);
+        }
+
+        let text = run(&argv(&[&img, "stats"]));
+        assert_eq!(text.status, 0, "{}", text.stderr);
+        let text = String::from_utf8_lossy(&text.stdout).into_owned();
+        assert!(text.contains("ESM"), "{text}");
+        assert!(text.contains("segment sizes"), "{text}");
+
+        let js = run(&argv(&[&img, "stats", "--json"]));
+        assert_eq!(js.status, 0, "{}", js.stderr);
+        let v = lobstore_obs::json::parse(std::str::from_utf8(&js.stdout).unwrap()).unwrap();
+        use lobstore_obs::json::Value;
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some("lobstore-stats/v1")
+        );
+        let schemes = v.get("schemes").and_then(Value::as_arr).unwrap();
+        assert_eq!(schemes.len(), 3);
+        let esm = schemes
+            .iter()
+            .find(|s| s.get("scheme").and_then(Value::as_str) == Some("ESM"))
+            .unwrap();
+        assert_eq!(esm.get("objects").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            esm.get("object_bytes").and_then(Value::as_u64),
+            Some(30_000)
+        );
+        let alloc = esm.get("allocated_bytes").and_then(Value::as_u64).unwrap();
+        assert!(alloc >= 30_000, "allocation covers the object: {alloc}");
+        let util = esm.get("utilization").and_then(Value::as_num).unwrap();
+        assert!(util > 0.0 && util <= 1.0);
+        let hist = v.get("segment_pages_log2").and_then(Value::as_arr).unwrap();
+        assert!(!hist.is_empty(), "two objects must have segments");
+        let total: u64 = hist
+            .iter()
+            .map(|b| b.get("segments").and_then(Value::as_u64).unwrap())
+            .sum();
+        assert!(total >= 2);
+        assert!(
+            v.get("io").and_then(|io| io.get("pages_read")).is_some(),
+            "io cost reported via IoStats::to_value"
+        );
+        assert_eq!(run(&argv(&[&img, "stats", "--bogus"])).status, 1);
     }
 
     #[test]

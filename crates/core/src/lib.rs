@@ -42,6 +42,7 @@ mod esm;
 mod layout;
 mod node;
 mod object;
+mod observe;
 /// Deep runtime verification helpers, compiled in by the `paranoid`
 /// cargo feature (see the module docs).
 #[cfg(feature = "paranoid")]

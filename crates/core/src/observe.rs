@@ -1,0 +1,494 @@
+//! Span-per-operation observability for large objects.
+//!
+//! [`ObservedObject`] wraps any [`LargeObject`] and brackets each
+//! I/O-bearing operation with a `lobstore-obs` span named
+//! `op.<scheme>.<operation>` (e.g. `op.esm.append`). The span names are a
+//! fixed 3×10 table of static strings, so the per-op counter bump never
+//! allocates. [`crate::ManagerSpec::create`], [`crate::ManagerSpec::open`],
+//! and [`crate::open_object`] return wrapped objects, so everything built
+//! through the declarative layer is observed; constructing a concrete
+//! manager directly bypasses observation.
+//!
+//! Two invariants the wrapper maintains:
+//!
+//! * **No simulated I/O of its own.** Annotations only use cost-free
+//!   inspection ([`LargeObject::utilization`]); the wrapped operation's
+//!   [`IoStats`] are exactly those of the bare object.
+//! * **Accounting closure.** Every operation's `IoStats` delta is
+//!   accumulated into the `span.io.*` counters, with or without a sink,
+//!   so a run whose I/O goes only through observed operations satisfies
+//!   `span.io.* == Db::io_stats()` — the consistency check the
+//!   integration tests pin.
+
+use lobstore_obs::json::Value;
+use lobstore_obs::{counter_add, counter_value, sink_installed, Span};
+use lobstore_simdisk::IoStats;
+
+use crate::db::Db;
+use crate::error::Result;
+use crate::object::{LargeObject, SegmentInfo, StorageKind, Utilization};
+
+/// The logical operations an observed span can describe.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum OpName {
+    /// Object creation (empty object, root/descriptor allocated).
+    Create,
+    /// Re-opening an existing object by root page.
+    Open,
+    /// Size lookup (may fix the root page).
+    Size,
+    /// Append at the object's end.
+    Append,
+    /// Byte-range read.
+    Read,
+    /// Byte insertion at an arbitrary offset.
+    Insert,
+    /// Byte deletion at an arbitrary offset.
+    Delete,
+    /// In-place byte-range overwrite.
+    Replace,
+    /// Tail over-allocation release.
+    Trim,
+    /// Object destruction.
+    Destroy,
+}
+
+/// Static span/counter name for `(kind, op)`; doubles as the per-op
+/// counter name, so op counts exist even with no sink installed.
+fn span_name(kind: StorageKind, op: OpName) -> &'static str {
+    use OpName as O;
+    use StorageKind as K;
+    match (kind, op) {
+        (K::Esm, O::Create) => "op.esm.create",
+        (K::Esm, O::Open) => "op.esm.open",
+        (K::Esm, O::Size) => "op.esm.size",
+        (K::Esm, O::Append) => "op.esm.append",
+        (K::Esm, O::Read) => "op.esm.read",
+        (K::Esm, O::Insert) => "op.esm.insert",
+        (K::Esm, O::Delete) => "op.esm.delete",
+        (K::Esm, O::Replace) => "op.esm.replace",
+        (K::Esm, O::Trim) => "op.esm.trim",
+        (K::Esm, O::Destroy) => "op.esm.destroy",
+        (K::Starburst, O::Create) => "op.starburst.create",
+        (K::Starburst, O::Open) => "op.starburst.open",
+        (K::Starburst, O::Size) => "op.starburst.size",
+        (K::Starburst, O::Append) => "op.starburst.append",
+        (K::Starburst, O::Read) => "op.starburst.read",
+        (K::Starburst, O::Insert) => "op.starburst.insert",
+        (K::Starburst, O::Delete) => "op.starburst.delete",
+        (K::Starburst, O::Replace) => "op.starburst.replace",
+        (K::Starburst, O::Trim) => "op.starburst.trim",
+        (K::Starburst, O::Destroy) => "op.starburst.destroy",
+        (K::Eos, O::Create) => "op.eos.create",
+        (K::Eos, O::Open) => "op.eos.open",
+        (K::Eos, O::Size) => "op.eos.size",
+        (K::Eos, O::Append) => "op.eos.append",
+        (K::Eos, O::Read) => "op.eos.read",
+        (K::Eos, O::Insert) => "op.eos.insert",
+        (K::Eos, O::Delete) => "op.eos.delete",
+        (K::Eos, O::Replace) => "op.eos.replace",
+        (K::Eos, O::Trim) => "op.eos.trim",
+        (K::Eos, O::Destroy) => "op.eos.destroy",
+    }
+}
+
+/// Short scheme label used as a span field ("ESM" / "Starburst" / "EOS").
+fn kind_label(kind: StorageKind) -> &'static str {
+    match kind {
+        StorageKind::Esm => "ESM",
+        StorageKind::Starburst => "Starburst",
+        StorageKind::Eos => "EOS",
+    }
+}
+
+/// Operation label used as a span field ("append", "read", ...).
+fn op_label(op: OpName) -> &'static str {
+    match op {
+        OpName::Create => "create",
+        OpName::Open => "open",
+        OpName::Size => "size",
+        OpName::Append => "append",
+        OpName::Read => "read",
+        OpName::Insert => "insert",
+        OpName::Delete => "delete",
+        OpName::Replace => "replace",
+        OpName::Trim => "trim",
+        OpName::Destroy => "destroy",
+    }
+}
+
+/// Snapshot of the instrumentation counters core's internals bump
+/// (tree descents, segment reads/writes, shadow allocations); captured
+/// before and after an operation to annotate its span with deltas.
+#[derive(Copy, Clone)]
+struct HookCounters {
+    descents: u64,
+    descend_depth: u64,
+    seg_reads: u64,
+    seg_writes: u64,
+    shadow_pages: u64,
+    fresh_pages: u64,
+}
+
+impl HookCounters {
+    fn capture() -> HookCounters {
+        HookCounters {
+            descents: counter_value("core.tree.descents"),
+            descend_depth: counter_value("core.tree.descend_depth"),
+            seg_reads: counter_value("core.seg.reads"),
+            seg_writes: counter_value("core.seg.writes"),
+            shadow_pages: counter_value("core.shadow.pages"),
+            fresh_pages: counter_value("core.shadow.fresh_pages"),
+        }
+    }
+}
+
+/// Bracketing state for one observed operation: the before-snapshot of
+/// the disk's [`IoStats`] and (when a sink is listening) of the hook
+/// counters.
+pub(crate) struct OpObserver {
+    kind: StorageKind,
+    op: OpName,
+    before_io: IoStats,
+    hooks: Option<HookCounters>,
+}
+
+impl OpObserver {
+    /// Capture the before-state of one operation on a `kind` object.
+    pub(crate) fn begin(kind: StorageKind, op: OpName, db: &Db) -> OpObserver {
+        OpObserver {
+            kind,
+            op,
+            before_io: db.io_stats(),
+            hooks: if sink_installed() {
+                Some(HookCounters::capture())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Close the operation: accumulate its [`IoStats`] delta into the
+    /// `span.io.*` counters and end the span (emitting the annotated
+    /// record when a sink is installed).
+    pub(crate) fn finish(self, db: &Db, object_bytes: Option<u64>, ok: bool) {
+        let delta = db.io_stats() - self.before_io;
+        counter_add("span.io.read_calls", delta.read_calls);
+        counter_add("span.io.write_calls", delta.write_calls);
+        counter_add("span.io.pages_read", delta.pages_read);
+        counter_add("span.io.pages_written", delta.pages_written);
+        counter_add("span.io.time_us", delta.time_us);
+        let mut span = Span::begin(span_name(self.kind, self.op));
+        if let Some(before) = self.hooks {
+            let now = HookCounters::capture();
+            span.field_str("scheme", kind_label(self.kind));
+            span.field_str("op", op_label(self.op));
+            if let Some(bytes) = object_bytes {
+                span.field_u64("object_bytes", bytes);
+            }
+            span.field_u64("io_read_calls", delta.read_calls);
+            span.field_u64("io_write_calls", delta.write_calls);
+            span.field_u64("io_pages_read", delta.pages_read);
+            span.field_u64("io_pages_written", delta.pages_written);
+            span.field_u64("io_time_us", delta.time_us);
+            span.field_u64("tree_descents", now.descents - before.descents);
+            span.field_u64(
+                "tree_descend_depth",
+                now.descend_depth - before.descend_depth,
+            );
+            span.field_u64("segments_read", now.seg_reads - before.seg_reads);
+            span.field_u64("segments_written", now.seg_writes - before.seg_writes);
+            span.field_u64("shadow_pages", now.shadow_pages - before.shadow_pages);
+            span.field_u64("fresh_index_pages", now.fresh_pages - before.fresh_pages);
+            span.field("ok", Value::Bool(ok));
+        }
+        span.end();
+    }
+}
+
+/// A [`LargeObject`] wrapper that spans every I/O-bearing operation.
+/// Cost-free inspection methods delegate unobserved.
+pub(crate) struct ObservedObject {
+    inner: Box<dyn LargeObject>,
+}
+
+impl ObservedObject {
+    /// Wrap `inner`; the result behaves identically (same simulated I/O,
+    /// same results) but records spans and `span.io.*` counters.
+    pub(crate) fn wrap(inner: Box<dyn LargeObject>) -> Box<dyn LargeObject> {
+        Box::new(ObservedObject { inner })
+    }
+
+    /// Cost-free object size for span annotation, collected only when
+    /// someone is listening. Never calls [`LargeObject::size`] — that
+    /// could fix the root page and perturb the operation's own I/O.
+    fn observed_bytes(&self, db: &Db) -> Option<u64> {
+        if sink_installed() {
+            Some(self.inner.utilization(db).object_bytes)
+        } else {
+            None
+        }
+    }
+}
+
+impl LargeObject for ObservedObject {
+    fn kind(&self) -> StorageKind {
+        self.inner.kind()
+    }
+
+    fn root_page(&self) -> u32 {
+        self.inner.root_page()
+    }
+
+    fn size(&self, db: &mut Db) -> u64 {
+        let obs = OpObserver::begin(self.inner.kind(), OpName::Size, db);
+        let n = self.inner.size(db);
+        let bytes = if sink_installed() { Some(n) } else { None };
+        obs.finish(db, bytes, true);
+        n
+    }
+
+    fn append(&mut self, db: &mut Db, bytes: &[u8]) -> Result<()> {
+        let obs = OpObserver::begin(self.inner.kind(), OpName::Append, db);
+        let r = self.inner.append(db, bytes);
+        let b = self.observed_bytes(db);
+        obs.finish(db, b, r.is_ok());
+        r
+    }
+
+    fn read(&self, db: &mut Db, off: u64, out: &mut [u8]) -> Result<()> {
+        let obs = OpObserver::begin(self.inner.kind(), OpName::Read, db);
+        let r = self.inner.read(db, off, out);
+        let b = self.observed_bytes(db);
+        obs.finish(db, b, r.is_ok());
+        r
+    }
+
+    fn insert(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()> {
+        let obs = OpObserver::begin(self.inner.kind(), OpName::Insert, db);
+        let r = self.inner.insert(db, off, bytes);
+        let b = self.observed_bytes(db);
+        obs.finish(db, b, r.is_ok());
+        r
+    }
+
+    fn delete(&mut self, db: &mut Db, off: u64, len: u64) -> Result<()> {
+        let obs = OpObserver::begin(self.inner.kind(), OpName::Delete, db);
+        let r = self.inner.delete(db, off, len);
+        let b = self.observed_bytes(db);
+        obs.finish(db, b, r.is_ok());
+        r
+    }
+
+    fn replace(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()> {
+        let obs = OpObserver::begin(self.inner.kind(), OpName::Replace, db);
+        let r = self.inner.replace(db, off, bytes);
+        let b = self.observed_bytes(db);
+        obs.finish(db, b, r.is_ok());
+        r
+    }
+
+    fn trim(&mut self, db: &mut Db) -> Result<()> {
+        let obs = OpObserver::begin(self.inner.kind(), OpName::Trim, db);
+        let r = self.inner.trim(db);
+        let b = self.observed_bytes(db);
+        obs.finish(db, b, r.is_ok());
+        r
+    }
+
+    fn destroy(&mut self, db: &mut Db) -> Result<()> {
+        let obs = OpObserver::begin(self.inner.kind(), OpName::Destroy, db);
+        let r = self.inner.destroy(db);
+        // The object is gone; no size annotation.
+        obs.finish(db, None, r.is_ok());
+        r
+    }
+
+    fn utilization(&self, db: &Db) -> Utilization {
+        self.inner.utilization(db)
+    }
+
+    fn segments(&self, db: &Db) -> Vec<SegmentInfo> {
+        self.inner.segments(db)
+    }
+
+    fn index_page_numbers(&self, db: &Db) -> Vec<u32> {
+        self.inner.index_page_numbers(db)
+    }
+
+    fn check_invariants(&self, db: &Db) -> Result<()> {
+        self.inner.check_invariants(db)
+    }
+
+    fn snapshot(&self, db: &Db) -> Vec<u8> {
+        self.inner.snapshot(db)
+    }
+}
+
+/// Observe an object construction (`Create`): run `f`, span the result,
+/// and wrap the new object so its operations are observed too.
+pub(crate) fn observe_create(
+    kind: StorageKind,
+    db: &mut Db,
+    f: impl FnOnce(&mut Db) -> Result<Box<dyn LargeObject>>,
+) -> Result<Box<dyn LargeObject>> {
+    observe_build(kind, OpName::Create, db, f)
+}
+
+/// Observe an object re-open (`Open`); see [`observe_create`].
+pub(crate) fn observe_open(
+    kind: StorageKind,
+    db: &mut Db,
+    f: impl FnOnce(&mut Db) -> Result<Box<dyn LargeObject>>,
+) -> Result<Box<dyn LargeObject>> {
+    observe_build(kind, OpName::Open, db, f)
+}
+
+fn observe_build(
+    kind: StorageKind,
+    op: OpName,
+    db: &mut Db,
+    f: impl FnOnce(&mut Db) -> Result<Box<dyn LargeObject>>,
+) -> Result<Box<dyn LargeObject>> {
+    let obs = OpObserver::begin(kind, op, db);
+    match f(db) {
+        Ok(inner) => {
+            let bytes = if sink_installed() {
+                Some(inner.utilization(db).object_bytes)
+            } else {
+                None
+            };
+            obs.finish(db, bytes, true);
+            Ok(ObservedObject::wrap(inner))
+        }
+        Err(e) => {
+            obs.finish(db, None, false);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ManagerSpec;
+    use lobstore_obs::{counter_value, install_sink, json, reset, snapshot, take_sink, MemorySink};
+
+    #[test]
+    fn spans_count_without_a_sink() {
+        reset();
+        let _ = take_sink();
+        let mut db = Db::paper_default();
+        db.reset_io_stats();
+        let mut obj = ManagerSpec::esm(4).create(&mut db).unwrap();
+        obj.append(&mut db, &[7u8; 10_000]).unwrap();
+        let mut out = [0u8; 100];
+        obj.read(&mut db, 50, &mut out).unwrap();
+        assert_eq!(counter_value("op.esm.create"), 1);
+        assert_eq!(counter_value("op.esm.append"), 1);
+        assert_eq!(counter_value("op.esm.read"), 1);
+        // Accounting closure: every simulated I/O happened inside an
+        // observed operation, so the span.io.* counters equal the disk's
+        // cumulative stats.
+        let io = db.io_stats();
+        assert_eq!(counter_value("span.io.read_calls"), io.read_calls);
+        assert_eq!(counter_value("span.io.write_calls"), io.write_calls);
+        assert_eq!(counter_value("span.io.pages_read"), io.pages_read);
+        assert_eq!(counter_value("span.io.pages_written"), io.pages_written);
+        assert_eq!(counter_value("span.io.time_us"), io.time_us);
+    }
+
+    #[test]
+    fn spans_annotate_with_a_sink() {
+        reset();
+        let sink = MemorySink::new();
+        install_sink(Box::new(sink.clone()));
+        let mut db = Db::paper_default();
+        let mut obj = ManagerSpec::eos(16).create(&mut db).unwrap();
+        obj.append(&mut db, &[1u8; 60_000]).unwrap();
+        obj.insert(&mut db, 10, &[2u8; 500]).unwrap();
+        let _ = take_sink();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3, "create + append + insert");
+        let insert = json::parse(&lines[2]).unwrap();
+        assert_eq!(
+            insert.get("name").and_then(json::Value::as_str),
+            Some("op.eos.insert")
+        );
+        assert_eq!(
+            insert.get("scheme").and_then(json::Value::as_str),
+            Some("EOS")
+        );
+        assert_eq!(
+            insert.get("object_bytes").and_then(json::Value::as_u64),
+            Some(60_500)
+        );
+        assert!(
+            insert
+                .get("tree_descents")
+                .and_then(json::Value::as_u64)
+                .unwrap()
+                >= 1,
+            "at least one descent to find the insert position"
+        );
+        assert!(
+            insert
+                .get("io_read_calls")
+                .and_then(json::Value::as_u64)
+                .unwrap()
+                > 0,
+            "insert reads the affected segment"
+        );
+        match insert.get("ok") {
+            Some(json::Value::Bool(true)) => {}
+            other => panic!("expected ok: true, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn annotation_is_simulated_io_free() {
+        reset();
+        let sink = MemorySink::new();
+        install_sink(Box::new(sink.clone()));
+        let mut db = Db::paper_default();
+        let mut obj = ManagerSpec::starburst().create(&mut db).unwrap();
+        obj.append(&mut db, &[3u8; 20_000]).unwrap();
+        let observed_io = db.io_stats();
+        let _ = take_sink();
+        reset();
+        // The same operations on a bare (unobserved) object cost exactly
+        // the same simulated I/O.
+        let mut db2 = Db::paper_default();
+        let mut bare = crate::starburst::StarburstObject::create(
+            &mut db2,
+            crate::starburst::StarburstParams {
+                max_seg_pages: 8192,
+                known_size: false,
+            },
+        )
+        .unwrap();
+        bare.append(&mut db2, &[3u8; 20_000]).unwrap();
+        assert_eq!(observed_io, db2.io_stats());
+    }
+
+    #[test]
+    fn per_scheme_counters_are_separate() {
+        reset();
+        let mut db = Db::paper_default();
+        for spec in [
+            ManagerSpec::esm(4),
+            ManagerSpec::starburst(),
+            ManagerSpec::eos(16),
+        ] {
+            let mut obj = spec.create(&mut db).unwrap();
+            obj.append(&mut db, &[9u8; 5_000]).unwrap();
+            obj.destroy(&mut db).unwrap();
+        }
+        let snap = snapshot();
+        for scheme in ["esm", "starburst", "eos"] {
+            assert_eq!(snap.counter(&format!("op.{scheme}.create")), 1);
+            assert_eq!(snap.counter(&format!("op.{scheme}.append")), 1);
+            assert_eq!(snap.counter(&format!("op.{scheme}.destroy")), 1);
+        }
+    }
+}

@@ -19,6 +19,7 @@ pub(crate) fn read_seg_bytes(db: &mut Db, ptr: u32, from: u64, len: u64) -> Vec<
     if len == 0 {
         return Vec::new();
     }
+    lobstore_obs::counter_add("core.seg.reads", 1);
     let first_page = cast::to_u32(from / PAGE_SIZE_U64);
     let last_page = cast::to_u32((from + len - 1) / PAGE_SIZE_U64);
     let n_pages = last_page - first_page + 1;
@@ -35,6 +36,7 @@ pub(crate) fn read_seg_bytes(db: &mut Db, ptr: u32, from: u64, len: u64) -> Vec<
 pub(crate) fn write_new_seg(db: &mut Db, alloc_pages: u32, bytes: &[u8]) -> Extent {
     debug_assert!(!bytes.is_empty());
     debug_assert!(pages_for_bytes(bytes.len() as u64) <= alloc_pages);
+    lobstore_obs::counter_add("core.seg.writes", 1);
     let ext = db.alloc_leaf(alloc_pages);
     db.pool.write_direct(AreaId::LEAF, ext.start, bytes);
     ext
@@ -46,6 +48,7 @@ pub(crate) fn write_new_seg(db: &mut Db, alloc_pages: u32, bytes: &[u8]) -> Exte
 /// sequential call — exactly the paper's append cost (§4.2).
 pub(crate) fn append_in_place(db: &mut Db, ptr: u32, old_len: u64, new: &[u8]) {
     debug_assert!(!new.is_empty());
+    lobstore_obs::counter_add("core.seg.writes", 1);
     let first_page = cast::to_u32(old_len / PAGE_SIZE_U64);
     let in_page = cast::to_usize(old_len % PAGE_SIZE_U64);
     let mut buf = Vec::with_capacity(in_page + new.len());
@@ -63,6 +66,7 @@ pub(crate) fn append_in_place(db: &mut Db, ptr: u32, old_len: u64, new: &[u8]) {
 /// read first (if partially covered) so their surrounding bytes survive.
 pub(crate) fn patch_in_place(db: &mut Db, ptr: u32, from: u64, patch: &[u8]) {
     debug_assert!(!patch.is_empty());
+    lobstore_obs::counter_add("core.seg.writes", 1);
     let first_page = cast::to_u32(from / PAGE_SIZE_U64);
     let end = from + patch.len() as u64;
     let head_skip = cast::to_usize(from % PAGE_SIZE_U64);

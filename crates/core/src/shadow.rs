@@ -72,6 +72,7 @@ impl OpCtx {
             return new;
         }
         let new = db.alloc_meta_page();
+        lobstore_obs::counter_add("core.shadow.pages", 1);
         // Copy old content into the new frame.
         let mut buf = [0u8; lobstore_simdisk::PAGE_SIZE];
         let old_r = db.pool.fix(PageId::new(AreaId::META, page));
@@ -90,6 +91,7 @@ impl OpCtx {
     /// Allocate a brand-new META index page (e.g. for a node split). It is
     /// flushed at operation end like any shadow copy.
     pub fn fresh_page(&mut self, db: &mut Db) -> u32 {
+        lobstore_obs::counter_add("core.shadow.fresh_pages", 1);
         let page = db.alloc_meta_page();
         self.created.insert(page);
         self.note_flush(page);

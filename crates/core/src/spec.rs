@@ -5,7 +5,8 @@ use crate::db::Db;
 use crate::eos::{EosObject, EosParams};
 use crate::error::Result;
 use crate::esm::{EsmObject, EsmParams};
-use crate::object::LargeObject;
+use crate::object::{LargeObject, StorageKind};
+use crate::observe::{observe_create, observe_open};
 use crate::starburst::{StarburstObject, StarburstParams};
 
 /// Which manager to instantiate, with its paper-relevant parameters.
@@ -47,41 +48,62 @@ impl ManagerSpec {
         ManagerSpec::Esm { leaf_pages: pages }
     }
 
-    /// Instantiate a fresh object of this kind in `db`.
+    /// The [`StorageKind`] this spec instantiates.
+    pub fn kind(&self) -> StorageKind {
+        match *self {
+            ManagerSpec::Esm { .. } => StorageKind::Esm,
+            ManagerSpec::Starburst { .. } => StorageKind::Starburst,
+            ManagerSpec::Eos { .. } => StorageKind::Eos,
+        }
+    }
+
+    /// Instantiate a fresh object of this kind in `db`. The returned
+    /// handle is observed: every operation records an
+    /// `op.<scheme>.<operation>` span (see the `lobstore-obs` crate).
     pub fn create(&self, db: &mut Db) -> Result<Box<dyn LargeObject>> {
-        Ok(match *self {
-            ManagerSpec::Esm { leaf_pages } => {
-                Box::new(EsmObject::create(db, EsmParams { leaf_pages })?)
-            }
-            ManagerSpec::Starburst {
-                max_seg_pages,
-                known_size,
-            } => Box::new(StarburstObject::create(
-                db,
-                StarburstParams {
+        let spec = *self;
+        observe_create(self.kind(), db, move |db| {
+            Ok(match spec {
+                ManagerSpec::Esm { leaf_pages } => {
+                    Box::new(EsmObject::create(db, EsmParams { leaf_pages })?)
+                        as Box<dyn LargeObject>
+                }
+                ManagerSpec::Starburst {
                     max_seg_pages,
                     known_size,
-                },
-            )?),
-            ManagerSpec::Eos {
-                threshold_pages,
-                max_seg_pages,
-            } => Box::new(EosObject::create(
-                db,
-                EosParams {
+                } => Box::new(StarburstObject::create(
+                    db,
+                    StarburstParams {
+                        max_seg_pages,
+                        known_size,
+                    },
+                )?),
+                ManagerSpec::Eos {
                     threshold_pages,
                     max_seg_pages,
-                },
-            )?),
+                } => Box::new(EosObject::create(
+                    db,
+                    EosParams {
+                        threshold_pages,
+                        max_seg_pages,
+                    },
+                )?),
+            })
         })
     }
 
-    /// Re-open an existing object of this kind by its root page.
+    /// Re-open an existing object of this kind by its root page. The
+    /// returned handle is observed, like [`Self::create`]'s.
     pub fn open(&self, db: &mut Db, root_page: u32) -> Result<Box<dyn LargeObject>> {
-        Ok(match *self {
-            ManagerSpec::Esm { .. } => Box::new(EsmObject::open(db, root_page)?),
-            ManagerSpec::Starburst { .. } => Box::new(StarburstObject::open(db, root_page)?),
-            ManagerSpec::Eos { .. } => Box::new(EosObject::open(db, root_page)?),
+        let spec = *self;
+        observe_open(self.kind(), db, move |db| {
+            Ok(match spec {
+                ManagerSpec::Esm { .. } => {
+                    Box::new(EsmObject::open(db, root_page)?) as Box<dyn LargeObject>
+                }
+                ManagerSpec::Starburst { .. } => Box::new(StarburstObject::open(db, root_page)?),
+                ManagerSpec::Eos { .. } => Box::new(EosObject::open(db, root_page)?),
+            })
         })
     }
 
@@ -100,16 +122,13 @@ impl ManagerSpec {
 /// Re-open an existing large object by its storage kind and root page —
 /// the operation a long-field *descriptor* encodes (§2: the small object
 /// holds a `(kind, root)` pair per long field).
-pub fn open_object(
-    db: &mut Db,
-    kind: crate::object::StorageKind,
-    root_page: u32,
-) -> Result<Box<dyn LargeObject>> {
-    use crate::object::StorageKind;
-    Ok(match kind {
-        StorageKind::Esm => Box::new(EsmObject::open(db, root_page)?),
-        StorageKind::Eos => Box::new(EosObject::open(db, root_page)?),
-        StorageKind::Starburst => Box::new(StarburstObject::open(db, root_page)?),
+pub fn open_object(db: &mut Db, kind: StorageKind, root_page: u32) -> Result<Box<dyn LargeObject>> {
+    observe_open(kind, db, move |db| {
+        Ok(match kind {
+            StorageKind::Esm => Box::new(EsmObject::open(db, root_page)?) as Box<dyn LargeObject>,
+            StorageKind::Eos => Box::new(EosObject::open(db, root_page)?),
+            StorageKind::Starburst => Box::new(StarburstObject::open(db, root_page)?),
+        })
     })
 }
 

@@ -132,6 +132,8 @@ impl PosTree {
             path.push(PathStep { page, idx });
             let e = node.entries[idx];
             if node.level == 0 {
+                lobstore_obs::counter_add("core.tree.descents", 1);
+                lobstore_obs::counter_add("core.tree.descend_depth", path.len() as u64);
                 return Some(LeafPos {
                     path,
                     entry: e,

@@ -1,0 +1,53 @@
+//! Workspace-wide observability for `lobstore`, with zero dependencies.
+//!
+//! Three cooperating pieces:
+//!
+//! * **Metrics** ([`counter_add`], [`gauge_set`], [`histogram_record`]) —
+//!   a thread-local registry of named counters, gauges, and log₂-bucketed
+//!   histograms. Always on; each update is a map lookup plus an integer
+//!   bump, cheap enough for the simulated disk's per-call hot path.
+//! * **Spans and events** ([`Span`], [`event`]) — structured records of
+//!   logical operations. Ending a span always bumps its name's counter;
+//!   the full field set is serialized as one JSON line *only* when a sink
+//!   is installed, so the default (no sink) costs no allocation.
+//! * **Sinks** ([`EventSink`], [`JsonlSink`], [`install_sink`]) — where
+//!   serialized span/event lines go. No-op by default; [`JsonlSink`]
+//!   appends one JSON object per line to any `std::io::Write`.
+//!
+//! The registry and sink are thread-local on purpose: the engine is
+//! single-client by design (§3 of the paper), and per-thread state keeps
+//! parallel test binaries from polluting each other's measurements.
+//!
+//! The [`json`] module is the self-contained JSON reader/writer the rest
+//! of the workspace shares: bench reports, `IoStats::to_json`, metric
+//! snapshots, and the `xtask check-bench-json` validator all speak
+//! through it.
+//!
+//! # Example
+//!
+//! ```
+//! lobstore_obs::reset();
+//! lobstore_obs::counter_add("demo.calls", 2);
+//! lobstore_obs::histogram_record("demo.pages", 3);
+//! let snap = lobstore_obs::snapshot();
+//! assert_eq!(snap.counter("demo.calls"), 2);
+//! let dump = snap.to_json();
+//! assert!(dump.contains("demo.pages"));
+//! ```
+
+/// Minimal JSON value model, writer, and parser (no dependencies).
+pub mod json;
+mod metrics;
+mod sink;
+mod span;
+
+pub use metrics::{
+    counter_add, counter_value, gauge_set, gauge_value, histogram_record, reset, snapshot,
+    HistogramSnapshot, MetricsSnapshot,
+};
+pub use sink::{install_sink, sink_installed, take_sink, EventSink, JsonlSink, MemorySink};
+pub use span::{event, Span};
+
+/// Version tag every machine-readable bench report carries in its
+/// `schema` field; `xtask check-bench-json` validates against it.
+pub const BENCH_REPORT_SCHEMA: &str = "lobstore-bench-report/v1";

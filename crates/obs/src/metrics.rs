@@ -1,0 +1,328 @@
+//! The thread-local metrics registry: counters, gauges, and
+//! log₂-bucketed histograms, addressed by name.
+//!
+//! Updates are a `BTreeMap` lookup plus an integer bump — cheap enough
+//! for the simulated disk's per-I/O-call hot path, with no setup or
+//! registration step. Names should be `dotted.lowercase` and stable;
+//! the catalog lives in DESIGN.md ("Observability").
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use crate::json::Value;
+
+/// Number of log₂ buckets a histogram keeps: bucket 0 holds the value 0,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Clone)]
+struct Histo {
+    buckets: Box<[u64; HISTOGRAM_BUCKETS]>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histo {
+    fn new() -> Histo {
+        Histo {
+            buckets: Box::new([0; HISTOGRAM_BUCKETS]),
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        let b = bucket_of(value);
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        usize::try_from(64 - value.leading_zeros()).unwrap_or(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histos: BTreeMap<String, Histo>,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    REGISTRY.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// Add `n` to the counter `name`, creating it at zero first if needed.
+pub fn counter_add(name: &str, n: u64) {
+    with_registry(|r| match r.counters.get_mut(name) {
+        Some(v) => *v += n,
+        None => {
+            r.counters.insert(name.to_string(), n);
+        }
+    });
+}
+
+/// Current value of counter `name` (0 if it was never bumped).
+pub fn counter_value(name: &str) -> u64 {
+    with_registry(|r| r.counters.get(name).copied().unwrap_or(0))
+}
+
+/// Set the gauge `name` to `v`.
+pub fn gauge_set(name: &str, v: f64) {
+    with_registry(|r| match r.gauges.get_mut(name) {
+        Some(g) => *g = v,
+        None => {
+            r.gauges.insert(name.to_string(), v);
+        }
+    });
+}
+
+/// Current value of gauge `name` (`None` if never set).
+pub fn gauge_value(name: &str) -> Option<f64> {
+    with_registry(|r| r.gauges.get(name).copied())
+}
+
+/// Record one observation of `value` in the histogram `name`.
+pub fn histogram_record(name: &str, value: u64) {
+    with_registry(|r| match r.histos.get_mut(name) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h = Histo::new();
+            h.record(value);
+            r.histos.insert(name.to_string(), h);
+        }
+    });
+}
+
+/// Wipe this thread's registry: every counter, gauge, and histogram.
+/// Tests call this to measure from a clean slate.
+pub fn reset() {
+    with_registry(|r| *r = Registry::default());
+}
+
+/// One histogram, as captured by [`snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// `(bucket_index, count)` for every non-empty bucket, ascending.
+    /// Bucket 0 holds the value 0; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+/// A point-in-time copy of the whole registry, sorted by name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// Every histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (0 if absent from the snapshot).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The snapshot as a [`Value`] tree:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {"count": n, "sum": n, "buckets": [[idx, n], ...]}}}`.
+    pub fn to_value(&self) -> Value {
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(n, v)| (n.clone(), Value::from(*v)))
+                .collect(),
+        );
+        let gauges = Value::Obj(
+            self.gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), Value::Num(*v)))
+                .collect(),
+        );
+        let histograms = Value::Obj(
+            self.histograms
+                .iter()
+                .map(|h| {
+                    let buckets = Value::Arr(
+                        h.buckets
+                            .iter()
+                            .map(|&(i, c)| {
+                                Value::Arr(vec![
+                                    Value::from(u64::try_from(i).unwrap_or(0)),
+                                    Value::from(c),
+                                ])
+                            })
+                            .collect(),
+                    );
+                    (
+                        h.name.clone(),
+                        Value::Obj(vec![
+                            ("count".to_string(), Value::from(h.count)),
+                            ("sum".to_string(), Value::from(h.sum)),
+                            ("buckets".to_string(), buckets),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), histograms),
+        ])
+    }
+
+    /// The snapshot serialized as one JSON object.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+}
+
+/// Capture the current state of this thread's registry.
+pub fn snapshot() -> MetricsSnapshot {
+    with_registry(|r| MetricsSnapshot {
+        counters: r.counters.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+        gauges: r.gauges.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+        histograms: r
+            .histos
+            .iter()
+            .map(|(n, h)| HistogramSnapshot {
+                name: n.clone(),
+                count: h.count,
+                sum: h.sum,
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (i, c))
+                    .collect(),
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn counters_accumulate() {
+        reset();
+        counter_add("t.a", 1);
+        counter_add("t.a", 2);
+        counter_add("t.b", 5);
+        assert_eq!(counter_value("t.a"), 3);
+        assert_eq!(counter_value("t.b"), 5);
+        assert_eq!(counter_value("t.never"), 0);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        reset();
+        assert_eq!(gauge_value("t.g"), None);
+        gauge_set("t.g", 0.25);
+        gauge_set("t.g", 0.75);
+        assert_eq!(gauge_value("t.g"), Some(0.75));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_snapshot_counts_and_sums() {
+        reset();
+        for v in [0, 1, 1, 3, 4, 100] {
+            histogram_record("t.h", v);
+        }
+        let snap = snapshot();
+        let h = snap.histogram("t.h").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 109);
+        // 0 → bucket 0; 1,1 → bucket 1; 3 → bucket 2; 4 → bucket 3;
+        // 100 → bucket 7.
+        assert_eq!(h.buckets, vec![(0, 1), (1, 2), (2, 1), (3, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_json_parses() {
+        reset();
+        counter_add("z.last", 1);
+        counter_add("a.first", 1);
+        gauge_set("m.mid", 0.5);
+        histogram_record("h.one", 7);
+        let snap = snapshot();
+        assert_eq!(snap.counters[0].0, "a.first");
+        assert_eq!(snap.counters[1].0, "z.last");
+        let v = json::parse(&snap.to_json()).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("a.first"))
+                .and_then(json::Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|g| g.get("m.mid"))
+                .and_then(json::Value::as_num),
+            Some(0.5)
+        );
+        let h = v.get("histograms").and_then(|h| h.get("h.one")).unwrap();
+        assert_eq!(h.get("count").and_then(json::Value::as_u64), Some(1));
+        assert_eq!(h.get("sum").and_then(json::Value::as_u64), Some(7));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        counter_add("t.x", 9);
+        gauge_set("t.y", 1.0);
+        histogram_record("t.z", 2);
+        reset();
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+}

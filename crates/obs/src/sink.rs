@@ -1,0 +1,146 @@
+//! Pluggable destinations for serialized span/event lines.
+//!
+//! By default no sink is installed and emitting is a no-op that skips
+//! even serialization. Installing a [`JsonlSink`] turns every span end
+//! and event into one JSON object per line (JSONL) on the underlying
+//! writer. The sink is thread-local, like the metrics registry.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+/// Receives one serialized JSON line per span/event.
+pub trait EventSink {
+    /// Consume one JSON object, without its trailing newline.
+    fn emit(&mut self, json_line: &str);
+
+    /// Flush any buffered output (default: nothing to do).
+    fn flush(&mut self) {}
+}
+
+/// An [`EventSink`] that appends one JSON object per line to a writer —
+/// the JSONL event stream bench runs and experiments record.
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap `w`; each emitted line is written followed by `\n`.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn emit(&mut self, json_line: &str) {
+        let _ = writeln!(self.w, "{json_line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// An [`EventSink`] that collects lines in memory, for tests and for
+/// programs that postprocess the stream themselves. Clones share the
+/// same buffer, so a caller can keep one handle while the sink is
+/// installed.
+#[derive(Clone, Default)]
+pub struct MemorySink {
+    lines: Rc<RefCell<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Copy of every line emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.borrow().clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, json_line: &str) {
+        self.lines.borrow_mut().push(json_line.to_string());
+    }
+}
+
+thread_local! {
+    static SINK: RefCell<Option<Box<dyn EventSink>>> = const { RefCell::new(None) };
+}
+
+/// Install `sink` as this thread's event sink, replacing (and flushing)
+/// any previous one.
+pub fn install_sink(sink: Box<dyn EventSink>) {
+    SINK.with(|s| {
+        if let Some(old) = s.borrow_mut().replace(sink) {
+            let mut old = old;
+            old.flush();
+        }
+    });
+}
+
+/// Remove and return the installed sink, flushing it first. Returns
+/// `None` when no sink was installed.
+pub fn take_sink() -> Option<Box<dyn EventSink>> {
+    SINK.with(|s| {
+        let mut taken = s.borrow_mut().take();
+        if let Some(sink) = taken.as_mut() {
+            sink.flush();
+        }
+        taken
+    })
+}
+
+/// Whether a sink is currently installed. Callers use this to skip
+/// building expensive span annotations when nobody is listening.
+pub fn sink_installed() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+/// Hand the installed sink (if any) to `f`.
+pub(crate) fn with_sink(f: impl FnOnce(&mut dyn EventSink)) {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            f(sink.as_mut());
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_sink_by_default() {
+        let _ = take_sink();
+        assert!(!sink_installed());
+        with_sink(|_| panic!("must not run without a sink"));
+    }
+
+    #[test]
+    fn memory_sink_collects_lines() {
+        let sink = MemorySink::new();
+        install_sink(Box::new(sink.clone()));
+        assert!(sink_installed());
+        with_sink(|s| s.emit("{\"a\": 1}"));
+        with_sink(|s| s.emit("{\"b\": 2}"));
+        assert_eq!(sink.lines(), vec!["{\"a\": 1}", "{\"b\": 2}"]);
+        assert!(take_sink().is_some());
+        assert!(!sink_installed());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_emit() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit("{\"x\": 1}");
+        sink.emit("{\"y\": 2}");
+        assert_eq!(
+            String::from_utf8(sink.w).unwrap(),
+            "{\"x\": 1}\n{\"y\": 2}\n"
+        );
+    }
+}

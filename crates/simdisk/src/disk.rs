@@ -83,8 +83,17 @@ impl SimDisk {
     }
 
     /// Drain the recorded trace (empty if tracing was never enabled).
+    /// Also resets the dropped-event count.
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.trace.as_mut().map(Trace::take).unwrap_or_default()
+    }
+
+    /// Number of I/O calls the trace discarded because its buffer was
+    /// full since the last [`Self::take_trace`]. A test asserting on an
+    /// exact trace must check this is zero, or its assertions run
+    /// against a truncated event stream.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.as_ref().map(Trace::dropped).unwrap_or(0)
     }
 
     fn area_mut(&mut self, area: AreaId) -> &mut Area {
@@ -112,6 +121,21 @@ impl SimDisk {
             }
         }
         self.stats.time_us += cost;
+        // Observability: per-area call/page counters (static names so the
+        // hot path never allocates) and cost-shape histograms.
+        let (calls_name, pages_name) = match (kind, area.0) {
+            (TraceKind::Read, 0) => ("simdisk.meta.read_calls", "simdisk.meta.pages_read"),
+            (TraceKind::Read, 1) => ("simdisk.leaf.read_calls", "simdisk.leaf.pages_read"),
+            (TraceKind::Read, _) => ("simdisk.other.read_calls", "simdisk.other.pages_read"),
+            (TraceKind::Write, 0) => ("simdisk.meta.write_calls", "simdisk.meta.pages_written"),
+            (TraceKind::Write, 1) => ("simdisk.leaf.write_calls", "simdisk.leaf.pages_written"),
+            (TraceKind::Write, _) => ("simdisk.other.write_calls", "simdisk.other.pages_written"),
+        };
+        lobstore_obs::counter_add(calls_name, 1);
+        lobstore_obs::counter_add(pages_name, u64::from(pages));
+        lobstore_obs::histogram_record("simdisk.seek_us", self.cost.seek_us);
+        lobstore_obs::histogram_record("simdisk.transfer_us", cost - self.cost.seek_us);
+        lobstore_obs::histogram_record("simdisk.call_pages", u64::from(pages));
         if let Some(t) = self.trace.as_mut() {
             t.record(TraceEvent {
                 kind,
@@ -301,6 +325,45 @@ mod tests {
         assert_eq!(t[0].pages, 2);
         assert_eq!(t[1].kind, TraceKind::Read);
         assert_eq!(t[1].pages, 1);
+    }
+
+    #[test]
+    fn trace_overflow_is_counted() {
+        let mut d = disk();
+        d.enable_trace(2);
+        assert_eq!(d.trace_dropped(), 0);
+        let mut buf = [0u8; 8];
+        for p in 0..5 {
+            d.read(AreaId::META, p, &mut buf);
+        }
+        assert_eq!(d.trace_dropped(), 3);
+        assert_eq!(d.take_trace().len(), 2);
+        assert_eq!(d.trace_dropped(), 0, "take_trace resets the count");
+    }
+
+    #[test]
+    fn trace_dropped_is_zero_without_tracing() {
+        let mut d = disk();
+        let mut buf = [0u8; 8];
+        d.read(AreaId::META, 0, &mut buf);
+        assert_eq!(d.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn charge_bumps_per_area_obs_counters() {
+        lobstore_obs::reset();
+        let mut d = disk();
+        d.write(AreaId::LEAF, 0, &[0u8; PAGE_SIZE * 3]);
+        let mut buf = [0u8; PAGE_SIZE];
+        d.read(AreaId::META, 0, &mut buf);
+        assert_eq!(lobstore_obs::counter_value("simdisk.leaf.write_calls"), 1);
+        assert_eq!(lobstore_obs::counter_value("simdisk.leaf.pages_written"), 3);
+        assert_eq!(lobstore_obs::counter_value("simdisk.meta.read_calls"), 1);
+        assert_eq!(lobstore_obs::counter_value("simdisk.meta.pages_read"), 1);
+        let snap = lobstore_obs::snapshot();
+        let pages = snap.histogram("simdisk.call_pages").expect("histogram");
+        assert_eq!(pages.count, 2);
+        assert_eq!(pages.sum, 4);
     }
 
     #[test]

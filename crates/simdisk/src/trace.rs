@@ -22,10 +22,16 @@ pub struct TraceEvent {
 }
 
 /// A bounded in-memory trace of disk accesses.
+///
+/// Events past the capacity are **counted, not stored**: a test that
+/// asserts on an exact call pattern must check [`Trace::dropped`] (via
+/// `SimDisk::trace_dropped`) to be sure its buffer was big enough,
+/// instead of passing vacuously against a silently truncated trace.
 #[derive(Debug, Default)]
 pub(crate) struct Trace {
     events: Vec<TraceEvent>,
     capacity: usize,
+    dropped: u64,
 }
 
 impl Trace {
@@ -33,16 +39,25 @@ impl Trace {
         Trace {
             events: Vec::new(),
             capacity,
+            dropped: 0,
         }
     }
 
     pub(crate) fn record(&mut self, ev: TraceEvent) {
         if self.events.len() < self.capacity {
             self.events.push(ev);
+        } else {
+            self.dropped += 1;
         }
     }
 
+    /// Number of events discarded because the trace was full.
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     pub(crate) fn take(&mut self) -> Vec<TraceEvent> {
+        self.dropped = 0;
         std::mem::take(&mut self.events)
     }
 }
@@ -63,11 +78,13 @@ mod tests {
                 cost_us: 0,
             });
         }
+        assert_eq!(t.dropped(), 3, "overflow is counted, not silent");
         let evs = t.take();
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[0].start, 0);
         assert_eq!(evs[1].start, 1);
-        // take() drains
+        // take() drains and resets the dropped count
         assert!(t.take().is_empty());
+        assert_eq!(t.dropped(), 0);
     }
 }

@@ -48,6 +48,8 @@ pub fn build_by_appends(
         appends += 1;
     }
     obj.trim(db)?;
+    lobstore_obs::counter_add("workload.build.appends", appends as u64);
+    lobstore_obs::counter_add("workload.build.bytes", total_bytes);
     Ok(BuildReport {
         object_bytes: total_bytes,
         append_bytes,

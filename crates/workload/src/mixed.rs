@@ -1,6 +1,7 @@
 //! The §4.4 mixed update workload: 40 % reads, 30 % inserts, 30 % deletes.
 
 use lobstore_core::{Db, LargeObject, Result};
+use lobstore_obs::json::Value;
 use lobstore_simdisk::IoStats;
 
 use rand::rngs::StdRng;
@@ -158,16 +159,36 @@ impl MixedWorkload {
             counts[k] += 1;
             win[k].0 += 1;
             win[k].1 += cost.time_us;
+            lobstore_obs::counter_add(
+                match kind {
+                    OpKind::Read => "workload.op.read",
+                    OpKind::Insert => "workload.op.insert",
+                    OpKind::Delete => "workload.op.delete",
+                },
+                1,
+            );
 
             if op_no % self.cfg.mark_every == 0 {
                 let avg = |(n, us): (usize, u64)| (n > 0).then(|| us as f64 / 1_000.0 / n as f64);
-                marks.push(Mark {
+                let mark = Mark {
                     ops_done: op_no,
                     read_ms: avg(win[OpKind::Read as usize]),
                     insert_ms: avg(win[OpKind::Insert as usize]),
                     delete_ms: avg(win[OpKind::Delete as usize]),
                     utilization: obj.utilization(db).ratio(),
-                });
+                };
+                let ms = |v: Option<f64>| v.map(Value::Num).unwrap_or(Value::Null);
+                lobstore_obs::event(
+                    "workload.mark",
+                    &[
+                        ("ops_done", Value::from(mark.ops_done as u64)),
+                        ("read_ms", ms(mark.read_ms)),
+                        ("insert_ms", ms(mark.insert_ms)),
+                        ("delete_ms", ms(mark.delete_ms)),
+                        ("utilization", Value::Num(mark.utilization)),
+                    ],
+                );
+                marks.push(mark);
                 win = [(0, 0); 3];
             }
         }
@@ -278,6 +299,53 @@ mod tests {
         };
         assert_eq!(run().0, run().0);
         assert_eq!(run().1, run().1);
+    }
+
+    #[test]
+    fn ops_and_marks_reach_the_obs_registry() {
+        lobstore_obs::reset();
+        let sink = lobstore_obs::MemorySink::new();
+        lobstore_obs::install_sink(Box::new(sink.clone()));
+        let mut db = Db::paper_default();
+        let (mut obj, _) = build_object(&mut db, &ManagerSpec::eos(4), 1 << 19, 16 * 1024).unwrap();
+        let mut w = MixedWorkload::new(small_cfg(1_000));
+        let rep = w.run(&mut db, obj.as_mut()).unwrap();
+        let _ = lobstore_obs::take_sink();
+        assert_eq!(
+            lobstore_obs::counter_value("workload.op.read"),
+            rep.reads as u64
+        );
+        assert_eq!(
+            lobstore_obs::counter_value("workload.op.insert"),
+            rep.inserts as u64
+        );
+        assert_eq!(
+            lobstore_obs::counter_value("workload.op.delete"),
+            rep.deletes as u64
+        );
+        assert_eq!(lobstore_obs::counter_value("workload.mark"), 3);
+        let mark_lines: Vec<_> = sink
+            .lines()
+            .into_iter()
+            .filter_map(|l| lobstore_obs::json::parse(&l).ok())
+            .filter(|v| {
+                v.get("name").and_then(lobstore_obs::json::Value::as_str) == Some("workload.mark")
+            })
+            .collect();
+        assert_eq!(mark_lines.len(), 3);
+        assert_eq!(
+            mark_lines[2]
+                .get("ops_done")
+                .and_then(lobstore_obs::json::Value::as_u64),
+            Some(300)
+        );
+        assert!(
+            mark_lines[2]
+                .get("utilization")
+                .and_then(lobstore_obs::json::Value::as_num)
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]

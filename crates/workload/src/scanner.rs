@@ -55,6 +55,8 @@ pub fn sequential_scan(
         at += n as u64;
         reads += 1;
     }
+    lobstore_obs::counter_add("workload.scan.reads", reads as u64);
+    lobstore_obs::counter_add("workload.scan.bytes", size);
     Ok(ScanReport {
         bytes: size,
         reads,
@@ -89,6 +91,8 @@ pub fn random_reads(
         obj.read(db, off, &mut buf[..len as usize])?;
         bytes += len;
     }
+    lobstore_obs::counter_add("workload.random.reads", count as u64);
+    lobstore_obs::counter_add("workload.random.bytes", bytes);
     Ok(ScanReport {
         bytes,
         reads: count,

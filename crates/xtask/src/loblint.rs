@@ -12,7 +12,8 @@
 //! | `missing-docs` | library crates | every `pub` item carries a `///` doc comment |
 //! | `todo` | all non-test code | no `todo!` / `unimplemented!` |
 //!
-//! Library crates are `core`, `buddy`, `bufpool`, `simdisk`, `record`.
+//! Library crates are `core`, `buddy`, `bufpool`, `simdisk`, `record`,
+//! `obs`.
 //! Test modules (`#[cfg(test)]`), `tests/`, `benches/`, `examples/`, the
 //! CLI, bench, workload, xtask crates and the dependency shims are exempt
 //! from the library-only rules.
@@ -39,7 +40,7 @@ pub const RULES: [&str; 6] = [
     "todo",
 ];
 
-const LIBRARY_CRATES: [&str; 5] = ["core", "buddy", "bufpool", "simdisk", "record"];
+const LIBRARY_CRATES: [&str; 6] = ["core", "buddy", "bufpool", "simdisk", "record", "obs"];
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -661,6 +662,13 @@ mod tests {
         let src =
             "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x().unwrap(); }\n}\n";
         assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn obs_is_a_library_crate() {
+        let class = classify("crates/obs/src/metrics.rs");
+        assert!(class.library, "lobstore-obs is held to the library rules");
+        assert!(!class.test_code);
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //!   analysis pass over every workspace `.rs` source. Exit code 0 means
 //!   clean, 1 means findings were reported, 2 means the pass itself could
 //!   not run (bad root, unreadable files).
+//! * `check-bench-json <path>` — validate a bench binary's `--json-out`
+//!   document against the `lobstore-bench-report/v1` schema (same exit
+//!   code convention).
 //!
 //! See `loblint::RULES` for the rule set and `DESIGN.md` ("Correctness
-//! tooling") for the rationale.
+//! tooling" and "Observability") for the rationale.
 
+mod benchjson;
 mod loblint;
 
 use std::process::ExitCode;
@@ -39,12 +43,22 @@ fn main() -> ExitCode {
             }
             loblint::run(std::path::Path::new(&root), json)
         }
+        Some("check-bench-json") => match args.next() {
+            Some(path) => benchjson::run(std::path::Path::new(&path)),
+            None => {
+                eprintln!("check-bench-json: needs the path of a --json-out report");
+                ExitCode::from(2)
+            }
+        },
         Some(other) => {
-            eprintln!("xtask: unknown subcommand `{other}` (try `loblint`)");
+            eprintln!("xtask: unknown subcommand `{other}` (try `loblint`, `check-bench-json`)");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- loblint [--json] [--root <dir>]");
+            eprintln!(
+                "usage: cargo run -p xtask -- loblint [--json] [--root <dir>]\n       \
+                 cargo run -p xtask -- check-bench-json <path>"
+            );
             ExitCode::from(2)
         }
     }

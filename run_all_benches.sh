@@ -1,10 +1,15 @@
 #!/bin/bash
 # Regenerate every table and figure at the paper's scale (10 MB / 10k ops).
+# Each binary writes its own report into results/ (the `--out-dir` default)
+# plus a machine-readable JSON document; stdout stays on the terminal for
+# progress. Extra arguments are forwarded to every binary.
 set -u
 cd /root/repo
+mkdir -p results
 for b in fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 table3 fig_deletes summary46 \
          ablation_insert_algo ablation_buffering ablation_shadowing ablation_scaling; do
   echo "[$(date +%T)] running $b"
-  ./target/release/$b "$@" > results/$b.txt 2>&1 || echo "$b FAILED"
+  ./target/release/$b --out-dir results --json-out results/$b.json "$@" \
+    > /dev/null 2> results/$b.err || echo "$b FAILED"
 done
 echo "[$(date +%T)] all done"

@@ -17,7 +17,9 @@
 //! * [`core`] — the three large-object managers over a shared positional
 //!   count tree, with shadow-based update costing;
 //! * [`workload`] — the paper's workload generators and experiment
-//!   drivers (append builds, sequential scans, the 40/30/30 update mix).
+//!   drivers (append builds, sequential scans, the 40/30/30 update mix);
+//! * [`obs`] — zero-dependency metrics registry and structured event
+//!   tracing every layer reports into (see DESIGN.md, "Observability").
 //!
 //! ## Quick start
 //!
@@ -45,6 +47,7 @@
 pub use lobstore_buddy as buddy;
 pub use lobstore_bufpool as bufpool;
 pub use lobstore_core as core;
+pub use lobstore_obs as obs;
 pub use lobstore_record as record;
 pub use lobstore_simdisk as simdisk;
 pub use lobstore_workload as workload;
