@@ -10,10 +10,14 @@ run() {
     "$@"
 }
 
-# Style and static analysis first: these fail fastest.
+# Style and static analysis first: these fail fastest. loblint runs
+# against the committed ratchet baseline (loblint.baseline): any finding
+# not already frozen there fails the build. Its JSON report is validated
+# against the loblint-findings/v1 schema like the bench reports are.
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
-run cargo run -q -p xtask -- loblint
+run cargo run -q -p xtask -- loblint --json --out target/loblint.json
+run cargo run -q -p xtask -- check-lint-json target/loblint.json
 
 # Functional gates: the whole suite, then again with deep runtime
 # verification compiled into every mutating operation.

@@ -19,6 +19,7 @@
 //! us, exactly as described in the paper. In steady state an allocation
 //! therefore costs at most one disk access (and usually zero, when the
 //! directory page is hot in the buffer pool).
+#![forbid(unsafe_code)]
 
 mod bitmap;
 mod manager;
@@ -46,6 +47,9 @@ impl Extent {
 
     /// Last page of the extent.
     pub fn end(&self) -> u32 {
+        // Extent invariants bound start + pages to the area size (the
+        // paranoid layer checks this at runtime).
+        // loblint: allow(arith-overflow)
         self.start + self.pages
     }
 
@@ -58,6 +62,8 @@ impl Extent {
     /// The sub-extent that remains after removing the first `pages` pages.
     pub fn suffix(&self, pages: u32) -> Extent {
         assert!(pages <= self.pages);
+        // Guarded by the assert above: pages <= self.pages <= end().
+        // loblint: allow(arith-overflow)
         Extent::new(self.area, self.start + pages, self.pages - pages)
     }
 }

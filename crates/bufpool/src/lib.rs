@@ -17,6 +17,7 @@
 //! above performs I/O through it, so the disk's
 //! [`IoStats`](lobstore_simdisk::IoStats) capture the complete simulated
 //! cost.
+#![forbid(unsafe_code)]
 
 mod frame;
 mod pool;

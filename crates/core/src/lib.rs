@@ -33,6 +33,7 @@
 //! obj.read(&mut db, 0, &mut buf).unwrap();
 //! assert_eq!(&buf, b"hello there");
 //! ```
+#![forbid(unsafe_code)]
 
 mod catalog;
 mod db;

@@ -34,6 +34,7 @@
 //! let dump = snap.to_json();
 //! assert!(dump.contains("demo.pages"));
 //! ```
+#![forbid(unsafe_code)]
 
 /// Minimal JSON value model, writer, and parser (no dependencies).
 pub mod json;

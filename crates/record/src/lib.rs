@@ -31,6 +31,7 @@
 //! let portrait = store.read_long(&mut db, fields[1].as_long().unwrap()).unwrap();
 //! assert_eq!(portrait.snapshot(&db), b"...portrait bytes...");
 //! ```
+#![forbid(unsafe_code)]
 
 mod error;
 /// Pure slotted heap-page primitives (insert/get/delete/compact over a

@@ -71,6 +71,8 @@ pub mod bytes {
     #[track_caller]
     #[inline]
     pub fn le_u16(b: &[u8]) -> u16 {
+        // Panic-by-index is this module's documented contract.
+        // loblint: allow(panic-path)
         u16::from_le_bytes([b[0], b[1]])
     }
 
@@ -78,6 +80,7 @@ pub mod bytes {
     #[track_caller]
     #[inline]
     pub fn le_u32(b: &[u8]) -> u32 {
+        // loblint: allow(panic-path)
         u32::from_le_bytes([b[0], b[1], b[2], b[3]])
     }
 
@@ -85,6 +88,7 @@ pub mod bytes {
     #[track_caller]
     #[inline]
     pub fn le_u64(b: &[u8]) -> u64 {
+        // loblint: allow(panic-path)
         u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
     }
 }

@@ -113,11 +113,13 @@ impl SimDisk {
         match kind {
             TraceKind::Read => {
                 self.stats.read_calls += 1;
-                self.stats.pages_read += u64::from(pages);
+                // Monotone counter: saturate rather than wrap.
+                self.stats.pages_read = self.stats.pages_read.saturating_add(u64::from(pages));
             }
             TraceKind::Write => {
                 self.stats.write_calls += 1;
-                self.stats.pages_written += u64::from(pages);
+                self.stats.pages_written =
+                    self.stats.pages_written.saturating_add(u64::from(pages));
             }
         }
         self.stats.time_us += cost;

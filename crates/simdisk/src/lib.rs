@@ -19,6 +19,7 @@
 //! I/O calls), [`SimDisk`] stores the *real bytes* of every page so that
 //! all higher-level algorithms are verifiable end to end; simulated time
 //! is accumulated in [`IoStats`] from the [`CostModel`] parameters.
+#![forbid(unsafe_code)]
 
 mod convert;
 mod cost;

@@ -105,12 +105,14 @@ impl std::ops::Add for IoStats {
     type Output = IoStats;
 
     fn add(self, rhs: IoStats) -> IoStats {
+        // Counters are monotone; saturate rather than wrap if a run ever
+        // accumulates past u64::MAX.
         IoStats {
-            read_calls: self.read_calls + rhs.read_calls,
-            write_calls: self.write_calls + rhs.write_calls,
-            pages_read: self.pages_read + rhs.pages_read,
-            pages_written: self.pages_written + rhs.pages_written,
-            time_us: self.time_us + rhs.time_us,
+            read_calls: self.read_calls.saturating_add(rhs.read_calls),
+            write_calls: self.write_calls.saturating_add(rhs.write_calls),
+            pages_read: self.pages_read.saturating_add(rhs.pages_read),
+            pages_written: self.pages_written.saturating_add(rhs.pages_written),
+            time_us: self.time_us.saturating_add(rhs.time_us),
         }
     }
 }

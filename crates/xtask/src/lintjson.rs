@@ -1,0 +1,262 @@
+//! `check-lint-json` — validate a `loblint --json` findings document.
+//!
+//! CI runs `loblint --json --out <path>` and pushes the output through
+//! this validator so the `loblint-findings/v1` schema cannot drift
+//! silently. The checks are structural and arithmetic: schema tag, the
+//! rule list, `total == baselined + new == findings.len()`, the
+//! per-finding fields, every finding's rule being declared, and the
+//! findings arriving sorted (loblint output is deterministic).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use lobstore_obs::json::{self, Value};
+
+use crate::loblint::FINDINGS_SCHEMA;
+
+/// `Value::as_bool` does not exist upstream; keep the shim local.
+fn as_bool(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+/// Validate `doc` as a `loblint-findings/v1` document. Returns every
+/// problem found (empty = valid).
+pub fn validate(doc: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut fail = |msg: String| problems.push(msg);
+
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(s) if s == FINDINGS_SCHEMA => {}
+        Some(s) => fail(format!("schema is {s:?}, expected {FINDINGS_SCHEMA:?}")),
+        None => fail("missing string field `schema`".to_string()),
+    }
+
+    let rules: Vec<&str> = match doc.get("rules").and_then(Value::as_arr) {
+        Some(arr) if !arr.is_empty() => {
+            let mut rules = Vec::new();
+            for (i, r) in arr.iter().enumerate() {
+                match r.as_str() {
+                    Some(s) => rules.push(s),
+                    None => fail(format!("rules[{i}] must be a string")),
+                }
+            }
+            rules
+        }
+        _ => {
+            fail("missing non-empty array field `rules`".to_string());
+            Vec::new()
+        }
+    };
+
+    let counts: Vec<Option<u64>> = ["total", "baselined", "new"]
+        .iter()
+        .map(|f| {
+            let v = doc.get(f).and_then(Value::as_u64);
+            if v.is_none() {
+                fail(format!("missing integer field `{f}`"));
+            }
+            v
+        })
+        .collect();
+
+    match doc.get("findings").and_then(Value::as_arr) {
+        Some(findings) => {
+            if let (Some(total), Some(base), Some(new)) = (counts[0], counts[1], counts[2]) {
+                if total != findings.len() as u64 {
+                    fail(format!(
+                        "total is {total} but findings has {} entries",
+                        findings.len()
+                    ));
+                }
+                if base + new != total {
+                    fail(format!(
+                        "baselined ({base}) + new ({new}) != total ({total})"
+                    ));
+                }
+                let flagged = findings
+                    .iter()
+                    .filter(|f| f.get("baselined").and_then(as_bool) == Some(true))
+                    .count() as u64;
+                if flagged != base {
+                    fail(format!(
+                        "baselined is {base} but {flagged} findings carry baselined=true"
+                    ));
+                }
+            }
+            let mut prev: Option<(String, u64)> = None;
+            for (i, f) in findings.iter().enumerate() {
+                let file = f.get("file").and_then(Value::as_str);
+                if file.is_none_or(str::is_empty) {
+                    fail(format!("findings[{i}].file must be a non-empty string"));
+                }
+                let line = f.get("line").and_then(Value::as_u64);
+                match line {
+                    Some(n) if n >= 1 => {}
+                    _ => fail(format!("findings[{i}].line must be an integer >= 1")),
+                }
+                match f.get("rule").and_then(Value::as_str) {
+                    Some(r) if rules.contains(&r) => {}
+                    Some(r) => fail(format!("findings[{i}].rule {r:?} is not in `rules`")),
+                    None => fail(format!("findings[{i}].rule must be a string")),
+                }
+                if f.get("message").and_then(Value::as_str).is_none() {
+                    fail(format!("findings[{i}].message must be a string"));
+                }
+                if f.get("baselined").and_then(as_bool).is_none() {
+                    fail(format!("findings[{i}].baselined must be a boolean"));
+                }
+                if let (Some(file), Some(line)) = (file, line) {
+                    let key = (file.to_string(), line);
+                    if let Some(p) = &prev {
+                        if key < *p {
+                            fail(format!(
+                                "findings[{i}] is out of (file, line) order — output must be sorted"
+                            ));
+                        }
+                    }
+                    prev = Some(key);
+                }
+            }
+        }
+        None => fail("missing array field `findings`".to_string()),
+    }
+
+    problems
+}
+
+/// Entry point for `cargo run -p xtask -- check-lint-json <path>`.
+/// Exit code 0 = valid, 1 = invalid document, 2 = cannot read or parse.
+pub fn run(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-lint-json: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("check-lint-json: {} is not JSON: {e:?}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let problems = validate(&doc);
+    if problems.is_empty() {
+        let total = doc.get("total").and_then(Value::as_u64).unwrap_or(0);
+        let new = doc.get("new").and_then(Value::as_u64).unwrap_or(0);
+        println!(
+            "ok: {} is a valid {FINDINGS_SCHEMA} document ({total} findings, {new} new)",
+            path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("check-lint-json: {p}");
+        }
+        eprintln!(
+            "check-lint-json: {} problem(s) in {}",
+            problems.len(),
+            path.display()
+        );
+        ExitCode::from(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loblint::{to_json, Finding};
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "crates/core/src/a.rs".into(),
+                line: 3,
+                rule: "unwrap",
+                message: "unwrap in library".into(),
+            },
+            Finding {
+                file: "crates/core/src/b.rs".into(),
+                line: 9,
+                rule: "panic-path",
+                message: "indexing".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn real_loblint_output_round_trips_and_validates() {
+        let doc = json::parse(&to_json(&sample(), &[true, false])).unwrap();
+        assert_eq!(validate(&doc), Vec::<String>::new());
+        assert_eq!(doc.get("total").and_then(Value::as_u64), Some(2));
+        assert_eq!(doc.get("baselined").and_then(Value::as_u64), Some(1));
+        assert_eq!(doc.get("new").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn empty_findings_document_is_valid() {
+        let doc = json::parse(&to_json(&[], &[])).unwrap();
+        assert_eq!(validate(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn wrong_schema_and_count_mismatches_are_reported() {
+        let doc = json::parse(
+            r#"{"schema": "nope/v9", "rules": ["unwrap"], "total": 3, "baselined": 1,
+                "new": 1, "findings": []}"#,
+        )
+        .unwrap();
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("schema")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("total is 3")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("!= total")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn undeclared_rule_and_unsorted_findings_fail() {
+        let mut text = to_json(&sample(), &[false, false]);
+        text = text.replace("\"rule\": \"panic-path\"", "\"rule\": \"mystery\"");
+        let doc = json::parse(&text).unwrap();
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("\"mystery\"")),
+            "{problems:?}"
+        );
+
+        let mut rev = sample();
+        rev.reverse();
+        let doc = json::parse(&to_json(&rev, &[false, false])).unwrap();
+        let problems = validate(&doc);
+        assert!(problems.iter().any(|p| p.contains("order")), "{problems:?}");
+    }
+
+    #[test]
+    fn baselined_flag_count_must_match_header() {
+        let text =
+            to_json(&sample(), &[true, false]).replace("\"baselined\": 1", "\"baselined\": 2");
+        let doc = json::parse(&text).unwrap();
+        let problems = validate(&doc);
+        // 2 + 1 != 2 and only one finding carries baselined=true.
+        assert!(
+            problems.iter().any(|p| p.contains("!= total")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("baselined=true")),
+            "{problems:?}"
+        );
+    }
+}

@@ -1,5 +1,5 @@
-//! `loblint` — project-specific static analysis for the lobstore
-//! workspace (std-only, text-based, deliberately simple).
+//! `loblint` v2 — project-specific static analysis for the lobstore
+//! workspace, built on the [`crate::lobsyn`] token layer (std-only).
 //!
 //! # Rules
 //!
@@ -11,34 +11,59 @@
 //! | `magic-literal` | whole workspace | a defined magic value may not appear as a bare literal outside its defining const |
 //! | `missing-docs` | library crates | every `pub` item carries a `///` doc comment |
 //! | `todo` | all non-test code | no `todo!` / `unimplemented!` |
+//! | `arith-overflow` | library crates, non-test code | bare `+ - * <<` (and compound forms) on page/byte/segment quantities — use `checked_*` / `saturating_*` |
+//! | `panic-path` | library crates, non-test code | indexing/slicing and `/` `%` with a non-constant divisor can panic — guard or waive |
+//! | `unit-mixing` | library crates, non-test code | byte-, page-index- and page-count-typed values may not be mixed in arithmetic/comparison/assignment |
+//! | `io-accounting` | library crates | raw `disk.read` / `disk.write` only inside the cost-counted bufpool wrappers; every I/O entry point reaches a wrapper and bumps its counter |
+//! | `forbid-unsafe` | library crates | each library `lib.rs` carries `#![forbid(unsafe_code)]` |
+//! | `bad-waiver` | whole workspace | `loblint: allow(...)` comments may only name known rules |
 //!
 //! Library crates are `core`, `buddy`, `bufpool`, `simdisk`, `record`,
-//! `obs`.
-//! Test modules (`#[cfg(test)]`), `tests/`, `benches/`, `examples/`, the
-//! CLI, bench, workload, xtask crates and the dependency shims are exempt
-//! from the library-only rules.
+//! `obs`. Test modules (`#[cfg(test)]`), `tests/`, `benches/`,
+//! `examples/`, the CLI, bench, workload, xtask crates and the
+//! dependency shims are exempt from the library-only rules.
 //!
-//! # Suppression
+//! Because rules walk real tokens, occurrences inside string literals
+//! and comments never fire (the v1 false-positive class).
 //!
-//! Any finding can be waived with a comment on the same line or the line
-//! directly above: `// loblint: allow(<rule>)`, e.g.
-//! `// loblint: allow(truncating-cast)`. Multiple rules separate with
-//! commas. Each waiver is local — there is no file- or crate-level allow.
+//! # Suppression and the ratchet
+//!
+//! Any finding can be waived with a comment on the same line or a
+//! comment-only line directly above: `// loblint: allow(<rule>)`,
+//! multiple rules separated by commas. Unknown rule names are
+//! themselves findings (`bad-waiver`).
+//!
+//! Pre-existing findings are frozen in `loblint.baseline` (sorted
+//! `file<TAB>rule<TAB>message` lines, no line numbers so the baseline
+//! survives unrelated edits). `loblint` exits 0 when every finding is
+//! baselined and 1 when *new* findings appear; `--update-baseline`
+//! regenerates the file deterministically.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use crate::lobsyn::{self, AttrSpan, FnDef, Tok, TokKind};
+
 /// The rule identifiers, as used in findings and `allow(...)` comments.
-pub const RULES: [&str; 6] = [
-    "unwrap",
-    "truncating-cast",
+pub const RULES: [&str; 12] = [
+    "arith-overflow",
+    "bad-waiver",
+    "forbid-unsafe",
+    "io-accounting",
     "magic-duplicate",
     "magic-literal",
     "missing-docs",
+    "panic-path",
     "todo",
+    "truncating-cast",
+    "unit-mixing",
+    "unwrap",
 ];
+
+/// Schema tag of the `--json` findings document.
+pub const FINDINGS_SCHEMA: &str = "loblint-findings/v1";
 
 const LIBRARY_CRATES: [&str; 6] = ["core", "buddy", "bufpool", "simdisk", "record", "obs"];
 
@@ -54,8 +79,7 @@ pub struct Finding {
 /// How a file participates in the lint pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileClass {
-    /// Subject to the library-only rules (unwrap, truncating-cast,
-    /// missing-docs)?
+    /// Subject to the library-only rules?
     pub library: bool,
     /// Entirely test/bench/example code (library rules and `todo` off)?
     pub test_code: bool,
@@ -75,82 +99,174 @@ pub fn classify(rel: &str) -> FileClass {
     FileClass { library, test_code }
 }
 
-/// A magic-constant definition discovered in pass one.
-#[derive(Debug, Clone)]
-pub struct MagicDef {
-    file: String,
-    line: usize,
-    name: String,
-    /// Normalized literal (lowercase hex without underscores, or the raw
-    /// byte-string token).
-    value: String,
+// ---- per-file analysis ----------------------------------------------------
+
+/// Everything the rules need to know about one source file, derived
+/// once from the token stream.
+struct Analysis {
+    rel: String,
+    class: FileClass,
+    toks: Vec<Tok>,
+    fns: Vec<FnDef>,
+    spans: Vec<AttrSpan>,
+    /// Lines carrying at least one code token.
+    code_lines: BTreeSet<usize>,
+    /// Lines inside `#[cfg(test)]`-gated items (1-based).
+    test_lines: BTreeSet<usize>,
+    /// Lines covered by any attribute.
+    attr_cover: BTreeSet<usize>,
+    /// Lines covered by a doc attribute or doc comment.
+    doc_lines: BTreeSet<usize>,
+    /// line -> rules waived on that line (known rules only).
+    waivers: BTreeMap<usize, Vec<&'static str>>,
+    /// `bad-waiver` findings discovered while parsing comments.
+    bad_waivers: Vec<Finding>,
 }
 
-impl MagicDef {
-    /// The const's name, for reporting.
-    pub fn name(&self) -> &str {
-        &self.name
+impl Analysis {
+    fn new(rel: &str, content: &str) -> Self {
+        let lexed = lobsyn::lex(content);
+        let spans = lobsyn::attr_spans(&lexed.toks);
+        let test_lines = lobsyn::test_lines(&lexed.toks, &spans);
+        let code_lines = lexed.code_lines();
+        let mut attr_cover = BTreeSet::new();
+        let mut doc_lines = lexed.doc_lines();
+        for s in &spans {
+            let (a, b) = (lexed.toks[s.first].line, lexed.toks[s.last].line);
+            attr_cover.extend(a..=b);
+            if s.is_doc {
+                doc_lines.extend(a..=b);
+            }
+        }
+        let mut waivers: BTreeMap<usize, Vec<&'static str>> = BTreeMap::new();
+        let mut bad_waivers = Vec::new();
+        for c in lexed.comments.iter().filter(|c| !c.doc) {
+            let Some(at) = c.text.find("loblint: allow(") else {
+                continue;
+            };
+            let inner = &c.text[at + "loblint: allow(".len()..];
+            let Some(close) = inner.find(')') else {
+                continue;
+            };
+            for name in inner[..close].split(',') {
+                let name = name.trim();
+                match RULES.iter().find(|r| **r == name) {
+                    Some(rule) => waivers.entry(c.line).or_default().push(rule),
+                    None => bad_waivers.push(Finding {
+                        file: rel.to_string(),
+                        line: c.line,
+                        rule: "bad-waiver",
+                        message: format!(
+                            "unknown rule `{name}` in `loblint: allow(...)`; known rules: {}",
+                            RULES.join(", ")
+                        ),
+                    }),
+                }
+            }
+        }
+        Analysis {
+            rel: rel.to_string(),
+            class: classify(rel),
+            fns: lobsyn::fn_defs(&lexed.toks),
+            spans,
+            code_lines,
+            test_lines,
+            attr_cover,
+            doc_lines,
+            waivers,
+            bad_waivers,
+            toks: lexed.toks,
+        }
+    }
+
+    /// Is `rule` waived at `line` (same line, or a code-free line
+    /// directly above)?
+    fn allowed(&self, line: usize, rule: &'static str) -> bool {
+        let at = |l: usize| self.waivers.get(&l).is_some_and(|rs| rs.contains(&rule));
+        at(line) || (line > 1 && !self.code_lines.contains(&(line - 1)) && at(line - 1))
+    }
+
+    /// Is this line exempt from library rules (test code)?
+    fn in_test(&self, line: usize) -> bool {
+        self.class.test_code || self.test_lines.contains(&line)
+    }
+
+    fn push(&self, out: &mut Vec<Finding>, line: usize, rule: &'static str, message: String) {
+        if !self.allowed(line, rule) {
+            out.push(Finding {
+                file: self.rel.clone(),
+                line,
+                rule,
+                message,
+            });
+        }
+    }
+
+    /// Walk upward from the line above `line`, skipping attribute
+    /// lines; true when the first thing found is a doc comment/attr.
+    fn has_doc_above(&self, line: usize) -> bool {
+        let mut l = line - 1;
+        while l >= 1 {
+            if self.doc_lines.contains(&l) {
+                return true;
+            }
+            if self.attr_cover.contains(&l) {
+                l -= 1;
+                continue;
+            }
+            return false;
+        }
+        false
+    }
+
+    /// The innermost function whose body contains token index `k`.
+    fn enclosing_fn(&self, k: usize) -> Option<&FnDef> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(a, b)| a <= k && k < b))
+            .max_by_key(|f| f.body.map(|(a, _)| a))
     }
 }
 
-/// Everything `loblint` found across the workspace.
+// ---- the full pipeline ----------------------------------------------------
+
+/// Lint a set of in-memory sources (workspace-relative path, content).
+/// This is the whole deterministic pipeline; `lint_workspace` is the
+/// on-disk shell around it.
+pub fn lint_sources(sources: &[(String, String)]) -> Vec<Finding> {
+    let analyses: Vec<Analysis> = sources
+        .iter()
+        .map(|(rel, content)| Analysis::new(rel, content))
+        .collect();
+    let magics = collect_magic_defs(&analyses);
+
+    let mut findings = Vec::new();
+    check_magic_duplicates(&magics, &mut findings);
+    for a in &analyses {
+        findings.extend(a.bad_waivers.iter().cloned());
+        lint_file(a, &magics, &mut findings);
+    }
+    check_forbid_unsafe(&analyses, &mut findings);
+    check_io_accounting(&analyses, &mut findings);
+    findings.sort();
+    findings
+}
+
+/// Everything `loblint` found across the workspace rooted at `root`.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     files.sort();
-
     let mut sources = Vec::with_capacity(files.len());
     for path in &files {
-        let rel = relative_name(root, path);
-        let content = std::fs::read_to_string(path)?;
-        sources.push((rel, content));
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push((rel, std::fs::read_to_string(path)?));
     }
-
-    let magics = collect_magic_defs(&sources);
-    let mut findings = Vec::new();
-    check_magic_duplicates(&magics, &mut findings);
-    for (rel, content) in &sources {
-        let class = classify(rel);
-        lint_source(class, rel, content, &magics, &mut findings);
-    }
-    findings.sort();
-    Ok(findings)
-}
-
-/// CLI entry point: print findings (text or JSON) and map them to an
-/// exit code — 0 clean, 1 findings, 2 unable to run.
-pub fn run(root: &Path, json: bool) -> ExitCode {
-    let findings = match lint_workspace(root) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("loblint: cannot scan {}: {e}", root.display());
-            return ExitCode::from(2);
-        }
-    };
-    if json {
-        println!("{}", to_json(&findings));
-    } else {
-        for f in &findings {
-            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
-        }
-        eprintln!(
-            "loblint: {} finding{}",
-            findings.len(),
-            if findings.len() == 1 { "" } else { "s" }
-        );
-    }
-    if findings.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    }
-}
-
-fn relative_name(root: &Path, path: &Path) -> String {
-    path.strip_prefix(root)
-        .unwrap_or(path)
-        .to_string_lossy()
-        .replace('\\', "/")
+    Ok(lint_sources(&sources))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -171,52 +287,24 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-// ---- pass one: magic constants ------------------------------------------
+// ---- magic constants ------------------------------------------------------
 
-fn collect_magic_defs(sources: &[(String, String)]) -> Vec<MagicDef> {
-    let mut defs = Vec::new();
-    for (rel, content) in sources {
-        for (i, raw) in content.lines().enumerate() {
-            let code = strip_line_comment(raw);
-            let Some((name, value)) = parse_magic_def(code) else {
-                continue;
-            };
-            defs.push(MagicDef {
-                file: rel.clone(),
-                line: i + 1,
-                name,
-                value,
-            });
-        }
-    }
-    defs
+/// A magic-constant definition (`const <NAME containing MAGIC>: _ =
+/// <literal>;`) discovered in pass one.
+#[derive(Debug, Clone)]
+struct MagicDef {
+    file: String,
+    line: usize,
+    name: String,
+    /// Normalized literal (lowercase hex without underscores, decimal
+    /// digits, or the raw byte-string token).
+    value: String,
 }
 
-/// Parse `const <NAME>: .. = <literal>;` where NAME contains MAGIC.
-fn parse_magic_def(code: &str) -> Option<(String, String)> {
-    let after = code.trim_start();
-    let after = after.strip_prefix("pub ").unwrap_or(after);
-    let after = after
-        .strip_prefix("pub(crate) ")
-        .unwrap_or(after)
-        .trim_start();
-    let rest = after.strip_prefix("const ")?;
-    let name_end = rest.find(':')?;
-    let name = rest[..name_end].trim();
-    if !name.contains("MAGIC") {
-        return None;
-    }
-    let eq = rest.find('=')?;
-    let value_src = rest[eq + 1..].trim().trim_end_matches(';').trim();
-    let value = normalize_literal(value_src)?;
-    Some((name.to_string(), value))
-}
-
-/// Normalize a numeric or byte-string literal for value comparison.
-/// Returns `None` when the initializer is not a literal (e.g. a
-/// reference to another const, which is fine).
-fn normalize_literal(src: &str) -> Option<String> {
-    if let Some(hex) = src.strip_prefix("0x") {
+/// Normalize a numeric token's text for value comparison. `None` for
+/// floats or malformed text.
+fn normalize_num(text: &str) -> Option<String> {
+    if let Some(hex) = text.strip_prefix("0x") {
         let digits: String = hex
             .chars()
             .take_while(|c| c.is_ascii_hexdigit() || *c == '_')
@@ -227,12 +315,11 @@ fn normalize_literal(src: &str) -> Option<String> {
         }
         return Some(format!("0x{}", digits.to_ascii_lowercase()));
     }
-    if let Some(body) = src.strip_prefix("b\"") {
-        let end = body.find('"')?;
-        return Some(src[..end + 3].to_string());
+    if text.contains('.') {
+        return None;
     }
-    if src.chars().next()?.is_ascii_digit() {
-        let digits: String = src
+    if text.chars().next()?.is_ascii_digit() {
+        let digits: String = text
             .chars()
             .take_while(|c| c.is_ascii_digit() || *c == '_')
             .filter(|c| *c != '_')
@@ -242,342 +329,919 @@ fn normalize_literal(src: &str) -> Option<String> {
     None
 }
 
+fn collect_magic_defs(analyses: &[Analysis]) -> Vec<MagicDef> {
+    let mut defs = Vec::new();
+    for a in analyses {
+        let t = &a.toks;
+        for i in 0..t.len() {
+            if !t[i].is_ident("const") {
+                continue;
+            }
+            let Some(name) = t.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            if !name.text.contains("MAGIC") || !t.get(i + 2).is_some_and(|c| c.is_punct(":")) {
+                continue;
+            }
+            // Find `= <literal> ;` before the statement ends.
+            let mut j = i + 3;
+            while j < t.len() && !t[j].is_punct("=") && !t[j].is_punct(";") {
+                j += 1;
+            }
+            let Some(lit) = t.get(j + 1) else { continue };
+            if !t.get(j + 2).is_some_and(|s| s.is_punct(";")) {
+                continue;
+            }
+            let value = match lit.kind {
+                TokKind::Num => normalize_num(&lit.text),
+                TokKind::ByteStr => Some(lit.text.clone()),
+                _ => None,
+            };
+            if let Some(value) = value {
+                defs.push(MagicDef {
+                    file: a.rel.clone(),
+                    line: name.line,
+                    name: name.text.clone(),
+                    value,
+                });
+            }
+        }
+    }
+    defs
+}
+
 fn check_magic_duplicates(defs: &[MagicDef], findings: &mut Vec<Finding>) {
     let mut by_value: BTreeMap<&str, Vec<&MagicDef>> = BTreeMap::new();
     for d in defs {
         by_value.entry(&d.value).or_default().push(d);
     }
     for (value, group) in by_value {
-        if group.len() > 1 {
-            for d in &group[1..] {
-                findings.push(Finding {
-                    file: d.file.clone(),
-                    line: d.line,
-                    rule: "magic-duplicate",
-                    message: format!(
-                        "magic value {value} of `{}` already defined as `{}` at {}:{}",
-                        d.name(),
-                        group[0].name(),
-                        group[0].file,
-                        group[0].line
-                    ),
-                });
-            }
+        for d in group.iter().skip(1) {
+            findings.push(Finding {
+                file: d.file.clone(),
+                line: d.line,
+                rule: "magic-duplicate",
+                message: format!(
+                    "magic value {value} of `{}` already defined as `{}` at {}:{}",
+                    d.name, group[0].name, group[0].file, group[0].line
+                ),
+            });
         }
     }
 }
 
-// ---- pass two: per-file rules -------------------------------------------
+// ---- per-file token rules -------------------------------------------------
 
-/// Lint one file's content. `magics` is the workspace-wide magic table
-/// from pass one. Findings are appended to `out`.
-pub fn lint_source(
-    class: FileClass,
-    rel: &str,
-    content: &str,
-    magics: &[MagicDef],
-    out: &mut Vec<Finding>,
-) {
-    let lines: Vec<&str> = content.lines().collect();
-    let test_lines = test_region_lines(&lines);
-    let mut in_block_comment = false;
+const CAST_WIDTHS: [&str; 4] = ["u8", "u16", "u32", "usize"];
+const CAST_CONTEXT: [&str; 6] = ["off", "page", "pos", "byte", "pgno", "pid"];
+const ITEM_KINDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
+];
 
-    for (i, raw) in lines.iter().enumerate() {
-        let lineno = i + 1;
-        let in_test = class.test_code || test_lines.contains(&i);
-        let prev_raw = if i > 0 { lines[i - 1] } else { "" };
+/// Words that mark an identifier as a page/byte/segment quantity for
+/// the `arith-overflow` rule (matched against `_`-separated words).
+const QUANTITY_WORDS: [&str; 16] = [
+    "page", "pages", "npages", "pgno", "pid", "byte", "bytes", "off", "offset", "pos", "seg",
+    "segment", "segments", "size", "count", "extent",
+];
 
-        let (code, still_in_block) = strip_comments(raw, in_block_comment);
-        let was_in_block = in_block_comment;
-        in_block_comment = still_in_block;
-        if was_in_block && still_in_block && !raw.contains("*/") {
-            continue;
+/// Can the token end a binary operator's left operand?
+fn ends_operand(t: &Tok) -> bool {
+    matches!(t.kind, TokKind::Ident | TokKind::Num) || t.is_punct(")") || t.is_punct("]")
+}
+
+/// The `.`/`::`-joined identifier chain ending at `op - 1`, innermost
+/// last (`self.pos` -> `["self", "pos"]`). `None` when the operand is
+/// not a plain chain (a call result, a literal, ...).
+fn left_chain(toks: &[Tok], op: usize) -> Option<Vec<String>> {
+    let mut j = op.checked_sub(1)?;
+    if toks[j].kind != TokKind::Ident {
+        return None;
+    }
+    let mut idents = vec![toks[j].text.clone()];
+    while j >= 2
+        && (toks[j - 1].is_punct(".") || toks[j - 1].is_punct("::"))
+        && toks[j - 2].kind == TokKind::Ident
+    {
+        idents.push(toks[j - 2].text.clone());
+        j -= 2;
+    }
+    idents.reverse();
+    Some(idents)
+}
+
+/// The identifier chain starting at `op + 1`. The bool is true when
+/// the chain is immediately called (`f(...)`), i.e. its value is not
+/// the named thing itself; the usize is the index of the chain's last
+/// token.
+fn right_chain(toks: &[Tok], op: usize) -> Option<(Vec<String>, bool, usize)> {
+    let mut j = op + 1;
+    if toks.get(j)?.kind != TokKind::Ident {
+        return None;
+    }
+    let mut idents = vec![toks[j].text.clone()];
+    while toks
+        .get(j + 1)
+        .is_some_and(|t| t.is_punct(".") || t.is_punct("::"))
+        && toks.get(j + 2).is_some_and(|t| t.kind == TokKind::Ident)
+    {
+        idents.push(toks[j + 2].text.clone());
+        j += 2;
+    }
+    let is_call = toks.get(j + 1).is_some_and(|t| t.is_punct("("));
+    Some((idents, is_call, j))
+}
+
+fn words_of(ident: &str) -> Vec<String> {
+    ident
+        .split('_')
+        .filter(|w| !w.is_empty())
+        .map(str::to_ascii_lowercase)
+        .collect()
+}
+
+/// Does any chain identifier classify as a page/byte quantity?
+/// CamelCase / ALL_CAPS idents (types, traits, consts) never do — a
+/// const operand is compile-time bounded and a trait bound `A + B` is
+/// not arithmetic.
+fn is_quantity(chain: &[String]) -> bool {
+    chain
+        .iter()
+        .filter(|id| id.chars().next().is_some_and(|c| !c.is_ascii_uppercase()))
+        .any(|id| {
+            words_of(id)
+                .iter()
+                .any(|w| QUANTITY_WORDS.contains(&w.as_str()))
+        })
+}
+
+/// Is this identifier an ALL_CAPS constant name?
+fn is_const_name(id: &str) -> bool {
+    id.chars().any(|c| c.is_ascii_uppercase())
+        && id
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// A unit for the `unit-mixing` rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    Bytes,
+    PageCount,
+    PageIdx,
+}
+
+impl Unit {
+    fn name(self) -> &'static str {
+        match self {
+            Unit::Bytes => "byte quantity",
+            Unit::PageCount => "page count",
+            Unit::PageIdx => "page index",
         }
-        let code = code.as_str();
+    }
+}
 
-        let allowed = |rule: &str| {
-            has_allow(raw, rule) || (is_comment_only(prev_raw) && has_allow(prev_raw, rule))
-        };
+/// Classify an identifier chain by naming convention: byte words win,
+/// then count-of-pages words, then page-index words.
+fn unit_of(chain: &[String]) -> Option<Unit> {
+    let words: Vec<String> = chain.iter().flat_map(|id| words_of(id)).collect();
+    let has = |w: &str| words.iter().any(|x| x == w);
+    if ["byte", "bytes", "off", "offset", "pos", "size"]
+        .iter()
+        .any(|w| has(w))
+    {
+        return Some(Unit::Bytes);
+    }
+    if has("pages")
+        || has("npages")
+        || (has("page") && ["n", "num", "count", "cnt", "total"].iter().any(|w| has(w)))
+    {
+        return Some(Unit::PageCount);
+    }
+    if has("page") || has("pgno") || has("pageno") {
+        return Some(Unit::PageIdx);
+    }
+    None
+}
+
+/// Run every per-file rule over one analysis.
+fn lint_file(a: &Analysis, magics: &[MagicDef], out: &mut Vec<Finding>) {
+    let t = &a.toks;
+    for i in 0..t.len() {
+        let line = t[i].line;
+        let in_test = a.in_test(line);
 
         // -- todo: everywhere outside tests --
         if !in_test
-            && (code.contains("todo!") || code.contains("unimplemented!")) // loblint: allow(todo)
-            && !allowed("todo")
+            && t[i].kind == TokKind::Ident
+            && (t[i].text == "todo" || t[i].text == "unimplemented")
+            && t.get(i + 1).is_some_and(|n| n.is_punct("!"))
         {
-            out.push(Finding {
-                file: rel.to_string(),
-                line: lineno,
-                rule: "todo",
-                message: "todo!/unimplemented! outside test code".into(), // loblint: allow(todo)
-            });
+            a.push(
+                out,
+                line,
+                "todo",
+                format!("{}! outside test code", t[i].text),
+            );
         }
 
-        // -- magic-literal: everywhere, skipping the defining const --
-        if parse_magic_def(code).is_none() {
-            for lit in extract_literals(code) {
-                if let Some(def) = magics.iter().find(|d| d.value == lit) {
-                    if !allowed("magic-literal") {
-                        out.push(Finding {
-                            file: rel.to_string(),
-                            line: lineno,
-                            rule: "magic-literal",
-                            message: format!(
-                                "bare magic literal {lit}; reference `{}` ({}:{}) instead",
+        // -- magic-literal: everywhere, skipping defining consts --
+        if matches!(t[i].kind, TokKind::Num | TokKind::ByteStr) {
+            let value = match t[i].kind {
+                TokKind::Num => normalize_num(&t[i].text),
+                _ => Some(t[i].text.clone()),
+            };
+            if let Some(value) = value {
+                if let Some(def) = magics.iter().find(|d| d.value == value) {
+                    let at_def = magics
+                        .iter()
+                        .any(|d| d.value == value && d.file == a.rel && d.line == line);
+                    if !at_def {
+                        a.push(
+                            out,
+                            line,
+                            "magic-literal",
+                            format!(
+                                "bare magic literal {value}; reference `{}` ({}:{}) instead",
                                 def.name, def.file, def.line
                             ),
-                        });
+                        );
                     }
                 }
             }
         }
 
-        if !class.library || in_test {
+        if !a.class.library || in_test {
             continue;
         }
 
-        // -- unwrap: library non-test code --
-        if (code.contains(".unwrap()") || code.contains(".expect(")) && !allowed("unwrap") {
-            out.push(Finding {
-                file: rel.to_string(),
-                line: lineno,
-                rule: "unwrap",
-                message: "unwrap()/expect() in library code; propagate LobError instead".into(),
-            });
+        // -- unwrap: `.unwrap()` / `.expect(` --
+        if t[i].is_punct(".")
+            && t.get(i + 1)
+                .is_some_and(|n| n.is_ident("unwrap") || n.is_ident("expect"))
+            && t.get(i + 2).is_some_and(|n| n.is_punct("("))
+        {
+            a.push(
+                out,
+                line,
+                "unwrap",
+                "unwrap()/expect() in library code; propagate LobError instead".into(),
+            );
         }
 
-        // -- truncating-cast: library non-test code --
-        if !allowed("truncating-cast") {
-            if let Some(width) = truncating_cast(code) {
-                out.push(Finding {
-                    file: rel.to_string(),
-                    line: lineno,
-                    rule: "truncating-cast",
-                    message: format!(
-                        "bare `as {width}` on page/offset arithmetic; use try_into or lobstore_simdisk::cast"
+        // -- truncating-cast: `as u8/u16/u32/usize` with offset context --
+        if t[i].is_ident("as") {
+            if let Some(width) = t
+                .get(i + 1)
+                .filter(|n| n.kind == TokKind::Ident)
+                .and_then(|n| CAST_WIDTHS.iter().find(|w| n.text == **w))
+            {
+                let context = t
+                    .iter()
+                    .filter(|x| x.line == line && x.kind == TokKind::Ident)
+                    .any(|x| {
+                        let lower = x.text.to_ascii_lowercase();
+                        CAST_CONTEXT.iter().any(|c| lower.contains(c))
+                    });
+                if context {
+                    a.push(
+                        out,
+                        line,
+                        "truncating-cast",
+                        format!(
+                            "bare `as {width}` on page/offset arithmetic; use try_into or lobstore_simdisk::cast"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // -- missing-docs: `pub` items need docs --
+        if t[i].is_ident("pub") && !t.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            let mut j = i + 1;
+            while t
+                .get(j)
+                .is_some_and(|n| n.is_ident("async") || n.is_ident("unsafe"))
+            {
+                j += 1;
+            }
+            if let Some(kind) = t
+                .get(j)
+                .filter(|n| n.kind == TokKind::Ident)
+                .and_then(|n| ITEM_KINDS.iter().find(|k| n.text == **k))
+            {
+                if !a.has_doc_above(line) {
+                    a.push(
+                        out,
+                        line,
+                        "missing-docs",
+                        format!("pub {kind} without a /// doc comment"),
+                    );
+                }
+            }
+        }
+
+        // -- arith-overflow: bare + - * << on quantities --
+        if t[i].kind == TokKind::Punct
+            && matches!(
+                t[i].text.as_str(),
+                "+" | "-" | "*" | "<<" | "+=" | "-=" | "*=" | "<<="
+            )
+            && i > 0
+            && ends_operand(&t[i - 1])
+        {
+            let lq = left_chain(t, i).is_some_and(|c| is_quantity(&c));
+            let rq = right_chain(t, i).is_some_and(|(c, call, _)| !call && is_quantity(&c));
+            if lq || rq {
+                a.push(
+                    out,
+                    line,
+                    "arith-overflow",
+                    format!(
+                        "unchecked `{}` on a page/byte quantity; use checked_*/saturating_* or waive with rationale",
+                        t[i].text
                     ),
-                });
+                );
             }
         }
 
-        // -- missing-docs: library non-test code --
-        if let Some(item) = pub_item_kind(code) {
-            if !has_doc_above(&lines, i) && !allowed("missing-docs") {
-                out.push(Finding {
-                    file: rel.to_string(),
-                    line: lineno,
-                    rule: "missing-docs",
-                    message: format!("pub {item} without a /// doc comment"),
-                });
+        // -- panic-path: division by non-constants --
+        if t[i].kind == TokKind::Punct
+            && matches!(t[i].text.as_str(), "/" | "%" | "/=" | "%=")
+            && i > 0
+            && ends_operand(&t[i - 1])
+        {
+            let divisor_const = match t.get(i + 1) {
+                Some(n) if n.kind == TokKind::Num => true,
+                _ => right_chain(t, i).is_some_and(|(c, call, _)| {
+                    !call && c.last().is_some_and(|id| is_const_name(id))
+                }),
+            };
+            if !divisor_const {
+                a.push(
+                    out,
+                    line,
+                    "panic-path",
+                    format!(
+                        "`{}` with a non-constant divisor may panic on zero; guard or waive",
+                        t[i].text
+                    ),
+                );
             }
         }
+
+        // -- panic-path: postfix indexing/slicing --
+        if t[i].is_punct("[")
+            && i > 0
+            && (matches!(t[i - 1].kind, TokKind::Ident)
+                || t[i - 1].is_punct(")")
+                || t[i - 1].is_punct("]")
+                || t[i - 1].is_punct("?"))
+        {
+            let full_range = t.get(i + 1).is_some_and(|n| n.is_punct(".."))
+                && t.get(i + 2).is_some_and(|n| n.is_punct("]"));
+            if !full_range {
+                a.push(
+                    out,
+                    line,
+                    "panic-path",
+                    "indexing/slicing may panic on out-of-range; use get()/split checks or waive"
+                        .into(),
+                );
+            }
+        }
+    }
+
+    if a.class.library {
+        lint_unit_mixing(a, out);
     }
 }
 
-/// Detect a bare narrowing cast on a line doing page/offset arithmetic.
-/// Returns the cast width when found.
-fn truncating_cast(code: &str) -> Option<&'static str> {
-    const WIDTHS: [&str; 4] = ["u8", "u16", "u32", "usize"];
-    const CONTEXT: [&str; 6] = ["off", "page", "pos", "byte", "pgno", "pid"];
-    let lower = code.to_ascii_lowercase();
-    if !CONTEXT.iter().any(|c| lower.contains(c)) {
-        return None;
-    }
-    for width in WIDTHS {
-        let needle = format!("as {width}");
-        let mut start = 0;
-        while let Some(at) = code[start..].find(&needle) {
-            let abs = start + at;
-            let before_ok = abs == 0
-                || code[..abs]
-                    .chars()
-                    .next_back()
-                    .is_some_and(|c| c.is_whitespace() || c == '(');
-            let after = abs + needle.len();
-            let after_ok = code[after..]
-                .chars()
-                .next()
-                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
-            if before_ok && after_ok {
-                return Some(width);
-            }
-            start = after;
-        }
-    }
-    None
-}
-
-/// Identify a `pub` item declaration (not `pub(crate)`/`pub use`).
-fn pub_item_kind(code: &str) -> Option<&'static str> {
-    let trimmed = code.trim_start();
-    let rest = trimmed.strip_prefix("pub ")?;
-    let rest = rest.trim_start();
-    let rest = rest.strip_prefix("async ").unwrap_or(rest);
-    let rest = rest.strip_prefix("unsafe ").unwrap_or(rest);
-    for kind in [
-        "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
-    ] {
-        if let Some(after) = rest.strip_prefix(kind) {
-            if after.starts_with(char::is_whitespace) {
-                return Some(match kind {
-                    "fn" => "fn",
-                    "struct" => "struct",
-                    "enum" => "enum",
-                    "trait" => "trait",
-                    "const" => "const",
-                    "static" => "static",
-                    "type" => "type",
-                    "mod" => "mod",
-                    _ => "union",
-                });
-            }
-        }
-    }
-    None
-}
-
-/// Walk upward over attributes; the first non-attribute line above must
-/// be a `///` doc comment (or `#[doc...]`).
-fn has_doc_above(lines: &[&str], mut i: usize) -> bool {
-    while i > 0 {
-        let above = lines[i - 1].trim();
-        if above.starts_with("#[") || above.starts_with("#!") {
-            i -= 1;
+/// The `unit-mixing` rule: per function, track `PageId`-typed names
+/// and naming-convention units, then flag cross-unit operations.
+fn lint_unit_mixing(a: &Analysis, out: &mut Vec<Finding>) {
+    let t = &a.toks;
+    for f in &a.fns {
+        let Some((b0, b1)) = f.body else { continue };
+        if a.in_test(f.line) {
             continue;
         }
-        // Tolerate multiline attributes: a line that closes one, e.g. `)]`.
-        if above.ends_with(")]") && !above.starts_with("///") {
-            i -= 1;
-            continue;
+        // Symbol table: `name: PageId` in the signature or body.
+        let mut page_idx_syms: BTreeSet<&str> = BTreeSet::new();
+        for k in f.fn_tok..b1.min(t.len()) {
+            if t[k].is_ident("PageId")
+                && k >= 2
+                && t[k - 1].is_punct(":")
+                && t[k - 2].kind == TokKind::Ident
+            {
+                page_idx_syms.insert(&t[k - 2].text);
+            }
         }
-        return above.starts_with("///") || above.starts_with("#[doc");
+        let classify = |chain: &[String]| -> Option<Unit> {
+            if chain.len() == 1 && page_idx_syms.contains(chain[0].as_str()) {
+                return Some(Unit::PageIdx);
+            }
+            unit_of(chain)
+        };
+        for i in b0..b1.min(t.len()) {
+            if t[i].kind != TokKind::Punct {
+                continue;
+            }
+            let op = t[i].text.as_str();
+            let tracked = matches!(
+                op,
+                "+" | "-" | "+=" | "-=" | "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+            );
+            if !tracked || i == 0 || !ends_operand(&t[i - 1]) {
+                continue;
+            }
+            let Some(lu) = left_chain(t, i).and_then(|c| classify(&c)) else {
+                continue;
+            };
+            let Some((rc, r_call, r_end)) = right_chain(t, i) else {
+                continue;
+            };
+            let Some(ru) = (if r_call { None } else { classify(&rc) }) else {
+                continue;
+            };
+            // For plain assignment, only a *bare* chain on the right is
+            // unit-meaningful: `count = idx - idx + 1` computes a count.
+            let rhs_is_bare = t
+                .get(r_end + 1)
+                .is_none_or(|n| n.is_punct(";") || n.is_punct(",") || n.is_punct(")"));
+            let line = t[i].line;
+            if op == "=" && !rhs_is_bare {
+                // `off = page * PAGE_SIZE` converts units; only a bare
+                // chain on the right carries its unit into the left side.
+            } else if (lu == Unit::Bytes) != (ru == Unit::Bytes) {
+                // Bytes never mix with page-grained units.
+                a.push(
+                    out,
+                    line,
+                    "unit-mixing",
+                    format!("`{op}` mixes a {} with a {}", lu.name(), ru.name()),
+                );
+            } else if lu == Unit::PageIdx && ru == Unit::PageIdx && matches!(op, "+" | "+=") {
+                // index + index has no unit meaning (index + count does).
+                a.push(
+                    out,
+                    line,
+                    "unit-mixing",
+                    "`+` adds two page indexes; one side should be a page count".into(),
+                );
+            } else if lu != ru && op == "=" {
+                // Assigning a count into an index (or vice versa).
+                a.push(
+                    out,
+                    line,
+                    "unit-mixing",
+                    format!("assignment of a {} to a {}", ru.name(), lu.name()),
+                );
+            }
+        }
     }
-    false
 }
 
-/// Line indices inside `#[cfg(test)] mod … { … }` blocks.
-fn test_region_lines(lines: &[&str]) -> std::collections::BTreeSet<usize> {
-    let mut out = std::collections::BTreeSet::new();
-    let mut i = 0;
-    while i < lines.len() {
-        let t = lines[i].trim_start();
-        let is_cfg_test = t.starts_with("#[cfg(test)]")
-            || t.starts_with("#[cfg(all(test")
-            || t.starts_with("#[cfg(any(test");
-        if !is_cfg_test {
-            i += 1;
+// ---- workspace rules: forbid-unsafe ---------------------------------------
+
+/// Each library crate's `lib.rs`, when present in the scanned set,
+/// must carry `#![forbid(unsafe_code)]`.
+fn check_forbid_unsafe(analyses: &[Analysis], out: &mut Vec<Finding>) {
+    for c in LIBRARY_CRATES {
+        let rel = format!("crates/{c}/src/lib.rs");
+        let Some(a) = analyses.iter().find(|a| a.rel == rel) else {
+            continue;
+        };
+        let has = a.spans.iter().any(|s| {
+            s.inner
+                && a.toks[s.first..=s.last]
+                    .iter()
+                    .any(|t| t.is_ident("forbid"))
+                && a.toks[s.first..=s.last]
+                    .iter()
+                    .any(|t| t.is_ident("unsafe_code"))
+        });
+        if !has {
+            a.push(
+                out,
+                1,
+                "forbid-unsafe",
+                format!("{rel} is missing `#![forbid(unsafe_code)]`"),
+            );
+        }
+    }
+}
+
+// ---- workspace rules: io-accounting ---------------------------------------
+
+/// The cost-counted wrapper functions, per bufpool file. Every raw
+/// `disk.read`/`disk.write` call site must sit inside one of these,
+/// and each must (transitively) perform raw I/O — together they are
+/// the static model of "all I/O above the disk goes through the pool".
+const IO_WRAPPERS: [(&str, &[&str]); 2] = [
+    (
+        "crates/bufpool/src/pool.rs",
+        &["evict", "fix", "flush_page", "flush_all"],
+    ),
+    (
+        "crates/bufpool/src/segio.rs",
+        &[
+            "read_buffered",
+            "read_direct",
+            "read_pages",
+            "write_direct",
+            "flush_range",
+        ],
+    ),
+];
+
+/// The I/O entry points above the pool: each must reach a wrapper
+/// through the call graph, and the core ones must bump their obs
+/// counter — the static twin of `tests/observability.rs`.
+const IO_ENTRIES: [(&str, &str, Option<&str>); 5] = [
+    ("crates/bufpool/src/segio.rs", "read_segment", None),
+    (
+        "crates/core/src/segdata.rs",
+        "read_seg_bytes",
+        Some("core.seg.reads"),
+    ),
+    (
+        "crates/core/src/segdata.rs",
+        "write_new_seg",
+        Some("core.seg.writes"),
+    ),
+    (
+        "crates/core/src/segdata.rs",
+        "append_in_place",
+        Some("core.seg.writes"),
+    ),
+    (
+        "crates/core/src/segdata.rs",
+        "patch_in_place",
+        Some("core.seg.writes"),
+    ),
+];
+
+const CALL_KEYWORDS: [&str; 11] = [
+    "if", "match", "while", "for", "return", "loop", "fn", "as", "in", "move", "unsafe",
+];
+
+/// A raw disk I/O site: `disk` / `disk_mut()` receiver followed by
+/// `.read(` or `.write(`. Returns the index of the `read`/`write`
+/// ident for each site in `toks`.
+fn raw_disk_sites(toks: &[Tok]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("disk") || toks[i].is_ident("disk_mut")) {
             continue;
         }
-        let mut depth: i64 = 0;
-        let mut started = false;
-        let mut j = i;
-        while j < lines.len() {
-            out.insert(j);
-            for c in lines[j].chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        started = true;
-                    }
-                    '}' => depth -= 1,
-                    _ => {}
+        let mut j = i + 1;
+        // Skip a call pair for accessor style: `disk_mut()`.
+        if toks.get(j).is_some_and(|t| t.is_punct("("))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(")"))
+        {
+            j += 2;
+        }
+        if toks.get(j).is_some_and(|t| t.is_punct("."))
+            && toks
+                .get(j + 1)
+                .is_some_and(|t| t.is_ident("read") || t.is_ident("write"))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct("("))
+        {
+            out.push(j + 1);
+        }
+    }
+    out
+}
+
+/// Names called from the token range `[b0, b1)`: `name(...)` and
+/// `.name(...)` forms, keywords and definitions excluded. A
+/// type-qualified call `Q::name(...)` only counts when `Q` is a type the
+/// workspace itself has an `impl` for (`owners`) — `Vec::new`,
+/// `u32::try_from` and friends are foreign and must not alias workspace
+/// functions that happen to share a method name.
+fn callees(toks: &[Tok], b0: usize, b1: usize, owners: &BTreeSet<&str>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for k in b0..b1.min(toks.len()) {
+        if toks[k].kind == TokKind::Ident
+            && toks.get(k + 1).is_some_and(|n| n.is_punct("("))
+            && !CALL_KEYWORDS.contains(&toks[k].text.as_str())
+            && !(k > 0 && toks[k - 1].is_ident("fn"))
+        {
+            if k >= 2 && toks[k - 1].is_punct("::") && toks[k - 2].kind == TokKind::Ident {
+                let q = toks[k - 2].text.as_str();
+                let foreign_type = q.starts_with(char::is_uppercase) && !owners.contains(q);
+                // Primitive qualifiers (`u32::from_le_bytes`) are foreign
+                // too; lowercase module paths (`cast::to_u32`) stay.
+                let primitive = matches!(
+                    q,
+                    "u8" | "u16"
+                        | "u32"
+                        | "u64"
+                        | "u128"
+                        | "usize"
+                        | "i8"
+                        | "i16"
+                        | "i32"
+                        | "i64"
+                        | "i128"
+                        | "isize"
+                        | "f32"
+                        | "f64"
+                        | "bool"
+                        | "char"
+                        | "str"
+                );
+                if foreign_type || primitive {
+                    continue;
                 }
             }
-            if started && depth <= 0 {
-                break;
-            }
-            j += 1;
-        }
-        i = j + 1;
-    }
-    out
-}
-
-/// All normalized numeric/byte-string literals appearing in a code line.
-fn extract_literals(code: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let bytes = code.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'0' && i + 1 < bytes.len() && bytes[i + 1] == b'x' {
-            let start = i;
-            i += 2;
-            while i < bytes.len() && (bytes[i].is_ascii_hexdigit() || bytes[i] == b'_') {
-                i += 1;
-            }
-            if let Some(lit) = normalize_literal(&code[start..i]) {
-                out.push(lit);
-            }
-        } else if bytes[i] == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'"' {
-            let start = i;
-            i += 2;
-            while i < bytes.len() && bytes[i] != b'"' {
-                i += 1;
-            }
-            i = (i + 1).min(bytes.len());
-            if let Some(lit) = normalize_literal(&code[start..i]) {
-                out.push(lit);
-            }
-        } else {
-            i += 1;
+            out.insert(toks[k].text.clone());
         }
     }
     out
 }
 
-/// Does this raw line carry `loblint: allow(<rule>)` for `rule`?
-fn has_allow(raw: &str, rule: &str) -> bool {
-    debug_assert!(RULES.contains(&rule), "unknown lint rule `{rule}`");
-    let Some(at) = raw.find("loblint: allow(") else {
-        return false;
-    };
-    let inner_start = at + "loblint: allow(".len();
-    let Some(close) = raw[inner_start..].find(')') else {
-        return false;
-    };
-    raw[inner_start..inner_start + close]
-        .split(',')
-        .any(|r| r.trim() == rule)
-}
-
-fn is_comment_only(raw: &str) -> bool {
-    raw.trim_start().starts_with("//")
-}
-
-fn strip_line_comment(raw: &str) -> &str {
-    match raw.find("//") {
-        Some(at) => &raw[..at],
-        None => raw,
+/// The io-accounting pass. Only runs when the scanned set contains
+/// bufpool sources (the real workspace, or a fixture modelling it).
+fn check_io_accounting(analyses: &[Analysis], out: &mut Vec<Finding>) {
+    if !analyses
+        .iter()
+        .any(|a| a.rel.starts_with("crates/bufpool/"))
+    {
+        return;
     }
-}
 
-/// Strip `//` and `/* */` comments from a line; returns the remaining
-/// code and whether a block comment continues onto the next line.
-fn strip_comments(raw: &str, mut in_block: bool) -> (String, bool) {
-    let mut out = String::new();
-    let bytes = raw.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if in_block {
-            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                in_block = false;
-                i += 2;
-            } else {
-                i += 1;
+    // Call graph and raw-I/O facts over library, non-test functions.
+    let owners: BTreeSet<&str> = analyses
+        .iter()
+        .filter(|a| a.class.library)
+        .flat_map(|a| a.fns.iter().filter_map(|f| f.owner.as_deref()))
+        .collect();
+    // Nodes are restricted to the two crates the accounting model spans.
+    // Call edges resolve by bare name, so every `.len(..)`/`.insert(..)`
+    // method call aliases any workspace function of that name; admitting
+    // obs/simdisk/record functions as nodes lets those aliases chain into
+    // phantom paths that reach a wrapper through code the entry never
+    // runs. Confining the graph to core + bufpool keeps every path the
+    // model cares about (entries live in core, wrappers in bufpool) while
+    // cutting the alias bridges.
+    let graph_crate =
+        |rel: &str| rel.starts_with("crates/bufpool/") || rel.starts_with("crates/core/");
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut has_raw: BTreeSet<String> = BTreeSet::new();
+    for a in analyses
+        .iter()
+        .filter(|a| a.class.library && graph_crate(&a.rel))
+    {
+        let raw = raw_disk_sites(&a.toks);
+        for f in &a.fns {
+            if a.in_test(f.line) {
+                continue;
             }
-        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let Some((b0, b1)) = f.body else { continue };
+            calls
+                .entry(f.name.clone())
+                .or_default()
+                .extend(callees(&a.toks, b0, b1, &owners));
+            if raw.iter().any(|&k| b0 <= k && k < b1) {
+                has_raw.insert(f.name.clone());
+            }
+        }
+    }
+    let reaches = |start: &str, pred: &dyn Fn(&str) -> bool| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![start.to_string()];
+        while let Some(n) = queue.pop() {
+            if pred(&n) {
+                return true;
+            }
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            if let Some(cs) = calls.get(&n) {
+                queue.extend(cs.iter().cloned());
+            }
+        }
+        false
+    };
+    let all_wrappers: BTreeSet<&str> = IO_WRAPPERS
+        .iter()
+        .flat_map(|(_, ws)| ws.iter().copied())
+        .collect();
+
+    // (a) Every raw disk call site sits inside a wrapper in bufpool.
+    // The simdisk crate is the device itself and is exempt.
+    for a in analyses
+        .iter()
+        .filter(|a| a.class.library && !a.rel.starts_with("crates/simdisk/"))
+    {
+        let in_bufpool = a.rel.starts_with("crates/bufpool/");
+        for k in raw_disk_sites(&a.toks) {
+            let line = a.toks[k].line;
+            if a.in_test(line) {
+                continue;
+            }
+            let covered = in_bufpool
+                && a.enclosing_fn(k)
+                    .is_some_and(|f| all_wrappers.contains(f.name.as_str()));
+            if !covered {
+                let name = a
+                    .enclosing_fn(k)
+                    .map_or("<module scope>".to_string(), |f| f.qualified());
+                a.push(
+                    out,
+                    line,
+                    "io-accounting",
+                    format!(
+                        "raw disk {} outside the cost-counted wrappers (in `{name}`); route through BufferPool",
+                        a.toks[k].text
+                    ),
+                );
+            }
+        }
+    }
+
+    // (b) Each wrapper exists in its file and performs raw I/O, either
+    // directly or by delegating to another wrapper (`flush_all` →
+    // `flush_page`). A fixpoint over the wrapper set only — general
+    // reachability would let an aliased method name (`.remove(..)` vs a
+    // core fn `remove`) smuggle in raw I/O a wrapper does not do.
+    let mut raw_wrappers: BTreeSet<&str> = all_wrappers
+        .iter()
+        .copied()
+        .filter(|w| has_raw.contains(*w))
+        .collect();
+    loop {
+        let grown: Vec<&str> = all_wrappers
+            .iter()
+            .copied()
+            .filter(|w| !raw_wrappers.contains(w))
+            .filter(|w| {
+                calls
+                    .get(*w)
+                    .is_some_and(|cs| cs.iter().any(|c| raw_wrappers.contains(c.as_str())))
+            })
+            .collect();
+        if grown.is_empty() {
             break;
-        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-            in_block = true;
-            i += 2;
-        } else {
-            out.push(bytes[i] as char);
-            i += 1;
+        }
+        raw_wrappers.extend(grown);
+    }
+    for (file, wrappers) in IO_WRAPPERS {
+        let Some(a) = analyses.iter().find(|a| a.rel == file) else {
+            continue;
+        };
+        for w in wrappers {
+            match a.fns.iter().find(|f| f.name == *w && !a.in_test(f.line)) {
+                None => a.push(
+                    out,
+                    1,
+                    "io-accounting",
+                    format!("cost-counted wrapper `{w}` is missing from {file}"),
+                ),
+                Some(f) => {
+                    if !raw_wrappers.contains(w) {
+                        a.push(
+                            out,
+                            f.line,
+                            "io-accounting",
+                            format!(
+                                "wrapper `{w}` performs no disk I/O (directly or via other wrappers)"
+                            ),
+                        );
+                    }
+                }
+            }
         }
     }
-    (out, in_block)
+
+    // (c) Each entry point reaches a wrapper and bumps its counter.
+    for (file, entry, counter) in IO_ENTRIES {
+        let Some(a) = analyses.iter().find(|a| a.rel == file) else {
+            continue;
+        };
+        let Some(f) = a.fns.iter().find(|f| f.name == entry && !a.in_test(f.line)) else {
+            a.push(
+                out,
+                1,
+                "io-accounting",
+                format!("I/O entry point `{entry}` is missing from {file}"),
+            );
+            continue;
+        };
+        if !reaches(entry, &|n| all_wrappers.contains(n)) {
+            a.push(
+                out,
+                f.line,
+                "io-accounting",
+                format!("I/O entry `{entry}` never reaches a cost-counted wrapper"),
+            );
+        }
+        if let (Some(counter), Some((b0, b1))) = (counter, f.body) {
+            let bumps = a.toks[b0..b1.min(a.toks.len())]
+                .iter()
+                .any(|t| t.kind == TokKind::Str && t.text.contains(counter));
+            if !bumps {
+                a.push(
+                    out,
+                    f.line,
+                    "io-accounting",
+                    format!("I/O entry `{entry}` does not bump its `{counter}` counter"),
+                );
+            }
+        }
+    }
 }
 
-// ---- output --------------------------------------------------------------
+// ---- baseline ratchet -----------------------------------------------------
+
+/// A frozen multiset of findings keyed on (file, rule, message) — line
+/// numbers are deliberately excluded so unrelated edits above a frozen
+/// finding do not invalidate the baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String, String), usize>,
+}
+
+impl Baseline {
+    /// Parse the `file<TAB>rule<TAB>message` line format. Blank lines
+    /// and `#` comments are ignored; malformed lines are reported.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(f), Some(r), Some(m)) => {
+                    *counts
+                        .entry((f.to_string(), r.to_string(), m.to_string()))
+                        .or_insert(0) += 1;
+                }
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected 3 tab-separated fields",
+                        i + 1
+                    ))
+                }
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Render findings as a deterministic (sorted) baseline file.
+    pub fn render(findings: &[Finding]) -> String {
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}\t{}\t{}",
+                    f.file,
+                    f.rule,
+                    f.message.replace(['\t', '\n'], " ")
+                )
+            })
+            .collect();
+        lines.sort();
+        let mut out = String::from(
+            "# loblint baseline — frozen findings (file<TAB>rule<TAB>message).\n\
+             # Regenerate with: cargo run -q -p xtask -- loblint --update-baseline\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Mark each finding as baselined (true) or new (false), consuming
+    /// baseline entries multiset-style.
+    pub fn apply(&self, findings: &[Finding]) -> Vec<bool> {
+        let mut left = self.counts.clone();
+        findings
+            .iter()
+            .map(|f| {
+                let key = (
+                    f.file.clone(),
+                    f.rule.to_string(),
+                    f.message.replace(['\t', '\n'], " "),
+                );
+                match left.get_mut(&key) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        true
+                    }
+                    _ => false,
+                }
+            })
+            .collect()
+    }
+}
+
+// ---- output and CLI -------------------------------------------------------
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -596,59 +1260,168 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Render findings as a JSON object: `{"count": N, "findings": [...]}`.
-pub fn to_json(findings: &[Finding]) -> String {
+/// Render the `loblint-findings/v1` document. `baselined[i]` says
+/// whether `findings[i]` is frozen in the baseline.
+pub fn to_json(findings: &[Finding], baselined: &[bool]) -> String {
+    let n_base = baselined.iter().filter(|b| **b).count();
     let mut out = String::from("{\n");
-    let _ = write!(out, "  \"count\": {},\n  \"findings\": [", findings.len());
+    let _ = write!(out, "  \"schema\": \"{FINDINGS_SCHEMA}\",\n  \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{r}\"");
+    }
+    let _ = write!(
+        out,
+        "],\n  \"total\": {},\n  \"baselined\": {},\n  \"new\": {},\n  \"findings\": [",
+        findings.len(),
+        n_base,
+        findings.len() - n_base
+    );
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
-            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"baselined\": {}}}",
             json_escape(&f.file),
             f.line,
             f.rule,
-            json_escape(&f.message)
+            json_escape(&f.message),
+            baselined.get(i).copied().unwrap_or(false)
         );
     }
     if !findings.is_empty() {
-        out.push('\n');
-        out.push_str("  ");
+        out.push_str("\n  ");
     }
     out.push_str("]\n}");
     out
+}
+
+/// CLI options for `xtask loblint`.
+pub struct Opts {
+    pub root: PathBuf,
+    pub json: bool,
+    /// Write the JSON document here instead of stdout.
+    pub out: Option<PathBuf>,
+    /// Baseline path; defaults to `<root>/loblint.baseline`.
+    pub baseline: Option<PathBuf>,
+    /// Ignore the baseline entirely (report every finding as new).
+    pub no_baseline: bool,
+    /// Regenerate the baseline from the current findings and exit 0.
+    pub update_baseline: bool,
+}
+
+/// CLI entry point. Exit code 0 = no *new* findings (baselined ones
+/// are fine), 1 = new findings, 2 = the pass could not run.
+pub fn run(opts: &Opts) -> ExitCode {
+    let findings = match lint_workspace(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("loblint: cannot scan {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("loblint.baseline"));
+
+    if opts.update_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("loblint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "loblint: baseline updated ({} findings) -> {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.no_baseline {
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("loblint: {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => Baseline::default(), // no baseline file: everything is new
+        }
+    };
+    let marks = baseline.apply(&findings);
+    let n_new = marks.iter().filter(|m| !**m).count();
+
+    if opts.json {
+        let doc = to_json(&findings, &marks);
+        if let Some(out_path) = &opts.out {
+            if let Err(e) = std::fs::write(out_path, &doc) {
+                eprintln!("loblint: cannot write {}: {e}", out_path.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("loblint: wrote {}", out_path.display());
+        } else {
+            println!("{doc}");
+        }
+    } else {
+        for (f, baselined) in findings.iter().zip(&marks) {
+            if !baselined {
+                println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+            }
+        }
+    }
+    eprintln!(
+        "loblint: {} finding{} ({} baselined, {n_new} new)",
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        findings.len() - n_new,
+    );
+    if n_new == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    const LIB: FileClass = FileClass {
-        library: true,
-        test_code: false,
-    };
+    /// Lint one library source (plus any extra files) through the full
+    /// pipeline.
+    fn lint_with(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|(rel, content)| (rel.to_string(), content.to_string()))
+            .collect();
+        lint_sources(&sources)
+    }
 
     fn lint_lib(content: &str) -> Vec<Finding> {
-        let mut out = Vec::new();
-        lint_source(LIB, "crates/core/src/x.rs", content, &[], &mut out);
-        out
+        lint_with(&[("crates/core/src/x.rs", content)])
     }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ---- v1 rules, now token-exact ------------------------------------
 
     #[test]
     fn reintroduced_unwrap_is_flagged() {
         let found = lint_lib("fn f() { let x = g().unwrap(); }\n");
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].rule, "unwrap");
+        assert_eq!(rules_of(&found), vec!["unwrap"]);
         assert_eq!(found[0].line, 1);
-    }
-
-    #[test]
-    fn expect_is_flagged_like_unwrap() {
         let found = lint_lib("fn f() { g().expect(\"boom\"); }\n");
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].rule, "unwrap");
+        assert_eq!(rules_of(&found), vec!["unwrap"]);
     }
 
     #[test]
@@ -665,6 +1438,13 @@ mod tests {
     }
 
     #[test]
+    fn unwrap_in_non_library_file_is_exempt() {
+        let class = classify("crates/cli/src/main.rs");
+        assert!(!class.library);
+        assert!(lint_with(&[("crates/cli/src/main.rs", "fn f() { g().unwrap(); }\n")]).is_empty());
+    }
+
+    #[test]
     fn obs_is_a_library_crate() {
         let class = classify("crates/obs/src/metrics.rs");
         assert!(class.library, "lobstore-obs is held to the library rules");
@@ -672,30 +1452,78 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_in_non_library_file_is_exempt() {
-        let mut out = Vec::new();
-        let class = classify("crates/cli/src/main.rs");
-        assert!(!class.library);
-        lint_source(
-            class,
-            "crates/cli/src/main.rs",
-            "fn f() { g().unwrap(); }\n",
-            &[],
-            &mut out,
-        );
-        assert!(out.is_empty());
-    }
-
-    #[test]
     fn reintroduced_truncating_page_cast_is_flagged() {
         let found = lint_lib("fn f(off: u64) -> u32 { off as u32 }\n");
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].rule, "truncating-cast");
+        assert_eq!(rules_of(&found), vec!["truncating-cast"]);
         // Same cast without offset-ish context is not page arithmetic.
         assert!(lint_lib("fn f(mask: u64) -> u32 { mask as u32 }\n").is_empty());
         // Widening casts are fine.
-        assert!(lint_lib("fn f(off: u32) -> u64 { off as u64 }\n").is_empty());
+        assert!(lint_lib("fn f(off2: u64) -> u64 { off2 as u64 }\n").is_empty());
     }
+
+    #[test]
+    fn todo_flagged_everywhere_outside_tests() {
+        let found = lint_with(&[("crates/cli/src/main.rs", "fn f() { todo!() }\n")]);
+        assert_eq!(rules_of(&found), vec!["todo"]);
+    }
+
+    #[test]
+    fn magic_duplicate_and_bare_literal_detected() {
+        let found = lint_with(&[
+            ("crates/cli/src/a.rs", "const A_MAGIC: u32 = 0x1234_5678;\n"),
+            (
+                "crates/cli/src/b.rs",
+                "const B_MAGIC: u32 = 0x12345678;\nfn f() { let x = 0x1234_5678; }\n",
+            ),
+        ]);
+        let dup: Vec<_> = found
+            .iter()
+            .filter(|f| f.rule == "magic-duplicate")
+            .collect();
+        assert_eq!(dup.len(), 1, "{found:?}");
+        assert!(dup[0].message.contains("A_MAGIC"));
+        let lit: Vec<_> = found.iter().filter(|f| f.rule == "magic-literal").collect();
+        assert_eq!(lit.len(), 1, "{found:?}");
+        assert_eq!(lit[0].line, 2);
+    }
+
+    #[test]
+    fn byte_string_magic_is_tracked() {
+        let found = lint_with(&[(
+            "crates/cli/src/a.rs",
+            "const HDR_MAGIC: &[u8] = b\"LOBS\";\nfn f() -> &'static [u8] { b\"LOBS\" }\n",
+        )]);
+        assert_eq!(rules_of(&found), vec!["magic-literal"]);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn missing_docs_on_pub_items_only() {
+        let found = lint_lib("pub fn f() {}\n");
+        assert_eq!(rules_of(&found), vec!["missing-docs"]);
+        assert!(lint_lib("/// Does f things.\npub fn f() {}\n").is_empty());
+        assert!(lint_lib("/// Docs.\n#[inline]\npub fn f() {}\n").is_empty());
+        assert!(lint_lib("fn f() {}\npub(crate) fn g() {}\n").is_empty());
+    }
+
+    // ---- the v1 false-positive class: strings and comments ------------
+
+    #[test]
+    fn occurrences_inside_strings_do_not_fire() {
+        assert!(lint_lib("fn f() { let s = \".unwrap() and todo!\"; }\n").is_empty());
+        assert!(lint_lib("fn f() { let s = r#\"x.unwrap() off as u32\"#; }\n").is_empty());
+        assert!(lint_lib("fn f(off: u64) { let s = \"off as u32\"; }\n").is_empty());
+    }
+
+    #[test]
+    fn occurrences_inside_comments_do_not_fire() {
+        assert!(lint_lib("fn f() {} // call .unwrap() and todo! here\n").is_empty());
+        assert!(lint_lib("/* x.unwrap() */ fn f() {}\n").is_empty());
+        assert!(lint_lib("/*\n x.unwrap()\n todo!()\n*/\nfn f() {}\n").is_empty());
+        assert!(lint_lib("/// Never call `.unwrap()` or `todo!` here.\nfn f() {}\n").is_empty());
+    }
+
+    // ---- waiver handling ----------------------------------------------
 
     #[test]
     fn allow_comment_suppresses_on_same_or_previous_line() {
@@ -705,80 +1533,425 @@ mod tests {
         assert!(lint_lib(above).is_empty());
         // An allow for a different rule does not suppress.
         let wrong = "fn f(off: u64) -> u32 { off as u32 } // loblint: allow(unwrap)\n";
-        assert_eq!(lint_lib(wrong).len(), 1);
+        assert_eq!(rules_of(&lint_lib(wrong)), vec!["truncating-cast"]);
     }
 
     #[test]
-    fn todo_flagged_everywhere_outside_tests() {
-        let mut out = Vec::new();
-        lint_source(
-            classify("crates/cli/src/main.rs"),
-            "crates/cli/src/main.rs",
-            "fn f() { todo!() }\n",
-            &[],
-            &mut out,
+    fn multi_rule_waiver_covers_both_rules() {
+        let src = "// loblint: allow(unwrap, truncating-cast)\n\
+                   fn f(off: u64) -> u32 { g().unwrap(); off as u32 }\n";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_above_code_line_does_not_reach_past_it() {
+        // The waiver sits above a *code* line, so it only covers that
+        // line — the violation two lines down stays flagged.
+        let src = "// loblint: allow(unwrap)\nfn f() {\n    g().unwrap();\n}\n";
+        assert_eq!(rules_of(&lint_lib(src)), vec!["unwrap"]);
+    }
+
+    #[test]
+    fn unknown_rule_in_waiver_is_a_clear_error() {
+        let src = "fn f() {} // loblint: allow(no-such-rule)\n";
+        let found = lint_lib(src);
+        assert_eq!(rules_of(&found), vec!["bad-waiver"]);
+        assert!(found[0].message.contains("unknown rule `no-such-rule`"));
+        assert!(found[0].message.contains("known rules:"), "{found:?}");
+    }
+
+    #[test]
+    fn mixed_known_and_unknown_waiver_rules() {
+        // The known rule still waives; the unknown one is flagged.
+        let src = "fn f() { g().unwrap(); } // loblint: allow(unwrap, nonsense)\n";
+        let found = lint_lib(src);
+        assert_eq!(rules_of(&found), vec!["bad-waiver"]);
+    }
+
+    // ---- arith-overflow -----------------------------------------------
+
+    #[test]
+    fn seeded_arith_overflow_violation_and_waiver() {
+        let bad = "fn f(byte_off: u64) -> u64 { byte_off + 1 }\n";
+        assert_eq!(rules_of(&lint_lib(bad)), vec!["arith-overflow"]);
+        let waived =
+            "fn f(byte_off: u64) -> u64 { byte_off + 1 } // loblint: allow(arith-overflow)\n";
+        assert!(lint_lib(waived).is_empty());
+    }
+
+    #[test]
+    fn arith_on_non_quantities_is_fine() {
+        assert!(lint_lib("fn f(a: u64, b: u64) -> u64 { a + b }\n").is_empty());
+        // Trait bounds are not arithmetic.
+        assert!(lint_lib("fn f<T: Clone + Send>(t: T) {}\n").is_empty());
+        // checked_*/saturating_* forms carry no bare operator.
+        assert!(lint_lib("fn f(off: u64) -> Option<u64> { off.checked_add(1) }\n").is_empty());
+    }
+
+    #[test]
+    fn compound_assign_and_shift_are_covered() {
+        assert_eq!(
+            rules_of(&lint_lib("fn f(mut n_pages: u32) { n_pages += 2; }\n")),
+            vec!["arith-overflow"]
         );
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].rule, "todo");
+        assert_eq!(
+            rules_of(&lint_lib("fn f(size: u64) -> u64 { size << 1 }\n")),
+            vec!["arith-overflow"]
+        );
     }
 
     #[test]
-    fn magic_duplicate_and_bare_literal_detected() {
-        let sources = vec![
+    fn arith_overflow_is_library_only() {
+        assert!(lint_with(&[(
+            "crates/bench/src/main.rs",
+            "fn f(off: u64) -> u64 { off + 1 }\n"
+        )])
+        .is_empty());
+    }
+
+    // ---- panic-path ---------------------------------------------------
+
+    #[test]
+    fn seeded_panic_path_violation_and_waiver() {
+        let bad = "fn f(v: &[u8], i: usize) -> u8 { v[i] }\n";
+        assert_eq!(rules_of(&lint_lib(bad)), vec!["panic-path"]);
+        let waived = "fn f(v: &[u8], i: usize) -> u8 { v[i] } // loblint: allow(panic-path)\n";
+        assert!(lint_lib(waived).is_empty());
+    }
+
+    #[test]
+    fn division_by_non_constant_is_flagged() {
+        let bad = "fn f(a: u64, b: u64) -> u64 { a / b }\n";
+        assert_eq!(rules_of(&lint_lib(bad)), vec!["panic-path"]);
+        // Literal and ALL_CAPS-const divisors cannot be a surprise zero.
+        assert!(lint_lib("fn f(a: u64) -> u64 { a / 2 }\n").is_empty());
+        assert!(lint_lib("fn f(a: u64) -> u64 { a % SOME_CONST }\n").is_empty());
+        assert!(lint_lib("fn f(a: u64) -> u64 { a / cast::SOME_CONST }\n").is_empty());
+    }
+
+    #[test]
+    fn full_range_slices_and_non_postfix_brackets_are_fine() {
+        assert!(lint_lib("fn f(v: &[u8]) -> &[u8] { &v[..] }\n").is_empty());
+        assert!(lint_lib("fn f(n: usize) -> Vec<u8> { vec![0; n] }\n").is_empty());
+        assert!(lint_lib("fn f(buf: [u8; 4]) {}\n").is_empty());
+        assert!(lint_lib("#[derive(Clone)]\nstruct S;\n").is_empty());
+        // Partial ranges still panic.
+        assert_eq!(
+            rules_of(&lint_lib("fn f(v: &[u8], n: usize) -> &[u8] { &v[..n] }\n")),
+            vec!["panic-path"]
+        );
+    }
+
+    // ---- unit-mixing --------------------------------------------------
+
+    #[test]
+    fn seeded_unit_mixing_violation_and_waiver() {
+        let bad = "fn f(byte_off: u64, pgno: u64) -> bool { byte_off == pgno }\n";
+        let found = lint_lib(bad);
+        assert_eq!(rules_of(&found), vec!["unit-mixing"]);
+        assert!(found[0].message.contains("byte quantity"));
+        let waived =
+            "fn f(byte_off: u64, pgno: u64) -> bool { byte_off == pgno } // loblint: allow(unit-mixing)\n";
+        assert!(lint_lib(waived).is_empty());
+    }
+
+    #[test]
+    fn page_id_newtype_annotations_drive_units() {
+        let bad = "fn f(p: PageId, size: u64) -> bool { size == p }\n";
+        assert_eq!(rules_of(&lint_lib(bad)), vec!["unit-mixing"]);
+    }
+
+    #[test]
+    fn idiomatic_page_arithmetic_is_not_mixing() {
+        // index < count is the canonical bounds check.
+        assert!(lint_lib("fn f(pgno: u32, n_pages: u32) -> bool { pgno < n_pages }\n").is_empty());
+        // index + count advances an index. (+ on quantities is still an
+        // arith-overflow finding, so waive that rule only.)
+        let advance = "fn f(pgno: u32, n_pages: u32) -> u32 { pgno + n_pages } // loblint: allow(arith-overflow)\n";
+        assert!(lint_lib(advance).is_empty());
+        // count = index - index computes a distance.
+        let distance = "fn f(a_page: u32, b_page: u32) { let n_pages = b_page - a_page; } // loblint: allow(arith-overflow)\n";
+        assert!(lint_lib(distance).is_empty());
+        // Same units compare fine.
+        assert!(lint_lib("fn f(off: u64, size: u64) -> bool { off < size }\n").is_empty());
+    }
+
+    #[test]
+    fn adding_two_page_indexes_is_flagged() {
+        let bad = "fn f(a_page: u32, b_page: u32) -> u32 { a_page + b_page } // loblint: allow(arith-overflow)\n";
+        let found = lint_lib(bad);
+        assert_eq!(rules_of(&found), vec!["unit-mixing"]);
+        assert!(found[0].message.contains("two page indexes"));
+    }
+
+    // ---- forbid-unsafe ------------------------------------------------
+
+    #[test]
+    fn seeded_forbid_unsafe_violation_and_waiver() {
+        let bad = [("crates/record/src/lib.rs", "//! Records.\nfn f() {}\n")];
+        let found = lint_with(&bad);
+        assert_eq!(rules_of(&found), vec!["forbid-unsafe"]);
+        assert!(found[0].message.contains("forbid(unsafe_code)"));
+        let good = [(
+            "crates/record/src/lib.rs",
+            "//! Records.\n#![forbid(unsafe_code)]\nfn f() {}\n",
+        )];
+        assert!(lint_with(&good).is_empty());
+        let waived = [(
+            "crates/record/src/lib.rs",
+            "// loblint: allow(forbid-unsafe)\nfn f() {}\n",
+        )];
+        // The finding anchors at line 1; a line-1 waiver covers it.
+        assert!(lint_with(&waived).is_empty());
+    }
+
+    #[test]
+    fn forbid_unsafe_ignores_non_library_crates_and_non_lib_files() {
+        assert!(lint_with(&[("crates/cli/src/lib.rs", "fn f() {}\n")]).is_empty());
+        assert!(lint_with(&[("crates/record/src/other.rs", "fn f() {}\n")]).is_empty());
+    }
+
+    // ---- io-accounting ------------------------------------------------
+
+    /// A minimal, accounting-correct model of bufpool + core: every
+    /// wrapper exists and does raw I/O (or delegates to one that does),
+    /// every entry point reaches a wrapper and bumps its counter.
+    fn io_fixture() -> Vec<(&'static str, &'static str)> {
+        vec![
             (
-                "crates/core/src/a.rs".to_string(),
-                "const A_MAGIC: u32 = 0x1234_5678;\n".to_string(),
+                "crates/bufpool/src/pool.rs",
+                "impl BufferPool {\n\
+                 fn evict(&mut self) { self.disk.write(a, p, d); }\n\
+                 fn fix(&mut self) { self.disk.read(a, p, d); }\n\
+                 fn flush_page(&mut self) { self.disk.write(a, p, d); }\n\
+                 fn flush_all(&mut self) { self.flush_page(); }\n\
+                 }\n",
             ),
             (
-                "crates/buddy/src/b.rs".to_string(),
-                "const B_MAGIC: u32 = 0x12345678;\nfn f() { let x = 0x1234_5678; }\n".to_string(),
+                "crates/bufpool/src/segio.rs",
+                "impl BufferPool {\n\
+                 fn read_buffered(&mut self) { self.disk.read(a, p, d); }\n\
+                 fn read_direct(&mut self) { self.disk.read(a, p, d); }\n\
+                 fn read_pages(&mut self) { self.disk.read(a, p, d); }\n\
+                 fn write_direct(&mut self) { self.disk.write(a, p, d); }\n\
+                 fn flush_range(&mut self) { self.disk.write(a, p, d); }\n\
+                 fn read_segment(&mut self) { self.read_buffered(); self.read_direct(); }\n\
+                 }\n",
             ),
-        ];
-        let defs = collect_magic_defs(&sources);
-        assert_eq!(defs.len(), 2);
-        let mut findings = Vec::new();
-        check_magic_duplicates(&defs, &mut findings);
-        assert_eq!(findings.len(), 1, "{findings:?}");
-        assert_eq!(findings[0].rule, "magic-duplicate");
-        let mut per_file = Vec::new();
-        lint_source(
-            classify("crates/buddy/src/b.rs"),
-            "crates/buddy/src/b.rs",
-            &sources[1].1,
-            &defs,
-            &mut per_file,
+            (
+                "crates/core/src/segdata.rs",
+                "fn read_seg_bytes(db: &mut Db) { counter_add(\"core.seg.reads\", 1); db.pool.read_pages(); }\n\
+                 fn write_new_seg(db: &mut Db) { counter_add(\"core.seg.writes\", 1); db.pool.write_direct(); }\n\
+                 fn append_in_place(db: &mut Db) { counter_add(\"core.seg.writes\", 1); db.pool.write_direct(); }\n\
+                 fn patch_in_place(db: &mut Db) { counter_add(\"core.seg.writes\", 1); db.pool.write_direct(); }\n",
+            ),
+        ]
+    }
+
+    fn io_findings(files: &[(&str, &str)]) -> Vec<Finding> {
+        lint_with(files)
+            .into_iter()
+            .filter(|f| f.rule == "io-accounting")
+            .collect()
+    }
+
+    #[test]
+    fn accounting_correct_fixture_is_clean() {
+        assert_eq!(io_findings(&io_fixture()), Vec::<Finding>::new());
+    }
+
+    #[test]
+    fn seeded_raw_io_outside_wrappers_and_waiver() {
+        let mut files = io_fixture();
+        files.push((
+            "crates/core/src/rogue.rs",
+            "fn sneaky(d: &mut SimDisk) { d.disk.write(a, p, buf); }\n",
+        ));
+        let found = io_findings(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("raw disk write"));
+        assert!(found[0].message.contains("sneaky"));
+
+        files.pop();
+        files.push((
+            "crates/core/src/rogue.rs",
+            "// loblint: allow(io-accounting)\nfn sneaky(d: &mut SimDisk) { d.disk.write(a, p, buf); }\n",
+        ));
+        // Waiver above covers the fn's only line... the site is on line 2.
+        let found = io_findings(&files);
+        assert_eq!(found, Vec::<Finding>::new());
+    }
+
+    #[test]
+    fn disk_mut_accessor_style_raw_io_is_caught() {
+        let mut files = io_fixture();
+        files.push((
+            "crates/core/src/rogue.rs",
+            "fn sneaky(p: &mut BufferPool) { p.disk_mut().write(a, p, buf); }\n",
+        ));
+        let found = io_findings(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+    }
+
+    #[test]
+    fn deleting_a_wrapper_call_uncovers_the_entry_path() {
+        // read_seg_bytes no longer calls any wrapper: flagged.
+        let mut files = io_fixture();
+        files[2] = (
+            "crates/core/src/segdata.rs",
+            "fn read_seg_bytes(db: &mut Db) { counter_add(\"core.seg.reads\", 1); }\n\
+             fn write_new_seg(db: &mut Db) { counter_add(\"core.seg.writes\", 1); db.pool.write_direct(); }\n\
+             fn append_in_place(db: &mut Db) { counter_add(\"core.seg.writes\", 1); db.pool.write_direct(); }\n\
+             fn patch_in_place(db: &mut Db) { counter_add(\"core.seg.writes\", 1); db.pool.write_direct(); }\n",
         );
-        let lit: Vec<_> = per_file
-            .iter()
-            .filter(|f| f.rule == "magic-literal")
-            .collect();
-        assert_eq!(lit.len(), 1);
-        assert_eq!(lit[0].line, 2);
+        let found = io_findings(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("read_seg_bytes"));
+        assert!(found[0].message.contains("never reaches"));
     }
 
     #[test]
-    fn missing_docs_on_pub_items_only() {
-        let undocumented = "pub fn f() {}\n";
-        let found = lint_lib(undocumented);
-        assert_eq!(found.len(), 1);
-        assert_eq!(found[0].rule, "missing-docs");
-        let documented = "/// Does f things.\npub fn f() {}\n";
-        assert!(lint_lib(documented).is_empty());
-        let attr_between = "/// Docs.\n#[inline]\npub fn f() {}\n";
-        assert!(lint_lib(attr_between).is_empty());
-        let private = "fn f() {}\npub(crate) fn g() {}\n";
-        assert!(lint_lib(private).is_empty());
+    fn deleting_raw_io_from_a_wrapper_is_reported() {
+        // read_buffered loses its disk.read and calls nothing raw.
+        let mut files = io_fixture();
+        files[1] = (
+            "crates/bufpool/src/segio.rs",
+            "impl BufferPool {\n\
+             fn read_buffered(&mut self) { self.noop(); }\n\
+             fn read_direct(&mut self) { self.disk.read(a, p, d); }\n\
+             fn read_pages(&mut self) { self.disk.read(a, p, d); }\n\
+             fn write_direct(&mut self) { self.disk.write(a, p, d); }\n\
+             fn flush_range(&mut self) { self.disk.write(a, p, d); }\n\
+             fn read_segment(&mut self) { self.read_buffered(); self.read_direct(); }\n\
+             }\n",
+        );
+        let found = io_findings(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("read_buffered"));
+        assert!(found[0].message.contains("performs no disk I/O"));
     }
 
     #[test]
-    fn block_comments_do_not_hide_or_cause_findings() {
-        assert!(lint_lib("/* x.unwrap() */ fn f() {}\n").is_empty());
-        let multi = "/*\n x.unwrap()\n*/\nfn f() {}\n";
-        assert!(lint_lib(multi).is_empty());
+    fn missing_wrapper_and_missing_counter_are_reported() {
+        // flush_range deleted entirely.
+        let mut files = io_fixture();
+        files[1] = (
+            "crates/bufpool/src/segio.rs",
+            "impl BufferPool {\n\
+             fn read_buffered(&mut self) { self.disk.read(a, p, d); }\n\
+             fn read_direct(&mut self) { self.disk.read(a, p, d); }\n\
+             fn read_pages(&mut self) { self.disk.read(a, p, d); }\n\
+             fn write_direct(&mut self) { self.disk.write(a, p, d); }\n\
+             fn read_segment(&mut self) { self.read_buffered(); self.read_direct(); }\n\
+             }\n",
+        );
+        let found = io_findings(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("flush_range"));
+        assert!(found[0].message.contains("missing"));
+
+        // Counter bump deleted from an entry point.
+        let mut files = io_fixture();
+        files[2] = (
+            "crates/core/src/segdata.rs",
+            "fn read_seg_bytes(db: &mut Db) { db.pool.read_pages(); }\n\
+             fn write_new_seg(db: &mut Db) { counter_add(\"core.seg.writes\", 1); db.pool.write_direct(); }\n\
+             fn append_in_place(db: &mut Db) { counter_add(\"core.seg.writes\", 1); db.pool.write_direct(); }\n\
+             fn patch_in_place(db: &mut Db) { counter_add(\"core.seg.writes\", 1); db.pool.write_direct(); }\n",
+        );
+        let found = io_findings(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("core.seg.reads"));
+    }
+
+    #[test]
+    fn io_accounting_skips_fixtureless_sets() {
+        // No bufpool sources scanned: the pass stays quiet rather than
+        // reporting the whole model as missing.
+        assert!(io_findings(&[("crates/core/src/x.rs", "fn f() {}\n")]).is_empty());
+    }
+
+    // ---- baseline ratchet ---------------------------------------------
+
+    fn two_findings() -> Vec<Finding> {
+        lint_lib("fn f() { g().unwrap(); }\nfn h() { k().unwrap(); }\n")
+    }
+
+    #[test]
+    fn baseline_round_trip_freezes_findings() {
+        let findings = two_findings();
+        assert_eq!(findings.len(), 2);
+        let text = Baseline::render(&findings);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.apply(&findings), vec![true, true]);
+    }
+
+    #[test]
+    fn baseline_is_a_multiset_over_identical_messages() {
+        let findings = two_findings();
+        // Freeze only ONE of the two identical (file, rule, message)
+        // findings: exactly one stays baselined, the other is new.
+        let one = Baseline::render(&findings[..1]);
+        let parsed = Baseline::parse(&one).unwrap();
+        assert_eq!(parsed.apply(&findings), vec![true, false]);
+    }
+
+    #[test]
+    fn baseline_render_is_sorted_and_deterministic() {
+        let mut findings = two_findings();
+        let a = Baseline::render(&findings);
+        findings.reverse();
+        let b = Baseline::render(&findings);
+        assert_eq!(a, b);
+        let body: Vec<&str> = a.lines().filter(|l| !l.starts_with('#')).collect();
+        let mut sorted = body.clone();
+        sorted.sort_unstable();
+        assert_eq!(body, sorted);
+    }
+
+    #[test]
+    fn baseline_survives_line_number_drift() {
+        let before = two_findings();
+        let text = Baseline::render(&before);
+        // The same violations, pushed down by an unrelated edit above.
+        let after = lint_lib("fn a() {}\n\nfn f() { g().unwrap(); }\nfn h() { k().unwrap(); }\n");
+        assert_ne!(before[0].line, after[0].line);
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed.apply(&after), vec![true, true]);
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected() {
+        assert!(Baseline::parse("only-one-field\n").is_err());
+        assert!(Baseline::parse("# comment\n\n")
+            .unwrap()
+            .apply(&[])
+            .is_empty());
+    }
+
+    // ---- output and the real workspace --------------------------------
+
+    #[test]
+    fn json_document_shape() {
+        let findings = two_findings();
+        let doc = lobstore_obs::json::parse(&to_json(&findings, &[true, false])).unwrap();
+        use lobstore_obs::json::Value;
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some(FINDINGS_SCHEMA)
+        );
+        assert_eq!(doc.get("total").and_then(Value::as_u64), Some(2));
+        assert_eq!(doc.get("baselined").and_then(Value::as_u64), Some(1));
+        assert_eq!(doc.get("new").and_then(Value::as_u64), Some(1));
+        let rules = doc.get("rules").and_then(Value::as_arr).unwrap();
+        assert_eq!(rules.len(), RULES.len());
+        let arr = doc.get("findings").and_then(Value::as_arr).unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("rule").and_then(Value::as_str), Some("unwrap"));
     }
 
     /// End-to-end: a synthetic workspace on disk, scanned via
-    /// `lint_workspace`, exits nonzero through `run`'s finding count.
+    /// `lint_workspace`.
     #[test]
     fn workspace_walk_finds_violations_on_disk() {
         let dir = std::env::temp_dir().join(format!("loblint-selftest-{}", std::process::id()));
@@ -790,24 +1963,32 @@ mod tests {
         )
         .unwrap();
         let findings = lint_workspace(&dir).unwrap();
-        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        let rules = rules_of(&findings);
         assert!(rules.contains(&"unwrap"), "{findings:?}");
         assert!(rules.contains(&"truncating-cast"), "{findings:?}");
         assert!(rules.contains(&"missing-docs"), "{findings:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// The ratchet itself: the real workspace must carry no findings
+    /// beyond the committed `loblint.baseline`.
     #[test]
-    fn json_output_shape() {
-        let findings = vec![Finding {
-            file: "a.rs".into(),
-            line: 3,
-            rule: "unwrap",
-            message: "msg with \"quotes\"".into(),
-        }];
-        let json = to_json(&findings);
-        assert!(json.contains("\"count\": 1"));
-        assert!(json.contains("\\\"quotes\\\""));
-        assert!(to_json(&[]).contains("\"count\": 0"));
+    fn real_workspace_is_clean_against_committed_baseline() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings = lint_workspace(&root).expect("workspace must be scannable");
+        let text = std::fs::read_to_string(root.join("loblint.baseline"))
+            .expect("loblint.baseline must be committed");
+        let baseline = Baseline::parse(&text).expect("baseline must parse");
+        let marks = baseline.apply(&findings);
+        let new: Vec<&Finding> = findings
+            .iter()
+            .zip(&marks)
+            .filter(|(_, m)| !**m)
+            .map(|(f, _)| f)
+            .collect();
+        assert!(
+            new.is_empty(),
+            "new lint findings (fix them or run `cargo run -q -p xtask -- loblint --update-baseline`): {new:#?}"
+        );
     }
 }

@@ -2,38 +2,66 @@
 //!
 //! Subcommands:
 //!
-//! * `loblint [--json] [--root <dir>]` — run the project-specific static
-//!   analysis pass over every workspace `.rs` source. Exit code 0 means
-//!   clean, 1 means findings were reported, 2 means the pass itself could
-//!   not run (bad root, unreadable files).
+//! * `loblint [--json] [--out <path>] [--root <dir>] [--baseline <path>]
+//!   [--no-baseline] [--update-baseline]` — run the project-specific
+//!   static analysis pass over every workspace `.rs` source. Findings
+//!   frozen in `loblint.baseline` are reported but do not fail the run;
+//!   exit code 0 means no *new* findings, 1 means new findings were
+//!   reported, 2 means the pass itself could not run (bad root,
+//!   unreadable files). `--update-baseline` regenerates the baseline
+//!   deterministically (sorted) and exits 0.
+//! * `check-lint-json <path>` — validate a `loblint --json` document
+//!   against the `loblint-findings/v1` schema (same exit codes).
 //! * `check-bench-json <path>` — validate a bench binary's `--json-out`
-//!   document against the `lobstore-bench-report/v1` schema (same exit
-//!   code convention).
+//!   document against the `lobstore-bench-report/v1` schema.
 //!
 //! See `loblint::RULES` for the rule set and `DESIGN.md` ("Correctness
-//! tooling" and "Observability") for the rationale.
+//! tooling" and "Static analysis") for the rationale.
 
 mod benchjson;
+mod lintjson;
 mod loblint;
+mod lobsyn;
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("loblint") => {
-            let mut json = false;
-            let mut root = String::from(".");
+            let mut opts = loblint::Opts {
+                root: PathBuf::from("."),
+                json: false,
+                out: None,
+                baseline: None,
+                no_baseline: false,
+                update_baseline: false,
+            };
             let mut rest = args;
             while let Some(arg) = rest.next() {
+                let mut path_arg = |name: &str| match rest.next() {
+                    Some(v) => Ok(PathBuf::from(v)),
+                    None => {
+                        eprintln!("loblint: {name} needs a path argument");
+                        Err(ExitCode::from(2))
+                    }
+                };
                 match arg.as_str() {
-                    "--json" => json = true,
-                    "--root" => match rest.next() {
-                        Some(dir) => root = dir,
-                        None => {
-                            eprintln!("loblint: --root needs a directory argument");
-                            return ExitCode::from(2);
-                        }
+                    "--json" => opts.json = true,
+                    "--no-baseline" => opts.no_baseline = true,
+                    "--update-baseline" => opts.update_baseline = true,
+                    "--root" => match path_arg("--root") {
+                        Ok(p) => opts.root = p,
+                        Err(c) => return c,
+                    },
+                    "--out" => match path_arg("--out") {
+                        Ok(p) => opts.out = Some(p),
+                        Err(c) => return c,
+                    },
+                    "--baseline" => match path_arg("--baseline") {
+                        Ok(p) => opts.baseline = Some(p),
+                        Err(c) => return c,
                     },
                     other => {
                         eprintln!("loblint: unknown argument `{other}`");
@@ -41,8 +69,15 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            loblint::run(std::path::Path::new(&root), json)
+            loblint::run(&opts)
         }
+        Some("check-lint-json") => match args.next() {
+            Some(path) => lintjson::run(std::path::Path::new(&path)),
+            None => {
+                eprintln!("check-lint-json: needs the path of a loblint --json document");
+                ExitCode::from(2)
+            }
+        },
         Some("check-bench-json") => match args.next() {
             Some(path) => benchjson::run(std::path::Path::new(&path)),
             None => {
@@ -51,12 +86,17 @@ fn main() -> ExitCode {
             }
         },
         Some(other) => {
-            eprintln!("xtask: unknown subcommand `{other}` (try `loblint`, `check-bench-json`)");
+            eprintln!(
+                "xtask: unknown subcommand `{other}` (try `loblint`, `check-lint-json`, \
+                 `check-bench-json`)"
+            );
             ExitCode::from(2)
         }
         None => {
             eprintln!(
-                "usage: cargo run -p xtask -- loblint [--json] [--root <dir>]\n       \
+                "usage: cargo run -p xtask -- loblint [--json] [--out <path>] [--root <dir>] \
+                 [--baseline <path>] [--no-baseline] [--update-baseline]\n       \
+                 cargo run -p xtask -- check-lint-json <path>\n       \
                  cargo run -p xtask -- check-bench-json <path>"
             );
             ExitCode::from(2)
