@@ -31,5 +31,12 @@ run cargo run -q -p lobstore-bench --bin table2 -- --quick \
     --out-dir target/bench-smoke --json-out target/bench-smoke/table2.json
 run cargo run -q -p xtask -- check-bench-json target/bench-smoke/table2.json
 
+# Hot-path smoke: the throughput bench at smoke scale writes the
+# repo-root trajectory artifact (full-scale numbers are regenerated with
+# `cargo run -q -p lobstore-bench --bin throughput` before a release).
+run cargo run -q -p lobstore-bench --bin throughput -- --quick \
+    --out-dir target/bench-smoke --json-out BENCH_5.json
+run cargo run -q -p xtask -- check-bench-json BENCH_5.json
+
 echo
 echo "ci.sh: all gates passed"

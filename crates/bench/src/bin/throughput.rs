@@ -1,0 +1,176 @@
+//! Throughput: wall-clock MB/s of the real data path, per scheme,
+//! alongside the simulated I/O cost the paper models.
+//!
+//! The paper's tables are about *simulated* seek/transfer time; this
+//! binary measures how fast the engine itself moves bytes (monotonic
+//! clock), seeding the repo's performance trajectory. Four workloads per
+//! scheme:
+//!
+//! * **create** — exact-fit build by 256 KB appends;
+//! * **sequential scan** — streamed 4 KB reads through `ObjectReader`
+//!   (the §1 "play the recording" pattern; the headline number);
+//! * **bulk read** — 256 KB byte-range reads via `LargeObject::read`;
+//! * **random read** — Table 2's 10 KB mean random probes.
+//!
+//! With `--baseline-json <prior report>` the scan rates of the prior run
+//! are printed next to the current ones as a speedup trajectory.
+
+use std::time::Instant;
+
+use lobstore_bench::{
+    baseline_json, finalize, fresh_db, note, print_banner, print_titled_table, Scale,
+};
+use lobstore_obs::json::{self, Value};
+use lobstore_workload::{build_object, random_reads, sequential_scan, stream_scan, ManagerSpec};
+
+/// Streamed-scan chunk: a client consuming the object like a file.
+const STREAM_CHUNK: usize = 4 * 1024;
+/// Bulk byte-range read size.
+const BULK_CHUNK: usize = 256 * 1024;
+
+fn mbps(bytes: u64, elapsed: std::time::Duration) -> f64 {
+    bytes as f64 / (1 << 20) as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn row(label: &str, wall_mbps: f64, sim_s: f64) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{wall_mbps:.1}"),
+        format!("{sim_s:.2}"),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    print_banner("Throughput: wall-clock data-path rates", scale);
+
+    let specs = [
+        ManagerSpec::esm(16),
+        ManagerSpec::eos(16),
+        ManagerSpec::starburst(),
+    ];
+    let headers: Vec<String> = ["scheme", "wall MB/s", "sim s"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let rand_headers: Vec<String> = ["scheme", "wall MB/s", "sim ms/op"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    let mut create_rows = Vec::new();
+    let mut scan_rows = Vec::new();
+    let mut bulk_rows = Vec::new();
+    let mut rand_rows = Vec::new();
+    let mut scan_now: Vec<(String, f64)> = Vec::new();
+
+    for spec in &specs {
+        let mut db = fresh_db();
+        let t = Instant::now();
+        let (obj, build_rep) =
+            build_object(&mut db, spec, scale.object_bytes, 256 * 1024).expect("build");
+        create_rows.push(row(
+            &spec.label(),
+            mbps(scale.object_bytes, t.elapsed()),
+            build_rep.seconds(),
+        ));
+
+        // Streamed scan: best of seven passes. One pass moves the whole
+        // object in a few milliseconds, so single runs are dominated by
+        // scheduler noise (and the first pass may still be faulting
+        // pages into the buffer pool); the max over several passes
+        // estimates the rate the data path actually sustains.
+        let mut best = 0.0f64;
+        let mut sim_s = 0.0;
+        for _ in 0..7 {
+            let t = Instant::now();
+            let rep = stream_scan(&mut db, obj.as_ref(), STREAM_CHUNK).expect("stream scan");
+            best = best.max(mbps(rep.bytes, t.elapsed()));
+            sim_s = rep.seconds();
+        }
+        scan_rows.push(row(&spec.label(), best, sim_s));
+        scan_now.push((spec.label(), best));
+
+        let t = Instant::now();
+        let rep = sequential_scan(&mut db, obj.as_ref(), BULK_CHUNK).expect("bulk read");
+        bulk_rows.push(row(
+            &spec.label(),
+            mbps(rep.bytes, t.elapsed()),
+            rep.seconds(),
+        ));
+
+        let count = (scale.ops / 10).max(100);
+        let t = Instant::now();
+        let rep = random_reads(&mut db, obj.as_ref(), count, 10_000, 42).expect("random reads");
+        rand_rows.push(vec![
+            spec.label(),
+            format!("{:.1}", mbps(rep.bytes, t.elapsed())),
+            format!("{:.1}", rep.avg_read_ms()),
+        ]);
+    }
+
+    print_titled_table("create", &headers, &create_rows);
+    print_titled_table("sequential scan", &headers, &scan_rows);
+    print_titled_table("bulk read", &headers, &bulk_rows);
+    print_titled_table("random read", &rand_headers, &rand_rows);
+
+    if let Some(path) = baseline_json() {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| json::parse(&t).map_err(|e| format!("{e:?}")))
+        {
+            Ok(doc) => print_trajectory(&doc, &scan_now),
+            Err(e) => note(&format!(
+                "Note: cannot read baseline {}: {e}",
+                path.display()
+            )),
+        }
+    }
+    note("Streamed scans read 4 KB chunks through ObjectReader; wall rates use a monotonic clock.");
+    finalize();
+}
+
+/// Print current vs. baseline sequential-scan rates and the speedup.
+fn print_trajectory(baseline: &Value, scan_now: &[(String, f64)]) {
+    let mut base: Vec<(String, f64)> = Vec::new();
+    if let Some(records) = baseline.get("records").and_then(Value::as_arr) {
+        for rec in records {
+            if rec.get("title").and_then(Value::as_str) != Some("sequential scan") {
+                continue;
+            }
+            let Some(values) = rec.get("values") else {
+                continue;
+            };
+            let scheme = values.get("scheme").and_then(Value::as_str);
+            let rate = values
+                .get("wall MB/s")
+                .and_then(Value::as_str)
+                .and_then(|s| s.parse::<f64>().ok());
+            if let (Some(scheme), Some(rate)) = (scheme, rate) {
+                base.push((scheme.to_string(), rate));
+            }
+        }
+    }
+    if base.is_empty() {
+        note("Note: baseline report has no `sequential scan` records to compare against.");
+        return;
+    }
+    let headers: Vec<String> = ["scheme", "baseline MB/s", "now MB/s", "speedup"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    let mut rows = Vec::new();
+    for (scheme, now) in scan_now {
+        let Some((_, before)) = base.iter().find(|(s, _)| s == scheme) else {
+            continue;
+        };
+        rows.push(vec![
+            scheme.clone(),
+            format!("{before:.1}"),
+            format!("{now:.1}"),
+            format!("{:.2}x", now / before.max(1e-9)),
+        ]);
+    }
+    print_titled_table("scan trajectory", &headers, &rows);
+    note("Trajectory compares streamed sequential-scan wall rates against the baseline report.");
+}

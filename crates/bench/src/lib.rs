@@ -16,6 +16,8 @@
 //!                  (default `results/`; created on demand)
 //! --json-out <p>   also write a machine-readable JSON report to <p>
 //!                  (schema `lobstore-bench-report/v1`)
+//! --baseline-json <p>  a prior run's JSON report to compare against
+//!                  (used by `throughput` to print the speedup trajectory)
 //! ```
 //!
 //! Every printed banner, table, and note is also accumulated into an
@@ -60,6 +62,10 @@ struct ReportState {
     next_table_title: Option<String>,
     out_dir: Option<PathBuf>,
     json_out: Option<PathBuf>,
+    /// Monotonic start of the run, set by [`print_banner`]; the elapsed
+    /// time becomes the report's `wall_clock_us` field.
+    started: Option<std::time::Instant>,
+    baseline_json: Option<PathBuf>,
 }
 
 static REPORT: Mutex<Option<ReportState>> = Mutex::new(None);
@@ -167,10 +173,16 @@ impl Scale {
                     let path = PathBuf::from(&args[i]);
                     with_report(|r| r.json_out = Some(path));
                 }
+                "--baseline-json" => {
+                    i += 1;
+                    let path = PathBuf::from(&args[i]);
+                    with_report(|r| r.baseline_json = Some(path));
+                }
                 other => {
                     panic!(
                         "unknown argument {other} \
-                         (try --mb N, --ops N, --quick, --csv DIR, --out-dir DIR, --json-out PATH)"
+                         (try --mb N, --ops N, --quick, --csv DIR, --out-dir DIR, \
+                         --json-out PATH, --baseline-json PATH)"
                     )
                 }
             }
@@ -195,6 +207,7 @@ pub fn print_banner(title: &str, scale: Scale) {
     with_report(|r| {
         r.title = title.to_string();
         r.scale = Some(scale);
+        r.started.get_or_insert_with(std::time::Instant::now);
     });
     emit_line(&format!("== {title} =="));
     emit_line(
@@ -213,6 +226,12 @@ pub fn print_banner(title: &str, scale: Scale) {
 pub fn note(msg: &str) {
     with_report(|r| r.notes.push(msg.to_string()));
     emit_line(msg);
+}
+
+/// The `--baseline-json` path, if one was given: a prior run's report to
+/// compare against (used by the throughput trajectory).
+pub fn baseline_json() -> Option<PathBuf> {
+    with_report(|r| r.baseline_json.clone())
 }
 
 /// Write the accumulated report: always `<out-dir>/<bin>.txt` (the
@@ -238,7 +257,10 @@ pub fn finalize() {
             if let Some(parent) = path.parent() {
                 let _ = std::fs::create_dir_all(parent);
             }
-            let doc = report_json(&bin, r);
+            let wall_us = r
+                .started
+                .map_or(1, |t| t.elapsed().as_micros().max(1) as u64);
+            let doc = report_json(&bin, r, wall_us);
             if let Err(e) = std::fs::write(&path, doc.to_json() + "\n") {
                 eprintln!("warning: cannot write {}: {e}", path.display());
             }
@@ -247,8 +269,10 @@ pub fn finalize() {
 }
 
 /// The report as a `lobstore-bench-report/v1` JSON document: one record
-/// per table row, `values` keyed by the column headers.
-fn report_json(bin: &str, r: &ReportState) -> Value {
+/// per table row, `values` keyed by the column headers. `wall_clock_us`
+/// is the binary's monotonic elapsed time, reported next to the simulated
+/// costs in the records.
+fn report_json(bin: &str, r: &ReportState, wall_clock_us: u64) -> Value {
     let scale = r.scale.unwrap_or_else(Scale::paper);
     let mut records = Vec::new();
     for t in &r.tables {
@@ -274,6 +298,7 @@ fn report_json(bin: &str, r: &ReportState) -> Value {
         ),
         ("bin".to_string(), Value::from(bin)),
         ("title".to_string(), Value::from(r.title.as_str())),
+        ("wall_clock_us".to_string(), Value::from(wall_clock_us)),
         (
             "scale".to_string(),
             Value::Obj(vec![
@@ -363,6 +388,14 @@ pub fn print_mark_table(
         rows.push(row);
     }
     print_table(&headers, &rows);
+}
+
+/// [`print_table`] with a title line; the title also names the table's
+/// records in the JSON report (so downstream tools can find them).
+pub fn print_titled_table(title: &str, headers: &[String], rows: &[Vec<String>]) {
+    with_report(|r| r.next_table_title = Some(title.to_string()));
+    emit_line(title);
+    print_table(headers, rows);
 }
 
 /// Render an aligned text table: `headers` then rows of equal length.
@@ -499,13 +532,14 @@ mod tests {
             notes: vec!["expected shape: flat".to_string()],
             ..ReportState::default()
         };
-        let doc = report_json("figx", &r);
+        let doc = report_json("figx", &r, 1234);
         let v = lobstore_obs::json::parse(&doc.to_json()).unwrap();
         assert_eq!(
             v.get("schema").and_then(Value::as_str),
             Some(BENCH_REPORT_SCHEMA)
         );
         assert_eq!(v.get("bin").and_then(Value::as_str), Some("figx"));
+        assert_eq!(v.get("wall_clock_us").and_then(Value::as_u64), Some(1234));
         assert_eq!(
             v.get("scale")
                 .and_then(|s| s.get("object_bytes"))

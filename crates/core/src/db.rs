@@ -5,6 +5,12 @@ use lobstore_buddy::{BuddyConfig, BuddyManager, Extent};
 use lobstore_bufpool::{BufferPool, PoolConfig};
 use lobstore_simdisk::{AreaId, CostModel, IoStats, PageId, SimDisk, PAGE_SIZE};
 
+use crate::node::{Node, RootHdr};
+use crate::nodecache::{CachedMeta, NodeCache};
+
+/// Parsed META pages kept in [`Db`]'s node cache (see `nodecache.rs`).
+const META_CACHE_ENTRIES: usize = 64;
+
 /// Positional-tree fan-out limits. With the paper's 4 KB pages and 4-byte
 /// counts and pointers, the root holds up to 507 pairs and interior index
 /// pages 511 pairs (§4.1). Tests shrink these to exercise deep trees with
@@ -76,6 +82,9 @@ pub struct Db {
     meta_alloc: BuddyManager,
     leaf_alloc: BuddyManager,
     cfg: DbConfig,
+    /// Deserialized index-node overlay; pure wall-clock memoization
+    /// (simulated I/O accounting is unchanged by hits).
+    meta_cache: NodeCache,
 }
 
 impl Db {
@@ -87,6 +96,7 @@ impl Db {
             meta_alloc: BuddyManager::new(BuddyConfig::new(AreaId::META, cfg.meta_space_pages)),
             leaf_alloc: BuddyManager::new(BuddyConfig::new(AreaId::LEAF, cfg.leaf_space_pages)),
             cfg,
+            meta_cache: NodeCache::new(META_CACHE_ENTRIES),
         }
     }
 
@@ -122,6 +132,7 @@ impl Db {
 
     /// Free one META page.
     pub fn free_meta_page(&mut self, page: u32) {
+        self.meta_cache.invalidate(page);
         self.meta_alloc
             .free(&mut self.pool, Extent::new(AreaId::META, page, 1));
     }
@@ -172,31 +183,74 @@ impl Db {
     /// (Low-level page access for layers that keep their own structures
     /// in META pages, such as the record store.)
     pub fn with_meta_page<R>(&mut self, page: u32, f: impl FnOnce(&[u8]) -> R) -> R {
-        let pid = PageId::new(AreaId::META, page);
-        let r = self.pool.fix(pid);
-        let out = f(&self.pool.page(r)[..]);
-        self.pool.unfix(r);
-        out
+        let g = self.pool.guard(PageId::new(AreaId::META, page));
+        f(&g[..])
     }
 
     /// Convenience: fix a META page for update, run `f`, unfix. The page
     /// is marked dirty; flushing is the caller's (shadow context's) job.
+    ///
+    /// This is a META *write funnel*: any cached parse of the page is
+    /// dropped here, which keeps the node cache consistent for every
+    /// index update in the tree/starburst/catalog layers.
     pub fn with_meta_page_mut<R>(&mut self, page: u32, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        let pid = PageId::new(AreaId::META, page);
-        let r = self.pool.fix(pid);
-        let out = f(&mut self.pool.page_mut(r)[..]);
-        self.pool.unfix(r);
-        out
+        self.meta_cache.invalidate(page);
+        let mut g = self.pool.guard_mut(PageId::new(AreaId::META, page));
+        f(&mut g[..])
     }
 
     /// Like [`Self::with_meta_page_mut`] but for a freshly allocated page
-    /// that need not be read from disk.
+    /// that need not be read from disk. Also a META write funnel (the
+    /// page number may be recycled from a freed index page).
     pub fn with_new_meta_page<R>(&mut self, page: u32, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        let pid = PageId::new(AreaId::META, page);
-        let r = self.pool.fix_new(pid);
-        let out = f(&mut self.pool.page_mut(r)[..]);
+        self.meta_cache.invalidate(page);
+        let mut g = self.pool.guard_new(PageId::new(AreaId::META, page));
+        f(&mut g[..])
+    }
+
+    /// Fix-read a META page as a parsed non-root index [`Node`], run `f`
+    /// on it, unfix. The pool fix/unfix (and therefore all simulated I/O
+    /// and hit/miss accounting) is identical to [`Self::with_meta_page`];
+    /// only the deserialization is memoized in the node cache.
+    pub(crate) fn with_meta_node<R>(&mut self, page: u32, f: impl FnOnce(&Node) -> R) -> R {
+        let r = self.pool.fix(PageId::new(AreaId::META, page));
+        if matches!(self.meta_cache.get(page), Some(CachedMeta::Node(_))) {
+            lobstore_obs::counter_add("core.nodecache.hits", 1);
+        } else {
+            lobstore_obs::counter_add("core.nodecache.misses", 1);
+            let node = Node::read_page(&self.pool.page(r)[..]);
+            self.meta_cache.insert(page, CachedMeta::Node(node));
+        }
         self.pool.unfix(r);
-        out
+        match self.meta_cache.get(page) {
+            Some(CachedMeta::Node(node)) => f(node),
+            _ => unreachable!("entry inserted above"),
+        }
+    }
+
+    /// Like [`Self::with_meta_node`] for a root/descriptor page: `f` gets
+    /// the parsed header and entry node (the Starburst descriptor shares
+    /// the root-page layout).
+    pub(crate) fn with_meta_root<R>(
+        &mut self,
+        page: u32,
+        f: impl FnOnce(&RootHdr, &Node) -> R,
+    ) -> R {
+        let r = self.pool.fix(PageId::new(AreaId::META, page));
+        if matches!(self.meta_cache.get(page), Some(CachedMeta::Root(..))) {
+            lobstore_obs::counter_add("core.nodecache.hits", 1);
+        } else {
+            lobstore_obs::counter_add("core.nodecache.misses", 1);
+            let p = &self.pool.page(r)[..];
+            let hdr = RootHdr::read(p);
+            let node = Node::read_root(p, &hdr);
+            self.meta_cache.insert(page, CachedMeta::Root(hdr, node));
+        }
+        self.pool.unfix(r);
+        match self.meta_cache.get(page) {
+            Some(CachedMeta::Root(hdr, node)) => f(hdr, node),
+            _ => unreachable!("entry inserted above"),
+        }
     }
 
     /// Simulate a crash and restart: the buffer pool loses every unflushed
@@ -209,6 +263,7 @@ impl Db {
     /// unflushed operations never overwrite the bytes that state
     /// references.
     pub fn crash_and_reboot(&mut self) {
+        self.meta_cache.clear();
         self.pool.crash();
         self.meta_alloc = BuddyManager::open(
             BuddyConfig::new(AreaId::META, self.cfg.meta_space_pages),
@@ -258,6 +313,7 @@ impl Db {
             meta_alloc,
             leaf_alloc,
             cfg,
+            meta_cache: NodeCache::new(META_CACHE_ENTRIES),
         })
     }
 
@@ -293,6 +349,32 @@ impl Db {
         leaf_alloc
             .paranoid_verify(pool)
             .map_err(|e| LobError::InvariantViolated(format!("LEAF allocator: {e}")))?;
+        Ok(())
+    }
+
+    /// Deep node-cache verification (the `paranoid` feature): every
+    /// cached parse must equal a fresh parse of the page's current bytes.
+    /// A mismatch means a META write bypassed the invalidation funnels.
+    #[cfg(feature = "paranoid")]
+    pub fn paranoid_verify_node_cache(&mut self) -> crate::error::Result<()> {
+        use crate::error::LobError;
+        for page in self.meta_cache.pages() {
+            let bytes = self.peek_meta(page);
+            let stale = match self.meta_cache.peek(page) {
+                Some(CachedMeta::Node(node)) => *node != Node::read_page(&bytes[..]),
+                Some(CachedMeta::Root(hdr, node)) => {
+                    let fresh_hdr = RootHdr::read(&bytes[..]);
+                    *hdr != fresh_hdr || *node != Node::read_root(&bytes[..], &fresh_hdr)
+                }
+                None => false,
+            };
+            if stale {
+                return Err(LobError::InvariantViolated(format!(
+                    "node cache stale for META page {page}: cached parse \
+                     disagrees with the page bytes"
+                )));
+            }
+        }
         Ok(())
     }
 

@@ -538,6 +538,16 @@ impl LargeObject for EosObject {
         Ok(())
     }
 
+    fn locate(&self, db: &mut Db, off: u64) -> Result<crate::object::SegSpan> {
+        self.check_range(db, off, 1)?;
+        let pos = self.tree.try_descend(db, off)?;
+        Ok(crate::object::SegSpan {
+            start: pos.leaf_start,
+            bytes: pos.entry.count,
+            page: pos.entry.ptr,
+        })
+    }
+
     fn insert(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()> {
         let size = self.check_range(db, off, 0)?;
         if bytes.is_empty() {

@@ -42,6 +42,7 @@ mod error;
 mod esm;
 mod layout;
 mod node;
+mod nodecache;
 mod object;
 mod observe;
 /// Deep runtime verification helpers, compiled in by the `paranoid`
@@ -62,7 +63,7 @@ pub use eos::{EosObject, EosParams};
 pub use error::{LobError, Result};
 pub use esm::{EsmInsertAlgo, EsmObject, EsmParams};
 pub use lobstore_buddy::Extent;
-pub use object::{LargeObject, SegmentInfo, StorageKind, Utilization};
+pub use object::{LargeObject, SegSpan, SegmentInfo, StorageKind, Utilization};
 pub use shared::SharedDb;
 pub use spec::{open_object, ManagerSpec};
 pub use starburst::{StarburstObject, StarburstParams};

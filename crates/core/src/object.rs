@@ -85,6 +85,29 @@ pub struct SegmentInfo {
     pub pages: u32,
 }
 
+/// Location of the contiguous stored segment holding one byte offset, as
+/// reported by [`LargeObject::locate`]. Streaming readers use it to size
+/// read-ahead spans so a buffered refill issues exactly the segment read
+/// a single large [`LargeObject::read`] call would.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SegSpan {
+    /// Object offset of the segment's first byte.
+    pub start: u64,
+    /// Bytes stored contiguously in the segment.
+    pub bytes: u64,
+    /// First disk page of the segment (LEAF area).
+    pub page: u32,
+}
+
+impl SegSpan {
+    /// Object offset one past the segment's last byte.
+    pub fn end(&self) -> u64 {
+        // Both fields are bounded by the object size (<= MAX_OP_BYTES).
+        // loblint: allow(arith-overflow)
+        self.start + self.bytes
+    }
+}
+
 /// A large object stored in the database.
 ///
 /// All operations borrow the [`Db`] because every byte they touch moves
@@ -105,6 +128,11 @@ pub trait LargeObject {
 
     /// Read `out.len()` bytes starting at `off` into `out`.
     fn read(&self, db: &mut Db, off: u64, out: &mut [u8]) -> Result<()>;
+
+    /// Locate the contiguous stored segment containing byte `off`
+    /// (requires `off < size`). For the tree schemes this is one costed
+    /// descent; for Starburst a descriptor lookup.
+    fn locate(&self, db: &mut Db, off: u64) -> Result<SegSpan>;
 
     /// Insert `bytes` so the first inserted byte lands at offset `off`
     /// (`off == size` appends).

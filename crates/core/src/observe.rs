@@ -3,7 +3,7 @@
 //! [`ObservedObject`] wraps any [`LargeObject`] and brackets each
 //! I/O-bearing operation with a `lobstore-obs` span named
 //! `op.<scheme>.<operation>` (e.g. `op.esm.append`). The span names are a
-//! fixed 3×10 table of static strings, so the per-op counter bump never
+//! fixed 3×11 table of static strings, so the per-op counter bump never
 //! allocates. [`crate::ManagerSpec::create`], [`crate::ManagerSpec::open`],
 //! and [`crate::open_object`] return wrapped objects, so everything built
 //! through the declarative layer is observed; constructing a concrete
@@ -41,6 +41,8 @@ pub(crate) enum OpName {
     Append,
     /// Byte-range read.
     Read,
+    /// Segment-span lookup for streaming readers (a costed descent).
+    Locate,
     /// Byte insertion at an arbitrary offset.
     Insert,
     /// Byte deletion at an arbitrary offset.
@@ -64,6 +66,7 @@ fn span_name(kind: StorageKind, op: OpName) -> &'static str {
         (K::Esm, O::Size) => "op.esm.size",
         (K::Esm, O::Append) => "op.esm.append",
         (K::Esm, O::Read) => "op.esm.read",
+        (K::Esm, O::Locate) => "op.esm.locate",
         (K::Esm, O::Insert) => "op.esm.insert",
         (K::Esm, O::Delete) => "op.esm.delete",
         (K::Esm, O::Replace) => "op.esm.replace",
@@ -74,6 +77,7 @@ fn span_name(kind: StorageKind, op: OpName) -> &'static str {
         (K::Starburst, O::Size) => "op.starburst.size",
         (K::Starburst, O::Append) => "op.starburst.append",
         (K::Starburst, O::Read) => "op.starburst.read",
+        (K::Starburst, O::Locate) => "op.starburst.locate",
         (K::Starburst, O::Insert) => "op.starburst.insert",
         (K::Starburst, O::Delete) => "op.starburst.delete",
         (K::Starburst, O::Replace) => "op.starburst.replace",
@@ -84,6 +88,7 @@ fn span_name(kind: StorageKind, op: OpName) -> &'static str {
         (K::Eos, O::Size) => "op.eos.size",
         (K::Eos, O::Append) => "op.eos.append",
         (K::Eos, O::Read) => "op.eos.read",
+        (K::Eos, O::Locate) => "op.eos.locate",
         (K::Eos, O::Insert) => "op.eos.insert",
         (K::Eos, O::Delete) => "op.eos.delete",
         (K::Eos, O::Replace) => "op.eos.replace",
@@ -109,6 +114,7 @@ fn op_label(op: OpName) -> &'static str {
         OpName::Size => "size",
         OpName::Append => "append",
         OpName::Read => "read",
+        OpName::Locate => "locate",
         OpName::Insert => "insert",
         OpName::Delete => "delete",
         OpName::Replace => "replace",
@@ -259,6 +265,14 @@ impl LargeObject for ObservedObject {
     fn read(&self, db: &mut Db, off: u64, out: &mut [u8]) -> Result<()> {
         let obs = OpObserver::begin(self.inner.kind(), OpName::Read, db);
         let r = self.inner.read(db, off, out);
+        let b = self.observed_bytes(db);
+        obs.finish(db, b, r.is_ok());
+        r
+    }
+
+    fn locate(&self, db: &mut Db, off: u64) -> Result<crate::object::SegSpan> {
+        let obs = OpObserver::begin(self.inner.kind(), OpName::Locate, db);
+        let r = self.inner.locate(db, off);
         let b = self.observed_bytes(db);
         obs.finish(db, b, r.is_ok());
         r

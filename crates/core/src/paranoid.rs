@@ -6,7 +6,7 @@
 //! separator sums, bounds, and balance), physical disjointness of the
 //! object's segments, the EOS threshold rule around the update window
 //! (§2.3), the Starburst descriptor shape (§2.2: only the last extent
-//! trimmed, nondecreasing sizes), and the buddy allocators' bitmap /
+//! trimmed, extent-size ceiling), and the buddy allocators' bitmap /
 //! bookkeeping consistency. A failed check surfaces as
 //! [`LobError::InvariantViolated`] from the operation itself, so fuzzing
 //! and stress tests fail at the operation that corrupted state rather
@@ -67,9 +67,14 @@ pub fn verify_eos_threshold(obj: &EosObject, db: &Db, lo: u64, hi: u64) -> Resul
 }
 
 /// §2.2 descriptor shape: every segment but the last holds an exact
-/// page multiple (only the last extent may be trimmed), and the used
-/// page counts of the non-last segments never decrease (doubling growth
-/// followed by max-size rewrites can only grow left to right).
+/// page multiple (only the last extent may be trimmed), and no segment
+/// exceeds the configured MaxSeg extent ceiling.
+///
+/// Monotone doubling growth is deliberately *not* asserted: it only
+/// holds for append-only histories. A §3.5 tail rewrite ends with an
+/// exact-size extent that may be smaller than its predecessor, and a
+/// later append freezes that extent mid-descriptor — e.g. sizes
+/// `[14, 11, 22]` pages are a legal outcome of insert-then-append.
 pub fn verify_starburst_descriptor(obj: &StarburstObject, db: &Db) -> Result<()> {
     let segs = obj.segments(db);
     for (i, s) in segs.iter().enumerate() {
@@ -79,14 +84,11 @@ pub fn verify_starburst_descriptor(obj: &StarburstObject, db: &Db) -> Result<()>
                 s.bytes
             )));
         }
-    }
-    for i in 0..segs.len().saturating_sub(2) {
-        let a = pages_for_bytes(segs[i].bytes);
-        let b = pages_for_bytes(segs[i + 1].bytes);
-        if a > b {
+        let pages = pages_for_bytes(s.bytes);
+        if pages > obj.max_seg_pages() {
             return Err(LobError::InvariantViolated(format!(
-                "descriptor sizes decrease: segment {i} uses {a} pages, segment {} uses {b}",
-                i + 1
+                "segment {i} uses {pages} pages, above the {}-page extent ceiling",
+                obj.max_seg_pages()
             )));
         }
     }
@@ -97,6 +99,7 @@ pub fn verify_starburst_descriptor(obj: &StarburstObject, db: &Db) -> Result<()>
 /// object-level checks plus both buddy allocators.
 pub fn verify_object(obj: &dyn LargeObject, db: &mut Db) -> Result<()> {
     verify_segments(obj, db)?;
+    db.paranoid_verify_node_cache()?;
     db.paranoid_verify_allocators()
 }
 
@@ -197,6 +200,41 @@ mod tests {
         let obj = EosObject::open(&mut db, root).unwrap();
         let err = verify_eos_threshold(&obj, &db, 0, size).unwrap_err();
         assert!(err.to_string().contains("threshold rule"), "{err}");
+    }
+
+    // Regression: a tail rewrite (insert) ends with an exact-size extent
+    // that can be smaller than its predecessor; a later append freezes
+    // it mid-descriptor. That shape is legal and must verify clean —
+    // only append-only histories grow monotonically.
+    #[test]
+    fn starburst_accepts_post_rewrite_append_shape() {
+        let mut db = db();
+        let mut obj = StarburstObject::create(&mut db, StarburstParams::default()).unwrap();
+        obj.append(&mut db, &vec![7u8; 56_000]).unwrap();
+        obj.insert(&mut db, 50_000, &vec![8u8; 9_000]).unwrap();
+        obj.append(&mut db, &vec![9u8; 120_000]).unwrap();
+        verify_starburst_descriptor(&obj, &db).unwrap();
+        verify_object(&obj, &mut db).unwrap();
+    }
+
+    // Seeded violation, Starburst: lower the on-disk MaxSeg parameter
+    // after large extents were laid out — segments that were legal under
+    // the old ceiling now exceed it.
+    #[test]
+    fn starburst_detects_oversized_segment() {
+        let mut db = db();
+        let mut obj = StarburstObject::create(&mut db, StarburstParams::default()).unwrap();
+        obj.append(&mut db, &vec![4u8; 80_000]).unwrap();
+        verify_starburst_descriptor(&obj, &db).unwrap();
+        let root = obj.root_page();
+        db.with_meta_page_mut(root, |p| {
+            // params word (bytes 16..24): max_seg_pages | known << 32.
+            let params = 2u64;
+            p[16..24].copy_from_slice(&params.to_le_bytes());
+        });
+        let obj = StarburstObject::open(&mut db, root).unwrap();
+        let err = verify_starburst_descriptor(&obj, &db).unwrap_err();
+        assert!(err.to_string().contains("extent ceiling"), "{err}");
     }
 
     // Seeded violation, Starburst: trim a byte off a non-last segment in

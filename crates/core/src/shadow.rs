@@ -73,14 +73,11 @@ impl OpCtx {
         }
         let new = db.alloc_meta_page();
         lobstore_obs::counter_add("core.shadow.pages", 1);
-        // Copy old content into the new frame.
+        // Copy old content into the new frame, through the Db funnels so
+        // the node cache sees the write to the (possibly recycled) page.
         let mut buf = [0u8; lobstore_simdisk::PAGE_SIZE];
-        let old_r = db.pool.fix(PageId::new(AreaId::META, page));
-        buf.copy_from_slice(db.pool.page(old_r));
-        db.pool.unfix(old_r);
-        let new_r = db.pool.fix_new(PageId::new(AreaId::META, new));
-        db.pool.page_mut(new_r).copy_from_slice(&buf);
-        db.pool.unfix(new_r);
+        db.with_meta_page(page, |p| buf.copy_from_slice(p));
+        db.with_new_meta_page(new, |p| p.copy_from_slice(&buf));
         self.created.insert(new);
         self.remap.insert(page, new);
         self.note_flush(new);

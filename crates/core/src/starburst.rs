@@ -111,13 +111,17 @@ impl StarburstObject {
         u64::from(self.max_seg_pages) * PAGE_SIZE_U64
     }
 
-    /// Load the descriptor: header and segment list.
+    /// The configured extent-size ceiling, in pages (§2.2's MaxSeg).
+    #[cfg(feature = "paranoid")]
+    pub(crate) fn max_seg_pages(&self) -> u32 {
+        self.max_seg_pages
+    }
+
+    /// Load the descriptor: header and segment list (by value, for the
+    /// update paths). Hot read-only paths use [`Db::with_meta_root`]
+    /// directly so a cached descriptor costs no segment-list clone.
     fn load(&self, db: &mut Db) -> (RootHdr, Vec<Entry>) {
-        db.with_meta_page(self.root, |p| {
-            let hdr = RootHdr::read(p);
-            let node = Node::read_root(p, &hdr);
-            (hdr, node.entries)
-        })
+        db.with_meta_root(self.root, |hdr, node| (*hdr, node.entries.clone()))
     }
 
     /// Store the descriptor. The root page is left dirty in the pool (no
@@ -161,7 +165,7 @@ impl StarburstObject {
     }
 
     fn check_range(&self, db: &mut Db, off: u64, len: u64) -> Result<u64> {
-        let size = self.load(db).0.size;
+        let size = db.with_meta_root(self.root, |hdr, _| hdr.size);
         if off.checked_add(len).is_none_or(|end| end > size) {
             return Err(LobError::OutOfRange { off, len, size });
         }
@@ -287,7 +291,7 @@ impl LargeObject for StarburstObject {
     }
 
     fn size(&self, db: &mut Db) -> u64 {
-        self.load(db).0.size
+        db.with_meta_root(self.root, |hdr, _| hdr.size)
     }
 
     fn append(&mut self, db: &mut Db, bytes: &[u8]) -> Result<()> {
@@ -360,22 +364,49 @@ impl LargeObject for StarburstObject {
         if out.is_empty() {
             return Ok(());
         }
-        let (_, segs) = self.load(db);
-        let (mut i, mut seg_start) = Self::find_seg(&segs, off);
-        let mut at = off;
+        // Plan the per-segment spans under the cached descriptor (no
+        // segment-list clone), then issue the same reads as before.
+        let want = out.len();
+        let plan: Vec<(u32, u64, usize)> = db.with_meta_root(self.root, |_, node| {
+            let segs = &node.entries;
+            let (mut i, mut seg_start) = Self::find_seg(segs, off);
+            let mut at = off;
+            let mut done = 0usize;
+            let mut plan = Vec::new();
+            while done < want {
+                let e = segs[i];
+                let within = at - seg_start;
+                let take = cast::to_usize((e.count - within).min((want - done) as u64));
+                plan.push((e.ptr, within, take));
+                done += take;
+                at += take as u64;
+                seg_start += e.count;
+                i += 1;
+            }
+            plan
+        });
         let mut done = 0usize;
-        while done < out.len() {
-            let e = segs[i];
-            let within = at - seg_start;
-            let take = cast::to_usize((e.count - within).min((out.len() - done) as u64));
+        for (ptr, within, take) in plan {
             db.pool
-                .read_segment(AreaId::LEAF, e.ptr, within, &mut out[done..done + take]);
+                .read_segment(AreaId::LEAF, ptr, within, &mut out[done..done + take]);
             done += take;
-            at += take as u64;
-            seg_start += e.count;
-            i += 1;
         }
         Ok(())
+    }
+
+    fn locate(&self, db: &mut Db, off: u64) -> Result<crate::object::SegSpan> {
+        self.check_range(db, off, 1)?;
+        Ok(db.with_meta_root(self.root, |_, node| {
+            let (i, seg_start) = Self::find_seg(&node.entries, off);
+            // `find_seg` returns an in-bounds index for a checked offset.
+            // loblint: allow(panic-path)
+            let e = node.entries[i];
+            crate::object::SegSpan {
+                start: seg_start,
+                bytes: e.count,
+                page: e.ptr,
+            }
+        }))
     }
 
     fn insert(&mut self, db: &mut Db, off: u64, bytes: &[u8]) -> Result<()> {

@@ -80,7 +80,7 @@ impl PosTree {
 
     /// Read the object header stored on the root page.
     pub fn read_hdr(&self, db: &mut Db) -> RootHdr {
-        db.with_meta_page(self.root_page, RootHdr::read)
+        db.with_meta_root(self.root_page, |hdr, _| *hdr)
     }
 
     /// Write the object header back to the root page.
@@ -88,12 +88,11 @@ impl PosTree {
         db.with_meta_page_mut(self.root_page, |p| hdr.write(p));
     }
 
+    /// Root header + entries by value, for the structural write paths.
+    /// Read-only walks use [`Db::with_meta_root`] directly to avoid the
+    /// entry-vector clone.
     fn load_root(&self, db: &mut Db) -> (RootHdr, Node) {
-        db.with_meta_page(self.root_page, |p| {
-            let hdr = RootHdr::read(p);
-            let node = Node::read_root(p, &hdr);
-            (hdr, node)
-        })
+        db.with_meta_root(self.root_page, |hdr, node| (*hdr, node.clone()))
     }
 
     fn store_root(&self, db: &mut Db, hdr: &mut RootHdr, node: &Node) {
@@ -101,7 +100,7 @@ impl PosTree {
     }
 
     fn load_node(&self, db: &mut Db, page: u32) -> Node {
-        db.with_meta_page(page, Node::read_page)
+        db.with_meta_node(page, Node::clone)
     }
 
     fn store_node(&self, db: &mut Db, page: u32, node: &Node) {
@@ -120,31 +119,36 @@ impl PosTree {
     /// # Panics
     /// If `off` exceeds the stored object size.
     pub fn descend(&self, db: &mut Db, off: u64) -> Option<LeafPos> {
-        let (_, mut node) = self.load_root(db);
-        if node.entries.is_empty() {
-            return None;
-        }
-        let mut path = Vec::with_capacity(4);
-        let mut page = self.root_page;
-        let mut rem = off;
-        loop {
+        // Each step runs inside the node cache's closure accessors, so a
+        // warm descent clones no entry vectors and re-parses no pages.
+        let step_in = |node: &Node, rem: u64| {
             let (idx, within) = node.find_child(rem);
-            path.push(PathStep { page, idx });
-            let e = node.entries[idx];
-            if node.level == 0 {
-                lobstore_obs::counter_add("core.tree.descents", 1);
-                lobstore_obs::counter_add("core.tree.descend_depth", path.len() as u64);
-                return Some(LeafPos {
-                    path,
-                    entry: e,
-                    off_in_leaf: within,
-                    leaf_start: off - within,
-                });
-            }
-            page = e.ptr;
+            (idx, within, node.entries[idx], node.level)
+        };
+        let mut rem = off;
+        let (mut idx, mut within, mut entry, mut level) = db
+            .with_meta_root(self.root_page, |_, node| {
+                (!node.entries.is_empty()).then(|| step_in(node, rem))
+            })?;
+        let mut path = Vec::with_capacity(4);
+        path.push(PathStep {
+            page: self.root_page,
+            idx,
+        });
+        while level > 0 {
+            let page = entry.ptr;
             rem = within;
-            node = self.load_node(db, page);
+            (idx, within, entry, level) = db.with_meta_node(page, |node| step_in(node, rem));
+            path.push(PathStep { page, idx });
         }
+        lobstore_obs::counter_add("core.tree.descents", 1);
+        lobstore_obs::counter_add("core.tree.descend_depth", path.len() as u64);
+        Some(LeafPos {
+            path,
+            entry,
+            off_in_leaf: within,
+            leaf_start: off - within,
+        })
     }
 
     /// [`Self::descend`], required to succeed. Callers use it only after
@@ -170,7 +174,7 @@ impl PosTree {
     /// Total bytes currently indexed (the root's entry-count sum, which
     /// may differ from the header size in the middle of an operation).
     pub fn total(&self, db: &mut Db) -> u64 {
-        self.load_root(db).1.total()
+        db.with_meta_root(self.root_page, |_, node| node.total())
     }
 
     // ----- localized updates ----------------------------------------------

@@ -7,28 +7,143 @@ use crate::{cast, AreaId, PAGE_SIZE};
 
 type PageBox = Box<[u8; PAGE_SIZE]>;
 
-/// One database area: a flat, growable array of pages.
+/// How far past the contiguous frontier a write may land and still grow
+/// the arena (rather than falling back to the sparse map): 4096 pages of
+/// zero-filled slack at most (16 MB), so densely packed areas stay in one
+/// allocation while a stray far-off write cannot balloon memory.
+const ARENA_GROW_SLACK_PAGES: usize = 4096;
+
+/// One database area: an extent-backed page store.
 ///
-/// Pages are materialized lazily; a never-written page reads as zeroes,
-/// like a freshly formatted volume.
+/// Pages `[0, arena_pages)` live contiguously in `arena` (page `p` at
+/// byte offset `p * PAGE_SIZE`), so a multi-page run moves with one
+/// `copy_from_slice` instead of one map lookup and copy per page. Writes
+/// far beyond the frontier land in the `sparse` fallback map and are
+/// migrated into the arena when it later grows over them.
+///
+/// Pages are still materialized lazily — a never-written page reads as
+/// zeroes, like a freshly formatted volume — with one bit per arena page
+/// tracking what has actually been written (`materialized_*` metrics and
+/// the image format depend on this, so the arena's zero slack is not
+/// "materialized").
 #[derive(Default)]
 struct Area {
-    pages: Vec<Option<PageBox>>,
+    arena: Vec<u8>,
+    /// One bit per arena page: has it ever been written?
+    present: Vec<u64>,
+    /// Pages beyond the arena frontier. Invariant: every key is
+    /// `>= arena_pages()`.
+    sparse: std::collections::BTreeMap<u32, PageBox>,
 }
 
 impl Area {
-    fn ensure(&mut self, page: u32) -> &mut PageBox {
-        let idx = cast::u32_to_usize(page);
-        if idx >= self.pages.len() {
-            self.pages.resize_with(idx + 1, || None);
-        }
-        self.pages[idx].get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    fn arena_pages(&self) -> usize {
+        self.arena.len() / PAGE_SIZE
     }
 
-    fn get(&self, page: u32) -> Option<&PageBox> {
-        self.pages
-            .get(cast::u32_to_usize(page))
-            .and_then(|p| p.as_ref())
+    fn bit(&self, idx: usize) -> bool {
+        (self.present[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    fn set_bit(&mut self, idx: usize) {
+        self.present[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Grow the arena to hold pages `[0, pages)`, migrating sparse pages
+    /// that now fall inside the frontier.
+    fn grow_arena(&mut self, pages: usize) {
+        if pages <= self.arena_pages() {
+            return;
+        }
+        // `pages` fits the 32-bit page-number space, so the byte product
+        // fits a 64-bit usize.
+        // loblint: allow(arith-overflow)
+        self.arena.resize(pages * PAGE_SIZE, 0);
+        self.present.resize(pages.div_ceil(64), 0);
+        let beyond = self.sparse.split_off(&cast::usize_to_u32(pages));
+        let moved = std::mem::replace(&mut self.sparse, beyond);
+        for (page, content) in moved {
+            let idx = cast::u32_to_usize(page);
+            self.arena[idx * PAGE_SIZE..(idx + 1) * PAGE_SIZE].copy_from_slice(&content[..]);
+            self.set_bit(idx);
+        }
+    }
+
+    /// Store `data` on pages starting at `start`; a partial final page
+    /// keeps its remaining bytes (read-modify-write).
+    fn copy_in(&mut self, start: u32, data: &[u8]) {
+        let n_pages = data.len().div_ceil(PAGE_SIZE);
+        let first = cast::u32_to_usize(start);
+        if first <= self.arena_pages() + ARENA_GROW_SLACK_PAGES {
+            self.grow_arena(first + n_pages);
+            let off = first * PAGE_SIZE;
+            self.arena[off..off + data.len()].copy_from_slice(data);
+            for p in first..first + n_pages {
+                self.set_bit(p);
+            }
+        } else {
+            for (i, chunk) in data.chunks(PAGE_SIZE).enumerate() {
+                let page = self
+                    .sparse
+                    .entry(start + cast::usize_to_u32(i))
+                    .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+                page[..chunk.len()].copy_from_slice(chunk);
+            }
+        }
+    }
+
+    /// Fetch pages starting at `start` into `out`. Never materializes;
+    /// absent pages read as zeroes (arena slack already holds zeroes).
+    // The `&mut [u8]` parameter is not an indexing site; the token rule
+    // has no type context.
+    // loblint: allow(panic-path)
+    fn copy_out(&self, start: u32, out: &mut [u8]) {
+        let first = cast::u32_to_usize(start);
+        let arena_bytes = self
+            .arena_pages()
+            .saturating_sub(first)
+            .saturating_mul(PAGE_SIZE)
+            .min(out.len());
+        if arena_bytes > 0 {
+            let off = first * PAGE_SIZE;
+            // `arena_bytes` was clamped to both the arena extent past
+            // `off` and `out.len()` above, so neither slice can be out
+            // of range.
+            // loblint: allow(arith-overflow, panic-path)
+            out[..arena_bytes].copy_from_slice(&self.arena[off..off + arena_bytes]);
+        }
+        // `first + served pages` stays within the 32-bit page space.
+        // loblint: allow(arith-overflow)
+        let next = first + arena_bytes / PAGE_SIZE;
+        // `arena_bytes <= out.len()` by the clamp above.
+        // loblint: allow(panic-path)
+        for (i, chunk) in out[arena_bytes..].chunks_mut(PAGE_SIZE).enumerate() {
+            match self.sparse.get(&cast::usize_to_u32(next + i)) {
+                // `chunk.len() <= PAGE_SIZE`, the length of `p`.
+                // loblint: allow(panic-path)
+                Some(p) => chunk.copy_from_slice(&p[..chunk.len()]),
+                None => chunk.fill(0),
+            }
+        }
+    }
+
+    fn materialized_count(&self) -> usize {
+        self.present
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>()
+            + self.sparse.len()
+    }
+
+    fn materialized_numbers(&self) -> Vec<u32> {
+        // Arena pages (bit-set, ascending) first, then sparse keys — the
+        // sparse invariant keeps the concatenation sorted.
+        let mut out: Vec<u32> = (0..self.arena_pages())
+            .filter(|&i| self.bit(i))
+            .map(cast::usize_to_u32)
+            .collect();
+        out.extend(self.sparse.keys().copied());
+        out
     }
 }
 
@@ -161,7 +276,7 @@ impl SimDisk {
         assert!(!out.is_empty(), "zero-length disk read");
         let n_pages = cast::usize_to_u32(out.len().div_ceil(PAGE_SIZE));
         self.charge(TraceKind::Read, area, start_page, n_pages);
-        self.copy_out(area, start_page, out);
+        self.area(area).copy_out(start_page, out);
     }
 
     /// One write call: store `data` on `ceil(data.len() / PAGE_SIZE)`
@@ -177,59 +292,56 @@ impl SimDisk {
         assert!(!data.is_empty(), "zero-length disk write");
         let n_pages = cast::usize_to_u32(data.len().div_ceil(PAGE_SIZE));
         self.charge(TraceKind::Write, area, start_page, n_pages);
-        self.copy_in(area, start_page, data);
+        self.area_mut(area).copy_in(start_page, data);
+    }
+
+    /// One write call covering `pages.len()` physically contiguous pages
+    /// supplied as separate whole-page buffers (e.g. buffer-pool frames).
+    ///
+    /// Cost-identical to [`Self::write`] of one contiguous run of the
+    /// same length — one seek plus one transfer per page — but spares the
+    /// caller from staging the frames into a contiguous buffer first.
+    ///
+    /// # Panics
+    /// If `pages` is empty or the area does not exist.
+    pub fn write_gather(&mut self, area: AreaId, start_page: u32, pages: &[&[u8; PAGE_SIZE]]) {
+        assert!(!pages.is_empty(), "zero-length disk write");
+        self.charge(
+            TraceKind::Write,
+            area,
+            start_page,
+            cast::usize_to_u32(pages.len()),
+        );
+        let a = self.area_mut(area);
+        for (i, p) in pages.iter().enumerate() {
+            // The run was charged above; `start_page + pages.len()` fits
+            // the page space or `charge` would have rejected the area.
+            // loblint: allow(arith-overflow)
+            a.copy_in(start_page + cast::usize_to_u32(i), &p[..]);
+        }
     }
 
     /// Cost-free read used by verification code and by the buffer manager
     /// when overlaying already-resident pages. Not part of the simulated
     /// I/O stream.
     pub fn peek(&self, area: AreaId, start_page: u32, out: &mut [u8]) {
-        let a = self.area(area);
-        for (i, chunk) in out.chunks_mut(PAGE_SIZE).enumerate() {
-            match a.get(start_page + cast::usize_to_u32(i)) {
-                Some(p) => chunk.copy_from_slice(&p[..chunk.len()]),
-                None => chunk.fill(0),
-            }
-        }
+        self.area(area).copy_out(start_page, out);
     }
 
     /// Cost-free write, for tests and debugging only.
     pub fn poke(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
-        self.copy_in(area, start_page, data);
-    }
-
-    fn copy_out(&mut self, area: AreaId, start_page: u32, out: &mut [u8]) {
-        let a = self.area_mut(area);
-        for (i, chunk) in out.chunks_mut(PAGE_SIZE).enumerate() {
-            match a.get(start_page + cast::usize_to_u32(i)) {
-                Some(p) => chunk.copy_from_slice(&p[..chunk.len()]),
-                None => chunk.fill(0),
-            }
-        }
-    }
-
-    fn copy_in(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
-        let a = self.area_mut(area);
-        for (i, chunk) in data.chunks(PAGE_SIZE).enumerate() {
-            let page = a.ensure(start_page + cast::usize_to_u32(i));
-            page[..chunk.len()].copy_from_slice(chunk);
-        }
+        self.area_mut(area).copy_in(start_page, data);
     }
 
     /// Number of pages ever materialized in `area` (a memory-usage metric,
     /// not a cost metric).
     pub fn materialized_pages(&self, area: AreaId) -> usize {
-        self.area(area).pages.iter().filter(|p| p.is_some()).count()
+        self.area(area).materialized_count()
     }
 
     /// Page numbers of every materialized page in `area`, ascending.
     pub fn materialized_page_numbers(&self, area: AreaId) -> Vec<u32> {
-        self.area(area)
-            .pages
-            .iter()
-            .enumerate()
-            .filter_map(|(i, p)| p.as_ref().map(|_| cast::usize_to_u32(i)))
-            .collect()
+        self.area(area).materialized_numbers()
     }
 
     /// Number of areas on this disk.
@@ -385,5 +497,72 @@ mod tests {
         let mut buf = [0u8; 8];
         d.read(AreaId::LEAF, 0, &mut buf); // reads don't materialize
         assert_eq!(d.materialized_pages(AreaId::LEAF), 1);
+    }
+
+    #[test]
+    fn far_write_falls_back_to_sparse_and_migrates_on_growth() {
+        let mut d = disk();
+        let far = (ARENA_GROW_SLACK_PAGES as u32) + 50_000;
+        d.write(AreaId::LEAF, far, &[7u8; PAGE_SIZE]);
+        d.write(AreaId::LEAF, far + 1, &[8u8; 100]);
+        assert_eq!(d.materialized_pages(AreaId::LEAF), 2);
+        assert_eq!(
+            d.materialized_page_numbers(AreaId::LEAF),
+            vec![far, far + 1]
+        );
+        // Sparse pages read back (and partial final pages read as zero).
+        let mut out = vec![0xAAu8; 3 * PAGE_SIZE];
+        d.read(AreaId::LEAF, far, &mut out);
+        assert!(out[..PAGE_SIZE].iter().all(|&b| b == 7));
+        assert!(out[PAGE_SIZE..PAGE_SIZE + 100].iter().all(|&b| b == 8));
+        assert!(out[PAGE_SIZE + 100..].iter().all(|&b| b == 0));
+        // A dense write train marches the arena over the sparse pages;
+        // their content must survive the migration.
+        let step = ARENA_GROW_SLACK_PAGES as u32;
+        let mut at = 0u32;
+        while at <= far + 2 {
+            d.poke(AreaId::LEAF, at, &[1u8; PAGE_SIZE]);
+            at += step;
+        }
+        let mut back = vec![0u8; PAGE_SIZE + 100];
+        d.peek(AreaId::LEAF, far, &mut back);
+        assert!(back[..PAGE_SIZE].iter().all(|&b| b == 7));
+        assert!(back[PAGE_SIZE..].iter().all(|&b| b == 8));
+    }
+
+    #[test]
+    fn arena_and_sparse_reads_span_the_frontier() {
+        let mut d = disk();
+        d.write(AreaId::LEAF, 0, &[3u8; 2 * PAGE_SIZE]); // arena: pages 0..2
+        let far = (ARENA_GROW_SLACK_PAGES as u32) * 3;
+        d.write(AreaId::LEAF, far, &[4u8; PAGE_SIZE]); // sparse
+        let mut out = vec![0xAAu8; PAGE_SIZE * 4];
+        d.read(AreaId::LEAF, 1, &mut out);
+        assert!(out[..PAGE_SIZE].iter().all(|&b| b == 3), "arena page");
+        assert!(
+            out[PAGE_SIZE..].iter().all(|&b| b == 0),
+            "past the frontier"
+        );
+    }
+
+    #[test]
+    fn write_gather_is_one_call_of_n_pages() {
+        let mut d = disk();
+        d.enable_trace(4);
+        let a: PageBox = Box::new([5u8; PAGE_SIZE]);
+        let b: PageBox = Box::new([6u8; PAGE_SIZE]);
+        d.write_gather(AreaId::LEAF, 9, &[&a, &b]);
+        assert_eq!(d.stats().write_calls, 1);
+        assert_eq!(d.stats().pages_written, 2);
+        assert_eq!(d.stats().time_us, 33_000 + 2 * 4_000);
+        let t = d.take_trace();
+        assert_eq!(
+            (t[0].kind, t[0].start, t[0].pages),
+            (TraceKind::Write, 9, 2)
+        );
+        let mut out = vec![0u8; 2 * PAGE_SIZE];
+        d.peek(AreaId::LEAF, 9, &mut out);
+        assert!(out[..PAGE_SIZE].iter().all(|&b| b == 5));
+        assert!(out[PAGE_SIZE..].iter().all(|&b| b == 6));
     }
 }

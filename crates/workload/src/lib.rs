@@ -24,7 +24,7 @@ mod scanner;
 pub use builder::{build_by_appends, build_object, BuildReport};
 pub use lobstore_core::ManagerSpec;
 pub use mixed::{Mark, MixedConfig, MixedReport, MixedWorkload, OpKind};
-pub use scanner::{random_reads, sequential_scan, ScanReport};
+pub use scanner::{random_reads, sequential_scan, stream_scan, ScanReport};
 
 /// Deterministic filler bytes for generated workloads: cheap to produce
 /// and distinctive enough that content bugs surface in tests.

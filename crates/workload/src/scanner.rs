@@ -64,6 +64,41 @@ pub fn sequential_scan(
     })
 }
 
+/// Read the entire object front to back in `chunk_bytes` pieces through
+/// the streaming [`lobstore_core::ObjectReader`] — the "play the
+/// recording" access pattern of §1, where a client consumes the object
+/// like a file rather than issuing byte-range reads itself. Consumes
+/// through the zero-copy `BufRead` surface: at most `chunk_bytes` per
+/// iteration, borrowed straight from the reader's read-ahead buffer.
+pub fn stream_scan(db: &mut Db, obj: &dyn LargeObject, chunk_bytes: usize) -> Result<ScanReport> {
+    use std::io::BufRead as _;
+    assert!(chunk_bytes > 0);
+    let before = db.io_stats();
+    let mut reader = lobstore_core::ObjectReader::new(db, obj);
+    let mut bytes = 0u64;
+    let mut reads = 0usize;
+    loop {
+        let avail = reader
+            .fill_buf()
+            .map_err(|e| lobstore_core::LobError::InvariantViolated(e.to_string()))?
+            .len();
+        if avail == 0 {
+            break;
+        }
+        let n = avail.min(chunk_bytes);
+        reader.consume(n);
+        bytes += n as u64;
+        reads += 1;
+    }
+    lobstore_obs::counter_add("workload.stream_scan.reads", reads as u64);
+    lobstore_obs::counter_add("workload.stream_scan.bytes", bytes);
+    Ok(ScanReport {
+        bytes,
+        reads,
+        io: db.io_stats() - before,
+    })
+}
+
 /// Issue `count` random reads whose sizes vary ±50 % about
 /// `mean_bytes`, uniformly positioned — the standalone version of the
 /// §4.4.2 read probe (used for Table 2, where the structure does not

@@ -30,6 +30,12 @@ pub fn validate(doc: &Value) -> Vec<String> {
     if doc.get("title").and_then(Value::as_str).is_none() {
         fail("missing string field `title`".to_string());
     }
+    match doc.get("wall_clock_us").and_then(Value::as_u64) {
+        Some(n) if n > 0 => {}
+        _ => fail(
+            "`wall_clock_us` must be a positive integer (microseconds of wall time)".to_string(),
+        ),
+    }
 
     match doc.get("scale") {
         Some(scale) => {
@@ -135,6 +141,7 @@ mod tests {
                 "schema": "lobstore-bench-report/v1",
                 "bin": "fig5",
                 "title": "Figure 5",
+                "wall_clock_us": 120000,
                 "scale": {"object_bytes": 1048576, "ops": 1000, "mark_every": 200},
                 "records": [
                     {"table": 0, "title": "", "values": {"append KB": "3", "ESM/1": "55.0"}}
@@ -174,6 +181,7 @@ mod tests {
                 "schema": "lobstore-bench-report/v1",
                 "bin": "x",
                 "title": "t",
+                "wall_clock_us": 5,
                 "scale": {"object_bytes": 1, "ops": 1, "mark_every": 1},
                 "records": [{"table": 0, "title": "", "values": {"a": 3}}],
                 "notes": []
@@ -186,12 +194,33 @@ mod tests {
     }
 
     #[test]
+    fn missing_wall_clock_fails() {
+        let mut fields: Vec<(String, Value)> = match valid_doc() {
+            Value::Obj(f) => f,
+            _ => unreachable!(),
+        };
+        fields.retain(|(k, _)| k != "wall_clock_us");
+        let problems = validate(&Value::Obj(fields.clone()));
+        assert!(
+            problems.iter().any(|p| p.contains("wall_clock_us")),
+            "{problems:?}"
+        );
+        fields.push(("wall_clock_us".to_string(), Value::from(0u64)));
+        let problems = validate(&Value::Obj(fields));
+        assert!(
+            problems.iter().any(|p| p.contains("wall_clock_us")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
     fn zero_scale_fails() {
         let doc = json::parse(
             r#"{
                 "schema": "lobstore-bench-report/v1",
                 "bin": "x",
                 "title": "t",
+                "wall_clock_us": 5,
                 "scale": {"object_bytes": 0, "ops": 1, "mark_every": 1},
                 "records": [{"table": 0, "title": "", "values": {"a": "b"}}],
                 "notes": []

@@ -849,6 +849,7 @@ const IO_WRAPPERS: [(&str, &[&str]); 2] = [
             "read_buffered",
             "read_direct",
             "read_pages",
+            "read_scatter",
             "write_direct",
             "flush_range",
         ],
@@ -887,8 +888,8 @@ const CALL_KEYWORDS: [&str; 11] = [
 ];
 
 /// A raw disk I/O site: `disk` / `disk_mut()` receiver followed by
-/// `.read(` or `.write(`. Returns the index of the `read`/`write`
-/// ident for each site in `toks`.
+/// `.read(`, `.write(` or `.write_gather(`. Returns the index of the
+/// method ident for each site in `toks`.
 fn raw_disk_sites(toks: &[Tok]) -> Vec<usize> {
     let mut out = Vec::new();
     for i in 0..toks.len() {
@@ -903,9 +904,9 @@ fn raw_disk_sites(toks: &[Tok]) -> Vec<usize> {
             j += 2;
         }
         if toks.get(j).is_some_and(|t| t.is_punct("."))
-            && toks
-                .get(j + 1)
-                .is_some_and(|t| t.is_ident("read") || t.is_ident("write"))
+            && toks.get(j + 1).is_some_and(|t| {
+                t.is_ident("read") || t.is_ident("write") || t.is_ident("write_gather")
+            })
             && toks.get(j + 2).is_some_and(|t| t.is_punct("("))
         {
             out.push(j + 1);
@@ -1733,8 +1734,9 @@ mod tests {
                  fn read_buffered(&mut self) { self.disk.read(a, p, d); }\n\
                  fn read_direct(&mut self) { self.disk.read(a, p, d); }\n\
                  fn read_pages(&mut self) { self.disk.read(a, p, d); }\n\
+                 fn read_scatter(&mut self) { self.disk.read(a, p, d); }\n\
                  fn write_direct(&mut self) { self.disk.write(a, p, d); }\n\
-                 fn flush_range(&mut self) { self.disk.write(a, p, d); }\n\
+                 fn flush_range(&mut self) { self.disk.write_gather(a, p, d); }\n\
                  fn read_segment(&mut self) { self.read_buffered(); self.read_direct(); }\n\
                  }\n",
             ),
@@ -1794,6 +1796,18 @@ mod tests {
     }
 
     #[test]
+    fn gather_write_raw_io_is_caught() {
+        let mut files = io_fixture();
+        files.push((
+            "crates/core/src/rogue.rs",
+            "fn sneaky(d: &mut SimDisk) { d.disk.write_gather(a, p, runs); }\n",
+        ));
+        let found = io_findings(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("raw disk write_gather"));
+    }
+
+    #[test]
     fn deleting_a_wrapper_call_uncovers_the_entry_path() {
         // read_seg_bytes no longer calls any wrapper: flagged.
         let mut files = io_fixture();
@@ -1820,8 +1834,9 @@ mod tests {
              fn read_buffered(&mut self) { self.noop(); }\n\
              fn read_direct(&mut self) { self.disk.read(a, p, d); }\n\
              fn read_pages(&mut self) { self.disk.read(a, p, d); }\n\
+             fn read_scatter(&mut self) { self.disk.read(a, p, d); }\n\
              fn write_direct(&mut self) { self.disk.write(a, p, d); }\n\
-             fn flush_range(&mut self) { self.disk.write(a, p, d); }\n\
+             fn flush_range(&mut self) { self.disk.write_gather(a, p, d); }\n\
              fn read_segment(&mut self) { self.read_buffered(); self.read_direct(); }\n\
              }\n",
         );
@@ -1841,6 +1856,7 @@ mod tests {
              fn read_buffered(&mut self) { self.disk.read(a, p, d); }\n\
              fn read_direct(&mut self) { self.disk.read(a, p, d); }\n\
              fn read_pages(&mut self) { self.disk.read(a, p, d); }\n\
+             fn read_scatter(&mut self) { self.disk.read(a, p, d); }\n\
              fn write_direct(&mut self) { self.disk.write(a, p, d); }\n\
              fn read_segment(&mut self) { self.read_buffered(); self.read_direct(); }\n\
              }\n",

@@ -2,12 +2,18 @@
 # Regenerate every table and figure at the paper's scale (10 MB / 10k ops).
 # Each binary writes its own report into results/ (the `--out-dir` default)
 # plus a machine-readable JSON document; stdout stays on the terminal for
-# progress. Extra arguments are forwarded to every binary.
+# progress. Extra arguments are forwarded to every binary — in particular
+# `./run_all_benches.sh --quick` runs the whole sweep at the 1 MB /
+# 1000 ops smoke scale (seconds instead of minutes; CI uses this).
 set -u
 cd /root/repo
 mkdir -p results
+mode="paper scale"
+for a in "$@"; do [ "$a" = "--quick" ] && mode="smoke scale (--quick)"; done
+echo "[$(date +%T)] bench sweep at $mode"
 for b in fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 table3 fig_deletes summary46 \
-         ablation_insert_algo ablation_buffering ablation_shadowing ablation_scaling; do
+         ablation_insert_algo ablation_buffering ablation_shadowing ablation_scaling \
+         throughput; do
   echo "[$(date +%T)] running $b"
   ./target/release/$b --out-dir results --json-out results/$b.json "$@" \
     > /dev/null 2> results/$b.err || echo "$b FAILED"

@@ -1,0 +1,232 @@
+//! Property-based equivalence of the optimized read paths.
+//!
+//! The wall-clock work — extent-backed arenas, the scatter read path,
+//! the deserialized-node cache, the scan cursor — must leave both the
+//! returned bytes and the simulated cost model untouched. Two
+//! properties pin that:
+//!
+//! 1. **Bytes**: for arbitrary build histories, the optimized
+//!    `LargeObject::read` and the `ObjectReader` cursor return exactly
+//!    the bytes of the naive peek-based reference (`snapshot()`, which
+//!    walks the index with cost-free peeks and bypasses the buffer
+//!    pool, the node cache and the scatter path entirely).
+//! 2. **Accounting**: streaming an object through the cursor charges
+//!    *identical* `IoStats` to one bulk `LargeObject::read` of the same
+//!    range on a twin database. Bulk reads' absolute costs are pinned
+//!    by `tests/golden_traces.rs` and `tests/cost_model.rs` (unchanged
+//!    by the optimization pass), so equality here is transitively
+//!    equality with pre-optimization accounting.
+
+use std::io::{Read, Seek, SeekFrom};
+
+use lobstore::{Db, ManagerSpec, ObjectReader};
+use proptest::prelude::*;
+
+fn fill(len: usize, seed: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i * 31 + seed * 17 + 3) % 249) as u8)
+        .collect()
+}
+
+/// Drain a reader to the end in `chunk`-sized requests.
+fn stream_all(r: &mut ObjectReader<'_>, chunk: usize, out: &mut Vec<u8>) {
+    let mut buf = vec![0u8; chunk];
+    loop {
+        match r.read(&mut buf).unwrap() {
+            0 => break,
+            n => out.extend_from_slice(&buf[..n]),
+        }
+    }
+}
+
+/// Build an object from `edits` (append / insert / replace, by turn),
+/// then check random-range reads and a full streamed scan against the
+/// peek-based snapshot.
+fn bytes_match_reference(
+    spec: ManagerSpec,
+    edits: &[(f64, usize)],
+    reads: &[(f64, usize)],
+    chunk: usize,
+) {
+    let mut db = Db::paper_default();
+    let mut obj = spec.create(&mut db).unwrap();
+    for (i, &(at, len)) in edits.iter().enumerate() {
+        let size = obj.size(&mut db) as usize;
+        let bytes = fill(len, i);
+        match i % 3 {
+            0 => obj.append(&mut db, &bytes).unwrap(),
+            1 => {
+                let off = ((at * size as f64) as usize).min(size);
+                obj.insert(&mut db, off as u64, &bytes).unwrap();
+            }
+            _ => {
+                if size == 0 {
+                    obj.append(&mut db, &bytes).unwrap();
+                } else {
+                    let off = ((at * size as f64) as usize).min(size - 1);
+                    let len = len.min(size - off);
+                    obj.replace(&mut db, off as u64, &bytes[..len]).unwrap();
+                }
+            }
+        }
+    }
+
+    let reference = obj.snapshot(&db);
+    let size = reference.len();
+
+    // Random ranges through the optimized `read` — offsets land at
+    // arbitrary page alignments, so these exercise both the scatter
+    // path (direct reads) and the staged/buffered paths.
+    for &(at, len) in reads {
+        if size == 0 {
+            break;
+        }
+        let off = ((at * size as f64) as usize).min(size - 1);
+        let len = len.min(size - off).max(1);
+        let mut out = vec![0u8; len];
+        obj.read(&mut db, off as u64, &mut out).unwrap();
+        if out != reference[off..off + len] {
+            let bad = out
+                .iter()
+                .zip(&reference[off..off + len])
+                .position(|(a, b)| a != b);
+            panic!("read({off}, {len}) diverges from the peek reference at {bad:?}");
+        }
+    }
+
+    // Full streamed scan through the cursor.
+    let mut streamed = Vec::with_capacity(size);
+    let mut r = ObjectReader::new(&mut db, obj.as_ref());
+    stream_all(&mut r, chunk, &mut streamed);
+    assert_eq!(streamed.len(), size, "cursor length");
+    assert!(
+        streamed == reference,
+        "streamed bytes diverge from the peek reference"
+    );
+}
+
+/// Twin databases, identical single-append build: stream `[start, size)`
+/// through the cursor on one, bulk-read the same range on the other, and
+/// require bit-identical `IoStats`.
+///
+/// A single large append yields full-width segments everywhere but the
+/// tail, so every refill's span read is a direct (unbuffered) read and
+/// the cursor's extra index descents hit META pages still resident in
+/// the pool — zero additional simulated I/O. The tail segment may be
+/// small enough to take the buffered path, but it is read last in both
+/// runs, so the accounting stays equal.
+fn streamed_accounting_matches_bulk(
+    spec: ManagerSpec,
+    total: usize,
+    start_frac: f64,
+    chunk: usize,
+) {
+    let build = fill(total, 99);
+
+    let mut db_bulk = Db::paper_default();
+    let mut obj_bulk = spec.create(&mut db_bulk).unwrap();
+    obj_bulk.append(&mut db_bulk, &build).unwrap();
+
+    let mut db_stream = Db::paper_default();
+    let mut obj_stream = spec.create(&mut db_stream).unwrap();
+    obj_stream.append(&mut db_stream, &build).unwrap();
+
+    let start = ((start_frac * total as f64) as usize).min(total - 1);
+    let want = total - start;
+
+    let before = db_bulk.io_stats();
+    let mut bulk_bytes = vec![0u8; want];
+    obj_bulk
+        .read(&mut db_bulk, start as u64, &mut bulk_bytes)
+        .unwrap();
+    let bulk = db_bulk.io_stats() - before;
+
+    let before = db_stream.io_stats();
+    let mut streamed_bytes = Vec::with_capacity(want);
+    {
+        let mut r = ObjectReader::new(&mut db_stream, obj_stream.as_ref());
+        r.seek(SeekFrom::Start(start as u64)).unwrap();
+        stream_all(&mut r, chunk, &mut streamed_bytes);
+    }
+    let streamed = db_stream.io_stats() - before;
+
+    assert!(streamed_bytes == bulk_bytes, "content diverges");
+    assert_eq!(
+        streamed, bulk,
+        "cursor scan of [{start}, {total}) in {chunk}-byte chunks must charge \
+         exactly the simulated I/O of one bulk read"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 100,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn esm_reads_match_the_peek_reference(
+        (edits, reads, chunk) in (
+            prop::collection::vec((0.0f64..=1.0, 1usize..40_000), 1..12),
+            prop::collection::vec((0.0f64..=1.0, 1usize..30_000), 1..8),
+            1usize..9_000,
+        )
+    ) {
+        bytes_match_reference(ManagerSpec::esm(16), &edits, &reads, chunk);
+    }
+
+    #[test]
+    fn esm_single_page_leaves_match_the_peek_reference(
+        (edits, reads, chunk) in (
+            prop::collection::vec((0.0f64..=1.0, 1usize..20_000), 1..10),
+            prop::collection::vec((0.0f64..=1.0, 1usize..15_000), 1..8),
+            1usize..9_000,
+        )
+    ) {
+        bytes_match_reference(ManagerSpec::esm(1), &edits, &reads, chunk);
+    }
+
+    #[test]
+    fn eos_reads_match_the_peek_reference(
+        (edits, reads, chunk) in (
+            prop::collection::vec((0.0f64..=1.0, 1usize..40_000), 1..12),
+            prop::collection::vec((0.0f64..=1.0, 1usize..30_000), 1..8),
+            1usize..9_000,
+        )
+    ) {
+        bytes_match_reference(ManagerSpec::eos(16), &edits, &reads, chunk);
+    }
+
+    #[test]
+    fn starburst_reads_match_the_peek_reference(
+        (edits, reads, chunk) in (
+            prop::collection::vec((0.0f64..=1.0, 1usize..40_000), 1..10),
+            prop::collection::vec((0.0f64..=1.0, 1usize..30_000), 1..8),
+            1usize..9_000,
+        )
+    ) {
+        bytes_match_reference(ManagerSpec::starburst(), &edits, &reads, chunk);
+    }
+
+    #[test]
+    fn esm_streamed_accounting_matches_bulk(
+        (total, start, chunk) in (65_536usize..1_500_000, 0.0f64..=1.0, 512usize..16_384)
+    ) {
+        streamed_accounting_matches_bulk(ManagerSpec::esm(16), total, start, chunk);
+    }
+
+    #[test]
+    fn eos_streamed_accounting_matches_bulk(
+        (total, start, chunk) in (65_536usize..1_500_000, 0.0f64..=1.0, 512usize..16_384)
+    ) {
+        streamed_accounting_matches_bulk(ManagerSpec::eos(16), total, start, chunk);
+    }
+
+    #[test]
+    fn starburst_streamed_accounting_matches_bulk(
+        (total, start, chunk) in (65_536usize..1_500_000, 0.0f64..=1.0, 512usize..16_384)
+    ) {
+        streamed_accounting_matches_bulk(ManagerSpec::starburst(), total, start, chunk);
+    }
+}
