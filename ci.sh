@@ -10,12 +10,20 @@ run() {
     "$@"
 }
 
-# Style and static analysis first: these fail fastest. loblint runs
-# against the committed ratchet baseline (loblint.baseline): any finding
-# not already frozen there fails the build. Its JSON report is validated
-# against the loblint-findings/v1 schema like the bench reports are.
+# Style and static analysis first: these fail fastest. The xtask suite
+# runs explicitly before loblint: it carries the seeded-violation
+# fixtures and mutation drills for every lint rule (including the CFG
+# rules: lock-order cycle/canonical-order detection, guard-across-io,
+# panic-while-locked, disk-taint), so a broken rule fails loudly here
+# rather than silently passing an under-linted workspace. loblint then
+# runs against the committed ratchet baseline (loblint.baseline): any
+# finding not already frozen there — a lock-order cycle included —
+# fails the build. Its JSON report is validated against the
+# loblint-findings/v2 schema (with per-finding CFG evidence) like the
+# bench reports are.
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
+run cargo test -q -p xtask
 run cargo run -q -p xtask -- loblint --json --out target/loblint.json
 run cargo run -q -p xtask -- check-lint-json target/loblint.json
 

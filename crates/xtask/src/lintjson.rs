@@ -1,11 +1,13 @@
 //! `check-lint-json` — validate a `loblint --json` findings document.
 //!
 //! CI runs `loblint --json --out <path>` and pushes the output through
-//! this validator so the `loblint-findings/v1` schema cannot drift
+//! this validator so the `loblint-findings/v2` schema cannot drift
 //! silently. The checks are structural and arithmetic: schema tag, the
 //! rule list, `total == baselined + new == findings.len()`, the
-//! per-finding fields, every finding's rule being declared, and the
-//! findings arriving sorted (loblint output is deterministic).
+//! per-finding fields (including the v2 `evidence` string array that
+//! carries acquisition chains and taint paths), every finding's rule
+//! being declared, and the findings arriving sorted (loblint output is
+//! deterministic).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -22,7 +24,7 @@ fn as_bool(v: &Value) -> Option<bool> {
     }
 }
 
-/// Validate `doc` as a `loblint-findings/v1` document. Returns every
+/// Validate `doc` as a `loblint-findings/v2` document. Returns every
 /// problem found (empty = valid).
 pub fn validate(doc: &Value) -> Vec<String> {
     let mut problems = Vec::new();
@@ -108,6 +110,20 @@ pub fn validate(doc: &Value) -> Vec<String> {
                 if f.get("baselined").and_then(as_bool).is_none() {
                     fail(format!("findings[{i}].baselined must be a boolean"));
                 }
+                match f.get("evidence").and_then(Value::as_arr) {
+                    Some(ev) => {
+                        for (j, e) in ev.iter().enumerate() {
+                            if e.as_str().is_none_or(str::is_empty) {
+                                fail(format!(
+                                    "findings[{i}].evidence[{j}] must be a non-empty string"
+                                ));
+                            }
+                        }
+                    }
+                    None => fail(format!(
+                        "findings[{i}].evidence must be an array (empty for token rules)"
+                    )),
+                }
                 if let (Some(file), Some(line)) = (file, line) {
                     let key = (file.to_string(), line);
                     if let Some(p) = &prev {
@@ -178,12 +194,17 @@ mod tests {
                 line: 3,
                 rule: "unwrap",
                 message: "unwrap in library".into(),
+                evidence: Vec::new(),
             },
             Finding {
                 file: "crates/core/src/b.rs".into(),
                 line: 9,
-                rule: "panic-path",
-                message: "indexing".into(),
+                rule: "lock-order",
+                message: "lock acquisition cycle: a -> b -> a".into(),
+                evidence: vec![
+                    "`b` acquired while `a` held at crates/core/src/b.rs:9".into(),
+                    "`a` acquired while `b` held at crates/core/src/c.rs:4".into(),
+                ],
             },
         ]
     }
@@ -228,7 +249,7 @@ mod tests {
     #[test]
     fn undeclared_rule_and_unsorted_findings_fail() {
         let mut text = to_json(&sample(), &[false, false]);
-        text = text.replace("\"rule\": \"panic-path\"", "\"rule\": \"mystery\"");
+        text = text.replace("\"rule\": \"lock-order\"", "\"rule\": \"mystery\"");
         let doc = json::parse(&text).unwrap();
         let problems = validate(&doc);
         assert!(
@@ -241,6 +262,32 @@ mod tests {
         let doc = json::parse(&to_json(&rev, &[false, false])).unwrap();
         let problems = validate(&doc);
         assert!(problems.iter().any(|p| p.contains("order")), "{problems:?}");
+    }
+
+    #[test]
+    fn evidence_must_be_an_array_of_non_empty_strings() {
+        // Drop the evidence array from the first finding.
+        let text = to_json(&sample(), &[false, false]).replacen("\"evidence\": []", "\"x\": []", 1);
+        let doc = json::parse(&text).unwrap();
+        let problems = validate(&doc);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("evidence must be an array")),
+            "{problems:?}"
+        );
+
+        // Turn a real evidence entry into an empty string.
+        let text = to_json(&sample(), &[false, false]).replace(
+            "\"`b` acquired while `a` held at crates/core/src/b.rs:9\"",
+            "\"\"",
+        );
+        let doc = json::parse(&text).unwrap();
+        let problems = validate(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("evidence[0]")),
+            "{problems:?}"
+        );
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //! | `io-accounting` | library crates | raw `disk.read` / `disk.write` only inside the cost-counted bufpool wrappers; every I/O entry point reaches a wrapper and bumps its counter |
 //! | `forbid-unsafe` | library crates | each library `lib.rs` carries `#![forbid(unsafe_code)]` |
 //! | `bad-waiver` | whole workspace | `loblint: allow(...)` comments may only name known rules |
+//! | `lock-order` | workspace, non-test | the lock/latch acquisition graph is acyclic and follows the canonical order (see [`crate::flowrules`]) |
+//! | `guard-across-io` | library crates, non-test code | no lock guard or page pin live across a cost-counted I/O wrapper call or `std::io`/`std::fs` |
+//! | `panic-while-locked` | library crates, non-test code | no panic-capable token inside a region where a guard is live |
+//! | `disk-taint` | library crates, non-test code | disk-deserialized values must pass a bounds check before use as an index, `PageId`, or I/O argument |
+//! | `unused-waiver` | whole workspace, non-test | a waiver that no longer suppresses anything is itself a finding |
+//!
+//! The last five are the v3 control-flow rules; they run on the CFG +
+//! dataflow engine in [`crate::lobflow`] and live in
+//! [`crate::flowrules`].
 //!
 //! Library crates are `core`, `buddy`, `bufpool`, `simdisk`, `record`,
 //! `obs`. Test modules (`#[cfg(test)]`), `tests/`, `benches/`,
@@ -39,6 +48,7 @@
 //! baselined and 1 when *new* findings appear; `--update-baseline`
 //! regenerates the file deterministically.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -47,33 +57,151 @@ use std::process::ExitCode;
 use crate::lobsyn::{self, AttrSpan, FnDef, Tok, TokKind};
 
 /// The rule identifiers, as used in findings and `allow(...)` comments.
-pub const RULES: [&str; 12] = [
+pub const RULES: [&str; 17] = [
     "arith-overflow",
     "bad-waiver",
+    "disk-taint",
     "forbid-unsafe",
+    "guard-across-io",
     "io-accounting",
+    "lock-order",
     "magic-duplicate",
     "magic-literal",
     "missing-docs",
     "panic-path",
+    "panic-while-locked",
     "todo",
     "truncating-cast",
     "unit-mixing",
+    "unused-waiver",
     "unwrap",
 ];
 
-/// Schema tag of the `--json` findings document.
-pub const FINDINGS_SCHEMA: &str = "loblint-findings/v1";
+/// One `--explain` documentation entry per rule: (name, scope, text).
+pub const RULE_DOCS: [(&str, &str, &str); 17] = [
+    (
+        "arith-overflow",
+        "library crates, non-test code",
+        "Bare `+ - * <<` (and compound forms) on page/byte/segment quantities can wrap in \
+         release builds; use checked_*/saturating_* or waive with a rationale.",
+    ),
+    (
+        "bad-waiver",
+        "whole workspace",
+        "A `// loblint: allow(...)` comment names a rule loblint does not know; fix the \
+         spelling so the waiver actually waives something.",
+    ),
+    (
+        "disk-taint",
+        "library crates, non-test code",
+        "A value deserialized from disk bytes (from_le_bytes, get_u16/u32/u64, decode) is \
+         tainted: it must flow through a bounds/validation check before being used as a slice \
+         index, a PageId, an I/O-call argument, or in offset/length arithmetic. Forward \
+         dataflow over the function CFG; a comparison, .min()/.clamp(), or a check*/validate* \
+         call sanitizes. The static twin of `lobctl check`.",
+    ),
+    (
+        "forbid-unsafe",
+        "library crates",
+        "Each library crate's lib.rs must carry `#![forbid(unsafe_code)]`.",
+    ),
+    (
+        "guard-across-io",
+        "library crates, non-test code",
+        "A lock guard, borrow latch, or page pin is live across a cost-counted I/O wrapper \
+         call or a std::io/std::fs path. Disk I/O under a held lock serializes the workload \
+         the lock was meant to protect; drop the guard first or restructure.",
+    ),
+    (
+        "io-accounting",
+        "library crates",
+        "Raw `disk.read`/`disk.write` only inside the cost-counted bufpool wrappers; every \
+         I/O entry point must reach a wrapper through the call graph and bump its counter.",
+    ),
+    (
+        "lock-order",
+        "whole workspace, non-test",
+        "All lock/latch acquisitions (Mutex::lock, RwLock::read/write, BufferPool::guard*, \
+         thread-local RefCell .with) form a graph: an edge A -> B means B is acquired while \
+         A is held, directly or through a call. The graph must be acyclic, must not \
+         re-acquire a held resource, and known resources must follow the canonical order in \
+         flowrules::CANONICAL_LOCK_ORDER (DESIGN.md section 13).",
+    ),
+    (
+        "magic-duplicate",
+        "whole workspace",
+        "Each on-disk magic value is defined by exactly one `*MAGIC*` const.",
+    ),
+    (
+        "magic-literal",
+        "whole workspace",
+        "A defined magic value may not appear as a bare literal outside its defining const.",
+    ),
+    (
+        "missing-docs",
+        "library crates",
+        "Every pub item carries a /// doc comment.",
+    ),
+    (
+        "panic-path",
+        "library crates, non-test code",
+        "Indexing/slicing and `/` `%` with a non-constant divisor can panic; guard or waive.",
+    ),
+    (
+        "panic-while-locked",
+        "library crates, non-test code",
+        "A panic-capable token (unwrap/expect, panic!-family macros, indexing, non-constant \
+         division) inside a region where a guard is live poisons the lock for every other \
+         thread. Propagate errors or hoist the panic-capable work outside the guard.",
+    ),
+    (
+        "todo",
+        "all non-test code",
+        "No `todo!` / `unimplemented!` outside test code.",
+    ),
+    (
+        "truncating-cast",
+        "library crates, non-test code",
+        "No bare `as u8/u16/u32/usize` on page/byte-offset arithmetic; use try_into or the \
+         checked helpers in lobstore_simdisk::cast.",
+    ),
+    (
+        "unit-mixing",
+        "library crates, non-test code",
+        "Byte-, page-index- and page-count-typed values may not be mixed in arithmetic, \
+         comparison or assignment.",
+    ),
+    (
+        "unused-waiver",
+        "whole workspace, non-test",
+        "A `// loblint: allow(rule)` comment whose rule no longer fires on the waived line \
+         is dead weight that hides future regressions; remove it. `--update-baseline` \
+         likewise reports baseline entries the current run resolved.",
+    ),
+    (
+        "unwrap",
+        "library crates, non-test code",
+        "No `.unwrap()` / `.expect(` in library code; propagate LobError instead.",
+    ),
+];
+
+/// Schema tag of the `--json` findings document. v2 added the
+/// per-finding `evidence` array (acquisition chains, taint paths).
+pub const FINDINGS_SCHEMA: &str = "loblint-findings/v2";
 
 const LIBRARY_CRATES: [&str; 6] = ["core", "buddy", "bufpool", "simdisk", "record", "obs"];
 
-/// One reported violation.
+/// One reported violation. `evidence` carries the control-flow trail
+/// for CFG rules (acquisition chain, taint path); empty for token
+/// rules. It is reported in the JSON document but excluded from the
+/// baseline key, like line numbers.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
     pub file: String,
     pub line: usize,
     pub rule: &'static str,
     pub message: String,
+    pub evidence: Vec<String>,
 }
 
 /// How a file participates in the lint pass.
@@ -103,11 +231,11 @@ pub fn classify(rel: &str) -> FileClass {
 
 /// Everything the rules need to know about one source file, derived
 /// once from the token stream.
-struct Analysis {
-    rel: String,
-    class: FileClass,
-    toks: Vec<Tok>,
-    fns: Vec<FnDef>,
+pub(crate) struct Analysis {
+    pub(crate) rel: String,
+    pub(crate) class: FileClass,
+    pub(crate) toks: Vec<Tok>,
+    pub(crate) fns: Vec<FnDef>,
     spans: Vec<AttrSpan>,
     /// Lines carrying at least one code token.
     code_lines: BTreeSet<usize>,
@@ -121,6 +249,9 @@ struct Analysis {
     waivers: BTreeMap<usize, Vec<&'static str>>,
     /// `bad-waiver` findings discovered while parsing comments.
     bad_waivers: Vec<Finding>,
+    /// (waiver line, rule) pairs that suppressed at least one finding
+    /// this run — the input to the `unused-waiver` rule.
+    used_waivers: RefCell<BTreeSet<(usize, &'static str)>>,
 }
 
 impl Analysis {
@@ -160,6 +291,7 @@ impl Analysis {
                             "unknown rule `{name}` in `loblint: allow(...)`; known rules: {}",
                             RULES.join(", ")
                         ),
+                        evidence: Vec::new(),
                     }),
                 }
             }
@@ -175,29 +307,57 @@ impl Analysis {
             doc_lines,
             waivers,
             bad_waivers,
+            used_waivers: RefCell::new(BTreeSet::new()),
             toks: lexed.toks,
         }
     }
 
     /// Is `rule` waived at `line` (same line, or a code-free line
-    /// directly above)?
-    fn allowed(&self, line: usize, rule: &'static str) -> bool {
+    /// directly above)? A hit marks the waiver as used.
+    pub(crate) fn allowed(&self, line: usize, rule: &'static str) -> bool {
         let at = |l: usize| self.waivers.get(&l).is_some_and(|rs| rs.contains(&rule));
-        at(line) || (line > 1 && !self.code_lines.contains(&(line - 1)) && at(line - 1))
+        if at(line) {
+            self.used_waivers.borrow_mut().insert((line, rule));
+            return true;
+        }
+        if line > 1 && !self.code_lines.contains(&(line - 1)) && at(line - 1) {
+            self.used_waivers.borrow_mut().insert((line - 1, rule));
+            return true;
+        }
+        false
     }
 
     /// Is this line exempt from library rules (test code)?
-    fn in_test(&self, line: usize) -> bool {
+    pub(crate) fn in_test(&self, line: usize) -> bool {
         self.class.test_code || self.test_lines.contains(&line)
     }
 
-    fn push(&self, out: &mut Vec<Finding>, line: usize, rule: &'static str, message: String) {
+    pub(crate) fn push(
+        &self,
+        out: &mut Vec<Finding>,
+        line: usize,
+        rule: &'static str,
+        message: String,
+    ) {
+        self.push_ev(out, line, rule, message, Vec::new());
+    }
+
+    /// Like [`Analysis::push`], with a control-flow evidence trail.
+    pub(crate) fn push_ev(
+        &self,
+        out: &mut Vec<Finding>,
+        line: usize,
+        rule: &'static str,
+        message: String,
+        evidence: Vec<String>,
+    ) {
         if !self.allowed(line, rule) {
             out.push(Finding {
                 file: self.rel.clone(),
                 line,
                 rule,
                 message,
+                evidence,
             });
         }
     }
@@ -248,8 +408,41 @@ pub fn lint_sources(sources: &[(String, String)]) -> Vec<Finding> {
     }
     check_forbid_unsafe(&analyses, &mut findings);
     check_io_accounting(&analyses, &mut findings);
+    crate::flowrules::check(&analyses, &mut findings);
+    // Last: every other rule has had its chance to consume waivers.
+    check_unused_waivers(&analyses, &mut findings);
     findings.sort();
     findings
+}
+
+/// The `unused-waiver` rule: a waiver that suppressed nothing this run
+/// is dead weight that would silently swallow future regressions.
+/// Waivers for `unused-waiver` itself are exempt (self-referential),
+/// as are waivers in test code, where the waived rules never run.
+fn check_unused_waivers(analyses: &[Analysis], out: &mut Vec<Finding>) {
+    for a in analyses {
+        for (&line, rules) in &a.waivers {
+            if a.in_test(line) {
+                continue;
+            }
+            let mut seen = BTreeSet::new();
+            for &rule in rules {
+                if rule == "unused-waiver" || !seen.insert(rule) {
+                    continue;
+                }
+                if !a.used_waivers.borrow().contains(&(line, rule)) {
+                    a.push(
+                        out,
+                        line,
+                        "unused-waiver",
+                        format!(
+                            "waiver `{rule}` no longer suppresses any finding on this line; remove it"
+                        ),
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// Everything `loblint` found across the workspace rooted at `root`.
@@ -385,6 +578,7 @@ fn check_magic_duplicates(defs: &[MagicDef], findings: &mut Vec<Finding>) {
                     "magic value {value} of `{}` already defined as `{}` at {}:{}",
                     d.name, group[0].name, group[0].file, group[0].line
                 ),
+                evidence: Vec::new(),
             });
         }
     }
@@ -406,14 +600,47 @@ const QUANTITY_WORDS: [&str; 16] = [
 ];
 
 /// Can the token end a binary operator's left operand?
-fn ends_operand(t: &Tok) -> bool {
+pub(crate) fn ends_operand(t: &Tok) -> bool {
     matches!(t.kind, TokKind::Ident | TokKind::Num) || t.is_punct(")") || t.is_punct("]")
+}
+
+/// Is `toks[i]` a `/ % /= %=` whose divisor is not a literal or
+/// ALL_CAPS const — i.e. a potential divide-by-zero panic? Shared by
+/// `panic-path` and `panic-while-locked`.
+pub(crate) fn panic_div_at(t: &[Tok], i: usize) -> bool {
+    if !(t[i].kind == TokKind::Punct
+        && matches!(t[i].text.as_str(), "/" | "%" | "/=" | "%=")
+        && i > 0
+        && ends_operand(&t[i - 1]))
+    {
+        return false;
+    }
+    let divisor_const = match t.get(i + 1) {
+        Some(n) if n.kind == TokKind::Num => true,
+        _ => right_chain(t, i)
+            .is_some_and(|(c, call, _)| !call && c.last().is_some_and(|id| is_const_name(id))),
+    };
+    !divisor_const
+}
+
+/// Is `toks[i]` a postfix `[` (indexing/slicing a value) that is not a
+/// full-range `[..]`? Shared by `panic-path`, `panic-while-locked` and
+/// the `disk-taint` sink scan.
+pub(crate) fn panic_index_at(t: &[Tok], i: usize) -> bool {
+    t[i].is_punct("[")
+        && i > 0
+        && (matches!(t[i - 1].kind, TokKind::Ident)
+            || t[i - 1].is_punct(")")
+            || t[i - 1].is_punct("]")
+            || t[i - 1].is_punct("?"))
+        && !(t.get(i + 1).is_some_and(|n| n.is_punct(".."))
+            && t.get(i + 2).is_some_and(|n| n.is_punct("]")))
 }
 
 /// The `.`/`::`-joined identifier chain ending at `op - 1`, innermost
 /// last (`self.pos` -> `["self", "pos"]`). `None` when the operand is
 /// not a plain chain (a call result, a literal, ...).
-fn left_chain(toks: &[Tok], op: usize) -> Option<Vec<String>> {
+pub(crate) fn left_chain(toks: &[Tok], op: usize) -> Option<Vec<String>> {
     let mut j = op.checked_sub(1)?;
     if toks[j].kind != TokKind::Ident {
         return None;
@@ -434,7 +661,7 @@ fn left_chain(toks: &[Tok], op: usize) -> Option<Vec<String>> {
 /// the chain is immediately called (`f(...)`), i.e. its value is not
 /// the named thing itself; the usize is the index of the chain's last
 /// token.
-fn right_chain(toks: &[Tok], op: usize) -> Option<(Vec<String>, bool, usize)> {
+pub(crate) fn right_chain(toks: &[Tok], op: usize) -> Option<(Vec<String>, bool, usize)> {
     let mut j = op + 1;
     if toks.get(j)?.kind != TokKind::Ident {
         return None;
@@ -476,7 +703,7 @@ fn is_quantity(chain: &[String]) -> bool {
 }
 
 /// Is this identifier an ALL_CAPS constant name?
-fn is_const_name(id: &str) -> bool {
+pub(crate) fn is_const_name(id: &str) -> bool {
     id.chars().any(|c| c.is_ascii_uppercase())
         && id
             .chars()
@@ -485,14 +712,14 @@ fn is_const_name(id: &str) -> bool {
 
 /// A unit for the `unit-mixing` rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Unit {
+pub(crate) enum Unit {
     Bytes,
     PageCount,
     PageIdx,
 }
 
 impl Unit {
-    fn name(self) -> &'static str {
+    pub(crate) fn name(self) -> &'static str {
         match self {
             Unit::Bytes => "byte quantity",
             Unit::PageCount => "page count",
@@ -503,7 +730,7 @@ impl Unit {
 
 /// Classify an identifier chain by naming convention: byte words win,
 /// then count-of-pages words, then page-index words.
-fn unit_of(chain: &[String]) -> Option<Unit> {
+pub(crate) fn unit_of(chain: &[String]) -> Option<Unit> {
     let words: Vec<String> = chain.iter().flat_map(|id| words_of(id)).collect();
     let has = |w: &str| words.iter().any(|x| x == w);
     if ["byte", "bytes", "off", "offset", "pos", "size"]
@@ -666,49 +893,27 @@ fn lint_file(a: &Analysis, magics: &[MagicDef], out: &mut Vec<Finding>) {
         }
 
         // -- panic-path: division by non-constants --
-        if t[i].kind == TokKind::Punct
-            && matches!(t[i].text.as_str(), "/" | "%" | "/=" | "%=")
-            && i > 0
-            && ends_operand(&t[i - 1])
-        {
-            let divisor_const = match t.get(i + 1) {
-                Some(n) if n.kind == TokKind::Num => true,
-                _ => right_chain(t, i).is_some_and(|(c, call, _)| {
-                    !call && c.last().is_some_and(|id| is_const_name(id))
-                }),
-            };
-            if !divisor_const {
-                a.push(
-                    out,
-                    line,
-                    "panic-path",
-                    format!(
-                        "`{}` with a non-constant divisor may panic on zero; guard or waive",
-                        t[i].text
-                    ),
-                );
-            }
+        if panic_div_at(t, i) {
+            a.push(
+                out,
+                line,
+                "panic-path",
+                format!(
+                    "`{}` with a non-constant divisor may panic on zero; guard or waive",
+                    t[i].text
+                ),
+            );
         }
 
         // -- panic-path: postfix indexing/slicing --
-        if t[i].is_punct("[")
-            && i > 0
-            && (matches!(t[i - 1].kind, TokKind::Ident)
-                || t[i - 1].is_punct(")")
-                || t[i - 1].is_punct("]")
-                || t[i - 1].is_punct("?"))
-        {
-            let full_range = t.get(i + 1).is_some_and(|n| n.is_punct(".."))
-                && t.get(i + 2).is_some_and(|n| n.is_punct("]"));
-            if !full_range {
-                a.push(
-                    out,
-                    line,
-                    "panic-path",
-                    "indexing/slicing may panic on out-of-range; use get()/split checks or waive"
-                        .into(),
-                );
-            }
+        if panic_index_at(t, i) {
+            a.push(
+                out,
+                line,
+                "panic-path",
+                "indexing/slicing may panic on out-of-range; use get()/split checks or waive"
+                    .into(),
+            );
         }
     }
 
@@ -838,7 +1043,7 @@ fn check_forbid_unsafe(analyses: &[Analysis], out: &mut Vec<Finding>) {
 /// `disk.read`/`disk.write` call site must sit inside one of these,
 /// and each must (transitively) perform raw I/O — together they are
 /// the static model of "all I/O above the disk goes through the pool".
-const IO_WRAPPERS: [(&str, &[&str]); 2] = [
+pub(crate) const IO_WRAPPERS: [(&str, &[&str]); 2] = [
     (
         "crates/bufpool/src/pool.rs",
         &["evict", "fix", "flush_page", "flush_all"],
@@ -859,7 +1064,7 @@ const IO_WRAPPERS: [(&str, &[&str]); 2] = [
 /// The I/O entry points above the pool: each must reach a wrapper
 /// through the call graph, and the core ones must bump their obs
 /// counter — the static twin of `tests/observability.rs`.
-const IO_ENTRIES: [(&str, &str, Option<&str>); 5] = [
+pub(crate) const IO_ENTRIES: [(&str, &str, Option<&str>); 5] = [
     ("crates/bufpool/src/segio.rs", "read_segment", None),
     (
         "crates/core/src/segdata.rs",
@@ -883,7 +1088,7 @@ const IO_ENTRIES: [(&str, &str, Option<&str>); 5] = [
     ),
 ];
 
-const CALL_KEYWORDS: [&str; 11] = [
+pub(crate) const CALL_KEYWORDS: [&str; 11] = [
     "if", "match", "while", "for", "return", "loop", "fn", "as", "in", "move", "unsafe",
 ];
 
@@ -1218,6 +1423,27 @@ impl Baseline {
         out
     }
 
+    /// Baseline entries the current findings no longer produce — what
+    /// an `--update-baseline` run is about to drop. Reported so
+    /// resolved findings are visible instead of silently vanishing.
+    pub fn resolved_against(&self, findings: &[Finding]) -> Vec<(String, String, String, usize)> {
+        let mut left = self.counts.clone();
+        for f in findings {
+            let key = (
+                f.file.clone(),
+                f.rule.to_string(),
+                f.message.replace(['\t', '\n'], " "),
+            );
+            if let Some(n) = left.get_mut(&key) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        left.into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|((f, r, m), n)| (f, r, m, n))
+            .collect()
+    }
+
     /// Mark each finding as baselined (true) or new (false), consuming
     /// baseline entries multiset-style.
     pub fn apply(&self, findings: &[Finding]) -> Vec<bool> {
@@ -1261,7 +1487,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Render the `loblint-findings/v1` document. `baselined[i]` says
+/// Render the `loblint-findings/v2` document. `baselined[i]` says
 /// whether `findings[i]` is frozen in the baseline.
 pub fn to_json(findings: &[Finding], baselined: &[bool]) -> String {
     let n_base = baselined.iter().filter(|b| **b).count();
@@ -1284,9 +1510,15 @@ pub fn to_json(findings: &[Finding], baselined: &[bool]) -> String {
         if i > 0 {
             out.push(',');
         }
+        let evidence = f
+            .evidence
+            .iter()
+            .map(|e| format!("\"{}\"", json_escape(e)))
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = write!(
             out,
-            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"baselined\": {}}}",
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"evidence\": [{evidence}], \"baselined\": {}}}",
             json_escape(&f.file),
             f.line,
             f.rule,
@@ -1313,24 +1545,69 @@ pub struct Opts {
     pub no_baseline: bool,
     /// Regenerate the baseline from the current findings and exit 0.
     pub update_baseline: bool,
+    /// Run a single rule in isolation (`--rule <name>`).
+    pub rule: Option<String>,
+    /// Print the doc-table entry for a rule and exit (`--explain`).
+    pub explain: Option<String>,
+}
+
+/// Print the `RULE_DOCS` entry for `rule`. Exit 0 when known, 2 not.
+pub fn explain(rule: &str) -> ExitCode {
+    match RULE_DOCS.iter().find(|(name, _, _)| *name == rule) {
+        Some((name, scope, text)) => {
+            println!("rule:  {name}\nscope: {scope}\n\n{text}");
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!(
+                "loblint: unknown rule `{rule}`; known rules: {}",
+                RULES.join(", ")
+            );
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// CLI entry point. Exit code 0 = no *new* findings (baselined ones
 /// are fine), 1 = new findings, 2 = the pass could not run.
 pub fn run(opts: &Opts) -> ExitCode {
-    let findings = match lint_workspace(&opts.root) {
+    if let Some(rule) = &opts.explain {
+        return explain(rule);
+    }
+    if let Some(rule) = &opts.rule {
+        if !RULES.contains(&rule.as_str()) {
+            eprintln!(
+                "loblint: unknown rule `{rule}` for --rule; known rules: {}",
+                RULES.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let mut findings = match lint_workspace(&opts.root) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("loblint: cannot scan {}: {e}", opts.root.display());
             return ExitCode::from(2);
         }
     };
+    if let Some(rule) = &opts.rule {
+        findings.retain(|f| f.rule == rule.as_str());
+    }
     let baseline_path = opts
         .baseline
         .clone()
         .unwrap_or_else(|| opts.root.join("loblint.baseline"));
 
     if opts.update_baseline {
+        // Report what the regeneration is about to drop: the ratchet
+        // must be honest in both directions.
+        if let Ok(old_text) = std::fs::read_to_string(&baseline_path) {
+            if let Ok(old) = Baseline::parse(&old_text) {
+                for (file, rule, msg, n) in old.resolved_against(&findings) {
+                    println!("loblint: resolved (x{n}): {file} [{rule}] {msg}");
+                }
+            }
+        }
         let text = Baseline::render(&findings);
         if let Err(e) = std::fs::write(&baseline_path, text) {
             eprintln!("loblint: cannot write {}: {e}", baseline_path.display());
@@ -1532,9 +1809,13 @@ mod tests {
         assert!(lint_lib(same).is_empty());
         let above = "// loblint: allow(truncating-cast)\nfn f(off: u64) -> u32 { off as u32 }\n";
         assert!(lint_lib(above).is_empty());
-        // An allow for a different rule does not suppress.
+        // An allow for a different rule does not suppress — and since
+        // it suppresses nothing, it is itself flagged as unused.
         let wrong = "fn f(off: u64) -> u32 { off as u32 } // loblint: allow(unwrap)\n";
-        assert_eq!(rules_of(&lint_lib(wrong)), vec!["truncating-cast"]);
+        assert_eq!(
+            rules_of(&lint_lib(wrong)),
+            vec!["truncating-cast", "unused-waiver"]
+        );
     }
 
     #[test]
@@ -1547,9 +1828,10 @@ mod tests {
     #[test]
     fn waiver_above_code_line_does_not_reach_past_it() {
         // The waiver sits above a *code* line, so it only covers that
-        // line — the violation two lines down stays flagged.
+        // line — the violation two lines down stays flagged, and the
+        // out-of-reach waiver is reported as unused.
         let src = "// loblint: allow(unwrap)\nfn f() {\n    g().unwrap();\n}\n";
-        assert_eq!(rules_of(&lint_lib(src)), vec!["unwrap"]);
+        assert_eq!(rules_of(&lint_lib(src)), vec!["unused-waiver", "unwrap"]);
     }
 
     #[test]
@@ -1567,6 +1849,104 @@ mod tests {
         let src = "fn f() { g().unwrap(); } // loblint: allow(unwrap, nonsense)\n";
         let found = lint_lib(src);
         assert_eq!(rules_of(&found), vec!["bad-waiver"]);
+    }
+
+    // ---- unused-waiver ------------------------------------------------
+
+    #[test]
+    fn seeded_unused_waiver_violation() {
+        // The code was fixed but the waiver stayed behind: flagged.
+        let src = "fn f(v: &[u8], i: usize) -> Option<u8> { v.get(i).copied() } \
+                   // loblint: allow(panic-path)\n";
+        let found = lint_lib(src);
+        assert_eq!(rules_of(&found), vec!["unused-waiver"]);
+        assert!(found[0].message.contains("`panic-path`"), "{found:?}");
+    }
+
+    #[test]
+    fn mutation_drill_working_waiver_is_not_unused() {
+        // Re-introduce the violation the waiver targets: quiet again.
+        let src = "fn f(v: &[u8], i: usize) -> u8 { v[i] } // loblint: allow(panic-path)\n";
+        assert!(lint_lib(src).is_empty());
+    }
+
+    #[test]
+    fn unused_waiver_skips_test_code_and_is_waivable_itself() {
+        // Inside #[cfg(test)] the library rules never run, so a waiver
+        // there suppresses nothing — and must not be flagged for it.
+        let test_side = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    \
+                         fn t(v: &[u8]) -> u8 { v[0] } // loblint: allow(panic-path)\n}\n";
+        assert!(lint_lib(test_side).is_empty());
+        // A waiver for `unused-waiver` itself is exempt rather than an
+        // infinite regress.
+        let meta = "fn f() {} // loblint: allow(unused-waiver)\n";
+        assert!(lint_lib(meta).is_empty());
+    }
+
+    // ---- baseline: resolved entries -----------------------------------
+
+    #[test]
+    fn resolved_against_reports_what_update_baseline_drops() {
+        let old = Baseline::parse(
+            "crates/core/src/a.rs\tunwrap\tunwrap in library\n\
+             crates/core/src/b.rs\tpanic-path\tindexing\n\
+             crates/core/src/b.rs\tpanic-path\tindexing\n",
+        )
+        .unwrap();
+        // Only one of the two b.rs findings still fires.
+        let current = vec![Finding {
+            file: "crates/core/src/b.rs".into(),
+            line: 7,
+            rule: "panic-path",
+            message: "indexing".into(),
+            evidence: Vec::new(),
+        }];
+        let mut resolved = old.resolved_against(&current);
+        resolved.sort();
+        assert_eq!(
+            resolved,
+            vec![
+                (
+                    "crates/core/src/a.rs".into(),
+                    "unwrap".into(),
+                    "unwrap in library".into(),
+                    1
+                ),
+                (
+                    "crates/core/src/b.rs".into(),
+                    "panic-path".into(),
+                    "indexing".into(),
+                    1
+                ),
+            ]
+        );
+        // Nothing resolved when the findings cover the baseline.
+        assert!(old
+            .resolved_against(&[current[0].clone(), current[0].clone(), {
+                let mut f = current[0].clone();
+                f.file = "crates/core/src/a.rs".into();
+                f.rule = "unwrap";
+                f.message = "unwrap in library".into();
+                f
+            }])
+            .is_empty());
+    }
+
+    // ---- rule docs (--explain) ----------------------------------------
+
+    #[test]
+    fn every_rule_has_exactly_one_doc_entry() {
+        for rule in RULES {
+            assert_eq!(
+                RULE_DOCS.iter().filter(|(n, _, _)| *n == rule).count(),
+                1,
+                "rule `{rule}` must have exactly one RULE_DOCS entry"
+            );
+        }
+        assert_eq!(RULE_DOCS.len(), RULES.len(), "no orphan doc entries");
+        for (_, scope, text) in RULE_DOCS {
+            assert!(!scope.is_empty() && !text.is_empty());
+        }
     }
 
     // ---- arith-overflow -----------------------------------------------

@@ -3,15 +3,18 @@
 //! Subcommands:
 //!
 //! * `loblint [--json] [--out <path>] [--root <dir>] [--baseline <path>]
-//!   [--no-baseline] [--update-baseline]` — run the project-specific
-//!   static analysis pass over every workspace `.rs` source. Findings
-//!   frozen in `loblint.baseline` are reported but do not fail the run;
-//!   exit code 0 means no *new* findings, 1 means new findings were
+//!   [--no-baseline] [--update-baseline] [--rule <name>]
+//!   [--explain <rule>]` — run the project-specific static analysis
+//!   pass over every workspace `.rs` source. Findings frozen in
+//!   `loblint.baseline` are reported but do not fail the run; exit
+//!   code 0 means no *new* findings, 1 means new findings were
 //!   reported, 2 means the pass itself could not run (bad root,
 //!   unreadable files). `--update-baseline` regenerates the baseline
-//!   deterministically (sorted) and exits 0.
+//!   deterministically (sorted) and reports resolved entries.
+//!   `--rule` runs a single rule in isolation; `--explain` prints a
+//!   rule's documentation entry and exits.
 //! * `check-lint-json <path>` — validate a `loblint --json` document
-//!   against the `loblint-findings/v1` schema (same exit codes).
+//!   against the `loblint-findings/v2` schema (same exit codes).
 //! * `check-bench-json <path>` — validate a bench binary's `--json-out`
 //!   document against the `lobstore-bench-report/v1` schema.
 //!
@@ -19,7 +22,9 @@
 //! tooling" and "Static analysis") for the rationale.
 
 mod benchjson;
+mod flowrules;
 mod lintjson;
+mod lobflow;
 mod loblint;
 mod lobsyn;
 
@@ -37,13 +42,15 @@ fn main() -> ExitCode {
                 baseline: None,
                 no_baseline: false,
                 update_baseline: false,
+                rule: None,
+                explain: None,
             };
             let mut rest = args;
             while let Some(arg) = rest.next() {
-                let mut path_arg = |name: &str| match rest.next() {
-                    Some(v) => Ok(PathBuf::from(v)),
+                let mut value_arg = |name: &str| match rest.next() {
+                    Some(v) => Ok(v),
                     None => {
-                        eprintln!("loblint: {name} needs a path argument");
+                        eprintln!("loblint: {name} needs an argument");
                         Err(ExitCode::from(2))
                     }
                 };
@@ -51,16 +58,24 @@ fn main() -> ExitCode {
                     "--json" => opts.json = true,
                     "--no-baseline" => opts.no_baseline = true,
                     "--update-baseline" => opts.update_baseline = true,
-                    "--root" => match path_arg("--root") {
-                        Ok(p) => opts.root = p,
+                    "--root" => match value_arg("--root") {
+                        Ok(p) => opts.root = PathBuf::from(p),
                         Err(c) => return c,
                     },
-                    "--out" => match path_arg("--out") {
-                        Ok(p) => opts.out = Some(p),
+                    "--out" => match value_arg("--out") {
+                        Ok(p) => opts.out = Some(PathBuf::from(p)),
                         Err(c) => return c,
                     },
-                    "--baseline" => match path_arg("--baseline") {
-                        Ok(p) => opts.baseline = Some(p),
+                    "--baseline" => match value_arg("--baseline") {
+                        Ok(p) => opts.baseline = Some(PathBuf::from(p)),
+                        Err(c) => return c,
+                    },
+                    "--rule" => match value_arg("--rule") {
+                        Ok(r) => opts.rule = Some(r),
+                        Err(c) => return c,
+                    },
+                    "--explain" => match value_arg("--explain") {
+                        Ok(r) => opts.explain = Some(r),
                         Err(c) => return c,
                     },
                     other => {
@@ -95,7 +110,8 @@ fn main() -> ExitCode {
         None => {
             eprintln!(
                 "usage: cargo run -p xtask -- loblint [--json] [--out <path>] [--root <dir>] \
-                 [--baseline <path>] [--no-baseline] [--update-baseline]\n       \
+                 [--baseline <path>] [--no-baseline] [--update-baseline] [--rule <name>] \
+                 [--explain <rule>]\n       \
                  cargo run -p xtask -- check-lint-json <path>\n       \
                  cargo run -p xtask -- check-bench-json <path>"
             );

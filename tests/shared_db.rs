@@ -1,0 +1,109 @@
+//! Multi-thread hammer test for [`SharedDb`]: the runtime counterpart
+//! of loblint's `lock-order`/`panic-while-locked` static rules.
+//!
+//! N threads drive mixed create/append/read/delete/destroy traffic
+//! through one shared database. Each thread measures the I/O cost of
+//! every operation it issues (an `io_stats` delta taken *inside* the
+//! critical section, so the delta is attributable to exactly that
+//! operation), and the test asserts I/O-accounting closure: the sum of
+//! all per-operation deltas equals the database's total I/O. Any I/O
+//! escaping the cost-counted wrappers — or any interleaving splicing
+//! one thread's I/O into another's measurement — breaks the equation.
+
+use lobstore::{Db, ManagerSpec, SharedDb};
+use lobstore_simdisk::IoStats;
+
+const THREADS: u8 = 6;
+const OPS_PER_THREAD: usize = 25;
+
+fn pattern(t: u8, i: usize, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|k| (t as usize).wrapping_mul(97).wrapping_add(i * 31 + k) as u8)
+        .collect()
+}
+
+#[test]
+fn mixed_traffic_from_many_threads_keeps_io_accounting_closed() {
+    let shared = SharedDb::new(Db::paper_default());
+    let initial = shared.with(|db| db.io_stats());
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let shared = shared.clone();
+        handles.push(std::thread::spawn(move || {
+            // One op = one critical section; the delta is measured with
+            // the lock held so no other thread's I/O can leak into it.
+            let mut spent = IoStats::default();
+            let mut op = |f: &mut dyn FnMut(&mut Db)| {
+                spent = spent
+                    + shared.with(|db| {
+                        let before = db.io_stats();
+                        f(db);
+                        db.io_stats() - before
+                    });
+            };
+            let spec = match t % 3 {
+                0 => ManagerSpec::esm(4),
+                1 => ManagerSpec::eos(8),
+                _ => ManagerSpec::starburst(),
+            };
+            let mut obj = None;
+            op(&mut |db| obj = Some(spec.create(db).expect("create")));
+            let mut obj = obj.expect("created");
+            let mut model: Vec<u8> = Vec::new();
+            for i in 0..OPS_PER_THREAD {
+                match i % 5 {
+                    // Mostly appends, so the object keeps growing.
+                    0..=2 => {
+                        let chunk = pattern(t, i, 4_000 + 128 * i);
+                        op(&mut |db| obj.append(db, &chunk).expect("append"));
+                        model.extend_from_slice(&chunk);
+                    }
+                    3 => {
+                        let len = (model.len() / 3).clamp(1, 2_500) as u64;
+                        op(&mut |db| obj.delete(db, 0, len).expect("delete"));
+                        model.drain(0..len as usize);
+                    }
+                    _ => {
+                        let off = (model.len() / 4) as u64;
+                        let len = (model.len() - off as usize).min(3_000);
+                        let mut out = vec![0u8; len];
+                        op(&mut |db| obj.read(db, off, &mut out).expect("read"));
+                        assert_eq!(
+                            out,
+                            model[off as usize..off as usize + len],
+                            "thread {t} read back wrong bytes at op {i}"
+                        );
+                    }
+                }
+            }
+            shared.with(|db| obj.check_invariants(db).expect("invariants"));
+            let snap = shared.with(|db| obj.snapshot(db));
+            assert_eq!(snap, model, "thread {t} content diverged");
+            // Half the threads destroy their object, freeing storage
+            // while the others are still appending.
+            if t % 2 == 0 {
+                op(&mut |db| obj.destroy(db).expect("destroy"));
+            }
+            spent
+        }));
+    }
+
+    let spent_total = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread"))
+        .fold(IoStats::default(), |acc, s| acc + s);
+
+    // Closure: everything the database's disk did is accounted to
+    // exactly one thread's operation measurements.
+    let final_stats = shared.with(|db| db.io_stats());
+    assert_eq!(
+        spent_total,
+        final_stats - initial,
+        "per-thread io_stats deltas must sum to the database total"
+    );
+    assert!(spent_total.calls() > 0, "the workload must do real I/O");
+
+    let mut db = shared.try_unwrap().ok().expect("last handle");
+    db.checkpoint();
+}
