@@ -39,12 +39,26 @@ run cargo run -q -p lobstore-bench --bin table2 -- --quick \
     --out-dir target/bench-smoke --json-out target/bench-smoke/table2.json
 run cargo run -q -p xtask -- check-bench-json target/bench-smoke/table2.json
 
-# Hot-path smoke: the throughput bench at smoke scale writes the
-# repo-root trajectory artifact (full-scale numbers are regenerated with
-# `cargo run -q -p lobstore-bench --bin throughput` before a release).
+# Hot-path smoke plus the perf-regression gate: the fresh quick-scale
+# throughput run is compared against the committed baseline BENCH_5.json.
+# Simulated scan seconds are deterministic given the seed, so a >20%
+# regression is a code change, not machine noise (wall MB/s is
+# informational only). Regenerate the baseline deliberately with:
+#   cargo run -q -p lobstore-bench --bin throughput -- --quick \
+#       --json-out BENCH_5.json
 run cargo run -q -p lobstore-bench --bin throughput -- --quick \
-    --out-dir target/bench-smoke --json-out BENCH_5.json
-run cargo run -q -p xtask -- check-bench-json BENCH_5.json
+    --out-dir target/bench-smoke --json-out target/bench-smoke/throughput.json
+run cargo run -q -p xtask -- check-bench-json target/bench-smoke/throughput.json
+run cargo run -q -p xtask -- bench-compare BENCH_5.json target/bench-smoke/throughput.json
+
+# Storage-health smoke: aging churn at smoke scale emits the v2 report
+# (per-scheme health time series); schema-checked, then gated against the
+# committed BENCH_7.json baseline — post-aging scan regression >20% or a
+# fragmentation/utilization blowup fails the build (DESIGN.md §14).
+run cargo run -q -p lobstore-bench --bin aging -- --quick \
+    --out-dir target/bench-smoke --json-out target/bench-smoke/aging.json
+run cargo run -q -p xtask -- check-bench-json target/bench-smoke/aging.json
+run cargo run -q -p xtask -- bench-compare BENCH_7.json target/bench-smoke/aging.json
 
 echo
 echo "ci.sh: all gates passed"

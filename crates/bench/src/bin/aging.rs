@@ -1,0 +1,143 @@
+//! Aging: fragmentation over create/delete/append churn, per scheme.
+//!
+//! The paper's update experiment (§4.4) runs 10 000 operations against
+//! one object; fragmentation studies (Sears & van Ingen, PAPERS.md) show
+//! degradation only develops under object *turnover* at much longer
+//! horizons. This binary runs the churn workload at 10× the configured
+//! op count over a pool of objects per scheme, samples storage health at
+//! every mark (`health.*` gauges and time series, DESIGN.md §14), and
+//! ends with a post-aging streamed scan — the number the regression gate
+//! (`xtask bench-compare`) tracks between runs.
+//!
+//! The JSON report uses `lobstore-bench-report/v2`: v1 plus a `series`
+//! array with the sampled `health.*` series of each scheme.
+
+use std::time::Instant;
+
+use lobstore_bench::{finalize, fresh_db, note, print_banner, print_titled_table, Scale};
+use lobstore_workload::{stream_scan, ChurnConfig, ChurnWorkload, ManagerSpec};
+
+/// Streamed-scan chunk for the post-aging scan (matches `throughput`).
+const STREAM_CHUNK: usize = 4 * 1024;
+/// Churn runs this many times the configured `--ops`.
+const CHURN_MULTIPLIER: usize = 10;
+/// Health marks recorded per scheme over the run.
+const MARKS: usize = 20;
+
+fn mbps(bytes: u64, elapsed: std::time::Duration) -> f64 {
+    bytes as f64 / (1 << 20) as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let churn_ops = scale.ops * CHURN_MULTIPLIER;
+    print_banner(
+        "Aging: fragmentation under create/delete/append churn",
+        scale,
+    );
+    note(&format!(
+        "Churn: {churn_ops} ops per scheme (10x the paper's count) over an 8-object pool; \
+         health sampled at {MARKS} marks."
+    ));
+
+    let specs = [
+        ManagerSpec::esm(16),
+        ManagerSpec::eos(16),
+        ManagerSpec::starburst(),
+    ];
+    let frag_headers: Vec<String> = [
+        "ops",
+        "frag ratio",
+        "largest free run",
+        "free pages",
+        "contiguity",
+        "object util",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let scan_headers: Vec<String> = ["scheme", "wall MB/s", "sim s"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    let mut scan_rows = Vec::new();
+    for spec in &specs {
+        // Fresh registry per scheme so each scheme's series are its own.
+        lobstore_obs::reset();
+        let mut db = fresh_db();
+        // Dense allocator series from the Db-driven periodic sampler,
+        // on top of the per-mark samples the churn driver takes.
+        db.set_health_sampling((churn_ops / 50).max(1) as u64);
+
+        let mut churn = ChurnWorkload::new(ChurnConfig {
+            ops: churn_ops,
+            mark_every: (churn_ops / MARKS).max(1),
+            initial_object_bytes: (scale.object_bytes / 16).max(64 * 1024),
+            ..ChurnConfig::default()
+        });
+        let (pool, rep) = churn.run(&mut db, spec).expect("churn");
+        for obj in &pool {
+            obj.check_invariants(&db).expect("invariants after churn");
+        }
+
+        let rows: Vec<Vec<String>> = rep
+            .marks
+            .iter()
+            .map(|m| {
+                vec![
+                    m.ops_done.to_string(),
+                    format!("{:.3}", m.frag_ratio),
+                    m.largest_free_run.to_string(),
+                    m.free_pages.to_string(),
+                    format!("{:.3}", m.contiguity),
+                    format!("{:.3}", m.object_utilization),
+                ]
+            })
+            .collect();
+        print_titled_table(
+            &format!("fragmentation over time — {}", spec.label()),
+            &frag_headers,
+            &rows,
+        );
+
+        // Post-aging scan of the largest surviving object: the rate a
+        // reader gets after the store has aged. Best of three passes for
+        // the wall rate; the simulated cost is deterministic.
+        let biggest = pool
+            .iter()
+            .max_by_key(|o| o.utilization(&db).object_bytes)
+            .expect("non-empty pool");
+        let mut best = 0.0f64;
+        let mut sim_s = 0.0;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let scan = stream_scan(&mut db, biggest.as_ref(), STREAM_CHUNK).expect("scan");
+            best = best.max(mbps(scan.bytes, t.elapsed()));
+            sim_s = scan.seconds();
+        }
+        scan_rows.push(vec![
+            spec.label(),
+            format!("{best:.1}"),
+            format!("{sim_s:.2}"),
+        ]);
+
+        // Attach every sampled health series to the v2 report.
+        for series in lobstore_obs::series_snapshot_all() {
+            if series.name.starts_with("health.") {
+                lobstore_bench::add_series(&spec.label(), series);
+            }
+        }
+    }
+
+    print_titled_table("post-aging scan", &scan_headers, &scan_rows);
+    note(
+        "Expected shape: frag ratio grows then plateaus as freed extents are reused; \
+         EOS/Starburst contiguity degrades faster than fixed-leaf ESM under turnover.",
+    );
+    note(
+        "Gate: xtask bench-compare fails a run whose post-aging scan regresses >20% \
+         or whose health series blow up against the baseline.",
+    );
+    finalize();
+}

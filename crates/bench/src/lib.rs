@@ -32,9 +32,10 @@ use std::sync::{Mutex, OnceLock};
 
 use lobstore_core::{Db, DbConfig};
 use lobstore_obs::json::Value;
+use lobstore_obs::SeriesSnapshot;
 use lobstore_workload::ManagerSpec;
 
-pub use lobstore_obs::BENCH_REPORT_SCHEMA;
+pub use lobstore_obs::{BENCH_REPORT_SCHEMA, BENCH_REPORT_SCHEMA_V2};
 
 /// Directory for machine-readable CSV copies of every printed table
 /// (`--csv <dir>`); tables are numbered per process in print order.
@@ -60,6 +61,10 @@ struct ReportState {
     text: String,
     /// Title to attach to the next table (set by [`print_mark_table`]).
     next_table_title: Option<String>,
+    /// Sampled time series attached via [`add_series`], as
+    /// `(scheme label, series)`. Non-empty series upgrade the JSON
+    /// report to `lobstore-bench-report/v2`.
+    series: Vec<(String, SeriesSnapshot)>,
     out_dir: Option<PathBuf>,
     json_out: Option<PathBuf>,
     /// Monotonic start of the run, set by [`print_banner`]; the elapsed
@@ -234,6 +239,14 @@ pub fn baseline_json() -> Option<PathBuf> {
     with_report(|r| r.baseline_json.clone())
 }
 
+/// Attach one sampled time series (tagged with the scheme it was
+/// measured under) to the report. Any attached series upgrades the
+/// `--json-out` document to `lobstore-bench-report/v2`, whose `series`
+/// array `xtask bench-compare` diffs between runs.
+pub fn add_series(scheme: &str, series: SeriesSnapshot) {
+    with_report(|r| r.series.push((scheme.to_string(), series)));
+}
+
 /// Write the accumulated report: always `<out-dir>/<bin>.txt` (the
 /// directory defaults to `results/` and is created on demand), plus the
 /// versioned JSON document when `--json-out` was given. Every binary
@@ -268,10 +281,10 @@ pub fn finalize() {
     });
 }
 
-/// The report as a `lobstore-bench-report/v1` JSON document: one record
-/// per table row, `values` keyed by the column headers. `wall_clock_us`
-/// is the binary's monotonic elapsed time, reported next to the simulated
-/// costs in the records.
+/// The report as a `lobstore-bench-report/v1` JSON document (v2 when
+/// series were attached): one record per table row, `values` keyed by
+/// the column headers. `wall_clock_us` is the binary's monotonic elapsed
+/// time, reported next to the simulated costs in the records.
 fn report_json(bin: &str, r: &ReportState, wall_clock_us: u64) -> Value {
     let scale = r.scale.unwrap_or_else(Scale::paper);
     let mut records = Vec::new();
@@ -291,11 +304,13 @@ fn report_json(bin: &str, r: &ReportState, wall_clock_us: u64) -> Value {
             ]));
         }
     }
-    Value::Obj(vec![
-        (
-            "schema".to_string(),
-            Value::from(lobstore_obs::BENCH_REPORT_SCHEMA),
-        ),
+    let schema = if r.series.is_empty() {
+        lobstore_obs::BENCH_REPORT_SCHEMA
+    } else {
+        lobstore_obs::BENCH_REPORT_SCHEMA_V2
+    };
+    let mut fields = vec![
+        ("schema".to_string(), Value::from(schema)),
         ("bin".to_string(), Value::from(bin)),
         ("title".to_string(), Value::from(r.title.as_str())),
         ("wall_clock_us".to_string(), Value::from(wall_clock_us)),
@@ -315,7 +330,24 @@ fn report_json(bin: &str, r: &ReportState, wall_clock_us: u64) -> Value {
             "notes".to_string(),
             Value::Arr(r.notes.iter().map(|n| Value::from(n.as_str())).collect()),
         ),
-    ])
+    ];
+    if !r.series.is_empty() {
+        let series = r
+            .series
+            .iter()
+            .map(|(scheme, s)| {
+                // Prepend the scheme tag to the series' own fields.
+                let mut entry = vec![("scheme".to_string(), Value::from(scheme.as_str()))];
+                match s.to_value() {
+                    Value::Obj(fields) => entry.extend(fields),
+                    other => entry.push(("series".to_string(), other)),
+                }
+                Value::Obj(entry)
+            })
+            .collect();
+        fields.push(("series".to_string(), Value::Arr(series)));
+    }
+    Value::Obj(fields)
 }
 
 /// Column specs of the standard manager sweeps.
@@ -563,6 +595,63 @@ mod tests {
         );
         let notes = v.get("notes").and_then(Value::as_arr).unwrap();
         assert_eq!(notes.len(), 1);
+    }
+
+    #[test]
+    fn report_json_upgrades_to_v2_with_series() {
+        use lobstore_obs::SeriesPoint;
+        let r = ReportState {
+            title: "Aging".to_string(),
+            scale: Some(Scale::quick()),
+            tables: vec![TableRecord {
+                table: 0,
+                title: "post-aging scan".to_string(),
+                headers: vec!["scheme".to_string(), "sim s".to_string()],
+                rows: vec![vec!["ESM/16".to_string(), "1.5".to_string()]],
+            }],
+            series: vec![(
+                "ESM/16".to_string(),
+                SeriesSnapshot {
+                    name: "health.leaf.frag_ratio".to_string(),
+                    dropped: 0,
+                    points: vec![
+                        SeriesPoint {
+                            tick: 100,
+                            value: 0.1,
+                        },
+                        SeriesPoint {
+                            tick: 200,
+                            value: 0.2,
+                        },
+                    ],
+                },
+            )],
+            ..ReportState::default()
+        };
+        let doc = report_json("aging", &r, 99);
+        let v = lobstore_obs::json::parse(&doc.to_json()).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some(BENCH_REPORT_SCHEMA_V2)
+        );
+        let series = v.get("series").and_then(Value::as_arr).unwrap();
+        assert_eq!(series.len(), 1);
+        let s = &series[0];
+        assert_eq!(s.get("scheme").and_then(Value::as_str), Some("ESM/16"));
+        assert_eq!(
+            s.get("name").and_then(Value::as_str),
+            Some("health.leaf.frag_ratio")
+        );
+        assert_eq!(
+            s.get("points").and_then(Value::as_arr).map(<[Value]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            s.get("summary")
+                .and_then(|x| x.get("last"))
+                .and_then(Value::as_num),
+            Some(0.2)
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ mod bitmap;
 mod manager;
 
 pub use bitmap::BuddyBitmap;
-pub use manager::{BuddyConfig, BuddyManager};
+pub use manager::{BuddyConfig, BuddyManager, FragStats};
 
 use lobstore_simdisk::AreaId;
 

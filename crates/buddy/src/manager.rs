@@ -42,6 +42,62 @@ impl Default for BuddyConfig {
     }
 }
 
+/// Fragmentation summary of one area's buddy spaces, computed by
+/// [`BuddyManager::frag_stats`] from *peeked* (cost-free) directory
+/// pages — health sampling must not perturb the simulated I/O record.
+///
+/// Runs are maximal runs of free pages within one space, irrespective of
+/// buddy alignment: they measure what a future contiguous allocation
+/// could physically get, which is what fragmentation degrades. Runs never
+/// cross a space boundary (the next space's directory page sits between).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FragStats {
+    /// Buddy spaces that exist.
+    pub spaces: u32,
+    /// Data pages per space.
+    pub space_pages: u32,
+    /// Pages currently allocated, recounted from the directory bitmaps.
+    pub allocated_pages: u64,
+    /// Pages currently free, recounted from the directory bitmaps.
+    pub free_pages: u64,
+    /// Length of the longest free run (0 when no space has free pages).
+    pub largest_free_run: u32,
+    /// Length of every maximal free run, in on-disk order.
+    pub free_runs: Vec<u32>,
+}
+
+impl FragStats {
+    /// Total data pages across all spaces.
+    pub fn total_pages(&self) -> u64 {
+        u64::from(self.spaces) * u64::from(self.space_pages)
+    }
+
+    /// Fraction of data pages allocated (0 when no spaces exist).
+    pub fn utilization(&self) -> f64 {
+        if self.total_pages() == 0 {
+            0.0
+        } else {
+            // f64 division behind a zero guard; cannot panic.
+            // loblint: allow(panic-path)
+            self.allocated_pages as f64 / self.total_pages() as f64
+        }
+    }
+
+    /// External fragmentation in `[0, 1]`: `1 − largest_free_run /
+    /// free_pages`. 0 means all free storage is one contiguous run (or
+    /// there is none); values near 1 mean free storage is shattered into
+    /// runs far smaller than their total.
+    pub fn frag_ratio(&self) -> f64 {
+        if self.free_pages == 0 {
+            0.0
+        } else {
+            // f64 division behind a zero guard; cannot panic.
+            // loblint: allow(panic-path)
+            1.0 - f64::from(self.largest_free_run) / self.free_pages as f64
+        }
+    }
+}
+
 /// Disk-space manager for one database area.
 ///
 /// All page numbers handed out are absolute page numbers in the area; the
@@ -322,6 +378,42 @@ impl BuddyManager {
         Ok(())
     }
 
+    /// Fragmentation summary of every space, read *cost-free* through
+    /// [`BufferPool::peek_page`] (newest resident copy, else disk). This
+    /// is the health sampler's data source: calling it must leave
+    /// `IoStats` untouched, so degradation can be measured without the
+    /// measurement itself showing up in the cost model. loblint's
+    /// io-accounting rule pins this as a registered meta-inspector.
+    pub fn frag_stats(&self, pool: &BufferPool) -> FragStats {
+        let mut st = FragStats {
+            spaces: self.n_spaces,
+            space_pages: self.cfg.space_pages,
+            ..FragStats::default()
+        };
+        for s in 0..self.n_spaces {
+            let dir = PageId::new(self.cfg.area, self.dir_page(s));
+            let mut probe = [0u8; lobstore_simdisk::PAGE_SIZE];
+            pool.peek_page(dir, &mut probe);
+            let bm = self.parse_dir(&probe);
+            st.free_pages = st.free_pages.saturating_add(u64::from(bm.free_pages()));
+            let mut run = 0u32;
+            for p in 0..self.cfg.space_pages {
+                if bm.is_free(p) {
+                    run += 1;
+                } else if run > 0 {
+                    st.free_runs.push(run);
+                    run = 0;
+                }
+            }
+            if run > 0 {
+                st.free_runs.push(run);
+            }
+        }
+        st.allocated_pages = st.total_pages().saturating_sub(st.free_pages);
+        st.largest_free_run = st.free_runs.iter().copied().max().unwrap_or(0);
+        st
+    }
+
     fn create_space(&mut self, pool: &mut BufferPool) -> u32 {
         let s = self.n_spaces;
         self.n_spaces += 1;
@@ -568,6 +660,87 @@ mod tests {
             let err = m.paranoid_verify(&mut pool).unwrap_err();
             assert!(err.contains("magic"), "{err}");
         }
+    }
+
+    #[test]
+    fn frag_stats_empty_manager() {
+        let (m, pool) = setup(256);
+        let st = m.frag_stats(&pool);
+        assert_eq!(
+            st,
+            FragStats {
+                space_pages: 256,
+                ..FragStats::default()
+            }
+        );
+        assert_eq!(st.utilization(), 0.0);
+        assert_eq!(st.frag_ratio(), 0.0);
+    }
+
+    #[test]
+    fn frag_stats_tracks_runs_and_ratio() {
+        let (mut m, mut pool) = setup(256);
+        // Allocate three 8-page blocks, free the middle one: free space
+        // is the 8-page hole plus the 232-page tail.
+        let a = m.allocate(&mut pool, 8);
+        let b = m.allocate(&mut pool, 8);
+        let c = m.allocate(&mut pool, 8);
+        assert_eq!((a.start, b.start, c.start), (1, 9, 17));
+        m.free(&mut pool, b);
+        let st = m.frag_stats(&pool);
+        assert_eq!(st.spaces, 1);
+        assert_eq!(st.allocated_pages, 16);
+        assert_eq!(st.free_pages, 256 - 16);
+        assert_eq!(st.free_runs, vec![8, 256 - 24]);
+        assert_eq!(st.largest_free_run, 232);
+        let want = 1.0 - 232.0 / 240.0;
+        assert!((st.frag_ratio() - want).abs() < 1e-12);
+        assert!((st.utilization() - 16.0 / 256.0).abs() < 1e-12);
+        // Bitmap recount agrees with the manager's own counter.
+        assert_eq!(st.allocated_pages, m.allocated_pages());
+    }
+
+    #[test]
+    fn frag_stats_spans_spaces_without_joining_runs() {
+        let (mut m, mut pool) = setup(64);
+        let a = m.allocate(&mut pool, 64); // fills space 0
+        let _b = m.allocate(&mut pool, 8); // opens space 1
+        m.free(&mut pool, a.prefix(4)); // free run at the start of space 0
+        let st = m.frag_stats(&pool);
+        assert_eq!(st.spaces, 2);
+        // Space 0: one 4-page run. Space 1: one 56-page tail. The runs
+        // are separated by space 1's directory page, never merged.
+        assert_eq!(st.free_runs, vec![4, 56]);
+        assert_eq!(st.largest_free_run, 56);
+        assert_eq!(st.free_pages, 60);
+        assert_eq!(st.allocated_pages, 68);
+    }
+
+    #[test]
+    fn frag_stats_is_simulated_io_free() {
+        let (mut m, mut pool) = setup(256);
+        let a = m.allocate(&mut pool, 16);
+        m.free(&mut pool, a.suffix(9));
+        pool.flush_all();
+        let before = pool.io_stats();
+        let st = m.frag_stats(&pool);
+        assert_eq!(
+            pool.io_stats() - before,
+            Default::default(),
+            "health inspection must not perturb the cost record"
+        );
+        assert_eq!(st.allocated_pages, 9);
+    }
+
+    #[test]
+    fn frag_stats_sees_unflushed_directory_state() {
+        // The directory page is dirty in the pool; peek must read the
+        // resident copy, not the stale on-disk one.
+        let (mut m, mut pool) = setup(256);
+        let _a = m.allocate(&mut pool, 32);
+        let st = m.frag_stats(&pool);
+        assert_eq!(st.allocated_pages, 32);
+        assert_eq!(st.free_pages, 224);
     }
 
     #[test]

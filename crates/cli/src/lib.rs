@@ -16,7 +16,7 @@
 //! lobctl <image> stat <name>                   size, utilization, segments
 //! lobctl <image> rm <name>                     destroy object + name
 //! lobctl <image> info                          database totals
-//! lobctl <image> stats [--json]                per-scheme storage summary
+//! lobctl <image> stats [--json] [--watch <n>]  per-scheme storage summary
 //! lobctl <image> check [--json]                consistency check (fsck)
 //! ```
 //!
@@ -316,11 +316,67 @@ pub fn run(args: &[String]) -> Outcome {
         }
         "stats" => {
             mutating = false;
-            let json = match rest {
-                [] => false,
-                [flag] if flag == "--json" => true,
-                _ => bail!("usage: stats [--json]"),
-            };
+            let mut json = false;
+            let mut watch: Option<u32> = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--json" => json = true,
+                    "--watch" => {
+                        match rest.get(i + 1).and_then(|v| v.parse::<u32>().ok()) {
+                            Some(n) if n > 0 => watch = Some(n),
+                            _ => bail!("usage: stats [--json] [--watch <n>]"),
+                        }
+                        i += 1;
+                    }
+                    _ => bail!("usage: stats [--json] [--watch <n>]"),
+                }
+                i += 1;
+            }
+            if let Some(n) = watch {
+                if json {
+                    bail!("stats: --watch and --json are mutually exclusive");
+                }
+                // Sampled mode: one compact health line per pass,
+                // re-opening the image each time so a writer between
+                // passes shows up. Deliberately no sleeping — callers
+                // pace the loop (watch(1)-style wrappers, tests).
+                let _ = writeln!(
+                    out,
+                    "{:>4} {:>11} {:>10} {:>12} {:>10} {:>11}",
+                    "pass", "leaf alloc", "leaf frag", "largest run", "leaf util", "meta alloc"
+                );
+                for pass in 0..n {
+                    let snap = match Db::load_from_path(image, DbConfig::default()) {
+                        Ok(db) => db,
+                        Err(e) => bail!("cannot re-open {image}: {e}"),
+                    };
+                    let leaf = snap.leaf_frag_stats();
+                    let meta = snap.meta_frag_stats();
+                    let _ = writeln!(
+                        out,
+                        "{:>4} {:>11} {:>10.3} {:>12} {:>9.1}% {:>11}",
+                        pass,
+                        leaf.allocated_pages,
+                        leaf.frag_ratio(),
+                        leaf.largest_free_run,
+                        leaf.utilization() * 100.0,
+                        meta.allocated_pages,
+                    );
+                }
+                let cost = db.io_stats() - before;
+                let stderr = format!(
+                    "[simulated I/O: {} calls, {} pages, {:.1} ms]\n",
+                    cost.calls(),
+                    cost.pages(),
+                    cost.time_ms()
+                );
+                return Outcome {
+                    status: 0,
+                    stdout: out,
+                    stderr,
+                };
+            }
             let entries = match cat.list(&mut db) {
                 Ok(e) => e,
                 Err(e) => bail!("{e}"),
@@ -357,6 +413,8 @@ pub fn run(args: &[String]) -> Outcome {
                     object_bytes[k] as f64 / (alloc_pages[k] * page) as f64
                 }
             };
+            let leaf = db.leaf_frag_stats();
+            let meta = db.meta_frag_stats();
             if json {
                 use lobstore_obs::json::Value;
                 let schemes = kinds
@@ -388,9 +446,16 @@ pub fn run(args: &[String]) -> Outcome {
                     })
                     .collect();
                 let doc = Value::Obj(vec![
-                    ("schema".to_string(), Value::from("lobstore-stats/v1")),
+                    ("schema".to_string(), Value::from("lobstore-stats/v2")),
                     ("schemes".to_string(), Value::Arr(schemes)),
                     ("segment_pages_log2".to_string(), Value::Arr(hist)),
+                    (
+                        "fragmentation".to_string(),
+                        Value::Obj(vec![
+                            ("leaf".to_string(), frag_to_value(&leaf)),
+                            ("meta".to_string(), frag_to_value(&meta)),
+                        ]),
+                    ),
                     ("io".to_string(), (db.io_stats() - before).to_value()),
                 ]);
                 let _ = writeln!(out, "{}", doc.to_json());
@@ -416,6 +481,31 @@ pub fn run(args: &[String]) -> Outcome {
                     if n > 0 {
                         let _ =
                             writeln!(out, "  {:>6}-{:<6} : {n}", 1u64 << b, (1u64 << (b + 1)) - 1);
+                    }
+                }
+                let _ = writeln!(out, "fragmentation:");
+                for (area, st) in [("leaf", &leaf), ("meta", &meta)] {
+                    let _ = writeln!(
+                        out,
+                        "  {area:<5} alloc {:>8} free {:>8} frag {:>5.3} largest run {:>7}",
+                        st.allocated_pages,
+                        st.free_pages,
+                        st.frag_ratio(),
+                        st.largest_free_run
+                    );
+                    let runs: Vec<u64> = st.free_runs.iter().map(|&r| u64::from(r)).collect();
+                    if !runs.is_empty() {
+                        let h = lobstore_obs::HistogramSnapshot::from_values("free_runs", &runs);
+                        let _ = writeln!(
+                            out,
+                            "  {area:<5} free runs {:>4}: p50 {:>9.0} p90 {:>9.0} p99 {:>9.0} \
+                             max {:>7}",
+                            runs.len(),
+                            h.p50().unwrap_or(0.0),
+                            h.p90().unwrap_or(0.0),
+                            h.p99().unwrap_or(0.0),
+                            h.max
+                        );
                     }
                 }
             }
@@ -466,6 +556,38 @@ fn open_named(db: &mut Db, cat: &mut Catalog, name: &str) -> Result<Box<dyn Larg
         .ok_or_else(|| Outcome::err(format!("no object named '{name}'")))?;
     lobstore_core::open_object(db, entry.kind, entry.root_page)
         .map_err(|e| Outcome::err(e.to_string()))
+}
+
+/// Render one area's [`lobstore_core::FragStats`] for `stats --json`,
+/// including free-run-length quantiles from the log2 histogram.
+fn frag_to_value(st: &lobstore_core::FragStats) -> lobstore_obs::json::Value {
+    use lobstore_obs::json::Value;
+    let runs: Vec<u64> = st.free_runs.iter().map(|&r| u64::from(r)).collect();
+    let mut fields = vec![
+        ("spaces".to_string(), Value::from(u64::from(st.spaces))),
+        (
+            "allocated_pages".to_string(),
+            Value::from(st.allocated_pages),
+        ),
+        ("free_pages".to_string(), Value::from(st.free_pages)),
+        (
+            "largest_free_run_pages".to_string(),
+            Value::from(u64::from(st.largest_free_run)),
+        ),
+        ("frag_ratio".to_string(), Value::Num(st.frag_ratio())),
+        ("utilization".to_string(), Value::Num(st.utilization())),
+        ("free_runs".to_string(), Value::from(runs.len() as u64)),
+    ];
+    if !runs.is_empty() {
+        let h = lobstore_obs::HistogramSnapshot::from_values("free_runs", &runs);
+        for (name, v) in [("p50", h.p50()), ("p90", h.p90()), ("p99", h.p99())] {
+            fields.push((
+                format!("free_run_{name}"),
+                Value::Num(v.unwrap_or_default()),
+            ));
+        }
+    }
+    Value::Obj(fields)
 }
 
 /// Label helper reused by tests.
@@ -602,6 +724,8 @@ mod tests {
         let text = String::from_utf8_lossy(&text.stdout).into_owned();
         assert!(text.contains("ESM"), "{text}");
         assert!(text.contains("segment sizes"), "{text}");
+        assert!(text.contains("fragmentation:"), "{text}");
+        assert!(text.contains("largest run"), "{text}");
 
         let js = run(&argv(&[&img, "stats", "--json"]));
         assert_eq!(js.status, 0, "{}", js.stderr);
@@ -609,7 +733,7 @@ mod tests {
         use lobstore_obs::json::Value;
         assert_eq!(
             v.get("schema").and_then(Value::as_str),
-            Some("lobstore-stats/v1")
+            Some("lobstore-stats/v2")
         );
         let schemes = v.get("schemes").and_then(Value::as_arr).unwrap();
         assert_eq!(schemes.len(), 3);
@@ -637,7 +761,52 @@ mod tests {
             v.get("io").and_then(|io| io.get("pages_read")).is_some(),
             "io cost reported via IoStats::to_value"
         );
+        let frag = v.get("fragmentation").expect("v2 carries fragmentation");
+        for area in ["leaf", "meta"] {
+            let a = frag.get(area).unwrap_or_else(|| panic!("{area} stats"));
+            assert!(a.get("allocated_pages").and_then(Value::as_u64).is_some());
+            let ratio = a.get("frag_ratio").and_then(Value::as_num).unwrap();
+            assert!((0.0..=1.0).contains(&ratio), "{area}: {ratio}");
+        }
+        let leaf = frag.get("leaf").unwrap();
+        assert!(
+            leaf.get("allocated_pages").and_then(Value::as_u64).unwrap() > 0,
+            "two stored objects allocate leaf pages"
+        );
+        assert!(
+            leaf.get("free_run_p50").and_then(Value::as_num).is_some(),
+            "free-run quantiles present when runs exist"
+        );
         assert_eq!(run(&argv(&[&img, "stats", "--bogus"])).status, 1);
+    }
+
+    #[test]
+    fn stats_watch_prints_one_line_per_pass() {
+        let img = tmp("stats-watch.lob");
+        let _ = std::fs::remove_file(&img);
+        run(&argv(&[&img, "init"]));
+        run(&argv(&[&img, "create", "a", "esm", "4"]));
+        let payload = tmp("stats-watch.bin");
+        std::fs::write(&payload, vec![3u8; 40_000]).unwrap();
+        assert_eq!(run(&argv(&[&img, "put", "a", &payload])).status, 0);
+
+        let w = run(&argv(&[&img, "stats", "--watch", "3"]));
+        assert_eq!(w.status, 0, "{}", w.stderr);
+        let text = String::from_utf8_lossy(&w.stdout).into_owned();
+        assert_eq!(text.lines().count(), 4, "header + 3 passes: {text}");
+        assert!(text.contains("leaf frag"), "{text}");
+        // Steady image: every pass reports identical health numbers.
+        let lines: Vec<&str> = text.lines().skip(1).collect();
+        let tail = |l: &str| l.split_whitespace().skip(1).collect::<Vec<_>>().join(" ");
+        assert_eq!(tail(lines[0]), tail(lines[1]));
+        assert_eq!(tail(lines[1]), tail(lines[2]));
+
+        assert_eq!(run(&argv(&[&img, "stats", "--watch", "0"])).status, 1);
+        assert_eq!(
+            run(&argv(&[&img, "stats", "--watch", "2", "--json"])).status,
+            1,
+            "--watch and --json are mutually exclusive"
+        );
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The database context shared by all large-object managers: buffer pool
 //! (owning the simulated disk) plus one buddy-space allocator per area.
 
-use lobstore_buddy::{BuddyConfig, BuddyManager, Extent};
+use lobstore_buddy::{BuddyConfig, BuddyManager, Extent, FragStats};
 use lobstore_bufpool::{BufferPool, PoolConfig};
 use lobstore_simdisk::{AreaId, CostModel, IoStats, PageId, SimDisk, PAGE_SIZE};
 
+use crate::health::{self, HealthSample};
 use crate::node::{Node, RootHdr};
 use crate::nodecache::{CachedMeta, NodeCache};
 
@@ -85,6 +86,12 @@ pub struct Db {
     /// Deserialized index-node overlay; pure wall-clock memoization
     /// (simulated I/O accounting is unchanged by hits).
     meta_cache: NodeCache,
+    /// Operations completed through observed objects — the health
+    /// sampler's tick source (see DESIGN.md §14).
+    ops_total: u64,
+    /// Publish a health sample every this many observed operations;
+    /// 0 disables the sampler (the default).
+    health_every: u64,
 }
 
 impl Db {
@@ -97,6 +104,8 @@ impl Db {
             leaf_alloc: BuddyManager::new(BuddyConfig::new(AreaId::LEAF, cfg.leaf_space_pages)),
             cfg,
             meta_cache: NodeCache::new(META_CACHE_ENTRIES),
+            ops_total: 0,
+            health_every: 0,
         }
     }
 
@@ -314,6 +323,8 @@ impl Db {
             leaf_alloc,
             cfg,
             meta_cache: NodeCache::new(META_CACHE_ENTRIES),
+            ops_total: 0,
+            health_every: 0,
         })
     }
 
@@ -394,6 +405,62 @@ impl Db {
         self.pool
             .peek_page(PageId::new(AreaId::LEAF, page), &mut buf);
         buf
+    }
+
+    /// Cost-free fragmentation recount of the LEAF allocator (peeked
+    /// directory pages; `IoStats` are untouched).
+    pub fn leaf_frag_stats(&self) -> FragStats {
+        self.leaf_alloc.frag_stats(&self.pool)
+    }
+
+    /// Cost-free fragmentation recount of the META allocator.
+    pub fn meta_frag_stats(&self) -> FragStats {
+        self.meta_alloc.frag_stats(&self.pool)
+    }
+
+    /// Enable (or with 0, disable) the periodic health sampler: every
+    /// `every_ops` observed operations, [`Self::sample_health`] runs and
+    /// publishes `health.*` gauges plus time-series points ticked by the
+    /// operation count. Off by default — sampling is cost-free in
+    /// simulated I/O but walks every space directory, so it is opt-in
+    /// for benches, `lobctl`, and tests.
+    pub fn set_health_sampling(&mut self, every_ops: u64) {
+        self.health_every = every_ops;
+    }
+
+    /// Operations observed so far (ticks of the health sampler). Counts
+    /// every operation routed through the observed wrapper
+    /// ([`crate::ManagerSpec::create`] / [`crate::open_object`] objects),
+    /// whether or not sampling is enabled.
+    pub fn health_ops(&self) -> u64 {
+        self.ops_total
+    }
+
+    /// Take one health sample *now*: recount both allocators cost-free,
+    /// publish `health.leaf.*` / `health.meta.*` gauges, histogram the
+    /// free-run lengths, and append series points at the current
+    /// operation tick. Returns the sample for direct inspection.
+    pub fn sample_health(&self) -> HealthSample {
+        let sample = HealthSample {
+            tick: self.ops_total,
+            leaf: self.leaf_frag_stats(),
+            meta: self.meta_frag_stats(),
+        };
+        health::publish_area("leaf", &sample.leaf, Some(sample.tick));
+        health::publish_area("meta", &sample.meta, Some(sample.tick));
+        sample
+    }
+
+    /// One observed operation completed: advance the tick and, when the
+    /// sampler is enabled and the cadence divides the count, publish a
+    /// sample. Called by the observation wrapper after every operation;
+    /// uses only cost-free inspection, so the wrapper's simulated-I/O
+    /// neutrality is preserved.
+    pub(crate) fn note_op(&mut self) {
+        self.ops_total += 1;
+        if self.health_every > 0 && self.ops_total.is_multiple_of(self.health_every) {
+            self.sample_health();
+        }
     }
 }
 

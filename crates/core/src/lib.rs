@@ -40,6 +40,7 @@ mod db;
 mod eos;
 mod error;
 mod esm;
+mod health;
 mod layout;
 mod node;
 mod nodecache;
@@ -62,7 +63,8 @@ pub use db::{Db, DbConfig, TreeConfig};
 pub use eos::{EosObject, EosParams};
 pub use error::{LobError, Result};
 pub use esm::{EsmInsertAlgo, EsmObject, EsmParams};
-pub use lobstore_buddy::Extent;
+pub use health::{object_health, publish_object_health, HealthSample, ObjectHealth};
+pub use lobstore_buddy::{Extent, FragStats};
 pub use object::{LargeObject, SegSpan, SegmentInfo, StorageKind, Utilization};
 pub use shared::SharedDb;
 pub use spec::{open_object, ManagerSpec};

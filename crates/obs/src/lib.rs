@@ -41,14 +41,33 @@ pub mod json;
 mod metrics;
 mod sink;
 mod span;
+mod timeseries;
 
 pub use metrics::{
-    counter_add, counter_value, gauge_set, gauge_value, histogram_record, reset, snapshot,
+    counter_add, counter_value, gauge_set, gauge_value, histogram_record, snapshot,
     HistogramSnapshot, MetricsSnapshot,
 };
 pub use sink::{install_sink, sink_installed, take_sink, EventSink, JsonlSink, MemorySink};
 pub use span::{event, Span};
+pub use timeseries::{
+    series_names, series_record, series_snapshot, series_snapshot_all, SeriesPoint, SeriesSnapshot,
+    SeriesSummary, SERIES_CAPACITY,
+};
+
+/// Wipe this thread's registry — every counter, gauge, histogram, and
+/// time series. Tests and bench phases call this to measure from a
+/// clean slate.
+pub fn reset() {
+    metrics::reset();
+    timeseries::reset();
+}
 
 /// Version tag every machine-readable bench report carries in its
 /// `schema` field; `xtask check-bench-json` validates against it.
 pub const BENCH_REPORT_SCHEMA: &str = "lobstore-bench-report/v1";
+
+/// Extended bench-report schema: everything in v1 plus a top-level
+/// `series` array of sampled time series (see [`SeriesSnapshot::to_value`]).
+/// Emitted by bins that sample health over time (`aging`); validated by
+/// `xtask check-bench-json`, diffed by `xtask bench-compare`.
+pub const BENCH_REPORT_SCHEMA_V2: &str = "lobstore-bench-report/v2";

@@ -20,6 +20,7 @@ struct Histo {
     buckets: Box<[u64; HISTOGRAM_BUCKETS]>,
     count: u64,
     sum: u64,
+    max: u64,
 }
 
 impl Histo {
@@ -28,6 +29,7 @@ impl Histo {
             buckets: Box::new([0; HISTOGRAM_BUCKETS]),
             count: 0,
             sum: 0,
+            max: 0,
         }
     }
 
@@ -36,6 +38,7 @@ impl Histo {
         self.buckets[b] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
     }
 }
 
@@ -122,6 +125,93 @@ pub struct HistogramSnapshot {
     /// `(bucket_index, count)` for every non-empty bucket, ascending.
     /// Bucket 0 holds the value 0; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`.
     pub buckets: Vec<(usize, u64)>,
+    /// Largest value ever recorded (0 when the histogram is empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Build a snapshot directly from raw values, without touching the
+    /// registry. `lobctl stats` uses this to get quantile summaries of
+    /// ad-hoc distributions (segment sizes, free-run lengths).
+    pub fn from_values(name: &str, values: &[u64]) -> HistogramSnapshot {
+        let mut h = Histo::new();
+        for &v in values {
+            h.record(v);
+        }
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: h.count,
+            sum: h.sum,
+            buckets: h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (i, c))
+                .collect(),
+            max: h.max,
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) by linear
+    /// interpolation inside the log₂ bucket that holds the target rank.
+    /// Bucket `i ≥ 1` spans `[2^(i-1), 2^i)`; the estimate is clamped to
+    /// the recorded [`max`](Self::max), so `quantile(1.0)` is exact.
+    /// Returns `None` for an empty histogram or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Nearest-rank target, 1-based: the k-th smallest observation.
+        let count = self.count as f64;
+        // f64 rank arithmetic; no integer overflow possible.
+        // loblint: allow(arith-overflow)
+        let target = (q * count).ceil().max(1.0);
+        let mut seen = 0.0_f64;
+        for &(i, c) in &self.buckets {
+            let c = c as f64;
+            if seen + c >= target {
+                if i == 0 {
+                    return Some(0.0);
+                }
+                let lo = 2.0_f64.powi(i as i32 - 1);
+                let hi = 2.0_f64.powi(i as i32);
+                // f64 division; `c > 0` for any present bucket.
+                // loblint: allow(panic-path)
+                let frac = (target - seen) / c;
+                return Some((lo + frac * (hi - lo)).min(self.max as f64));
+            }
+            seen += c;
+        }
+        // All buckets exhausted (rounding): the largest observation.
+        Some(self.max as f64)
+    }
+
+    /// Median estimate (see [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (see [`quantile`](Self::quantile)).
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (see [`quantile`](Self::quantile)).
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean of all recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            // f64 division behind a zero guard; cannot panic.
+            // loblint: allow(panic-path)
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
 }
 
 /// A point-in-time copy of the whole registry, sorted by name.
@@ -191,6 +281,7 @@ impl MetricsSnapshot {
                         Value::Obj(vec![
                             ("count".to_string(), Value::from(h.count)),
                             ("sum".to_string(), Value::from(h.sum)),
+                            ("max".to_string(), Value::from(h.max)),
                             ("buckets".to_string(), buckets),
                         ]),
                     )
@@ -229,6 +320,7 @@ pub fn snapshot() -> MetricsSnapshot {
                     .filter(|(_, &c)| c > 0)
                     .map(|(i, &c)| (i, c))
                     .collect(),
+                max: h.max,
             })
             .collect(),
     })
@@ -312,6 +404,103 @@ mod tests {
         let h = v.get("histograms").and_then(|h| h.get("h.one")).unwrap();
         assert_eq!(h.get("count").and_then(json::Value::as_u64), Some(1));
         assert_eq!(h.get("sum").and_then(json::Value::as_u64), Some(7));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        // 100 observations of 1..=100: p50 ≈ 50, p90 ≈ 90, p99 ≈ 99.
+        let values: Vec<u64> = (1..=100).collect();
+        let h = HistogramSnapshot::from_values("t.q", &values);
+        assert_eq!(h.count, 100);
+        assert_eq!(h.max, 100);
+        let p50 = h.p50().unwrap();
+        let p90 = h.p90().unwrap();
+        let p99 = h.p99().unwrap();
+        // Log₂ buckets are coarse; interpolation must land in the right
+        // bucket and stay ordered.
+        assert!((32.0..=64.0).contains(&p50), "p50 = {p50}");
+        assert!((64.0..=100.0).contains(&p90), "p90 = {p90}");
+        assert!((64.0..=100.0).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        // quantile(1.0) is exact: clamped to the recorded max.
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(h.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn quantiles_on_degenerate_histograms() {
+        let empty = HistogramSnapshot::from_values("t.e", &[]);
+        assert_eq!(empty.p50(), None);
+        assert_eq!(empty.mean(), None);
+
+        let zeros = HistogramSnapshot::from_values("t.z", &[0, 0, 0]);
+        assert_eq!(zeros.p50(), Some(0.0));
+        assert_eq!(zeros.p99(), Some(0.0));
+        assert_eq!(zeros.max, 0);
+
+        let one = HistogramSnapshot::from_values("t.o", &[7]);
+        // A single value: every quantile is in its bucket, clamped ≤ max.
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let est = one.quantile(q).unwrap();
+            assert!((4.0..=7.0).contains(&est), "q={q} est={est}");
+        }
+        assert_eq!(one.quantile(-0.1), None);
+        assert_eq!(one.quantile(1.5), None);
+    }
+
+    #[test]
+    fn registry_quantiles_match_from_values() {
+        reset();
+        let values = [3_u64, 9, 27, 81, 243, 729];
+        for v in values {
+            histogram_record("t.rq", v);
+        }
+        let snap = snapshot();
+        let reg = snap.histogram("t.rq").unwrap();
+        let direct = HistogramSnapshot::from_values("t.rq", &values);
+        assert_eq!(reg, &direct);
+        assert_eq!(reg.p50(), direct.p50());
+        assert_eq!(reg.max, 729);
+    }
+
+    #[test]
+    fn snapshot_after_reset_is_empty_even_under_thread_churn() {
+        // The registry is thread-local: concurrent threads hammering
+        // their own registries must never perturb this thread's
+        // reset→snapshot window or panic.
+        let hammers: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..1_000_u64 {
+                        counter_add("t.race", 1);
+                        gauge_set("t.race.g", i as f64);
+                        histogram_record("t.race.h", i);
+                        if i % 64 == 0 {
+                            let s = snapshot();
+                            assert_eq!(s.counter("t.race"), i + 1, "thread {t}");
+                        }
+                        if i % 257 == 0 {
+                            reset();
+                            assert!(snapshot().counters.is_empty(), "thread {t}");
+                            // Re-seed so the closure check above keeps
+                            // holding relative to the loop counter.
+                            counter_add("t.race", i + 1);
+                        }
+                    }
+                    snapshot().counter("t.race")
+                })
+            })
+            .collect();
+        counter_add("t.main", 5);
+        reset();
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        for h in hammers {
+            let c = h.join().expect("hammer thread must not panic");
+            assert!(c > 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! `bench-compare` — the performance-regression gate.
+//!
+//! Compares a fresh bench report against a committed baseline and fails
+//! (exit 1) when the new run is materially worse:
+//!
+//! * **Scan-rate gate** — for every record whose title contains "scan"
+//!   and whose cells include `scheme` and `sim s`, the simulated scan
+//!   time may not regress more than the threshold (default 20 %).
+//!   The gate keys on *simulated* seconds, which are deterministic given
+//!   the seed — wall-clock MB/s varies with the host and is reported
+//!   informationally only.
+//! * **Health gate** (v2 reports) — for every `(scheme, series)` pair
+//!   present in both reports, the final `frag_ratio` may not rise by
+//!   more than 0.10 absolute, and final `utilization`/`contiguity` may
+//!   not fall by more than 0.10 absolute. Fragmentation creeping up
+//!   between runs at identical scale means an allocator regression, not
+//!   noise.
+//!
+//! Reports must come from the same binary at the same scale; comparing
+//! anything else is a usage error (exit 2), not a pass.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use lobstore_obs::json::{self, Value};
+
+/// Default scan-time regression threshold, percent.
+pub const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
+/// Absolute drift allowed in final health-series values.
+pub const HEALTH_DRIFT: f64 = 0.10;
+
+/// One scan measurement keyed by `(record title, scheme)`.
+fn scan_cells(doc: &Value) -> Vec<((String, String), f64)> {
+    let mut out = Vec::new();
+    let Some(records) = doc.get("records").and_then(Value::as_arr) else {
+        return out;
+    };
+    for rec in records {
+        let Some(title) = rec.get("title").and_then(Value::as_str) else {
+            continue;
+        };
+        if !title.contains("scan") {
+            continue;
+        }
+        let scheme = rec
+            .get("values")
+            .and_then(|v| v.get("scheme"))
+            .and_then(Value::as_str);
+        let sim_s = rec
+            .get("values")
+            .and_then(|v| v.get("sim s"))
+            .and_then(Value::as_str)
+            .and_then(|s| s.parse::<f64>().ok());
+        if let (Some(scheme), Some(sim_s)) = (scheme, sim_s) {
+            out.push(((title.to_string(), scheme.to_string()), sim_s));
+        }
+    }
+    out
+}
+
+/// Final (`last`) summary value of every series, keyed by
+/// `(scheme, series name)`.
+fn series_lasts(doc: &Value) -> Vec<((String, String), f64)> {
+    let mut out = Vec::new();
+    let Some(series) = doc.get("series").and_then(Value::as_arr) else {
+        return out;
+    };
+    for s in series {
+        let scheme = s.get("scheme").and_then(Value::as_str);
+        let name = s.get("name").and_then(Value::as_str);
+        let last = s
+            .get("summary")
+            .and_then(|v| v.get("last"))
+            .and_then(Value::as_num);
+        if let (Some(scheme), Some(name), Some(last)) = (scheme, name, last) {
+            out.push(((scheme.to_string(), name.to_string()), last));
+        }
+    }
+    out
+}
+
+fn lookup(pairs: &[((String, String), f64)], key: &(String, String)) -> Option<f64> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+}
+
+/// Compare `new` against `base`. Returns `Err` for usage errors
+/// (mismatched bin/scale, no comparable measurements) and `Ok(problems)`
+/// otherwise; an empty problem list means the gate passes.
+pub fn compare(base: &Value, new: &Value, threshold_pct: f64) -> Result<Vec<String>, String> {
+    for field in ["bin", "schema"] {
+        let b = base.get(field).and_then(Value::as_str);
+        let n = new.get(field).and_then(Value::as_str);
+        if field == "bin" && (b.is_none() || b != n) {
+            return Err(format!("`{field}` differs: baseline {b:?} vs new {n:?}"));
+        }
+    }
+    for field in ["object_bytes", "ops", "mark_every"] {
+        let b = base
+            .get("scale")
+            .and_then(|s| s.get(field))
+            .and_then(Value::as_u64);
+        let n = new
+            .get("scale")
+            .and_then(|s| s.get(field))
+            .and_then(Value::as_u64);
+        if b.is_none() || b != n {
+            return Err(format!(
+                "scale.{field} differs: baseline {b:?} vs new {n:?} — \
+                 rerun the bench at the baseline's scale"
+            ));
+        }
+    }
+
+    let base_scans = scan_cells(base);
+    let new_scans = scan_cells(new);
+    if base_scans.is_empty() {
+        return Err("baseline has no scan records with `scheme`/`sim s` cells".to_string());
+    }
+
+    let mut problems = Vec::new();
+    for (key, base_sim) in &base_scans {
+        let Some(new_sim) = lookup(&new_scans, key) else {
+            problems.push(format!(
+                "{} [{}]: present in baseline but missing from the new report",
+                key.0, key.1
+            ));
+            continue;
+        };
+        if *base_sim <= 0.0 {
+            continue;
+        }
+        let regress_pct = (new_sim / base_sim - 1.0) * 100.0;
+        if regress_pct > threshold_pct {
+            problems.push(format!(
+                "{} [{}]: sim scan time regressed {regress_pct:.1}% \
+                 ({base_sim:.2}s -> {new_sim:.2}s, threshold {threshold_pct:.0}%)",
+                key.0, key.1
+            ));
+        }
+    }
+
+    let base_series = series_lasts(base);
+    let new_series = series_lasts(new);
+    for (key, base_last) in &base_series {
+        let Some(new_last) = lookup(&new_series, key) else {
+            // Series sets may evolve; only shared series are gated.
+            continue;
+        };
+        let (scheme, name) = (&key.0, &key.1);
+        if name.ends_with("frag_ratio") && new_last - base_last > HEALTH_DRIFT {
+            problems.push(format!(
+                "{name} [{scheme}]: final fragmentation rose {base_last:.3} -> {new_last:.3} \
+                 (allowed drift {HEALTH_DRIFT})"
+            ));
+        }
+        if (name.ends_with("utilization") || name.ends_with("contiguity"))
+            && base_last - new_last > HEALTH_DRIFT
+        {
+            problems.push(format!(
+                "{name} [{scheme}]: final value fell {base_last:.3} -> {new_last:.3} \
+                 (allowed drift {HEALTH_DRIFT})"
+            ));
+        }
+    }
+
+    Ok(problems)
+}
+
+fn load(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    json::parse(&text).map_err(|e| format!("{} is not JSON: {e:?}", path.display()))
+}
+
+/// Entry point for
+/// `cargo run -p xtask -- bench-compare <baseline.json> <new.json>
+/// [--threshold-pct <n>]`.
+/// Exit 0 = within threshold, 1 = regression, 2 = cannot compare.
+pub fn run(baseline: &Path, new: &Path, threshold_pct: f64) -> ExitCode {
+    let (base_doc, new_doc) = match (load(baseline), load(new)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match compare(&base_doc, &new_doc, threshold_pct) {
+        Err(e) => {
+            eprintln!("bench-compare: {e}");
+            ExitCode::from(2)
+        }
+        Ok(problems) if problems.is_empty() => {
+            let scans = scan_cells(&base_doc).len();
+            let series = series_lasts(&base_doc).len();
+            println!(
+                "ok: {} within {threshold_pct:.0}% of {} ({scans} scan cells, {series} series \
+                 compared)",
+                new.display(),
+                baseline.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(problems) => {
+            for p in &problems {
+                eprintln!("bench-compare: {p}");
+            }
+            eprintln!(
+                "bench-compare: {} regression(s) vs {}",
+                problems.len(),
+                baseline.display()
+            );
+            ExitCode::from(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(sim_esm: f64, frag_last: f64, util_last: f64) -> Value {
+        json::parse(&format!(
+            r#"{{
+                "schema": "lobstore-bench-report/v2",
+                "bin": "aging",
+                "title": "Aging",
+                "wall_clock_us": 1000,
+                "scale": {{"object_bytes": 1048576, "ops": 1000, "mark_every": 200}},
+                "records": [
+                    {{"table": 0, "title": "post-aging scan",
+                      "values": {{"scheme": "ESM/16", "wall MB/s": "999.0", "sim s": "{sim_esm}"}}}},
+                    {{"table": 0, "title": "post-aging scan",
+                      "values": {{"scheme": "EOS/16", "wall MB/s": "999.0", "sim s": "1.00"}}}}
+                ],
+                "notes": [],
+                "series": [
+                    {{"scheme": "ESM/16", "name": "health.leaf.frag_ratio", "dropped": 0,
+                      "summary": {{"p50": 0.1, "p90": 0.1, "p99": 0.1, "max": 0.1,
+                                   "last": {frag_last}}},
+                      "points": [[100, {frag_last}]]}},
+                    {{"scheme": "ESM/16", "name": "health.leaf.utilization", "dropped": 0,
+                      "summary": {{"p50": 0.5, "p90": 0.5, "p99": 0.5, "max": 0.5,
+                                   "last": {util_last}}},
+                      "points": [[100, {util_last}]]}}
+                ]
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report(1.50, 0.05, 0.60);
+        assert_eq!(
+            compare(&base, &base, DEFAULT_THRESHOLD_PCT).unwrap(),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn small_drift_passes_large_regression_fails() {
+        let base = report(1.50, 0.05, 0.60);
+        // +10% sim time, tiny health drift: fine.
+        let ok = report(1.65, 0.08, 0.55);
+        assert!(compare(&base, &ok, DEFAULT_THRESHOLD_PCT)
+            .unwrap()
+            .is_empty());
+        // +40% sim time: the scan gate fires.
+        let slow = report(2.10, 0.05, 0.60);
+        let problems = compare(&base, &slow, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("regressed 40.0%"), "{problems:?}");
+    }
+
+    #[test]
+    fn health_blowup_fails() {
+        let base = report(1.50, 0.05, 0.60);
+        let fragged = report(1.50, 0.30, 0.60);
+        let problems = compare(&base, &fragged, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(
+            problems.iter().any(|p| p.contains("fragmentation rose")),
+            "{problems:?}"
+        );
+        let hollow = report(1.50, 0.05, 0.40);
+        let problems = compare(&base, &hollow, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(
+            problems.iter().any(|p| p.contains("value fell")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn missing_scheme_in_new_report_fails() {
+        let base = report(1.50, 0.05, 0.60);
+        let mut fields = match report(1.50, 0.05, 0.60) {
+            Value::Obj(f) => f,
+            _ => unreachable!(),
+        };
+        for (k, v) in &mut fields {
+            if k == "records" {
+                if let Value::Arr(recs) = v {
+                    recs.truncate(1); // drop the EOS/16 scan row
+                }
+            }
+        }
+        let problems = compare(&base, &Value::Obj(fields), DEFAULT_THRESHOLD_PCT).unwrap();
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("missing from the new report")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_bin_or_scale_is_a_usage_error() {
+        let base = report(1.50, 0.05, 0.60);
+        let mut fields = match report(1.50, 0.05, 0.60) {
+            Value::Obj(f) => f,
+            _ => unreachable!(),
+        };
+        for (k, v) in &mut fields {
+            if k == "bin" {
+                *v = Value::Str("throughput".to_string());
+            }
+        }
+        assert!(compare(&base, &Value::Obj(fields), DEFAULT_THRESHOLD_PCT).is_err());
+
+        let mut fields = match report(1.50, 0.05, 0.60) {
+            Value::Obj(f) => f,
+            _ => unreachable!(),
+        };
+        for (k, v) in &mut fields {
+            if k == "scale" {
+                if let Value::Obj(scale) = v {
+                    for (sk, sv) in scale {
+                        if sk == "ops" {
+                            *sv = Value::from(999u64);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(compare(&base, &Value::Obj(fields), DEFAULT_THRESHOLD_PCT).is_err());
+    }
+
+    #[test]
+    fn v1_reports_compare_on_scan_records_alone() {
+        let v1 = |sim: f64| {
+            json::parse(&format!(
+                r#"{{
+                    "schema": "lobstore-bench-report/v1",
+                    "bin": "throughput",
+                    "title": "t",
+                    "wall_clock_us": 1000,
+                    "scale": {{"object_bytes": 1048576, "ops": 1000, "mark_every": 200}},
+                    "records": [
+                        {{"table": 0, "title": "sequential scan",
+                          "values": {{"scheme": "ESM/16", "wall MB/s": "5.0",
+                                      "sim s": "{sim}"}}}}
+                    ],
+                    "notes": []
+                }}"#
+            ))
+            .unwrap()
+        };
+        let base = v1(1.55);
+        assert!(compare(&base, &v1(1.60), DEFAULT_THRESHOLD_PCT)
+            .unwrap()
+            .is_empty());
+        let problems = compare(&base, &v1(2.50), DEFAULT_THRESHOLD_PCT).unwrap();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+    }
+}

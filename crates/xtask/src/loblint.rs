@@ -14,7 +14,7 @@
 //! | `arith-overflow` | library crates, non-test code | bare `+ - * <<` (and compound forms) on page/byte/segment quantities — use `checked_*` / `saturating_*` |
 //! | `panic-path` | library crates, non-test code | indexing/slicing and `/` `%` with a non-constant divisor can panic — guard or waive |
 //! | `unit-mixing` | library crates, non-test code | byte-, page-index- and page-count-typed values may not be mixed in arithmetic/comparison/assignment |
-//! | `io-accounting` | library crates | raw `disk.read` / `disk.write` only inside the cost-counted bufpool wrappers; every I/O entry point reaches a wrapper and bumps its counter |
+//! | `io-accounting` | library crates | raw `disk.read` / `disk.write` only inside the cost-counted bufpool wrappers; every I/O entry point reaches a wrapper and bumps its counter; health meta-inspectors stay peek-only |
 //! | `forbid-unsafe` | library crates | each library `lib.rs` carries `#![forbid(unsafe_code)]` |
 //! | `bad-waiver` | whole workspace | `loblint: allow(...)` comments may only name known rules |
 //! | `lock-order` | workspace, non-test | the lock/latch acquisition graph is acyclic and follows the canonical order (see [`crate::flowrules`]) |
@@ -116,7 +116,9 @@ pub const RULE_DOCS: [(&str, &str, &str); 17] = [
         "io-accounting",
         "library crates",
         "Raw `disk.read`/`disk.write` only inside the cost-counted bufpool wrappers; every \
-         I/O entry point must reach a wrapper through the call graph and bump its counter.",
+         I/O entry point must reach a wrapper through the call graph and bump its counter. \
+         Health meta-inspectors (frag_stats, sample_health, object_health) are the inverse: \
+         peek-only recounts that must never perform raw I/O or call a costed wrapper/entry.",
     ),
     (
         "lock-order",
@@ -1088,6 +1090,21 @@ pub(crate) const IO_ENTRIES: [(&str, &str, Option<&str>); 5] = [
     ),
 ];
 
+/// The health meta-inspectors (DESIGN.md §14): cost-free recounts the
+/// sampler may run at any cadence. Each must exist, touch no raw disk
+/// I/O, and never call a cost-counted wrapper or I/O entry — observation
+/// that costs simulated I/O would distort the experiment it reports on
+/// (`tests/observability.rs` asserts the runtime twin of this rule).
+pub(crate) const META_INSPECTORS: [(&str, &str); 7] = [
+    ("crates/buddy/src/manager.rs", "frag_stats"),
+    ("crates/core/src/db.rs", "leaf_frag_stats"),
+    ("crates/core/src/db.rs", "meta_frag_stats"),
+    ("crates/core/src/db.rs", "sample_health"),
+    ("crates/core/src/health.rs", "object_health"),
+    ("crates/core/src/health.rs", "publish_area"),
+    ("crates/core/src/health.rs", "publish_object_health"),
+];
+
 pub(crate) const CALL_KEYWORDS: [&str; 11] = [
     "if", "match", "while", "for", "return", "loop", "fn", "as", "in", "move", "unsafe",
 ];
@@ -1354,6 +1371,55 @@ fn check_io_accounting(analyses: &[Analysis], out: &mut Vec<Finding>) {
                     f.line,
                     "io-accounting",
                     format!("I/O entry `{entry}` does not bump its `{counter}` counter"),
+                );
+            }
+        }
+    }
+
+    // (d) Health meta-inspectors are peek-only. Direct-call check, not
+    // reachability: the alias-prone call graph would drown this in
+    // phantom paths, and a peek-only recount that *directly* invokes a
+    // costed wrapper or entry is the regression worth catching.
+    let entry_names: BTreeSet<&str> = IO_ENTRIES.iter().map(|(_, e, _)| *e).collect();
+    for (file, inspector) in META_INSPECTORS {
+        let Some(a) = analyses.iter().find(|a| a.rel == file) else {
+            continue;
+        };
+        let Some(f) = a
+            .fns
+            .iter()
+            .find(|f| f.name == inspector && !a.in_test(f.line))
+        else {
+            a.push(
+                out,
+                1,
+                "io-accounting",
+                format!("health inspector `{inspector}` is missing from {file}"),
+            );
+            continue;
+        };
+        let Some((b0, b1)) = f.body else { continue };
+        if raw_disk_sites(&a.toks).iter().any(|&k| b0 <= k && k < b1) {
+            a.push(
+                out,
+                f.line,
+                "io-accounting",
+                format!(
+                    "health inspector `{inspector}` performs raw disk I/O; recounts must be \
+                     peek-only"
+                ),
+            );
+        }
+        for c in callees(&a.toks, b0, b1, &owners) {
+            if all_wrappers.contains(c.as_str()) || entry_names.contains(c.as_str()) {
+                a.push(
+                    out,
+                    f.line,
+                    "io-accounting",
+                    format!(
+                        "health inspector `{inspector}` calls cost-counted `{c}`; health \
+                         sampling must stay simulated-I/O-free (peek-only)"
+                    ),
                 );
             }
         }
@@ -2185,6 +2251,68 @@ mod tests {
         let found = io_findings(&files);
         assert_eq!(found.len(), 1, "{found:?}");
         assert!(found[0].message.contains("raw disk write_gather"));
+    }
+
+    /// The io fixture plus a peek-only model of the health inspectors.
+    fn inspector_fixture() -> Vec<(&'static str, &'static str)> {
+        let mut files = io_fixture();
+        files.push((
+            "crates/core/src/health.rs",
+            "pub fn object_health(db: &Db) -> ObjectHealth { db.peek_segments() }\n\
+             pub fn publish_area(st: &FragStats) { gauge_set(\"health.leaf.x\", st.ratio()); }\n\
+             pub fn publish_object_health(objs: &[ObjectHealth]) { publish_area(&recount(objs)); }\n",
+        ));
+        files
+    }
+
+    #[test]
+    fn peek_only_inspectors_are_clean() {
+        assert_eq!(io_findings(&inspector_fixture()), Vec::<Finding>::new());
+    }
+
+    #[test]
+    fn inspector_calling_a_costed_wrapper_is_flagged() {
+        let mut files = inspector_fixture();
+        files[3] = (
+            "crates/core/src/health.rs",
+            "pub fn object_health(db: &mut Db) -> ObjectHealth { db.pool.read_pages() }\n\
+             pub fn publish_area(st: &FragStats) { gauge_set(\"health.leaf.x\", st.ratio()); }\n\
+             pub fn publish_object_health(objs: &[ObjectHealth]) { publish_area(&recount(objs)); }\n",
+        );
+        let found = io_findings(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("object_health"), "{found:?}");
+        assert!(found[0].message.contains("read_pages"), "{found:?}");
+    }
+
+    #[test]
+    fn inspector_doing_raw_io_or_missing_is_flagged() {
+        let mut files = inspector_fixture();
+        files[3] = (
+            "crates/core/src/health.rs",
+            "pub fn object_health(db: &mut Db) -> ObjectHealth { db.pool.disk.read(a, p, d) }\n\
+             pub fn publish_area(st: &FragStats) { gauge_set(\"health.leaf.x\", st.ratio()); }\n\
+             pub fn publish_object_health(objs: &[ObjectHealth]) { publish_area(&recount(objs)); }\n",
+        );
+        let found = io_findings(&files);
+        // The raw site is flagged twice: once as raw-I/O-outside-wrappers
+        // (check a), once as a non-peek inspector (check d).
+        assert!(
+            found.iter().any(|f| f.message.contains("peek-only")),
+            "{found:?}"
+        );
+
+        files[3] = (
+            "crates/core/src/health.rs",
+            "pub fn publish_area(st: &FragStats) { gauge_set(\"health.leaf.x\", st.ratio()); }\n\
+             pub fn publish_object_health(objs: &[ObjectHealth]) { publish_area(&recount(objs)); }\n",
+        );
+        let found = io_findings(&files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(
+            found[0].message.contains("`object_health` is missing"),
+            "{found:?}"
+        );
     }
 
     #[test]

@@ -16,11 +16,16 @@
 //! * `check-lint-json <path>` — validate a `loblint --json` document
 //!   against the `loblint-findings/v2` schema (same exit codes).
 //! * `check-bench-json <path>` — validate a bench binary's `--json-out`
-//!   document against the `lobstore-bench-report/v1` schema.
+//!   document against the `lobstore-bench-report/v1|v2` schema.
+//! * `bench-compare <baseline.json> <new.json> [--threshold-pct <n>]` —
+//!   the perf-regression gate: fail when simulated scan time regresses
+//!   past the threshold (default 20 %) or health series blow up against
+//!   the baseline (DESIGN.md §14).
 //!
 //! See `loblint::RULES` for the rule set and `DESIGN.md` ("Correctness
 //! tooling" and "Static analysis") for the rationale.
 
+mod benchcompare;
 mod benchjson;
 mod flowrules;
 mod lintjson;
@@ -100,10 +105,35 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("bench-compare") => {
+            let mut paths = Vec::new();
+            let mut threshold = benchcompare::DEFAULT_THRESHOLD_PCT;
+            let mut rest = args;
+            while let Some(arg) = rest.next() {
+                if arg == "--threshold-pct" {
+                    match rest.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(t) if t >= 0.0 => threshold = t,
+                        _ => {
+                            eprintln!("bench-compare: --threshold-pct needs a non-negative number");
+                            return ExitCode::from(2);
+                        }
+                    }
+                } else {
+                    paths.push(PathBuf::from(arg));
+                }
+            }
+            match paths.as_slice() {
+                [baseline, new] => benchcompare::run(baseline, new, threshold),
+                _ => {
+                    eprintln!("bench-compare: needs exactly <baseline.json> <new.json>");
+                    ExitCode::from(2)
+                }
+            }
+        }
         Some(other) => {
             eprintln!(
                 "xtask: unknown subcommand `{other}` (try `loblint`, `check-lint-json`, \
-                 `check-bench-json`)"
+                 `check-bench-json`, `bench-compare`)"
             );
             ExitCode::from(2)
         }
@@ -113,7 +143,9 @@ fn main() -> ExitCode {
                  [--baseline <path>] [--no-baseline] [--update-baseline] [--rule <name>] \
                  [--explain <rule>]\n       \
                  cargo run -p xtask -- check-lint-json <path>\n       \
-                 cargo run -p xtask -- check-bench-json <path>"
+                 cargo run -p xtask -- check-bench-json <path>\n       \
+                 cargo run -p xtask -- bench-compare <baseline.json> <new.json> \
+                 [--threshold-pct <n>]"
             );
             ExitCode::from(2)
         }

@@ -13,7 +13,7 @@ for a in "$@"; do [ "$a" = "--quick" ] && mode="smoke scale (--quick)"; done
 echo "[$(date +%T)] bench sweep at $mode"
 for b in fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table2 table3 fig_deletes summary46 \
          ablation_insert_algo ablation_buffering ablation_shadowing ablation_scaling \
-         throughput; do
+         throughput aging; do
   echo "[$(date +%T)] running $b"
   ./target/release/$b --out-dir results --json-out results/$b.json "$@" \
     > /dev/null 2> results/$b.err || echo "$b FAILED"

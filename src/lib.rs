@@ -53,8 +53,9 @@ pub use lobstore_simdisk as simdisk;
 pub use lobstore_workload as workload;
 
 pub use lobstore_core::{
-    open_object, Catalog, CatalogEntry, Db, DbConfig, EosObject, EosParams, EsmInsertAlgo,
-    EsmObject, EsmParams, LargeObject, LobError, ManagerSpec, ObjectReader, ObjectWriter, Result,
+    object_health, open_object, publish_object_health, Catalog, CatalogEntry, Db, DbConfig,
+    EosObject, EosParams, EsmInsertAlgo, EsmObject, EsmParams, FragStats, HealthSample,
+    LargeObject, LobError, ManagerSpec, ObjectHealth, ObjectReader, ObjectWriter, Result,
     SegmentInfo, SharedDb, StarburstObject, StarburstParams, StorageKind, TreeConfig, Utilization,
 };
 pub use lobstore_record::{FieldInput, LongHandle, RecordId, RecordStore, Value};

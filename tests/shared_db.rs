@@ -9,6 +9,13 @@
 //! all per-operation deltas equals the database's total I/O. Any I/O
 //! escaping the cost-counted wrappers — or any interleaving splicing
 //! one thread's I/O into another's measurement — breaks the equation.
+//!
+//! The hammer also exercises the obs registry from every thread:
+//! counters, histograms, and periodic `snapshot()` calls race the
+//! storage traffic. The registry is thread-local by design, so each
+//! thread's metrics must be exact (no cross-thread bleed) and
+//! snapshotting while other threads mutate their registries must never
+//! panic or tear.
 
 use lobstore::{Db, ManagerSpec, SharedDb};
 use lobstore_simdisk::IoStats;
@@ -31,16 +38,42 @@ fn mixed_traffic_from_many_threads_keeps_io_accounting_closed() {
     for t in 0..THREADS {
         let shared = shared.clone();
         handles.push(std::thread::spawn(move || {
+            // Fresh per-thread registry; this thread's metrics count
+            // only its own operations.
+            lobstore_obs::reset();
+            let mut ops_counted = 0u64;
             // One op = one critical section; the delta is measured with
             // the lock held so no other thread's I/O can leak into it.
             let mut spent = IoStats::default();
             let mut op = |f: &mut dyn FnMut(&mut Db)| {
-                spent = spent
-                    + shared.with(|db| {
-                        let before = db.io_stats();
-                        f(db);
-                        db.io_stats() - before
-                    });
+                let delta = shared.with(|db| {
+                    let before = db.io_stats();
+                    f(db);
+                    db.io_stats() - before
+                });
+                spent = spent + delta;
+                lobstore_obs::counter_add("hammer.ops", 1);
+                lobstore_obs::histogram_record("hammer.op_pages", delta.pages());
+                ops_counted += 1;
+                // Snapshot while every other thread mutates its own
+                // registry: must never panic, and must reflect exactly
+                // this thread's activity.
+                if ops_counted.is_multiple_of(8) {
+                    let snap = lobstore_obs::snapshot();
+                    let (_, count) = snap
+                        .counters
+                        .iter()
+                        .find(|(name, _)| name == "hammer.ops")
+                        .expect("own counter visible");
+                    assert_eq!(*count, ops_counted, "thread {t} counter bleed");
+                    let h = snap
+                        .histograms
+                        .iter()
+                        .find(|h| h.name == "hammer.op_pages")
+                        .expect("own histogram visible");
+                    assert_eq!(h.count, ops_counted, "thread {t} histogram bleed");
+                    assert!(h.p99().is_some(), "quantiles available mid-run");
+                }
             };
             let spec = match t % 3 {
                 0 => ManagerSpec::esm(4),
@@ -85,6 +118,27 @@ fn mixed_traffic_from_many_threads_keeps_io_accounting_closed() {
             if t % 2 == 0 {
                 op(&mut |db| obj.destroy(db).expect("destroy"));
             }
+            // Final per-thread metric closure: the registry counted
+            // every op this thread issued, nothing more.
+            let snap = lobstore_obs::snapshot();
+            let (_, count) = snap
+                .counters
+                .iter()
+                .find(|(name, _)| name == "hammer.ops")
+                .unwrap();
+            assert_eq!(*count, ops_counted, "thread {t} final counter");
+            // Histogram I/O accounting matches the io_stats closure sum:
+            // total recorded pages equals the pages this thread spent.
+            let h = snap
+                .histograms
+                .iter()
+                .find(|h| h.name == "hammer.op_pages")
+                .unwrap();
+            assert_eq!(h.sum, spent.pages(), "thread {t} pages bleed");
+            // Reset-then-snapshot stays empty even while neighbors are
+            // mid-traffic (the snapshot-after-reset contract).
+            lobstore_obs::reset();
+            assert!(lobstore_obs::snapshot().counters.is_empty());
             spent
         }));
     }
