@@ -17,15 +17,18 @@ run() {
 # panic-while-locked, disk-taint), so a broken rule fails loudly here
 # rather than silently passing an under-linted workspace. loblint then
 # runs against the committed ratchet baseline (loblint.baseline): any
-# finding not already frozen there — a lock-order cycle included —
-# fails the build. Its JSON report is validated against the
-# loblint-findings/v2 schema (with per-finding CFG evidence) like the
-# bench reports are.
+# finding not already frozen there — a lock-order cycle or a v4
+# crash-consistency violation included — fails the build. Its JSON
+# report is validated against the loblint-findings/v2 schema (with
+# per-finding CFG/effect-chain evidence) like the bench reports are,
+# then converted to SARIF 2.1.0 (the converter validates its own
+# output; CI uploads the .sarif as a workflow artifact).
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo test -q -p xtask
 run cargo run -q -p xtask -- loblint --json --out target/loblint.json
 run cargo run -q -p xtask -- check-lint-json target/loblint.json
+run cargo run -q -p xtask -- lint-sarif target/loblint.json --out target/loblint.sarif
 
 # Functional gates: the whole suite, then again with deep runtime
 # verification compiled into every mutating operation.

@@ -32,17 +32,22 @@ impl BuddyBitmap {
         assert!(pages.is_power_of_two() && pages >= 64);
         let n_words = cast::u32_to_usize(pages / 64);
         assert!(bytes.len() >= n_words * 8, "directory bytes too short");
-        let words = bytes[..n_words * 8]
+        let words = bytes
             .chunks_exact(8)
+            .take(n_words)
             .map(bytes::le_u64)
             .collect();
         BuddyBitmap { words, pages }
     }
 
     /// Serialize into directory-page bytes.
+    ///
+    /// # Panics
+    /// If `out` is shorter than [`Self::byte_len`].
     pub fn write_bytes(&self, out: &mut [u8]) {
-        for (i, w) in self.words.iter().enumerate() {
-            out[i * 8..(i + 1) * 8].copy_from_slice(&w.to_le_bytes());
+        assert!(out.len() >= self.byte_len(), "directory buffer too short");
+        for (chunk, w) in out.chunks_exact_mut(8).zip(&self.words) {
+            chunk.copy_from_slice(&w.to_le_bytes());
         }
     }
 
@@ -65,7 +70,13 @@ impl BuddyBitmap {
     #[inline]
     pub fn is_free(&self, page: u32) -> bool {
         assert!(page < self.pages, "page out of space");
-        self.words[cast::u32_to_usize(page / 64)] & (1u64 << (page % 64)) != 0
+        // In range by the assert: `words` holds exactly `pages / 64` words.
+        let w = self
+            .words
+            .get(cast::u32_to_usize(page / 64))
+            .copied()
+            .unwrap_or(0);
+        w & (1u64 << (page % 64)) != 0
     }
 
     /// Whether all pages in `[start, start + n)` are free.
@@ -78,9 +89,15 @@ impl BuddyBitmap {
     /// # Panics
     /// In debug builds, if any page in the range is already allocated.
     pub fn mark_used(&mut self, start: u32, n: u32) {
+        assert!(
+            start.checked_add(n).is_some_and(|end| end <= self.pages),
+            "range out of space"
+        );
         for p in start..start + n {
             debug_assert!(self.is_free(p), "double allocation of page {p}");
-            self.words[cast::u32_to_usize(p / 64)] &= !(1u64 << (p % 64));
+            if let Some(w) = self.words.get_mut(cast::u32_to_usize(p / 64)) {
+                *w &= !(1u64 << (p % 64));
+            }
         }
     }
 
@@ -90,9 +107,15 @@ impl BuddyBitmap {
     /// In debug builds, if any page in the range is already free
     /// (double free).
     pub fn mark_free(&mut self, start: u32, n: u32) {
+        assert!(
+            start.checked_add(n).is_some_and(|end| end <= self.pages),
+            "range out of space"
+        );
         for p in start..start + n {
             debug_assert!(!self.is_free(p), "double free of page {p}");
-            self.words[cast::u32_to_usize(p / 64)] |= 1u64 << (p % 64);
+            if let Some(w) = self.words.get_mut(cast::u32_to_usize(p / 64)) {
+                *w |= 1u64 << (p % 64);
+            }
         }
     }
 
@@ -153,11 +176,12 @@ fn fold_level(level: &[u64]) -> Vec<u64> {
     let out_bits = level.len() * 64 / 2;
     let n_words = out_bits.div_ceil(64);
     let mut out = vec![0u64; n_words];
+    let bit = |at: usize| level.get(at / 64).copied().unwrap_or(0) >> (at % 64) & 1;
     for i in 0..out_bits {
-        let lo = level[(2 * i) / 64] >> ((2 * i) % 64) & 1;
-        let hi = level[(2 * i + 1) / 64] >> ((2 * i + 1) % 64) & 1;
-        if lo & hi == 1 {
-            out[i / 64] |= 1u64 << (i % 64);
+        if bit(2 * i) & bit(2 * i + 1) == 1 {
+            if let Some(w) = out.get_mut(i / 64) {
+                *w |= 1u64 << (i % 64);
+            }
         }
     }
     out

@@ -147,15 +147,14 @@ impl BuddyManager {
             // reports every page beyond the truncation point as dangling.
             let mut probe = [0u8; lobstore_simdisk::PAGE_SIZE];
             pool.peek_page(dir, &mut probe);
-            if bytes::le_u32(&probe) != DIR_MAGIC || bytes::le_u32(&probe[4..8]) != cfg.space_pages
-            {
+            if dir_u32(&probe, 0) != DIR_MAGIC || dir_u32(&probe, 4) != cfg.space_pages {
                 break;
             }
             // Real (costed) read of the directory, as a restart would do.
             let r = pool.fix(dir);
             let bm = mgr.parse_dir(pool.page(r));
             pool.unfix(r);
-            mgr.allocated += u64::from(cfg.space_pages - bm.free_pages());
+            mgr.allocated += u64::from(cfg.space_pages.saturating_sub(bm.free_pages()));
             mgr.superdir.push(Some(bm.max_order()));
             mgr.n_spaces += 1;
         }
@@ -178,11 +177,15 @@ impl BuddyManager {
     }
 
     /// The superdirectory's current hint for `space` (testing aid).
+    /// Spaces that were never created read as `None` (no free block).
     pub fn superdir_hint(&self, space: u32) -> Option<u32> {
-        self.superdir[space as usize]
+        self.superdir.get(space as usize).copied().flatten()
     }
 
     fn dir_page(&self, space: u32) -> u32 {
+        // Space count x (space size + 1 directory page) fits the 32-bit
+        // page-number space by construction (`BuddyConfig` validates).
+        // loblint: allow(arith-overflow)
         space * (self.cfg.space_pages + 1)
     }
 
@@ -192,6 +195,9 @@ impl BuddyManager {
 
     /// Which space an absolute page number belongs to.
     fn space_of(&self, abs_page: u32) -> u32 {
+        // The stride `space_pages + 1` is at least 1, so the division
+        // cannot trap; the sum fits u32 (config-validated).
+        // loblint: allow(arith-overflow, panic-path)
         abs_page / (self.cfg.space_pages + 1)
     }
 
@@ -213,7 +219,7 @@ impl BuddyManager {
         let order = ceil_log2(n_pages);
         // Probe existing spaces whose superdirectory hint is promising.
         for s in 0..self.n_spaces {
-            let Some(hint) = self.superdir[s as usize] else {
+            let Some(hint) = self.superdir.get(s as usize).copied().flatten() else {
                 continue;
             };
             if hint < order {
@@ -252,10 +258,12 @@ impl BuddyManager {
         let result = found.map(|block| {
             bm.mark_used(block, n_pages);
             let page = pool.page_mut(r);
-            bm.write_bytes(&mut page[BITMAP_OFF..BITMAP_OFF + bm.byte_len()]);
+            bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
             Extent::new(self.cfg.area, self.data_base(space) + block, n_pages)
         });
-        self.superdir[space as usize] = bm.max_free_order();
+        if let Some(hint) = self.superdir.get_mut(space as usize) {
+            *hint = bm.max_free_order();
+        }
         pool.unfix(r);
         result
     }
@@ -287,8 +295,10 @@ impl BuddyManager {
         let mut bm = self.parse_dir(pool.page(r));
         bm.mark_free(rel, ext.pages);
         let page = pool.page_mut(r);
-        bm.write_bytes(&mut page[BITMAP_OFF..BITMAP_OFF + bm.byte_len()]);
-        self.superdir[space as usize] = bm.max_free_order();
+        bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
+        if let Some(hint) = self.superdir.get_mut(space as usize) {
+            *hint = bm.max_free_order();
+        }
         pool.unfix(r);
         // Drop stale buffered copies of freed pages.
         pool.discard_range(self.cfg.area, ext.start, ext.pages);
@@ -323,7 +333,7 @@ impl BuddyManager {
                 out.push(Extent::new(
                     self.cfg.area,
                     base + st,
-                    self.cfg.space_pages - st,
+                    self.cfg.space_pages.saturating_sub(st),
                 ));
             }
         }
@@ -344,17 +354,20 @@ impl BuddyManager {
             let dir = PageId::new(self.cfg.area, self.dir_page(s));
             let r = pool.fix(dir);
             let page = pool.page(r);
-            if bytes::le_u32(&page[0..4]) != DIR_MAGIC {
+            if dir_u32(page, 0) != DIR_MAGIC {
                 pool.unfix(r);
                 return Err(format!("space {s}: directory magic corrupted"));
             }
-            if bytes::le_u32(&page[4..8]) != self.cfg.space_pages {
+            if dir_u32(page, 4) != self.cfg.space_pages {
                 pool.unfix(r);
                 return Err(format!("space {s}: directory space-size field mismatch"));
             }
-            let bm = BuddyBitmap::from_bytes(&page[BITMAP_OFF..], self.cfg.space_pages);
+            let bm = BuddyBitmap::from_bytes(
+                page.get(BITMAP_OFF..).unwrap_or(&[]),
+                self.cfg.space_pages,
+            );
             pool.unfix(r);
-            used_total += u64::from(self.cfg.space_pages - bm.free_pages());
+            used_total += u64::from(self.cfg.space_pages.saturating_sub(bm.free_pages()));
             match (self.superdir_hint(s), bm.max_free_order()) {
                 (None, Some(order)) => {
                     return Err(format!(
@@ -421,26 +434,40 @@ impl BuddyManager {
         let r = pool.fix_new(dir);
         let bm = BuddyBitmap::all_free(self.cfg.space_pages);
         let page = pool.page_mut(r);
-        page[0..4].copy_from_slice(&DIR_MAGIC.to_le_bytes());
-        page[4..8].copy_from_slice(&self.cfg.space_pages.to_le_bytes());
-        bm.write_bytes(&mut page[BITMAP_OFF..BITMAP_OFF + bm.byte_len()]);
+        put_u32(page, 0, DIR_MAGIC);
+        put_u32(page, 4, self.cfg.space_pages);
+        bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
         pool.unfix(r);
         self.superdir.push(Some(bm.max_order()));
         s
     }
 
     fn parse_dir(&self, page: &[u8]) -> BuddyBitmap {
-        let magic = bytes::le_u32(&page[0..4]);
+        let magic = dir_u32(page, 0);
         assert_eq!(magic, DIR_MAGIC, "corrupt buddy directory page");
-        let pages = bytes::le_u32(&page[4..8]);
+        let pages = dir_u32(page, 4);
         assert_eq!(pages, self.cfg.space_pages, "directory/config mismatch");
-        BuddyBitmap::from_bytes(&page[BITMAP_OFF..], pages)
+        BuddyBitmap::from_bytes(page.get(BITMAP_OFF..).unwrap_or(&[]), pages)
     }
 }
 
 /// Smallest `k` with `2^k ≥ n` (n ≥ 1).
 fn ceil_log2(n: u32) -> u32 {
     32 - (n - 1).leading_zeros()
+}
+
+/// Read the little-endian `u32` at byte `at`; a truncated page reads
+/// as 0, which callers reject as a bad magic / size field.
+fn dir_u32(page: &[u8], at: usize) -> u32 {
+    bytes::le_u32(page.get(at..at + 4).unwrap_or(&[0u8; 4]))
+}
+
+/// Write `v` little-endian at byte `at`. Pages are always `PAGE_SIZE`,
+/// so the write never truncates in practice.
+fn put_u32(page: &mut [u8], at: usize, v: u32) {
+    for (dst, src) in page.iter_mut().skip(at).zip(v.to_le_bytes()) {
+        *dst = src;
+    }
 }
 
 #[cfg(test)]

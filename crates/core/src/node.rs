@@ -87,11 +87,11 @@ impl Node {
             if rem < e.count {
                 return (i, rem);
             }
-            rem -= e.count;
+            rem = rem.saturating_sub(e.count);
         }
         let last = self.entries.len() - 1;
         assert!(rem == 0, "offset beyond node total");
-        (last, self.entries[last].count)
+        (last, self.entries.last().map_or(0, |e| e.count))
     }
 
     /// Byte offset (relative to this node) at which entry `idx` starts.
@@ -103,14 +103,14 @@ impl Node {
     /// Parse an interior node page.
     pub fn read_page(page: &[u8]) -> Node {
         let n = usize::from(get_u16(page, 0));
-        let level = page[2];
+        let level = page.get(2).copied().unwrap_or(0);
         assert!(n <= NODE_MAX_ENTRIES, "corrupt node: {n} entries");
         let mut entries = Vec::with_capacity(n);
         for i in 0..n {
-            let off = NODE_ENTRIES_OFF + i * 8;
+            let at = NODE_ENTRIES_OFF + i * 8;
             entries.push(Entry {
-                count: u64::from(get_u32(page, off)),
-                ptr: get_u32(page, off + 4),
+                count: u64::from(get_u32(page, at)),
+                ptr: get_u32(page, at + 4),
             });
         }
         Node { level, entries }
@@ -120,9 +120,16 @@ impl Node {
     pub fn write_page(&self, page: &mut [u8]) {
         assert!(self.entries.len() <= NODE_MAX_ENTRIES, "node overflow");
         put_u16(page, 0, cast::usize_to_u16(self.entries.len()));
-        page[2] = self.level;
-        page[3..NODE_ENTRIES_OFF].fill(0);
-        write_entries(&self.entries, &mut page[NODE_ENTRIES_OFF..]);
+        if let Some(b) = page.get_mut(2) {
+            *b = self.level;
+        }
+        if let Some(gap) = page.get_mut(3..NODE_ENTRIES_OFF) {
+            gap.fill(0);
+        }
+        write_entries(
+            &self.entries,
+            page.get_mut(NODE_ENTRIES_OFF..).unwrap_or_default(),
+        );
     }
 
     /// Parse the entry array of a root page (level/count come from the
@@ -132,10 +139,10 @@ impl Node {
         assert!(n <= ROOT_MAX_ENTRIES, "corrupt root: {n} entries");
         let mut entries = Vec::with_capacity(n);
         for i in 0..n {
-            let off = ROOT_ENTRIES_OFF + i * 8;
+            let at = ROOT_ENTRIES_OFF + i * 8;
             entries.push(Entry {
-                count: u64::from(get_u32(page, off)),
-                ptr: get_u32(page, off + 4),
+                count: u64::from(get_u32(page, at)),
+                ptr: get_u32(page, at + 4),
             });
         }
         Node {
@@ -151,7 +158,10 @@ impl Node {
         hdr.level = self.level;
         hdr.n_entries = cast::usize_to_u16(self.entries.len());
         hdr.write(page);
-        write_entries(&self.entries, &mut page[ROOT_ENTRIES_OFF..]);
+        write_entries(
+            &self.entries,
+            page.get_mut(ROOT_ENTRIES_OFF..).unwrap_or_default(),
+        );
     }
 }
 
@@ -191,8 +201,8 @@ impl RootHdr {
     pub fn read(page: &[u8]) -> RootHdr {
         RootHdr {
             magic: get_u32(page, 0),
-            kind: page[4],
-            level: page[5],
+            kind: page.get(4).copied().unwrap_or(0),
+            level: page.get(5).copied().unwrap_or(0),
             n_entries: get_u16(page, 6),
             size: get_u64(page, 8),
             params: get_u64(page, 16),
@@ -204,14 +214,20 @@ impl RootHdr {
     /// Serialize the header fields into a root page.
     pub fn write(&self, page: &mut [u8]) {
         put_u32(page, 0, self.magic);
-        page[4] = self.kind;
-        page[5] = self.level;
+        if let Some(b) = page.get_mut(4) {
+            *b = self.kind;
+        }
+        if let Some(b) = page.get_mut(5) {
+            *b = self.level;
+        }
         put_u16(page, 6, self.n_entries);
         put_u64(page, 8, self.size);
         put_u64(page, 16, self.params);
         put_u32(page, 24, self.last_seg_alloc);
         put_u32(page, 28, self.last_seg_ptr);
-        page[32..ROOT_ENTRIES_OFF].fill(0);
+        if let Some(gap) = page.get_mut(32..ROOT_ENTRIES_OFF) {
+            gap.fill(0);
+        }
     }
 }
 

@@ -136,9 +136,9 @@ impl OpCtx {
         }
         let mut exts: Vec<&Extent> = self.free_extents.iter().collect();
         exts.sort_by_key(|e| (e.area, e.start));
-        for w in exts.windows(2) {
-            if w[0].area == w[1].area && w[0].end() > w[1].start {
-                return Err(format!("queued extents overlap: {} and {}", w[0], w[1]));
+        for (a, b) in exts.iter().zip(exts.iter().skip(1)) {
+            if a.area == b.area && a.end() > b.start {
+                return Err(format!("queued extents overlap: {a} and {b}"));
             }
         }
         Ok(())

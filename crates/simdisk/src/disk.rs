@@ -94,9 +94,6 @@ impl Area {
 
     /// Fetch pages starting at `start` into `out`. Never materializes;
     /// absent pages read as zeroes (arena slack already holds zeroes).
-    // The `&mut [u8]` parameter is not an indexing site; the token rule
-    // has no type context.
-    // loblint: allow(panic-path)
     fn copy_out(&self, start: u32, out: &mut [u8]) {
         let first = cast::u32_to_usize(start);
         let arena_bytes = self

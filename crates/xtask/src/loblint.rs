@@ -57,9 +57,12 @@ use std::process::ExitCode;
 use crate::lobsyn::{self, AttrSpan, FnDef, Tok, TokKind};
 
 /// The rule identifiers, as used in findings and `allow(...)` comments.
-pub const RULES: [&str; 17] = [
+pub const RULES: [&str; 21] = [
+    "alloc-balance",
     "arith-overflow",
     "bad-waiver",
+    "cache-invalidate",
+    "commit-point",
     "disk-taint",
     "forbid-unsafe",
     "guard-across-io",
@@ -70,6 +73,7 @@ pub const RULES: [&str; 17] = [
     "missing-docs",
     "panic-path",
     "panic-while-locked",
+    "shadow-order",
     "todo",
     "truncating-cast",
     "unit-mixing",
@@ -78,7 +82,15 @@ pub const RULES: [&str; 17] = [
 ];
 
 /// One `--explain` documentation entry per rule: (name, scope, text).
-pub const RULE_DOCS: [(&str, &str, &str); 17] = [
+pub const RULE_DOCS: [(&str, &str, &str); 21] = [
+    (
+        "alloc-balance",
+        "library crates, non-test code",
+        "Every let-bound buddy allocation (alloc_leaf/alloc_meta_page) must be freed, queued \
+         with free_*_later, or recorded (any later mention counts as an ownership transfer) \
+         on every CFG path — including ?/early-return error edges, where a leaked extent \
+         would survive until fsck. Effect-summary rule (DESIGN.md section 15).",
+    ),
     (
         "arith-overflow",
         "library crates, non-test code",
@@ -90,6 +102,24 @@ pub const RULE_DOCS: [(&str, &str, &str); 17] = [
         "whole workspace",
         "A `// loblint: allow(...)` comment names a rule loblint does not know; fix the \
          spelling so the waiver actually waives something.",
+    ),
+    (
+        "cache-invalidate",
+        "library crates, non-test code",
+        "A raw META page write (guard_mut/guard_new/fix_new addressing AreaId::META) must \
+         reach a node-cache invalidation in the same function on every CFG path, before or \
+         after the write; otherwise stale deserialized nodes survive the write. The \
+         Db::with_meta_page_mut / with_new_meta_page funnels are the sanctioned shape — the \
+         static twin of the PR 4 nodecache invariant (DESIGN.md section 15).",
+    ),
+    (
+        "commit-point",
+        "library crates, non-test code",
+        "An operation that makes a freshly allocated META root/header page durable \
+         (flush_page(PageId::new(AreaId::META, <new page>))) has exactly one such flip per \
+         CFG path, and no durable write — direct or through a summarized call — may follow \
+         it: a crash between the flip and a later write would publish a half-finished \
+         operation (paper section 3.3; DESIGN.md section 15).",
     ),
     (
         "disk-taint",
@@ -155,6 +185,16 @@ pub const RULE_DOCS: [(&str, &str, &str); 17] = [
         "A panic-capable token (unwrap/expect, panic!-family macros, indexing, non-constant \
          division) inside a region where a guard is live poisons the lock for every other \
          thread. Propagate errors or hoist the panic-capable work outside the guard.",
+    ),
+    (
+        "shadow-order",
+        "library crates, non-test code",
+        "Inside an OpCtx shadow operation: old storage is released only via free_*_later \
+         (materialized at finish), never freed immediately — directly or through a call \
+         whose effect summary frees; every shadow_page/fresh_page result is written before \
+         finish; no in-place write to a page shadowed in the same op; and no shadow, meta, \
+         or durable effect after finish. The static twin of tests/crash_consistency.rs \
+         (paper section 3.3; DESIGN.md section 15).",
     ),
     (
         "todo",
@@ -411,6 +451,7 @@ pub fn lint_sources(sources: &[(String, String)]) -> Vec<Finding> {
     check_forbid_unsafe(&analyses, &mut findings);
     check_io_accounting(&analyses, &mut findings);
     crate::flowrules::check(&analyses, &mut findings);
+    crate::effectrules::check(&analyses, &mut findings);
     // Last: every other rule has had its chance to consume waivers.
     check_unused_waivers(&analyses, &mut findings);
     findings.sort();
@@ -627,11 +668,13 @@ pub(crate) fn panic_div_at(t: &[Tok], i: usize) -> bool {
 
 /// Is `toks[i]` a postfix `[` (indexing/slicing a value) that is not a
 /// full-range `[..]`? Shared by `panic-path`, `panic-while-locked` and
-/// the `disk-taint` sink scan.
+/// the `disk-taint` sink scan. A `[` after the keyword `mut` is a slice
+/// *type* (`&mut [u8]`), never an indexing expression — `mut` cannot
+/// name a value.
 pub(crate) fn panic_index_at(t: &[Tok], i: usize) -> bool {
     t[i].is_punct("[")
         && i > 0
-        && (matches!(t[i - 1].kind, TokKind::Ident)
+        && (matches!(t[i - 1].kind, TokKind::Ident) && !t[i - 1].is_ident("mut")
             || t[i - 1].is_punct(")")
             || t[i - 1].is_punct("]")
             || t[i - 1].is_punct("?"))
@@ -1536,7 +1579,7 @@ impl Baseline {
 
 // ---- output and CLI -------------------------------------------------------
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -1615,6 +1658,59 @@ pub struct Opts {
     pub rule: Option<String>,
     /// Print the doc-table entry for a rule and exit (`--explain`).
     pub explain: Option<String>,
+    /// Print the per-rule counts and baseline-delta table (`--stats`).
+    pub stats: bool,
+}
+
+/// Render the `--stats` table: per-rule totals split into baselined
+/// and new, rules with findings only, plus a TOTAL row. The exact
+/// format is pinned by `stats_table_format_is_pinned`.
+pub fn stats_table(findings: &[Finding], baselined: &[bool]) -> String {
+    let mut rows: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for (i, f) in findings.iter().enumerate() {
+        let e = rows.entry(f.rule).or_default();
+        e.0 += 1;
+        if baselined.get(i).copied().unwrap_or(false) {
+            e.1 += 1;
+        }
+    }
+    let name_w = rows
+        .keys()
+        .map(|r| r.len())
+        .chain(["TOTAL".len(), "rule".len()])
+        .max()
+        .unwrap_or(5);
+    let mut out = String::new();
+    let mut row = |name: &str, total: String, base: String, new: String| {
+        let _ = writeln!(out, "{name:<name_w$}  {total:>5}  {base:>9}  {new:>5}");
+    };
+    let dashes = (
+        "-".repeat(name_w),
+        "-".repeat(5),
+        "-".repeat(9),
+        "-".repeat(5),
+    );
+    row("rule", "total".into(), "baselined".into(), "new".into());
+    row(
+        &dashes.0,
+        dashes.1.clone(),
+        dashes.2.clone(),
+        dashes.3.clone(),
+    );
+    let (mut t, mut b) = (0usize, 0usize);
+    for (rule, (total, base)) in &rows {
+        t += total;
+        b += base;
+        row(
+            rule,
+            total.to_string(),
+            base.to_string(),
+            (total - base).to_string(),
+        );
+    }
+    row(&dashes.0, dashes.1, dashes.2, dashes.3);
+    row("TOTAL", t.to_string(), b.to_string(), (t - b).to_string());
+    out
 }
 
 /// Print the `RULE_DOCS` entry for `rule`. Exit 0 when known, 2 not.
@@ -1722,6 +1818,18 @@ pub fn run(opts: &Opts) -> ExitCode {
             }
         }
     }
+    if opts.stats {
+        print!("{}", stats_table(&findings, &marks));
+        let resolved: usize = baseline
+            .resolved_against(&findings)
+            .iter()
+            .map(|(_, _, _, n)| n)
+            .sum();
+        println!(
+            "baseline delta: {} matched, {resolved} resolved, {n_new} new",
+            findings.len() - n_new
+        );
+    }
     eprintln!(
         "loblint: {} finding{} ({} baselined, {n_new} new)",
         findings.len(),
@@ -1755,6 +1863,40 @@ mod tests {
 
     fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
         findings.iter().map(|f| f.rule).collect()
+    }
+
+    // ---- --stats ------------------------------------------------------
+
+    #[test]
+    fn stats_table_format_is_pinned() {
+        let f = |file: &str, line: usize, rule: &'static str| Finding {
+            file: file.to_string(),
+            line,
+            rule,
+            message: "m".to_string(),
+            evidence: Vec::new(),
+        };
+        let findings = vec![
+            f("a.rs", 1, "unwrap"),
+            f("a.rs", 2, "panic-path"),
+            f("b.rs", 3, "panic-path"),
+        ];
+        let marks = vec![true, true, false];
+        let expected = "\
+rule        total  baselined    new
+----------  -----  ---------  -----
+panic-path      2          1      1
+unwrap          1          1      0
+----------  -----  ---------  -----
+TOTAL           3          2      1
+";
+        assert_eq!(stats_table(&findings, &marks), expected);
+    }
+
+    #[test]
+    fn stats_table_on_empty_findings_has_only_the_total_row() {
+        let table = stats_table(&[], &[]);
+        assert!(table.contains("TOTAL      0          0      0"), "{table}");
     }
 
     // ---- v1 rules, now token-exact ------------------------------------
@@ -2085,6 +2227,20 @@ mod tests {
         // Partial ranges still panic.
         assert_eq!(
             rules_of(&lint_lib("fn f(v: &[u8], n: usize) -> &[u8] { &v[..n] }\n")),
+            vec!["panic-path"]
+        );
+    }
+
+    #[test]
+    fn mut_slice_type_in_signature_is_not_an_index_site() {
+        // `&mut [u8]` is a type — `mut` cannot name an indexable value.
+        assert!(lint_lib("fn f(out: &mut [u8]) {}\n").is_empty());
+        assert!(lint_lib("fn f(out: &mut [u8], v: &[u8]) -> &mut [u8] { out }\n").is_empty());
+        // Indexing *through* such a parameter still fires.
+        assert_eq!(
+            rules_of(&lint_lib(
+                "fn f(out: &mut [u8], i: usize) { out[i] = 0; }\n"
+            )),
             vec!["panic-path"]
         );
     }

@@ -823,3 +823,120 @@ mod tests {
         assert_eq!(fns[0].qualified(), "BufferPool::tick");
     }
 }
+
+/// Property-based round-trip: render an arbitrary valid token stream
+/// canonically, lex it, and reconstruct the source byte-exactly from
+/// the lexed tokens and comments. Any token the lexer splits, merges,
+/// drops, or mis-lines breaks byte equality, so this pins the entire
+/// token surface (idents, numbers, strings, raw/byte strings, chars,
+/// lifetimes, multi-char operators, line comments) in one property.
+#[cfg(test)]
+mod roundtrip {
+    use super::*;
+    use proptest::prelude::*;
+
+    const IDENTS: [&str; 10] = [
+        "fn", "let", "mut", "self", "page_no", "x", "_tmp", "extent", "r", "b",
+    ];
+    const NUMS: [&str; 8] = [
+        "0",
+        "42",
+        "0x1f",
+        "0xdead_beef",
+        "1_000u64",
+        "3.25",
+        "7usize",
+        "0b1010",
+    ];
+    const PUNCTS: [&str; 24] = [
+        "<<=", ">>=", "..=", "<<", ">>", "<=", "==", "!=", "&&", "||", "+=", "->", "=>", "::",
+        "..", "(", ")", "{", "}", ";", ",", "#", ".", "?",
+    ];
+    const LIFETIMES: [&str; 4] = ["'a", "'static", "'_", "'tx"];
+    const CHARS: [&str; 5] = ["'a'", "'Z'", "'_'", "'\\n'", "b'x'"];
+    const QUOTED: [&str; 4] = ["b\"LOBS\"", "br#\"z\"#", "r#\"x \" y\"#", "r\"raw\""];
+    const STR_PIECES: [&str; 7] = ["a", "bc", " ", "_7", "\\\"", "\\n", "::"];
+
+    fn pick(table: &'static [&'static str]) -> impl Strategy<Value = String> {
+        (0..table.len()).prop_map(move |i| table[i].to_string())
+    }
+
+    fn tok_strategy() -> impl Strategy<Value = String> {
+        prop_oneof![
+            3 => pick(&IDENTS),
+            2 => pick(&NUMS),
+            3 => pick(&PUNCTS),
+            1 => pick(&LIFETIMES),
+            1 => pick(&CHARS),
+            1 => pick(&QUOTED),
+            1 => prop::collection::vec(0..STR_PIECES.len(), 0..5).prop_map(|ps| {
+                let inner: String = ps.iter().map(|&p| STR_PIECES[p]).collect();
+                format!("\"{inner}\"")
+            }),
+        ]
+    }
+
+    /// Canonical rendering: eight tokens per line joined by single
+    /// spaces; every third line carries a trailing `//` comment.
+    fn render(toks: &[String]) -> String {
+        let mut out = String::new();
+        for (ln, chunk) in toks.chunks(8).enumerate() {
+            out.push_str(&chunk.join(" "));
+            if ln % 3 == 2 {
+                out.push_str(" // margin note");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Rebuild the canonical rendering from a `Lexed`: group tokens by
+    /// line, join with single spaces, and re-append each line comment.
+    fn reconstruct(l: &Lexed) -> String {
+        let last = l
+            .toks
+            .iter()
+            .map(|t| t.line)
+            .chain(l.comments.iter().map(|c| c.line))
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for line in 1..=last {
+            let texts: Vec<&str> = l
+                .toks
+                .iter()
+                .filter(|t| t.line == line)
+                .map(|t| t.text.as_str())
+                .collect();
+            out.push_str(&texts.join(" "));
+            for c in l.comments.iter().filter(|c| c.line == line) {
+                if !texts.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&c.text);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        #[test]
+        fn lex_then_reconstruct_is_byte_exact(
+            toks in prop::collection::vec(tok_strategy(), 1..64)
+        ) {
+            let src = render(&toks);
+            let l = lex(&src);
+            prop_assert_eq!(l.toks.len(), toks.len(),
+                "token count changed: {:?} from {:?}", l.toks, src);
+            for (i, t) in l.toks.iter().enumerate() {
+                prop_assert_eq!(&t.text, &toks[i], "token {} re-lexed differently", i);
+                prop_assert_eq!(t.line, i / 8 + 1, "token {} landed on the wrong line", i);
+            }
+            let rebuilt = reconstruct(&l);
+            prop_assert_eq!(rebuilt, src);
+        }
+    }
+}

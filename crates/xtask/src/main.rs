@@ -4,7 +4,7 @@
 //!
 //! * `loblint [--json] [--out <path>] [--root <dir>] [--baseline <path>]
 //!   [--no-baseline] [--update-baseline] [--rule <name>]
-//!   [--explain <rule>]` — run the project-specific static analysis
+//!   [--explain <rule>] [--stats]` — run the project-specific static analysis
 //!   pass over every workspace `.rs` source. Findings frozen in
 //!   `loblint.baseline` are reported but do not fail the run; exit
 //!   code 0 means no *new* findings, 1 means new findings were
@@ -12,9 +12,13 @@
 //!   unreadable files). `--update-baseline` regenerates the baseline
 //!   deterministically (sorted) and reports resolved entries.
 //!   `--rule` runs a single rule in isolation; `--explain` prints a
-//!   rule's documentation entry and exits.
+//!   rule's documentation entry and exits; `--stats` prints a per-rule
+//!   finding-count and baseline-delta table.
 //! * `check-lint-json <path>` — validate a `loblint --json` document
 //!   against the `loblint-findings/v2` schema (same exit codes).
+//! * `lint-sarif <path> [--out <path>]` — convert a `loblint --json`
+//!   document to SARIF 2.1.0 for code-scanning UIs; validates both the
+//!   input (v2 schema) and the emitted SARIF before writing.
 //! * `check-bench-json <path>` — validate a bench binary's `--json-out`
 //!   document against the `lobstore-bench-report/v1|v2` schema.
 //! * `bench-compare <baseline.json> <new.json> [--threshold-pct <n>]` —
@@ -27,11 +31,13 @@
 
 mod benchcompare;
 mod benchjson;
+mod effectrules;
 mod flowrules;
 mod lintjson;
 mod lobflow;
 mod loblint;
 mod lobsyn;
+mod sarif;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -49,6 +55,7 @@ fn main() -> ExitCode {
                 update_baseline: false,
                 rule: None,
                 explain: None,
+                stats: false,
             };
             let mut rest = args;
             while let Some(arg) = rest.next() {
@@ -61,6 +68,7 @@ fn main() -> ExitCode {
                 };
                 match arg.as_str() {
                     "--json" => opts.json = true,
+                    "--stats" => opts.stats = true,
                     "--no-baseline" => opts.no_baseline = true,
                     "--update-baseline" => opts.update_baseline = true,
                     "--root" => match value_arg("--root") {
@@ -98,6 +106,34 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("lint-sarif") => {
+            let mut input = None;
+            let mut out = None;
+            let mut rest = args;
+            while let Some(arg) = rest.next() {
+                if arg == "--out" {
+                    match rest.next() {
+                        Some(p) => out = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("lint-sarif: --out needs an argument");
+                            return ExitCode::from(2);
+                        }
+                    }
+                } else if input.is_none() {
+                    input = Some(PathBuf::from(arg));
+                } else {
+                    eprintln!("lint-sarif: unexpected argument `{arg}`");
+                    return ExitCode::from(2);
+                }
+            }
+            match input {
+                Some(path) => sarif::run(&path, out.as_deref()),
+                None => {
+                    eprintln!("lint-sarif: needs the path of a loblint --json document");
+                    ExitCode::from(2)
+                }
+            }
+        }
         Some("check-bench-json") => match args.next() {
             Some(path) => benchjson::run(std::path::Path::new(&path)),
             None => {
@@ -133,7 +169,7 @@ fn main() -> ExitCode {
         Some(other) => {
             eprintln!(
                 "xtask: unknown subcommand `{other}` (try `loblint`, `check-lint-json`, \
-                 `check-bench-json`, `bench-compare`)"
+                 `lint-sarif`, `check-bench-json`, `bench-compare`)"
             );
             ExitCode::from(2)
         }
@@ -141,8 +177,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cargo run -p xtask -- loblint [--json] [--out <path>] [--root <dir>] \
                  [--baseline <path>] [--no-baseline] [--update-baseline] [--rule <name>] \
-                 [--explain <rule>]\n       \
+                 [--explain <rule>] [--stats]\n       \
                  cargo run -p xtask -- check-lint-json <path>\n       \
+                 cargo run -p xtask -- lint-sarif <path> [--out <path>]\n       \
                  cargo run -p xtask -- check-bench-json <path>\n       \
                  cargo run -p xtask -- bench-compare <baseline.json> <new.json> \
                  [--threshold-pct <n>]"

@@ -1,0 +1,381 @@
+//! `lint-sarif` — convert a `loblint-findings/v2` document to SARIF
+//! 2.1.0 so findings render natively in code-review UIs.
+//!
+//! The converter is a thin, deterministic projection: every finding
+//! becomes one `result` with its rule id, file/line location, the
+//! `evidence` witness chain in the result's property bag, and a
+//! `baselineState` of `"unchanged"` (frozen in `loblint.baseline`) or
+//! `"new"`. Baselined findings are `note`-level, new ones `warning`.
+//! Rule metadata comes from [`crate::loblint::RULE_DOCS`]. The input
+//! is validated with [`crate::lintjson::validate`] before conversion,
+//! and the output is re-parsed and checked by [`validate_sarif`] — the
+//! same belt-and-braces shape as `check-lint-json`.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use lobstore_obs::json::{self, Value};
+
+use crate::lintjson;
+use crate::loblint::{json_escape, RULE_DOCS};
+
+/// The SARIF version this converter emits.
+pub const SARIF_VERSION: &str = "2.1.0";
+/// `$schema` URI stamped into the document.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Convert a parsed, already-validated `loblint-findings/v2` document
+/// to SARIF 2.1.0. Returns `Err` when the document is missing the
+/// pieces the conversion needs (callers should have validated first).
+pub fn to_sarif(doc: &Value) -> Result<String, String> {
+    let findings = doc
+        .get("findings")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "missing array field `findings`".to_string())?;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"$schema\": \"{SARIF_SCHEMA}\",\n  \"version\": \"{SARIF_VERSION}\",\n"
+    ));
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"loblint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (name, scope, text)) in RULE_DOCS.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"fullDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            json_escape(name),
+            json_escape(&format!("{name} ({scope})")),
+            json_escape(text),
+            if i + 1 < RULE_DOCS.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let field = |name: &str| {
+            f.get(name)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("findings[{i}].{name} must be a string"))
+        };
+        let file = field("file")?;
+        let rule = field("rule")?;
+        let message = field("message")?;
+        let line = f
+            .get("line")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("findings[{i}].line must be an integer"))?;
+        let baselined = matches!(f.get("baselined"), Some(Value::Bool(true)));
+        let evidence = f
+            .get("evidence")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("findings[{i}].evidence must be an array"))?
+            .iter()
+            .filter_map(Value::as_str)
+            .map(|e| format!("\"{}\"", json_escape(e)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"{}\", \
+             \"message\": {{\"text\": \"{}\"}}, \"baselineState\": \"{}\", \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {line}}}}}}}], \
+             \"properties\": {{\"evidence\": [{evidence}]}}}}{}\n",
+            json_escape(rule),
+            if baselined { "note" } else { "warning" },
+            json_escape(message),
+            if baselined { "unchanged" } else { "new" },
+            json_escape(file),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}");
+    Ok(out)
+}
+
+/// Structural checks on an emitted SARIF document: version tag, one
+/// run, driver name, every result's rule declared by the driver, and
+/// well-formed locations. Returns every problem found (empty = valid).
+pub fn validate_sarif(doc: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut fail = |msg: String| problems.push(msg);
+
+    match doc.get("version").and_then(Value::as_str) {
+        Some(v) if v == SARIF_VERSION => {}
+        Some(v) => fail(format!("version is {v:?}, expected {SARIF_VERSION:?}")),
+        None => fail("missing string field `version`".to_string()),
+    }
+    if doc.get("$schema").and_then(Value::as_str).is_none() {
+        fail("missing string field `$schema`".to_string());
+    }
+    let Some(runs) = doc.get("runs").and_then(Value::as_arr) else {
+        fail("missing array field `runs`".to_string());
+        return problems;
+    };
+    if runs.len() != 1 {
+        fail(format!("expected exactly 1 run, found {}", runs.len()));
+        return problems;
+    }
+    let run = &runs[0];
+    let driver = run.get("tool").and_then(|t| t.get("driver"));
+    match driver.and_then(|d| d.get("name")).and_then(Value::as_str) {
+        Some("loblint") => {}
+        other => fail(format!(
+            "tool.driver.name must be \"loblint\", got {other:?}"
+        )),
+    }
+    let rule_ids: Vec<&str> = driver
+        .and_then(|d| d.get("rules"))
+        .and_then(Value::as_arr)
+        .map(|rs| {
+            rs.iter()
+                .filter_map(|r| r.get("id").and_then(Value::as_str))
+                .collect()
+        })
+        .unwrap_or_default();
+    if rule_ids.is_empty() {
+        fail("tool.driver.rules must declare the rule set".to_string());
+    }
+    match run.get("results").and_then(Value::as_arr) {
+        Some(results) => {
+            for (i, r) in results.iter().enumerate() {
+                match r.get("ruleId").and_then(Value::as_str) {
+                    Some(id) if rule_ids.contains(&id) => {}
+                    Some(id) => fail(format!("results[{i}].ruleId {id:?} is not declared")),
+                    None => fail(format!("results[{i}].ruleId must be a string")),
+                }
+                match r.get("level").and_then(Value::as_str) {
+                    Some("warning" | "note" | "error") => {}
+                    other => fail(format!("results[{i}].level invalid: {other:?}")),
+                }
+                match r.get("baselineState").and_then(Value::as_str) {
+                    Some("new" | "unchanged") => {}
+                    other => fail(format!("results[{i}].baselineState invalid: {other:?}")),
+                }
+                if r.get("message")
+                    .and_then(|m| m.get("text"))
+                    .and_then(Value::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    fail(format!("results[{i}].message.text must be non-empty"));
+                }
+                let loc = r
+                    .get("locations")
+                    .and_then(Value::as_arr)
+                    .and_then(|l| l.first())
+                    .and_then(|l| l.get("physicalLocation"));
+                if loc
+                    .and_then(|l| l.get("artifactLocation"))
+                    .and_then(|a| a.get("uri"))
+                    .and_then(Value::as_str)
+                    .is_none_or(str::is_empty)
+                {
+                    fail(format!("results[{i}] is missing its artifact uri"));
+                }
+                if loc
+                    .and_then(|l| l.get("region"))
+                    .and_then(|g| g.get("startLine"))
+                    .and_then(Value::as_u64)
+                    .is_none()
+                {
+                    fail(format!("results[{i}] is missing region.startLine"));
+                }
+            }
+        }
+        None => fail("run is missing array field `results`".to_string()),
+    }
+    problems
+}
+
+/// Entry point for `cargo run -p xtask -- lint-sarif <findings.json>
+/// [--out <path>]`. Exit 0 = converted (written or printed), 1 = the
+/// findings document failed validation, 2 = cannot read or parse.
+pub fn run(input: &Path, out: Option<&Path>) -> ExitCode {
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lint-sarif: cannot read {}: {e}", input.display());
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lint-sarif: {} is not JSON: {e:?}", input.display());
+            return ExitCode::from(2);
+        }
+    };
+    let problems = lintjson::validate(&doc);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("lint-sarif: {p}");
+        }
+        eprintln!(
+            "lint-sarif: {} is not a valid findings document ({} problem(s))",
+            input.display(),
+            problems.len()
+        );
+        return ExitCode::from(1);
+    }
+    let sarif = match to_sarif(&doc) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lint-sarif: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    // Belt and braces: the emitted document must re-parse and pass the
+    // structural checks before anything downstream sees it.
+    match json::parse(&sarif) {
+        Ok(emitted) => {
+            let problems = validate_sarif(&emitted);
+            if !problems.is_empty() {
+                for p in &problems {
+                    eprintln!("lint-sarif: emitted document invalid: {p}");
+                }
+                return ExitCode::from(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("lint-sarif: emitted document is not JSON: {e:?}");
+            return ExitCode::from(1);
+        }
+    }
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &sarif) {
+                eprintln!("lint-sarif: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+            println!("lint-sarif: wrote {}", path.display());
+        }
+        None => println!("{sarif}"),
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loblint::{to_json, Finding, RULES};
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "crates/core/src/a.rs".into(),
+                line: 3,
+                rule: "unwrap",
+                message: "unwrap in library".into(),
+                evidence: Vec::new(),
+            },
+            Finding {
+                file: "crates/core/src/b.rs".into(),
+                line: 9,
+                rule: "commit-point",
+                message: "durable write after the commit-point flip".into(),
+                evidence: vec!["commit point: crates/core/src/b.rs:7 `flush_page(..)`".into()],
+            },
+        ]
+    }
+
+    fn convert(findings: &[Finding], marks: &[bool]) -> Value {
+        let doc = json::parse(&to_json(findings, marks)).unwrap();
+        json::parse(&to_sarif(&doc).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn conversion_emits_valid_sarif_with_all_rules_declared() {
+        let sarif = convert(&sample(), &[true, false]);
+        assert_eq!(validate_sarif(&sarif), Vec::<String>::new());
+        let driver_rules = sarif.get("runs").and_then(Value::as_arr).unwrap()[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(driver_rules.len(), RULES.len());
+        for (r, id) in RULES.iter().zip(driver_rules.iter()) {
+            assert_eq!(id.get("id").and_then(Value::as_str), Some(*r));
+        }
+    }
+
+    #[test]
+    fn results_carry_location_baseline_state_and_evidence() {
+        let sarif = convert(&sample(), &[true, false]);
+        let results = sarif.get("runs").and_then(Value::as_arr).unwrap()[0]
+            .get("results")
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        let (a, b) = (&results[0], &results[1]);
+        assert_eq!(a.get("level").and_then(Value::as_str), Some("note"));
+        assert_eq!(
+            a.get("baselineState").and_then(Value::as_str),
+            Some("unchanged")
+        );
+        assert_eq!(b.get("level").and_then(Value::as_str), Some("warning"));
+        assert_eq!(b.get("baselineState").and_then(Value::as_str), Some("new"));
+        let loc = b.get("locations").and_then(Value::as_arr).unwrap()[0]
+            .get("physicalLocation")
+            .unwrap();
+        assert_eq!(
+            loc.get("artifactLocation")
+                .and_then(|l| l.get("uri"))
+                .and_then(Value::as_str),
+            Some("crates/core/src/b.rs")
+        );
+        assert_eq!(
+            loc.get("region")
+                .and_then(|g| g.get("startLine"))
+                .and_then(Value::as_u64),
+            Some(9)
+        );
+        let ev = b
+            .get("properties")
+            .and_then(|p| p.get("evidence"))
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(ev.len(), 1);
+        assert!(ev[0].as_str().unwrap().contains("flush_page"));
+    }
+
+    #[test]
+    fn empty_findings_document_converts_cleanly() {
+        let sarif = convert(&[], &[]);
+        assert_eq!(validate_sarif(&sarif), Vec::<String>::new());
+        let results = sarif.get("runs").and_then(Value::as_arr).unwrap()[0]
+            .get("results")
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn conversion_rejects_a_structurally_broken_document() {
+        let doc = json::parse(r#"{"schema": "loblint-findings/v2"}"#).unwrap();
+        assert!(to_sarif(&doc).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_mutated_sarif() {
+        let good = to_sarif(&json::parse(&to_json(&sample(), &[true, false])).unwrap()).unwrap();
+        // Undeclared ruleId.
+        let doc =
+            json::parse(&good.replace("\"ruleId\": \"unwrap\"", "\"ruleId\": \"nope\"")).unwrap();
+        assert!(validate_sarif(&doc)
+            .iter()
+            .any(|p| p.contains("not declared")));
+        // Wrong version.
+        let doc =
+            json::parse(&good.replace("\"version\": \"2.1.0\"", "\"version\": \"9.9\"")).unwrap();
+        assert!(validate_sarif(&doc).iter().any(|p| p.contains("version")));
+        // Broken baselineState.
+        let doc =
+            json::parse(&good.replace("\"baselineState\": \"new\"", "\"baselineState\": \"old\""))
+                .unwrap();
+        assert!(validate_sarif(&doc)
+            .iter()
+            .any(|p| p.contains("baselineState")));
+    }
+}
