@@ -25,6 +25,12 @@ run() {
 # output; CI uploads the .sarif as a workflow artifact).
 run cargo fmt --all --check
 run cargo clippy --workspace --all-targets -- -D warnings
+
+# Documentation gate: rustdoc warnings (broken intra-doc links above
+# all) are errors, and crates/obs + crates/buddy deny missing docs on
+# their public APIs. docs/SCHEMAS.md is the prose counterpart for the
+# JSON formats the validators below enforce.
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 run cargo test -q -p xtask
 run cargo run -q -p xtask -- loblint --json --out target/loblint.json
 run cargo run -q -p xtask -- check-lint-json target/loblint.json

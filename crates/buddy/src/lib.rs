@@ -20,6 +20,7 @@
 //! therefore costs at most one disk access (and usually zero, when the
 //! directory page is hot in the buffer pool).
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod bitmap;
 mod manager;
@@ -32,6 +33,7 @@ use lobstore_simdisk::AreaId;
 /// A contiguous run of allocated pages within one area.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Extent {
+    /// The database area the pages live in.
     pub area: AreaId,
     /// First page of the extent (absolute page number in the area).
     pub start: u32,

@@ -305,6 +305,56 @@ impl BuddyManager {
         self.allocated -= u64::from(ext.pages);
     }
 
+    /// Adopt `ext` as allocated at exactly its recorded position — the
+    /// allocation-log **replay** path (core DESIGN.md §16). Recovery
+    /// rebuilds a fresh manager purely from logged `alloc`/`free`
+    /// records, so placement is dictated, not searched for: spaces up to
+    /// the extent's space are created on demand (their directories are
+    /// re-initialized, overwriting whatever a crash left on disk), and
+    /// the extent's pages are marked used. Pages already marked used stay
+    /// used, which makes replay idempotent per page; only pages actually
+    /// flipped free → used are added to the allocated counter.
+    ///
+    /// # Panics
+    /// If the extent is from another area, spans spaces, or covers a
+    /// directory page.
+    pub fn adopt(&mut self, pool: &mut BufferPool, ext: Extent) {
+        assert_eq!(ext.area, self.cfg.area, "extent from a different area");
+        if ext.pages == 0 {
+            return;
+        }
+        let space = self.space_of(ext.start);
+        assert_eq!(
+            space,
+            self.space_of(ext.end() - 1),
+            "extent crosses a buddy-space boundary"
+        );
+        while self.n_spaces <= space {
+            self.create_space(pool);
+        }
+        let base = self.data_base(space);
+        assert!(ext.start >= base, "extent covers a directory page");
+        let rel = ext.start - base;
+
+        let dir = PageId::new(self.cfg.area, self.dir_page(space));
+        let r = pool.fix(dir);
+        let mut bm = self.parse_dir(pool.page(r));
+        let mut flipped = 0u64;
+        for p in rel..rel.saturating_add(ext.pages) {
+            if bm.is_free(p) {
+                bm.mark_used(p, 1);
+                flipped += 1;
+            }
+        }
+        let page = pool.page_mut(r);
+        bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
+        if let Some(hint) = self.superdir.get_mut(space as usize) {
+            *hint = bm.max_free_order();
+        }
+        pool.unfix(r);
+        self.allocated += flipped;
+    }
+
     /// Every currently allocated page range, as maximal extents in
     /// ascending order — the allocator's view for consistency checking.
     /// Reads each space's directory through the pool (costed, like any

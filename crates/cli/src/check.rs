@@ -29,6 +29,7 @@ pub enum Finding {
     LeafDangling { name: String, page: u32 },
     MetaLeaked { page: u32 },
     MetaDangling { owner: String, page: u32 },
+    AllocLogBroken { detail: String },
 }
 
 impl Finding {
@@ -42,6 +43,7 @@ impl Finding {
             Finding::LeafDangling { .. } => "leaf-dangling",
             Finding::MetaLeaked { .. } => "meta-leaked",
             Finding::MetaDangling { .. } => "meta-dangling",
+            Finding::AllocLogBroken { .. } => "alloc-log-broken",
         }
     }
 }
@@ -69,6 +71,9 @@ impl std::fmt::Display for Finding {
             }
             Finding::MetaDangling { owner, page } => {
                 write!(f, "'{owner}' references unallocated meta page {page}")
+            }
+            Finding::AllocLogBroken { detail } => {
+                write!(f, "allocation log failed verification: {detail}")
             }
         }
     }
@@ -136,6 +141,29 @@ pub fn check_database(db: &mut Db, cat: &mut Catalog) -> Vec<Finding> {
     // Reachability maps: page → owner name.
     let mut leaf_owner: HashMap<u32, String> = HashMap::new();
     let mut meta_owner: HashMap<u32, String> = HashMap::new();
+
+    // Pages owned by the MVCC machinery rather than any object: the
+    // allocation-log chain (META) and frees deferred while a snapshot
+    // still pins an old version (DESIGN.md §16). Both are allocated on
+    // purpose and must not be reported as leaks.
+    for page in db.alloc_log_pages() {
+        meta_owner.insert(page, "<alloc-log>".to_string());
+    }
+    for ext in db.deferred_extents() {
+        let map = if ext.area == lobstore_simdisk::AreaId::META {
+            &mut meta_owner
+        } else {
+            &mut leaf_owner
+        };
+        for p in ext.start..ext.end() {
+            map.insert(p, "<deferred-free>".to_string());
+        }
+    }
+    if let Err(e) = db.verify_alloc_log() {
+        findings.push(Finding::AllocLogBroken {
+            detail: e.to_string(),
+        });
+    }
 
     match catching(|| cat.pages(db)) {
         Ok(Ok(pages)) => {
@@ -359,6 +387,55 @@ mod tests {
         assert!(json.contains("\"kind\": \"leaf-leaked\""), "{json}");
         assert!(json.contains("\"kind\": \"object-broken\""), "{json}");
         assert!(json.contains("a\\\"b"), "quotes escaped: {json}");
+    }
+
+    #[test]
+    fn alloc_log_and_deferred_pages_are_not_leaks() {
+        let mut db = Db::new(DbConfig {
+            alloc_log: true,
+            ..DbConfig::default()
+        });
+        let mut cat = Catalog::create(&mut db).unwrap();
+        let mut obj = ManagerSpec::esm(4).create(&mut db).unwrap();
+        obj.append(&mut db, &vec![1u8; 120_000]).unwrap();
+        cat.put(&mut db, "a", obj.kind(), obj.root_page()).unwrap();
+        assert!(
+            !db.alloc_log_pages().is_empty(),
+            "log chain exists once configured"
+        );
+        // Pin a snapshot, then shrink the object so frees are deferred.
+        let snap = db.snapshot();
+        obj.delete(&mut db, 0, 60_000).unwrap();
+        assert!(!db.deferred_extents().is_empty(), "frees were deferred");
+        let findings = check_database(&mut db, &mut cat);
+        assert!(findings.is_empty(), "{findings:?}");
+        db.release_snapshot(snap);
+        let findings = check_database(&mut db, &mut cat);
+        assert!(findings.is_empty(), "clean after reclamation: {findings:?}");
+    }
+
+    #[test]
+    fn detects_a_broken_alloc_log() {
+        let mut db = Db::new(DbConfig {
+            alloc_log: true,
+            ..DbConfig::default()
+        });
+        let mut cat = Catalog::create(&mut db).unwrap();
+        let mut obj = ManagerSpec::eos(16).create(&mut db).unwrap();
+        obj.append(&mut db, &vec![2u8; 40_000]).unwrap();
+        cat.put(&mut db, "a", obj.kind(), obj.root_page()).unwrap();
+        // Stamp garbage over the log head's magic: the chain walk stops
+        // dead, so the replayed allocation map can no longer match the
+        // live allocators.
+        let head = db.alloc_log_pages()[0];
+        db.with_meta_page_mut(head, |p| p[0..4].copy_from_slice(b"XXXX"));
+        let findings = check_database(&mut db, &mut cat);
+        assert!(
+            findings
+                .iter()
+                .any(|f| matches!(f, Finding::AllocLogBroken { .. })),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! The database context shared by all large-object managers: buffer pool
 //! (owning the simulated disk) plus one buddy-space allocator per area.
 
+use std::collections::HashSet;
+
 use lobstore_buddy::{BuddyConfig, BuddyManager, Extent, FragStats};
 use lobstore_bufpool::{BufferPool, PoolConfig};
 use lobstore_simdisk::{AreaId, CostModel, IoStats, PageId, SimDisk, PAGE_SIZE};
 
+use crate::alloclog::AllocLog;
 use crate::health::{self, HealthSample};
 use crate::node::{Node, RootHdr};
 use crate::nodecache::{CachedMeta, NodeCache};
+use crate::txn::TxnState;
+use crate::version::VersionState;
 
 /// Parsed META pages kept in [`Db`]'s node cache (see `nodecache.rs`).
 const META_CACHE_ENTRIES: usize = 64;
@@ -59,6 +64,10 @@ pub struct DbConfig {
     /// Whether updates are shadowed (§3.3). On by default; the
     /// `ablation_shadowing` bench turns it off.
     pub shadowing: bool,
+    /// Keep a crash-recovery allocation log (DESIGN.md §16.3). Off by
+    /// default — the paper's single-version path is bit-identical with
+    /// the log disabled. Requires `shadowing`.
+    pub alloc_log: bool,
 }
 
 impl Default for DbConfig {
@@ -71,6 +80,7 @@ impl Default for DbConfig {
             meta_space_pages: 16 * 1024,
             leaf_space_pages: 16 * 1024,
             shadowing: true,
+            alloc_log: false,
         }
     }
 }
@@ -80,25 +90,41 @@ impl Default for DbConfig {
 /// the study is single-client (§3).
 pub struct Db {
     pub(crate) pool: BufferPool,
-    meta_alloc: BuddyManager,
-    leaf_alloc: BuddyManager,
-    cfg: DbConfig,
+    pub(crate) meta_alloc: BuddyManager,
+    pub(crate) leaf_alloc: BuddyManager,
+    pub(crate) cfg: DbConfig,
     /// Deserialized index-node overlay; pure wall-clock memoization
     /// (simulated I/O accounting is unchanged by hits).
-    meta_cache: NodeCache,
+    pub(crate) meta_cache: NodeCache,
     /// Operations completed through observed objects — the health
     /// sampler's tick source (see DESIGN.md §14).
     ops_total: u64,
     /// Publish a health sample every this many observed operations;
     /// 0 disables the sampler (the default).
     health_every: u64,
+    /// MVCC version state: current version, snapshot pins, archived root
+    /// pre-images, deferred frees (see `version.rs`).
+    pub(crate) versions: VersionState,
+    /// Open transaction, if any (see `txn.rs`).
+    pub(crate) txn: Option<TxnState>,
+    /// Allocation log, when [`DbConfig::alloc_log`] is enabled (see
+    /// `alloclog.rs`).
+    pub(crate) log: Option<AllocLog>,
+    /// META pages allocated by the operation currently in flight —
+    /// mirror of the shadow context's created set, so the write funnel
+    /// can tell a fresh page's first write from an in-place overwrite of
+    /// committed content.
+    pub(crate) op_created: HashSet<u32>,
+    /// Committed META pages overwritten in place since the last commit
+    /// (root/catalog flips) — imaged into the allocation log at commit.
+    pub(crate) dirty_roots: Vec<u32>,
 }
 
 impl Db {
     /// Build a database over a fresh two-area simulated disk.
     pub fn new(cfg: DbConfig) -> Self {
         let disk = SimDisk::new(2, cfg.cost);
-        Db {
+        let mut db = Db {
             pool: BufferPool::new(disk, cfg.pool),
             meta_alloc: BuddyManager::new(BuddyConfig::new(AreaId::META, cfg.meta_space_pages)),
             leaf_alloc: BuddyManager::new(BuddyConfig::new(AreaId::LEAF, cfg.leaf_space_pages)),
@@ -106,7 +132,16 @@ impl Db {
             meta_cache: NodeCache::new(META_CACHE_ENTRIES),
             ops_total: 0,
             health_every: 0,
+            versions: VersionState::new(),
+            txn: None,
+            log: None,
+            op_created: HashSet::new(),
+            dirty_roots: Vec::new(),
+        };
+        if cfg.alloc_log {
+            db.init_alloc_log();
         }
+        db
     }
 
     /// A database with the paper's exact parameters.
@@ -136,24 +171,70 @@ impl Db {
 
     /// Allocate one page in the META area (index pages, roots, shadows).
     pub fn alloc_meta_page(&mut self) -> u32 {
-        self.meta_alloc.allocate(&mut self.pool, 1).start
+        let page = self.meta_alloc.allocate(&mut self.pool, 1).start;
+        self.note_alloc(Extent::new(AreaId::META, page, 1));
+        page
     }
 
-    /// Free one META page.
+    /// Free one META page. Inside a transaction the free queues until
+    /// commit; while a snapshot pins the current state it defers until
+    /// the pin is released (see `version.rs`).
     pub fn free_meta_page(&mut self, page: u32) {
         self.meta_cache.invalidate(page);
-        self.meta_alloc
-            .free(&mut self.pool, Extent::new(AreaId::META, page, 1));
+        let ext = Extent::new(AreaId::META, page, 1);
+        if self.txn_queue_free(ext) {
+            return;
+        }
+        self.release_extent(ext);
     }
 
     /// Allocate a contiguous leaf segment of `pages` pages.
     pub fn alloc_leaf(&mut self, pages: u32) -> Extent {
-        self.leaf_alloc.allocate(&mut self.pool, pages)
+        let ext = self.leaf_alloc.allocate(&mut self.pool, pages);
+        self.note_alloc(ext);
+        ext
     }
 
-    /// Free a leaf extent (whole segments or trimmed portions).
+    /// Free a leaf extent (whole segments or trimmed portions). Queues
+    /// or defers like [`Self::free_meta_page`].
     pub fn free_leaf(&mut self, ext: Extent) {
-        self.leaf_alloc.free(&mut self.pool, ext);
+        if self.txn_queue_free(ext) {
+            return;
+        }
+        self.release_extent(ext);
+    }
+
+    /// Allocation hook: record the new extent with the open transaction
+    /// (for rollback) and the allocation log (for replay).
+    fn note_alloc(&mut self, ext: Extent) {
+        self.txn_note_alloc(ext);
+        self.log_record_alloc(ext);
+    }
+
+    /// Logical free of `ext`: recorded in the allocation log now (the
+    /// committed state has it free), physically released now unless a
+    /// pinned snapshot may still read the pages — then the release
+    /// defers until the last such pin is gone.
+    pub(crate) fn release_extent(&mut self, ext: Extent) {
+        self.log_record_free(ext);
+        if self.versions.pinned() {
+            self.defer_free(ext);
+        } else {
+            self.free_now(ext);
+        }
+    }
+
+    /// Physically return `ext` to its allocator, invalidating any cached
+    /// parses of META pages (a snapshot walker may have cached them).
+    pub(crate) fn free_now(&mut self, ext: Extent) {
+        if ext.area == AreaId::META {
+            for p in ext.start..ext.end() {
+                self.meta_cache.invalidate(p);
+            }
+            self.meta_alloc.free(&mut self.pool, ext);
+        } else {
+            self.leaf_alloc.free(&mut self.pool, ext);
+        }
     }
 
     /// Pages currently allocated in the LEAF area.
@@ -204,8 +285,25 @@ impl Db {
     /// index update in the tree/starburst/catalog layers.
     pub fn with_meta_page_mut<R>(&mut self, page: u32, f: impl FnOnce(&mut [u8]) -> R) -> R {
         self.meta_cache.invalidate(page);
+        self.note_meta_overwrite(page);
         let mut g = self.pool.guard_mut(PageId::new(AreaId::META, page));
         f(&mut g[..])
+    }
+
+    /// Versioning hooks of the META write funnel, run *before* the
+    /// mutation. By the shadowing discipline, an in-place write through
+    /// this funnel to a page the current operation did not allocate is a
+    /// root/header/catalog flip of committed content — exactly the
+    /// writes MVCC snapshots, open transactions, and the allocation log
+    /// must see coming. On the default path (no pins, no transaction, no
+    /// log) this is three cheap checks.
+    fn note_meta_overwrite(&mut self, page: u32) {
+        if self.op_created.contains(&page) {
+            return;
+        }
+        self.archive_page_preimage(page);
+        self.txn_note_overwrite(page);
+        self.log_note_overwrite(page);
     }
 
     /// Like [`Self::with_meta_page_mut`] but for a freshly allocated page
@@ -271,9 +369,22 @@ impl Db {
     /// state was flushed before the crash reads back exactly — later
     /// unflushed operations never overwrite the bytes that state
     /// references.
+    /// With the allocation log enabled, recovery instead replays the log
+    /// to the last committed version: allocators rebuilt from the record
+    /// stream, in-place-written pages restored from their committed
+    /// images (see `alloclog.rs`). An open transaction is aborted; all
+    /// snapshots are released (they are in-memory handles).
     pub fn crash_and_reboot(&mut self) {
         self.meta_cache.clear();
         self.pool.crash();
+        self.clear_version_state();
+        self.txn = None;
+        self.op_created.clear();
+        self.dirty_roots.clear();
+        if self.log.is_some() {
+            self.replay_alloc_log();
+            return;
+        }
         self.meta_alloc = BuddyManager::open(
             BuddyConfig::new(AreaId::META, self.cfg.meta_space_pages),
             &mut self.pool,
@@ -287,15 +398,36 @@ impl Db {
     /// Flush everything that is dirty — the "checkpoint" matching the end
     /// of the paper's operations (index shadows are already flushed per
     /// op; this adds the root pages and space directories).
+    /// With the allocation log enabled, the checkpoint also compacts the
+    /// log to a snapshot of the live state (bounding its chain).
+    ///
+    /// # Panics
+    /// If a transaction is open — flushing uncommitted in-place root
+    /// updates would break its atomicity.
     pub fn checkpoint(&mut self) {
+        assert!(
+            !self.txn_active(),
+            "checkpoint inside a transaction would make uncommitted state durable"
+        );
         self.pool.flush_all();
+        self.compact_alloc_log();
     }
 
     /// Checkpoint and serialize the whole database to `w` (the disk-image
-    /// format of `lobstore-simdisk`).
+    /// format of `lobstore-simdisk`). Images are always log-less: the
+    /// allocation log is retired before the image is cut and re-started
+    /// (from the live state) afterwards, so a loaded database never sees
+    /// another session's chain pages.
     pub fn save_image(&mut self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        let had_log = self.log.is_some();
+        self.retire_alloc_log();
         self.checkpoint();
-        self.pool.disk().write_image(w)
+        let r = self.pool.disk().write_image(w);
+        if had_log {
+            self.init_alloc_log();
+            self.compact_alloc_log();
+        }
+        r
     }
 
     /// Load a database from an image. The image's cost model is
@@ -317,7 +449,7 @@ impl Db {
             BuddyConfig::new(AreaId::LEAF, cfg.leaf_space_pages),
             &mut pool,
         );
-        Ok(Db {
+        let mut db = Db {
             pool,
             meta_alloc,
             leaf_alloc,
@@ -325,7 +457,19 @@ impl Db {
             meta_cache: NodeCache::new(META_CACHE_ENTRIES),
             ops_total: 0,
             health_every: 0,
-        })
+            versions: VersionState::new(),
+            txn: None,
+            log: None,
+            op_created: HashSet::new(),
+            dirty_roots: Vec::new(),
+        };
+        if cfg.alloc_log {
+            // Images are log-less (see save_image): start a fresh log
+            // seeded with a snapshot of the loaded state.
+            db.init_alloc_log();
+            db.compact_alloc_log();
+        }
+        Ok(db)
     }
 
     /// [`Self::save_image`] to a file path.

@@ -35,6 +35,7 @@
 //! ```
 #![forbid(unsafe_code)]
 
+mod alloclog;
 mod catalog;
 mod db;
 mod eos;
@@ -57,6 +58,8 @@ mod spec;
 mod starburst;
 mod stream;
 mod tree;
+mod txn;
+mod version;
 
 pub use catalog::{Catalog, CatalogEntry, MAX_NAME};
 pub use db::{Db, DbConfig, TreeConfig};
@@ -70,6 +73,7 @@ pub use shared::SharedDb;
 pub use spec::{open_object, ManagerSpec};
 pub use starburst::{StarburstObject, StarburstParams};
 pub use stream::{ObjectReader, ObjectWriter};
+pub use version::{Snapshot, SnapshotReader};
 
 /// Maximum bytes any single operation may carry, a sanity bound
 /// (object sizes themselves are limited only by disk space).

@@ -96,11 +96,15 @@ pub fn verify_starburst_descriptor(obj: &StarburstObject, db: &Db) -> Result<()>
 }
 
 /// Everything a manager re-checks after a mutating operation, bundled:
-/// object-level checks plus both buddy allocators.
+/// object-level checks, both buddy allocators, the MVCC version chain,
+/// and (when configured) an arithmetic replay of the allocation log
+/// against the live allocator maps (DESIGN.md §16).
 pub fn verify_object(obj: &dyn LargeObject, db: &mut Db) -> Result<()> {
     verify_segments(obj, db)?;
     db.paranoid_verify_node_cache()?;
-    db.paranoid_verify_allocators()
+    db.paranoid_verify_allocators()?;
+    db.paranoid_verify_versions()?;
+    db.verify_alloc_log()
 }
 
 #[cfg(test)]

@@ -79,6 +79,7 @@ impl OpCtx {
         db.with_meta_page(page, |p| buf.copy_from_slice(p));
         db.with_new_meta_page(new, |p| p.copy_from_slice(&buf));
         self.created.insert(new);
+        db.op_created.insert(new);
         self.remap.insert(page, new);
         self.note_flush(new);
         self.free_old.push(page);
@@ -91,6 +92,7 @@ impl OpCtx {
         lobstore_obs::counter_add("core.shadow.fresh_pages", 1);
         let page = db.alloc_meta_page();
         self.created.insert(page);
+        db.op_created.insert(page);
         self.note_flush(page);
         page
     }
@@ -145,11 +147,20 @@ impl OpCtx {
     }
 
     /// End of operation: flush every updated index page (one 1-page write
-    /// call each) and release the superseded page versions and extents.
+    /// call each), release the superseded page versions and extents, and
+    /// advance the committed version (DESIGN.md §16). Inside a
+    /// transaction the flushes and frees are absorbed instead — the
+    /// transaction commits them as one batch with a single version
+    /// advance.
     pub fn finish(self, db: &mut Db) {
         #[cfg(feature = "paranoid")]
         if let Err(e) = self.paranoid_audit() {
             panic!("shadow-context invariant violated: {e}");
+        }
+        db.op_created.clear();
+        if db.txn_active() {
+            db.txn_absorb_op(self.flush, self.free_old, self.free_extents);
+            return;
         }
         for page in self.flush {
             db.pool.flush_page(PageId::new(AreaId::META, page));
@@ -160,6 +171,7 @@ impl OpCtx {
         for ext in self.free_extents {
             db.free_leaf(ext);
         }
+        db.commit_version();
     }
 }
 

@@ -356,6 +356,7 @@ impl LargeObject for StarburstObject {
         self.store(db, &mut hdr, &segs)?;
         #[cfg(feature = "paranoid")]
         self.paranoid_verify(db)?;
+        db.op_commit();
         Ok(())
     }
 
@@ -427,6 +428,7 @@ impl LargeObject for StarburstObject {
         })?;
         #[cfg(feature = "paranoid")]
         self.paranoid_verify(db)?;
+        db.op_commit();
         Ok(())
     }
 
@@ -440,6 +442,7 @@ impl LargeObject for StarburstObject {
         })?;
         #[cfg(feature = "paranoid")]
         self.paranoid_verify(db)?;
+        db.op_commit();
         Ok(())
     }
 
@@ -493,6 +496,7 @@ impl LargeObject for StarburstObject {
         self.store(db, &mut hdr, &segs)?;
         #[cfg(feature = "paranoid")]
         self.paranoid_verify(db)?;
+        db.op_commit();
         Ok(())
     }
 
@@ -516,6 +520,7 @@ impl LargeObject for StarburstObject {
         self.store(db, &mut hdr, &segs)?;
         #[cfg(feature = "paranoid")]
         self.paranoid_verify(db)?;
+        db.op_commit();
         Ok(())
     }
 
@@ -523,6 +528,7 @@ impl LargeObject for StarburstObject {
         let (hdr, segs) = self.load(db);
         self.free_tail(db, &hdr, &segs, 0);
         db.free_meta_page(self.root);
+        db.op_commit();
         Ok(())
     }
 

@@ -26,7 +26,7 @@ const READ_AHEAD_MAX: usize = 4 << 20;
 /// per 4 KB), the reader locates the segment containing the current
 /// position once per span and refills a read-ahead buffer with a single
 /// byte-range read covering the rest of that segment (capped at
-/// [`READ_AHEAD_MAX`]). Small sequential reads then cost exactly the
+/// `READ_AHEAD_MAX`, 4 MiB). Small sequential reads then cost exactly the
 /// simulated I/O of one large read: the refills issue the same
 /// per-segment `read_segment` calls a whole-range [`LargeObject::read`]
 /// would.

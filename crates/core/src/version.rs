@@ -1,0 +1,547 @@
+//! MVCC object versioning over the shadow/copy-on-write path (DESIGN.md
+//! §16).
+//!
+//! The shadowing discipline (§3.3) already guarantees that an update
+//! never overwrites committed bytes *except* at the root page, which is
+//! updated in place. That gap is exactly what this module closes, turning
+//! the copy-on-write cost every update already pays into a versioning
+//! mechanism:
+//!
+//! * every committed operation (or [`crate::Db::txn`] batch) advances a
+//!   database-global **version number**;
+//! * [`crate::Db::snapshot`] pins a version. While any pin is held,
+//!   in-place writes to committed META pages first **archive** the old
+//!   page content into an in-memory overlay, tagged with the last version
+//!   it was valid for, and every `free` of a committed page or extent is
+//!   **deferred** — the pages stay allocated (so nothing can reuse and
+//!   clobber them) until no pin needs them;
+//! * [`SnapshotReader`] walks an object's index *as of* the pinned
+//!   version: the root comes from the overlay (or the live page when it
+//!   was never overwritten since), everything below the root is immutable
+//!   while pinned, so ordinary costed reads serve the rest.
+//!
+//! Old versions are reclaimed incrementally: whenever a pin is released
+//! or a version commits, overlay copies older than the oldest pin are
+//! dropped and deferred frees whose version has passed are executed.
+//! Snapshots are in-memory handles — a crash releases all of them, and
+//! recovery (the allocation log, `alloclog.rs`) replays to the last
+//! *committed* version.
+//!
+//! Default-path neutrality: with no snapshot pinned and no transaction
+//! open, every hook in this module reduces to an integer bump — the
+//! golden traces of the paper's three schemes are bit-identical.
+
+use std::collections::{BTreeMap, HashMap};
+
+use lobstore_buddy::Extent;
+use lobstore_simdisk::{cast, PAGE_SIZE};
+
+use crate::db::Db;
+use crate::error::{LobError, Result};
+use crate::node::{Node, RootHdr};
+use crate::object::StorageKind;
+use crate::segdata::read_seg_bytes;
+
+/// Upper bound on one snapshot-reader refill (matches
+/// [`crate::ObjectReader`]'s read-ahead cap).
+const READ_AHEAD_MAX: usize = 4 << 20;
+
+/// One archived pre-image of a META page that was overwritten in place.
+struct ArchivedPage {
+    /// Last committed version this content was valid for: a reader
+    /// pinned at `v` wants the first archived copy with
+    /// `valid_through >= v`, else the live page.
+    valid_through: u64,
+    content: Box<[u8; PAGE_SIZE]>,
+}
+
+/// A free that is being held back because a pinned snapshot may still
+/// read the pages.
+struct DeferredFree {
+    /// The version whose commit superseded these pages: pins at versions
+    /// `<= free_after` still need them; once every pin is newer, the
+    /// free executes.
+    free_after: u64,
+    ext: Extent,
+}
+
+/// Per-database version state (owned by [`Db`]).
+pub(crate) struct VersionState {
+    /// Last committed version number. Version 0 is the empty database.
+    current: u64,
+    /// Pinned version → number of open snapshots at that version.
+    pins: BTreeMap<u64, u32>,
+    /// META page → archived pre-images, oldest first, strictly
+    /// increasing `valid_through` tags.
+    overlay: HashMap<u32, Vec<ArchivedPage>>,
+    /// Frees held back for pinned snapshots, in the order they arrived.
+    deferred: Vec<DeferredFree>,
+}
+
+impl VersionState {
+    /// Version 0 (the empty database), nothing pinned, nothing deferred.
+    pub fn new() -> Self {
+        VersionState {
+            current: 0,
+            pins: BTreeMap::new(),
+            overlay: HashMap::new(),
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Is at least one snapshot pinned?
+    pub fn pinned(&self) -> bool {
+        !self.pins.is_empty()
+    }
+
+    fn oldest_pin(&self) -> Option<u64> {
+        self.pins.keys().next().copied()
+    }
+}
+
+/// A read handle pinned to a committed version. Obtain one with
+/// [`Db::snapshot`]; release it with [`Db::release_snapshot`] so the
+/// storage it pins can be reclaimed.
+#[must_use = "an unreleased snapshot pins old versions forever"]
+#[derive(Debug)]
+pub struct Snapshot {
+    version: u64,
+}
+
+impl Snapshot {
+    /// The committed version this snapshot reads.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl Db {
+    /// Pin the current committed version and return a read handle for it.
+    /// Reads through the returned [`Snapshot`] (see [`SnapshotReader`])
+    /// observe exactly the bytes committed at this version, no matter how
+    /// many updates or transactions commit afterwards.
+    ///
+    /// # Panics
+    /// If shadowing is disabled (in-place leaf updates make old versions
+    /// unreconstructible) or a transaction is open (its writes are not
+    /// yet a committed version).
+    pub fn snapshot(&mut self) -> Snapshot {
+        assert!(
+            self.config().shadowing,
+            "snapshots require the shadowing discipline (DbConfig::shadowing)"
+        );
+        assert!(
+            !self.txn_active(),
+            "cannot open a snapshot inside a transaction"
+        );
+        let v = self.versions.current;
+        *self.versions.pins.entry(v).or_insert(0) += 1;
+        lobstore_obs::counter_add("core.mvcc.snapshots_opened", 1);
+        self.publish_version_gauges();
+        Snapshot { version: v }
+    }
+
+    /// Release a snapshot, allowing the versions it pinned to be
+    /// reclaimed (archived root images dropped, deferred frees executed).
+    pub fn release_snapshot(&mut self, snap: Snapshot) {
+        let v = snap.version;
+        match self.versions.pins.get_mut(&v) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                self.versions.pins.remove(&v);
+            }
+            None => unreachable!("snapshot {v} released but never pinned"),
+        }
+        lobstore_obs::counter_add("core.mvcc.snapshots_released", 1);
+        self.reclaim_versions();
+        self.publish_version_gauges();
+    }
+
+    /// The last committed version number.
+    pub fn current_version(&self) -> u64 {
+        self.versions.current
+    }
+
+    /// Number of snapshots currently pinned.
+    pub fn pinned_snapshots(&self) -> usize {
+        self.versions
+            .pins
+            .values()
+            .map(|&n| cast::u32_to_usize(n))
+            .sum()
+    }
+
+    /// Is `version` still pinned by at least one snapshot?
+    pub(crate) fn is_pinned(&self, version: u64) -> bool {
+        self.versions.pins.contains_key(&version)
+    }
+
+    /// Extents whose free is deferred for pinned snapshots (the fsck path
+    /// treats these as owned by the version store, not leaked).
+    pub fn deferred_extents(&self) -> Vec<Extent> {
+        self.versions.deferred.iter().map(|d| d.ext).collect()
+    }
+
+    /// Archive the pre-image of META `page` before an in-place overwrite,
+    /// when at least one snapshot is pinned. Called by the META write
+    /// funnel for pages that were *not* allocated by the current
+    /// operation — by the shadowing discipline those in-place writes are
+    /// exactly the root/header updates. Idempotent per committed version:
+    /// the second overwrite within one version finds the tag and skips.
+    pub(crate) fn archive_page_preimage(&mut self, page: u32) {
+        if !self.versions.pinned() {
+            return;
+        }
+        let current = self.versions.current;
+        if let Some(copies) = self.versions.overlay.get(&page) {
+            if copies.last().is_some_and(|c| c.valid_through == current) {
+                return;
+            }
+        }
+        let content = self.peek_meta(page);
+        self.versions
+            .overlay
+            .entry(page)
+            .or_default()
+            .push(ArchivedPage {
+                valid_through: current,
+                content,
+            });
+        lobstore_obs::counter_add("core.mvcc.pages_archived", 1);
+    }
+
+    /// Queue `ext` to be freed once no pin at a version `<= free_after`
+    /// remains. Caller has already decided the free cannot run now.
+    pub(crate) fn defer_free(&mut self, ext: Extent) {
+        let free_after = self.versions.current;
+        self.versions
+            .deferred
+            .push(DeferredFree { free_after, ext });
+        lobstore_obs::counter_add("core.mvcc.frees_deferred", 1);
+    }
+
+    /// Commit point of one operation (or one transaction batch): write
+    /// the allocation-log commit marker for the next version, then
+    /// advance it. Called by the shadow context's `finish` (outside a
+    /// transaction) and by the transaction commit.
+    pub(crate) fn commit_version(&mut self) {
+        let v = self.versions.current + 1;
+        self.log_commit(v);
+        self.bump_version();
+    }
+
+    /// End-of-operation commit for managers that run no [`crate::shadow::OpCtx`]
+    /// (Starburst writes no index pages — §4.2, so its operations have
+    /// no shadow context whose `finish` would commit). Inside a
+    /// transaction this is a no-op: the batch commits as one version.
+    pub(crate) fn op_commit(&mut self) {
+        if !self.txn_active() {
+            self.commit_version();
+        }
+    }
+
+    /// Advance the version and reclaim whatever the oldest pin no longer
+    /// needs.
+    fn bump_version(&mut self) {
+        self.versions.current += 1;
+        lobstore_obs::counter_add("core.mvcc.versions_committed", 1);
+        self.reclaim_versions();
+        self.publish_version_gauges();
+    }
+
+    /// Drop overlay copies and execute deferred frees that no pin can
+    /// reach any more.
+    pub(crate) fn reclaim_versions(&mut self) {
+        let min_pin = self.versions.oldest_pin();
+        // Overlay copy tagged `t` serves only pins at versions <= t.
+        let keep_tag = |t: u64| min_pin.is_some_and(|m| m <= t);
+        self.versions.overlay.retain(|_, copies| {
+            copies.retain(|c| keep_tag(c.valid_through));
+            !copies.is_empty()
+        });
+        // A deferred free tagged `free_after` is still needed by pins at
+        // versions <= free_after.
+        let mut run = Vec::new();
+        self.versions.deferred.retain(|d| {
+            if keep_tag(d.free_after) {
+                true
+            } else {
+                run.push(d.ext);
+                false
+            }
+        });
+        for ext in run {
+            lobstore_obs::counter_add("core.mvcc.frees_reclaimed", 1);
+            self.free_now(ext);
+        }
+    }
+
+    /// Publish the version gauges: how far behind the oldest snapshot is
+    /// and how much storage reclamation is waiting on it.
+    fn publish_version_gauges(&self) {
+        let age = self
+            .versions
+            .oldest_pin()
+            .map_or(0, |m| self.versions.current - m);
+        lobstore_obs::gauge_set("mvcc.snapshot_age", age as f64);
+        lobstore_obs::gauge_set("mvcc.pinned_snapshots", self.pinned_snapshots() as f64);
+        let held: u64 = self
+            .versions
+            .deferred
+            .iter()
+            .map(|d| u64::from(d.ext.pages))
+            .sum();
+        lobstore_obs::gauge_set("mvcc.deferred_pages", held as f64);
+    }
+
+    /// Read META `page` as of `version`: the first archived copy still
+    /// valid at that version, else the live page (costed, like any read).
+    pub(crate) fn versioned_meta_page<R>(
+        &mut self,
+        page: u32,
+        version: u64,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> R {
+        let archived = self
+            .versions
+            .overlay
+            .get(&page)
+            .and_then(|copies| copies.iter().position(|c| c.valid_through >= version));
+        match archived {
+            Some(i) => {
+                let copy = self
+                    .versions
+                    .overlay
+                    .get(&page)
+                    .and_then(|copies| copies.get(i));
+                match copy {
+                    Some(c) => f(&c.content[..]),
+                    None => unreachable!("index found above"),
+                }
+            }
+            None => self.with_meta_page(page, f),
+        }
+    }
+
+    /// Deep verification of the version store (`paranoid` feature):
+    /// overlay tags must be strictly increasing and no newer than the
+    /// current version, pins must reference committed versions, and no
+    /// two deferred extents may overlap (that would become a double free
+    /// at reclamation).
+    #[cfg(feature = "paranoid")]
+    pub fn paranoid_verify_versions(&self) -> Result<()> {
+        let current = self.versions.current;
+        for (&page, copies) in &self.versions.overlay {
+            let mut last = None;
+            for c in copies {
+                if c.valid_through > current {
+                    return Err(LobError::InvariantViolated(format!(
+                        "overlay for META page {page} tagged {} beyond current version {current}",
+                        c.valid_through
+                    )));
+                }
+                if last.is_some_and(|l| l >= c.valid_through) {
+                    return Err(LobError::InvariantViolated(format!(
+                        "overlay for META page {page} has non-increasing tags"
+                    )));
+                }
+                last = Some(c.valid_through);
+            }
+        }
+        if let Some((&v, _)) = self.versions.pins.last_key_value() {
+            if v > current {
+                return Err(LobError::InvariantViolated(format!(
+                    "snapshot pinned at {v} beyond current version {current}"
+                )));
+            }
+        }
+        let mut exts: Vec<&Extent> = self.versions.deferred.iter().map(|d| &d.ext).collect();
+        exts.sort_by_key(|e| (e.area, e.start));
+        for (a, b) in exts.iter().zip(exts.iter().skip(1)) {
+            if a.area == b.area && a.end() > b.start {
+                return Err(LobError::InvariantViolated(format!(
+                    "deferred frees overlap: {a} and {b}"
+                )));
+            }
+        }
+        for d in &self.versions.deferred {
+            if d.free_after > current {
+                return Err(LobError::InvariantViolated(format!(
+                    "deferred free of {} tagged {} beyond current version {current}",
+                    d.ext, d.free_after
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Forget all snapshots, archived pages, and deferred frees — the
+    /// crash path. Snapshots are in-memory handles; after a reboot the
+    /// committed on-disk state is the only version. Deferred frees are
+    /// *not* executed: with the allocation log enabled, replay already
+    /// reconstructs the committed allocator state (which has them free);
+    /// without it, the directories on disk are authoritative.
+    pub(crate) fn clear_version_state(&mut self) {
+        self.versions = VersionState::new();
+        self.publish_version_gauges();
+    }
+}
+
+/// A positional cursor reading one object *as of* a pinned snapshot.
+///
+/// The reader resolves the object's root through the version overlay
+/// once, at construction — everything reachable from that root is
+/// immutable while the snapshot stays pinned, so subsequent refills are
+/// ordinary costed reads (one index descent + one byte-range segment
+/// read per span, exactly like [`crate::ObjectReader`]).
+///
+/// Unlike [`crate::ObjectReader`] the cursor does not borrow the
+/// database: each call takes `&mut Db`, so readers on other threads of a
+/// [`crate::SharedDb`] can interleave with a writer's operations and
+/// still observe stable bytes.
+pub struct SnapshotReader {
+    version: u64,
+    /// Parsed root: level and entries as of the snapshot.
+    root: Node,
+    size: u64,
+    pos: u64,
+    buf: Vec<u8>,
+    buf_start: u64,
+}
+
+impl SnapshotReader {
+    /// Open a snapshot cursor over the object rooted at `root_page`.
+    /// Fails if the page does not hold a manager root at this version.
+    pub fn new(db: &mut Db, snap: &Snapshot, root_page: u32) -> Result<SnapshotReader> {
+        let v = snap.version();
+        let (hdr, root) = db.versioned_meta_page(root_page, v, |p| {
+            let hdr = RootHdr::read(p);
+            let node = Node::read_root(p, &hdr);
+            (hdr, node)
+        });
+        if StorageKind::from_u8(hdr.kind).is_none() {
+            return Err(LobError::Corrupt(format!(
+                "page {root_page} is not an object root at version {v} (kind {})",
+                hdr.kind
+            )));
+        }
+        Ok(SnapshotReader {
+            version: v,
+            root,
+            size: hdr.size,
+            pos: 0,
+            buf: Vec::new(),
+            buf_start: 0,
+        })
+    }
+
+    /// Object size at the snapshot version.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Move the cursor (clamped to the snapshot's object size).
+    pub fn seek(&mut self, pos: u64) {
+        self.pos = pos.min(self.size);
+    }
+
+    /// Locate the leaf segment holding object byte `off`: returns
+    /// `(segment first page, segment start offset, segment byte count)`.
+    /// Index pages below the root are immutable while the snapshot is
+    /// pinned, so the walk uses the ordinary (cached, costed) node reads.
+    fn locate(&self, db: &mut Db, off: u64) -> (u32, u64, u64) {
+        debug_assert!(off < self.size);
+        let mut level = self.root.level;
+        let mut base = 0u64;
+        let mut cursor: Option<Node> = None;
+        loop {
+            let node = cursor.as_ref().unwrap_or(&self.root);
+            // `off >= base` along the whole descent: `base` is the byte
+            // offset where the current subtree starts.
+            // loblint: allow(arith-overflow)
+            let (i, within) = node.find_child(off - base);
+            let e = match node.entries.get(i) {
+                Some(e) => *e,
+                None => unreachable!("find_child returned an in-range index"),
+            };
+            // `within <= off` by the same subtree-offset invariant.
+            // loblint: allow(arith-overflow)
+            base = off - within;
+            if level == 0 {
+                return (e.ptr, base, e.count);
+            }
+            level -= 1;
+            cursor = Some(db.with_meta_node(e.ptr, Clone::clone));
+        }
+    }
+
+    /// Refill the read-ahead buffer at the current position: one locate,
+    /// one byte-range segment read to the end of the span (capped).
+    fn refill(&mut self, db: &mut Db) {
+        assert!(
+            db.is_pinned(self.version),
+            "snapshot at version {} was released while a reader was open",
+            self.version
+        );
+        let (ptr, seg_start, seg_len) = self.locate(db, self.pos);
+        // Segment offsets and lengths are bounded by the object size
+        // (<= MAX_OP_BYTES per op), and locate() returns the segment
+        // containing `pos`, so `seg_start <= pos < seg_start + seg_len`.
+        // loblint: allow(arith-overflow)
+        let span_end = (seg_start + seg_len).min(self.size);
+        // loblint: allow(arith-overflow)
+        let want = cast::to_usize(span_end - self.pos).min(READ_AHEAD_MAX);
+        // loblint: allow(arith-overflow)
+        self.buf = read_seg_bytes(db, ptr, self.pos - seg_start, want as u64);
+        self.buf_start = self.pos;
+    }
+
+    /// Read up to `out.len()` bytes at the cursor; returns the count
+    /// (0 at end of object). Short reads happen at span boundaries,
+    /// like [`std::io::Read`].
+    pub fn read(&mut self, db: &mut Db, out: &mut [u8]) -> usize {
+        let remaining = self.size.saturating_sub(self.pos);
+        let n = cast::to_usize((out.len() as u64).min(remaining));
+        if n == 0 {
+            return 0;
+        }
+        let in_buf = self
+            .pos
+            .checked_sub(self.buf_start)
+            .is_some_and(|d| d < self.buf.len() as u64);
+        if !in_buf {
+            self.refill(db);
+        }
+        // The buffered-range check (or the refill) guarantees
+        // `buf_start <= pos < buf_start + buf.len()`.
+        // loblint: allow(arith-overflow)
+        let lo = cast::to_usize(self.pos - self.buf_start);
+        let take = n.min(self.buf.len().saturating_sub(lo));
+        // `lo < buf.len()` after the refill above and `take` is clamped.
+        // loblint: allow(panic-path)
+        out[..take].copy_from_slice(&self.buf[lo..lo + take]);
+        // `pos + take <= size <= u64::MAX` (take was clamped to
+        // `size - pos` above).
+        // loblint: allow(arith-overflow)
+        self.pos += take as u64;
+        take
+    }
+
+    /// Read from the cursor to the end of the object.
+    pub fn read_to_end(&mut self, db: &mut Db) -> Vec<u8> {
+        let mut out = Vec::with_capacity(cast::to_usize(self.size.saturating_sub(self.pos)));
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            let n = self.read(db, &mut chunk);
+            if n == 0 {
+                return out;
+            }
+            out.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+        }
+    }
+}

@@ -35,6 +35,7 @@
 //! assert!(dump.contains("demo.pages"));
 //! ```
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 /// Minimal JSON value model, writer, and parser (no dependencies).
 pub mod json;

@@ -7,6 +7,7 @@
 //! name, scale block, one record per table row with string cells, string
 //! notes, and — for v2 — well-formed health time series (scheme/name
 //! tags, numeric summary, `[tick, value]` points with monotonic ticks).
+//! The full field-by-field reference lives in `docs/SCHEMAS.md`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -199,7 +200,7 @@ pub fn run(path: &Path) -> ExitCode {
             eprintln!("check-bench-json: {p}");
         }
         eprintln!(
-            "check-bench-json: {} problem(s) in {}",
+            "check-bench-json: {} problem(s) in {} — schema reference: docs/SCHEMAS.md",
             problems.len(),
             path.display()
         );

@@ -7,7 +7,8 @@
 //! per-finding fields (including the v2 `evidence` string array that
 //! carries acquisition chains and taint paths), every finding's rule
 //! being declared, and the findings arriving sorted (loblint output is
-//! deterministic).
+//! deterministic). The full field-by-field reference lives in
+//! `docs/SCHEMAS.md`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -174,7 +175,7 @@ pub fn run(path: &Path) -> ExitCode {
             eprintln!("check-lint-json: {p}");
         }
         eprintln!(
-            "check-lint-json: {} problem(s) in {}",
+            "check-lint-json: {} problem(s) in {} — schema reference: docs/SCHEMAS.md",
             problems.len(),
             path.display()
         );

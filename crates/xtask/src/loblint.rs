@@ -127,8 +127,9 @@ pub const RULE_DOCS: [(&str, &str, &str); 21] = [
         "A value deserialized from disk bytes (from_le_bytes, get_u16/u32/u64, decode) is \
          tainted: it must flow through a bounds/validation check before being used as a slice \
          index, a PageId, an I/O-call argument, or in offset/length arithmetic. Forward \
-         dataflow over the function CFG; a comparison, .min()/.clamp(), or a check*/validate* \
-         call sanitizes. The static twin of `lobctl check`.",
+         dataflow over the function CFG; a comparison, a `.min(`/`.clamp(` call, or being an \
+         argument to a call whose name contains check/valid/verify/bound sanitizes. The \
+         static twin of `lobctl check`.",
     ),
     (
         "forbid-unsafe",
@@ -177,14 +178,18 @@ pub const RULE_DOCS: [(&str, &str, &str); 21] = [
     (
         "panic-path",
         "library crates, non-test code",
-        "Indexing/slicing and `/` `%` with a non-constant divisor can panic; guard or waive.",
+        "Postfix indexing/slicing (`v[i]`, `&v[..n]`) and `/` `%` with a non-constant \
+         divisor can panic; guard or waive. Exempt: full-range `[..]` slices, a `[` after \
+         the keyword `mut` (a slice *type* such as `&mut [u8]`, never an indexing \
+         expression), and divisors that are literals or ALL_CAPS const chains.",
     ),
     (
         "panic-while-locked",
         "library crates, non-test code",
         "A panic-capable token (unwrap/expect, panic!-family macros, indexing, non-constant \
-         division) inside a region where a guard is live poisons the lock for every other \
-         thread. Propagate errors or hoist the panic-capable work outside the guard.",
+         division — with the same `[..]`/slice-type/const-divisor exemptions as panic-path) \
+         inside a region where a guard is live poisons the lock for every other thread. \
+         Propagate errors or hoist the panic-capable work outside the guard.",
     ),
     (
         "shadow-order",
@@ -2154,6 +2159,50 @@ TOTAL           3          2      1
         assert_eq!(RULE_DOCS.len(), RULES.len(), "no orphan doc entries");
         for (_, scope, text) in RULE_DOCS {
             assert!(!scope.is_empty() && !text.is_empty());
+        }
+    }
+
+    /// The doc text must track the implementation's exemptions — the
+    /// seeded-fixture tests below prove the *behavior*, these pins keep
+    /// `--explain` from drifting away from it again. Each required
+    /// substring names a behavior a fixture in this module exercises.
+    #[test]
+    fn rule_docs_describe_v4_exemptions() {
+        let text_of = |rule: &str| {
+            RULE_DOCS
+                .iter()
+                .find(|(n, _, _)| *n == rule)
+                .map(|(_, _, t)| *t)
+                .unwrap()
+        };
+        // panic-path: full_range_slices_and_non_postfix_brackets_are_fine,
+        // mut_slice_type_in_signature_is_not_an_index_site,
+        // division_by_non_constant_is_flagged.
+        for needle in ["[..]", "`mut`", "&mut [u8]", "const"] {
+            assert!(
+                text_of("panic-path").contains(needle),
+                "panic-path --explain must mention the {needle:?} exemption"
+            );
+        }
+        // panic-while-locked shares panic_index_at/panic_div_at.
+        assert!(
+            text_of("panic-while-locked").contains("exemptions as panic-path"),
+            "panic-while-locked --explain must reference the shared exemptions"
+        );
+        // disk-taint: the sanitizer set in flowrules::sanitized_at.
+        for needle in [
+            "comparison",
+            ".min(",
+            ".clamp(",
+            "check",
+            "valid",
+            "verify",
+            "bound",
+        ] {
+            assert!(
+                text_of("disk-taint").contains(needle),
+                "disk-taint --explain must name the {needle:?} sanitizer"
+            );
         }
     }
 
