@@ -69,5 +69,20 @@ run cargo run -q -p lobstore-bench --bin aging -- --quick \
 run cargo run -q -p xtask -- check-bench-json target/bench-smoke/aging.json
 run cargo run -q -p xtask -- bench-compare BENCH_7.json target/bench-smoke/aging.json
 
+# Reader-scaling smoke: concurrent snapshot scanners under writer churn,
+# gated against the committed BENCH_10.json baseline. Built --release on
+# purpose: the gate measures the lock-free read tier against the
+# serialized exclusive-lock discipline, and debug-build per-byte
+# overhead (bounds checks, unoptimized copies) drowns the lock cost it
+# exists to detect. bench-compare also enforces the absolute >= 3x
+# floor on the final reader.scaling_ratio point (DESIGN.md §17).
+# Regenerate the baseline deliberately with:
+#   cargo run -q --release -p lobstore-bench --bin concurrent_mvcc -- \
+#       --quick --json-out BENCH_10.json
+run cargo run -q --release -p lobstore-bench --bin concurrent_mvcc -- --quick \
+    --out-dir target/bench-smoke --json-out target/bench-smoke/concurrent_mvcc.json
+run cargo run -q -p xtask -- check-bench-json target/bench-smoke/concurrent_mvcc.json
+run cargo run -q -p xtask -- bench-compare BENCH_10.json target/bench-smoke/concurrent_mvcc.json
+
 echo
 echo "ci.sh: all gates passed"

@@ -127,7 +127,7 @@ fn bench_buffer_pool(c: &mut Criterion) {
     use lobstore_simdisk::{AreaId, CostModel, PageId, SimDisk};
     let mut g = c.benchmark_group("bufpool");
     g.bench_function("fix_hit", |b| {
-        let mut pool = BufferPool::new(SimDisk::new(1, CostModel::FREE), PoolConfig::default());
+        let pool = BufferPool::new(SimDisk::new(1, CostModel::FREE), PoolConfig::default());
         let pid = PageId::new(AreaId(0), 0);
         let r = pool.fix(pid);
         pool.unfix(r);
@@ -137,7 +137,7 @@ fn bench_buffer_pool(c: &mut Criterion) {
         });
     });
     g.bench_function("fix_miss_evict", |b| {
-        let mut pool = BufferPool::new(SimDisk::new(1, CostModel::FREE), PoolConfig::default());
+        let pool = BufferPool::new(SimDisk::new(1, CostModel::FREE), PoolConfig::default());
         let mut p = 0u32;
         b.iter(|| {
             p = p.wrapping_add(13) % 10_000; // always a miss

@@ -152,7 +152,7 @@ impl BuddyManager {
             }
             // Real (costed) read of the directory, as a restart would do.
             let r = pool.fix(dir);
-            let bm = mgr.parse_dir(pool.page(r));
+            let bm = pool.with_page(r, |page| mgr.parse_dir(page));
             pool.unfix(r);
             mgr.allocated += u64::from(cfg.space_pages.saturating_sub(bm.free_pages()));
             mgr.superdir.push(Some(bm.max_order()));
@@ -253,12 +253,13 @@ impl BuddyManager {
     ) -> Option<Extent> {
         let dir = PageId::new(self.cfg.area, self.dir_page(space));
         let r = pool.fix(dir);
-        let mut bm = self.parse_dir(pool.page(r));
+        let mut bm = pool.with_page(r, |page| self.parse_dir(page));
         let found = bm.find_block(order);
         let result = found.map(|block| {
             bm.mark_used(block, n_pages);
-            let page = pool.page_mut(r);
-            bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
+            pool.with_page_mut(r, |page| {
+                bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
+            });
             Extent::new(self.cfg.area, self.data_base(space) + block, n_pages)
         });
         if let Some(hint) = self.superdir.get_mut(space as usize) {
@@ -292,10 +293,11 @@ impl BuddyManager {
 
         let dir = PageId::new(self.cfg.area, self.dir_page(space));
         let r = pool.fix(dir);
-        let mut bm = self.parse_dir(pool.page(r));
+        let mut bm = pool.with_page(r, |page| self.parse_dir(page));
         bm.mark_free(rel, ext.pages);
-        let page = pool.page_mut(r);
-        bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
+        pool.with_page_mut(r, |page| {
+            bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
+        });
         if let Some(hint) = self.superdir.get_mut(space as usize) {
             *hint = bm.max_free_order();
         }
@@ -338,7 +340,7 @@ impl BuddyManager {
 
         let dir = PageId::new(self.cfg.area, self.dir_page(space));
         let r = pool.fix(dir);
-        let mut bm = self.parse_dir(pool.page(r));
+        let mut bm = pool.with_page(r, |page| self.parse_dir(page));
         let mut flipped = 0u64;
         for p in rel..rel.saturating_add(ext.pages) {
             if bm.is_free(p) {
@@ -346,8 +348,9 @@ impl BuddyManager {
                 flipped += 1;
             }
         }
-        let page = pool.page_mut(r);
-        bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
+        pool.with_page_mut(r, |page| {
+            bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
+        });
         if let Some(hint) = self.superdir.get_mut(space as usize) {
             *hint = bm.max_free_order();
         }
@@ -364,7 +367,7 @@ impl BuddyManager {
         for s in 0..self.n_spaces {
             let dir = PageId::new(self.cfg.area, self.dir_page(s));
             let r = pool.fix(dir);
-            let bm = self.parse_dir(pool.page(r));
+            let bm = pool.with_page(r, |page| self.parse_dir(page));
             pool.unfix(r);
             let base = self.data_base(s);
             let mut run_start: Option<u32> = None;
@@ -403,20 +406,20 @@ impl BuddyManager {
         for s in 0..self.n_spaces {
             let dir = PageId::new(self.cfg.area, self.dir_page(s));
             let r = pool.fix(dir);
-            let page = pool.page(r);
-            if dir_u32(page, 0) != DIR_MAGIC {
-                pool.unfix(r);
-                return Err(format!("space {s}: directory magic corrupted"));
-            }
-            if dir_u32(page, 4) != self.cfg.space_pages {
-                pool.unfix(r);
-                return Err(format!("space {s}: directory space-size field mismatch"));
-            }
-            let bm = BuddyBitmap::from_bytes(
-                page.get(BITMAP_OFF..).unwrap_or(&[]),
-                self.cfg.space_pages,
-            );
+            let check = pool.with_page(r, |page| {
+                if dir_u32(page, 0) != DIR_MAGIC {
+                    return Err(format!("space {s}: directory magic corrupted"));
+                }
+                if dir_u32(page, 4) != self.cfg.space_pages {
+                    return Err(format!("space {s}: directory space-size field mismatch"));
+                }
+                Ok(BuddyBitmap::from_bytes(
+                    page.get(BITMAP_OFF..).unwrap_or(&[]),
+                    self.cfg.space_pages,
+                ))
+            });
             pool.unfix(r);
+            let bm = check?;
             used_total += u64::from(self.cfg.space_pages.saturating_sub(bm.free_pages()));
             match (self.superdir_hint(s), bm.max_free_order()) {
                 (None, Some(order)) => {
@@ -483,10 +486,11 @@ impl BuddyManager {
         let dir = PageId::new(self.cfg.area, self.dir_page(s));
         let r = pool.fix_new(dir);
         let bm = BuddyBitmap::all_free(self.cfg.space_pages);
-        let page = pool.page_mut(r);
-        put_u32(page, 0, DIR_MAGIC);
-        put_u32(page, 4, self.cfg.space_pages);
-        bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
+        pool.with_page_mut(r, |page| {
+            put_u32(page, 0, DIR_MAGIC);
+            put_u32(page, 4, self.cfg.space_pages);
+            bm.write_bytes(page.get_mut(BITMAP_OFF..).unwrap_or_default());
+        });
         pool.unfix(r);
         self.superdir.push(Some(bm.max_order()));
         s
@@ -717,10 +721,12 @@ mod tests {
             // back, as a lost directory write would.
             let dir = PageId::new(AreaId::LEAF, 0);
             let r = pool.fix(dir);
-            let mut bm = BuddyBitmap::from_bytes(&pool.page(r)[BITMAP_OFF..], 256);
+            let mut bm =
+                pool.with_page(r, |page| BuddyBitmap::from_bytes(&page[BITMAP_OFF..], 256));
             bm.mark_free(e.start - 1, 1);
-            let page = pool.page_mut(r);
-            bm.write_bytes(&mut page[BITMAP_OFF..BITMAP_OFF + bm.byte_len()]);
+            pool.with_page_mut(r, |page| {
+                bm.write_bytes(&mut page[BITMAP_OFF..BITMAP_OFF + bm.byte_len()]);
+            });
             pool.unfix(r);
             let err = m.paranoid_verify(&mut pool).unwrap_err();
             assert!(err.contains("allocated counter"), "{err}");
@@ -732,7 +738,7 @@ mod tests {
             let _e = m.allocate(&mut pool, 4);
             let dir = PageId::new(AreaId::LEAF, 0);
             let r = pool.fix(dir);
-            pool.page_mut(r)[0..4].copy_from_slice(b"XXXX");
+            pool.with_page_mut(r, |page| page[0..4].copy_from_slice(b"XXXX"));
             pool.unfix(r);
             let err = m.paranoid_verify(&mut pool).unwrap_err();
             assert!(err.contains("magic"), "{err}");

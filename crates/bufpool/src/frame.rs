@@ -1,12 +1,17 @@
-//! Pool frames: one page-sized buffer plus its control block.
+//! Frame control blocks: the replacement metadata of one pool frame.
+//!
+//! The page *bytes* no longer live here — they sit in the sharded page
+//! store ([`crate::pool::BufferPool`]'s latched shards) so readers of
+//! different pages never serialize on one big pool borrow. What remains
+//! is the control information the replacement policy needs, all of it
+//! guarded by the single pool control-block mutex.
 
-use lobstore_simdisk::{PageId, PAGE_SIZE};
+use lobstore_simdisk::PageId;
 
-/// One buffer frame and its control information.
-pub(crate) struct Frame {
+/// Control information of one buffer frame.
+pub(crate) struct FrameMeta {
     /// The page currently held, if any.
     pub pid: Option<PageId>,
-    pub data: Box<[u8; PAGE_SIZE]>,
     /// Whether the frame content is newer than the disk copy.
     pub dirty: bool,
     /// Fix count; a fixed frame is never evicted.
@@ -15,12 +20,11 @@ pub(crate) struct Frame {
     pub last_used: u64,
 }
 
-impl Frame {
+impl FrameMeta {
     /// A frame holding no page.
     pub fn empty() -> Self {
-        Frame {
+        FrameMeta {
             pid: None,
-            data: Box::new([0u8; PAGE_SIZE]),
             dirty: false,
             pins: 0,
             last_used: 0,

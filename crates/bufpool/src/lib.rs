@@ -23,4 +23,4 @@ mod frame;
 mod pool;
 mod segio;
 
-pub use pool::{BufferPool, FrameRef, PoolConfig, PoolStats};
+pub use pool::{BufferPool, FrameRef, PageGuard, PageGuardMut, PoolConfig, PoolStats};

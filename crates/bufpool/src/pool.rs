@@ -1,10 +1,42 @@
 //! The page-level buffer pool: fix/unfix, LRU replacement, flushing.
+//!
+//! # Concurrency structure
+//!
+//! The pool is shared (`&self` everywhere) and splits its state two ways:
+//!
+//! * **Control block** (`ctl: Mutex<PoolInner>`): the frame table,
+//!   residency map, LRU clock and hit/miss counters. Every replacement
+//!   decision runs under this one mutex, which keeps the victim choice —
+//!   and therefore the simulated I/O stream and golden traces — exactly
+//!   as deterministic as the old `&mut self` pool.
+//! * **Page bytes** (`shards: [Shard; 16]`): the actual 4 KiB boxes live
+//!   in per-shard tables behind `RwLock` latches, keyed by `PageId`.
+//!   Readers of different pages (or shared readers of the same page)
+//!   copy bytes in parallel without touching the control mutex.
+//!
+//! Lock hierarchy (must be acquired top-to-bottom, released bottom-up):
+//! page pin (`guard*`) → `BufferPool.ctl` → `Shard.pages` → the disk's
+//! own area locks. `PageGuard`/`PageGuardMut` hold the shard latch for
+//! their lifetime and release it *before* re-taking `ctl` to drop the
+//! pin.
+//!
+//! A pinned page is never evicted and never leaves its shard, so holding
+//! a pin is enough to reach the bytes with only the shard latch.
 
 use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use lobstore_simdisk::{IoStats, PageId, SimDisk, PAGE_SIZE};
+use lobstore_simdisk::{cast, IoStats, PageId, SimDisk, PAGE_SIZE};
 
-use crate::frame::Frame;
+use crate::frame::FrameMeta;
+
+/// Number of page-byte shards. A power of two so `shard_of` stays a
+/// multiply-and-mask; 16 is plenty for the core counts this simulation
+/// targets while keeping the memory overhead of the latches trivial.
+const SHARDS: usize = 16;
+
+/// One page worth of heap bytes.
+type PageBox = Box<[u8; PAGE_SIZE]>;
 
 /// Pool sizing parameters. The study fixes these to 12 frames with a
 /// 4-page segment-buffering limit (§4.1, Table 1).
@@ -43,16 +75,309 @@ pub struct PoolStats {
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct FrameRef(pub(crate) usize);
 
+/// Which shard holds the bytes of `pid`. Deterministic, so the mapping
+/// can be reasoned about in tests and the DESIGN shard diagram.
+fn shard_of(pid: PageId) -> usize {
+    cast::u32_to_usize(pid.page)
+        .wrapping_mul(0x9e37_79b9)
+        .wrapping_add(usize::from(pid.area.0))
+        % SHARDS
+}
+
+/// One latched slice of the page-byte store.
+struct Shard {
+    /// Page bytes of every resident page hashed to this shard.
+    pages: RwLock<PageTable>,
+}
+
+/// The byte table of one shard: resident page → its heap box.
+#[derive(Default)]
+struct PageTable {
+    pages: HashMap<PageId, PageBox>,
+}
+
+impl PageTable {
+    fn page(&self, pid: PageId) -> &[u8; PAGE_SIZE] {
+        self.pages
+            .get(&pid)
+            // Invariant, not an error path: the caller holds a pin.
+            // loblint: allow(unwrap)
+            .expect("pinned page must be resident in its shard")
+    }
+
+    fn page_mut(&mut self, pid: PageId) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .get_mut(&pid)
+            // loblint: allow(unwrap)
+            .expect("pinned page must be resident in its shard")
+    }
+
+    fn insert(&mut self, pid: PageId, data: PageBox) {
+        let prev = self.pages.insert(pid, data);
+        debug_assert!(prev.is_none(), "page installed twice");
+    }
+
+    fn take(&mut self, pid: PageId) -> PageBox {
+        self.pages
+            .remove(&pid)
+            // loblint: allow(unwrap)
+            .expect("detached page must be resident in its shard")
+    }
+
+    fn zero(&mut self, pid: PageId) {
+        self.page_mut(pid).fill(0);
+    }
+
+    fn fill_from(&mut self, pid: PageId, content: &[u8]) {
+        self.page_mut(pid).copy_from_slice(content);
+    }
+
+    fn copy_to(&self, pid: PageId, out: &mut [u8]) {
+        let n = out.len();
+        out.copy_from_slice(&self.page(pid)[..n]);
+    }
+}
+
+/// Replacement metadata: everything the old single-borrow pool kept in
+/// `&mut self`, now behind `BufferPool.ctl`. All methods are lock-free
+/// helpers — the caller holds the control mutex.
+pub(crate) struct PoolInner {
+    frames: Vec<FrameMeta>,
+    /// Resident pages → frame index.
+    map: HashMap<PageId, usize>,
+    clock: u64,
+    stats: PoolStats,
+    /// Heap boxes of the free frames; eviction returns a box here, a miss
+    /// takes one out. `spare.len()` equals the number of free frames.
+    spare: Vec<PageBox>,
+}
+
+impl PoolInner {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn resident(&self, pid: PageId) -> Option<usize> {
+        self.map.get(&pid).copied()
+    }
+
+    pub(crate) fn resident_dirty(&self, pid: PageId) -> Option<usize> {
+        let idx = self.resident(pid)?;
+        if self.frames[idx].dirty {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Count a hit, re-pin the frame, refresh LRU. Returns the stats
+    /// snapshot for the obs mirror.
+    fn repin_hit(&mut self, idx: usize) -> PoolStats {
+        self.stats.hits += 1;
+        let t = self.tick();
+        let f = &mut self.frames[idx];
+        f.pins += 1;
+        f.last_used = t;
+        self.stats
+    }
+
+    fn count_miss(&mut self) -> PoolStats {
+        self.stats.misses += 1;
+        self.stats
+    }
+
+    /// Re-pin an already-resident frame, forcing its dirty bit — used by
+    /// the resident fast paths of `fix_new` (dirty) and `install_clean`
+    /// (clean).
+    fn repin(&mut self, idx: usize, dirty: bool) {
+        let t = self.tick();
+        let f = &mut self.frames[idx];
+        f.dirty = dirty;
+        f.pins += 1;
+        f.last_used = t;
+    }
+
+    /// Pick a victim frame: a free frame if any, otherwise the LRU unpinned
+    /// **clean** frame, otherwise the LRU unpinned dirty frame (§3.2: "we
+    /// start first by freeing the least recently used clean pages followed
+    /// by dirty pages"). Panics if every frame is pinned — a configuration
+    /// error for this single-writer simulation.
+    fn pick_victim(&self) -> usize {
+        if let Some(i) = self.frames.iter().position(FrameMeta::is_free) {
+            return i;
+        }
+        let lru_of = |frames: &[FrameMeta], want_dirty: bool| {
+            frames
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.pins == 0 && f.dirty == want_dirty)
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(i, _)| i)
+        };
+        match lru_of(&self.frames, false).or_else(|| lru_of(&self.frames, true)) {
+            Some(i) => i,
+            None => panic!("buffer pool exhausted: every frame is pinned"),
+        }
+    }
+
+    /// Forget the page held by frame `idx`, returning its id and whether
+    /// it was dirty. `None` if the frame was already free.
+    fn detach(&mut self, idx: usize) -> Option<(PageId, bool)> {
+        let f = &mut self.frames[idx];
+        let pid = f.pid.take()?;
+        let dirty = f.dirty;
+        f.dirty = false;
+        self.map.remove(&pid);
+        Some((pid, dirty))
+    }
+
+    fn take_spare(&mut self) -> PageBox {
+        self.spare
+            .pop()
+            // loblint: allow(unwrap)
+            .expect("eviction must leave a spare page box")
+    }
+
+    fn take_spare_zeroed(&mut self) -> PageBox {
+        let mut b = self.take_spare();
+        b.fill(0);
+        b
+    }
+
+    fn take_spare_filled(&mut self, content: &[u8]) -> PageBox {
+        let mut b = self.take_spare();
+        b.copy_from_slice(content);
+        b
+    }
+
+    fn install(&mut self, idx: usize, pid: PageId, dirty: bool) -> FrameRef {
+        let t = self.tick();
+        let f = &mut self.frames[idx];
+        f.pid = Some(pid);
+        f.dirty = dirty;
+        f.pins = 1;
+        f.last_used = t;
+        self.map.insert(pid, idx);
+        FrameRef(idx)
+    }
+
+    fn unpin(&mut self, idx: usize, dirtied: bool) {
+        let f = &mut self.frames[idx];
+        if dirtied {
+            f.dirty = true;
+        }
+        assert!(f.pins > 0, "unfix of unpinned frame");
+        f.pins -= 1;
+    }
+
+    fn pinned_pid(&self, idx: usize) -> PageId {
+        let f = &self.frames[idx];
+        debug_assert!(f.pins > 0, "access to unfixed frame");
+        // loblint: allow(unwrap)
+        f.pid.expect("fixed frame holds a page")
+    }
+
+    /// Like [`Self::pinned_pid`] but also marks the frame dirty — the
+    /// write-access twin, preserving the old `page_mut` semantics of
+    /// dirtying at access time.
+    fn dirty_pinned_pid(&mut self, idx: usize) -> PageId {
+        let f = &mut self.frames[idx];
+        debug_assert!(f.pins > 0, "access to unfixed frame");
+        f.dirty = true;
+        // loblint: allow(unwrap)
+        f.pid.expect("fixed frame holds a page")
+    }
+
+    fn set_clean(&mut self, idx: usize) {
+        self.frames[idx].dirty = false;
+    }
+
+    fn set_clean_pid(&mut self, pid: PageId) {
+        if let Some(idx) = self.resident(pid) {
+            self.set_clean(idx);
+        }
+    }
+
+    fn remove_unpinned(&mut self, pid: PageId) -> Option<usize> {
+        let idx = self.map.remove(&pid)?;
+        let f = &mut self.frames[idx];
+        assert_eq!(f.pins, 0, "discard of a fixed page {pid}");
+        f.pid = None;
+        f.dirty = false;
+        Some(idx)
+    }
+
+    /// Detach every frame without write-back; panics on a surviving pin.
+    fn crash_detach_all(&mut self) -> Vec<PageId> {
+        let mut pids = Vec::new();
+        for f in &mut self.frames {
+            assert_eq!(f.pins, 0, "crash with a fixed frame");
+            if let Some(pid) = f.pid.take() {
+                pids.push(pid);
+            }
+            f.dirty = false;
+            f.last_used = 0;
+        }
+        self.map.clear();
+        pids
+    }
+
+    fn available(&self) -> usize {
+        self.frames.iter().filter(|f| f.pins == 0).count()
+    }
+
+    /// Page ids of every dirty frame, in frame-index order (the order the
+    /// old pool flushed them, which golden traces depend on).
+    fn dirty_pids(&self) -> Vec<PageId> {
+        self.frames
+            .iter()
+            .filter(|f| f.dirty)
+            .filter_map(|f| f.pid)
+            .collect()
+    }
+
+    /// First maximal run of resident-dirty pages in `[from, end)`, as
+    /// `(start, len)`.
+    pub(crate) fn next_dirty_run(
+        &self,
+        area: lobstore_simdisk::AreaId,
+        from: u32,
+        end: u32,
+    ) -> Option<(u32, u32)> {
+        let mut p = from;
+        while p < end {
+            if self.resident_dirty(PageId::new(area, p)).is_some() {
+                let start = p;
+                let mut len = 0u32;
+                while p < end && self.resident_dirty(PageId::new(area, p)).is_some() {
+                    len += 1;
+                    p += 1;
+                }
+                return Some((start, len));
+            }
+            p += 1;
+        }
+        None
+    }
+
+    pub(crate) fn mark_run_clean(&mut self, area: lobstore_simdisk::AreaId, start: u32, len: u32) {
+        for p in start..start.saturating_add(len) {
+            self.set_clean_pid(PageId::new(area, p));
+        }
+    }
+}
+
 /// The buffer manager. Owns the simulated disk; all I/O above the disk
-/// goes through here.
+/// goes through here. Shared: every operation takes `&self` (see the
+/// module docs for the locking structure).
 pub struct BufferPool {
     pub(crate) disk: SimDisk,
     pub(crate) cfg: PoolConfig,
-    pub(crate) frames: Vec<Frame>,
-    /// Resident pages → frame index.
-    pub(crate) map: HashMap<PageId, usize>,
-    clock: u64,
-    stats: PoolStats,
+    /// Control block: frame table, residency map, LRU state, counters.
+    pub(crate) ctl: Mutex<PoolInner>,
+    /// Latched page-byte store, indexed by `shard_of(pid)`.
+    shards: Vec<Shard>,
 }
 
 impl BufferPool {
@@ -64,11 +389,21 @@ impl BufferPool {
         assert!(cfg.frames >= 2, "pool needs at least 2 frames");
         BufferPool {
             disk,
-            frames: (0..cfg.frames).map(|_| Frame::empty()).collect(),
             cfg,
-            map: HashMap::with_capacity(cfg.frames),
-            clock: 0,
-            stats: PoolStats::default(),
+            ctl: Mutex::new(PoolInner {
+                frames: (0..cfg.frames).map(|_| FrameMeta::empty()).collect(),
+                map: HashMap::with_capacity(cfg.frames),
+                clock: 0,
+                stats: PoolStats::default(),
+                spare: (0..cfg.frames)
+                    .map(|_| -> PageBox { Box::new([0u8; PAGE_SIZE]) })
+                    .collect(),
+            }),
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    pages: RwLock::new(PageTable::default()),
+                })
+                .collect(),
         }
     }
 
@@ -90,7 +425,8 @@ impl BufferPool {
 
     /// Pool-level hit/miss counters.
     pub fn pool_stats(&self) -> PoolStats {
-        self.stats
+        let g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        g.stats
     }
 
     /// Direct access to the disk (for tracing and verification).
@@ -98,69 +434,88 @@ impl BufferPool {
         &self.disk
     }
 
-    /// Mutable access to the disk (for tracing and test seeding).
+    /// Mutable access to the disk. Retained for API compatibility — the
+    /// disk itself is now fully shared, so [`Self::disk`] suffices.
     pub fn disk_mut(&mut self) -> &mut SimDisk {
         &mut self.disk
     }
 
-    fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
-    }
-
     /// Number of frames that are currently unpinned (evictable or free).
     pub fn available_frames(&self) -> usize {
-        self.frames.iter().filter(|f| f.pins == 0).count()
+        let g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        g.available()
     }
 
     /// Whether `pid` is resident.
     pub fn contains(&self, pid: PageId) -> bool {
-        self.map.contains_key(&pid)
+        let g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        g.resident(pid).is_some()
     }
 
-    /// Pick a victim frame: a free frame if any, otherwise the LRU unpinned
-    /// **clean** frame, otherwise the LRU unpinned dirty frame (§3.2: "we
-    /// start first by freeing the least recently used clean pages followed
-    /// by dirty pages"). Writes back a dirty victim. Panics if every frame
-    /// is pinned — a configuration error for this single-client simulation.
-    fn victim(&mut self) -> usize {
-        if let Some(i) = self.frames.iter().position(Frame::is_free) {
-            return i;
-        }
-        let lru_of = |frames: &[Frame], want_dirty: bool| {
-            frames
-                .iter()
-                .enumerate()
-                .filter(|(_, f)| f.pins == 0 && f.dirty == want_dirty)
-                .min_by_key(|(_, f)| f.last_used)
-                .map(|(i, _)| i)
-        };
-        let idx = match lru_of(&self.frames, false).or_else(|| lru_of(&self.frames, true)) {
-            Some(i) => i,
-            None => panic!("buffer pool exhausted: every frame is pinned"),
-        };
-        self.evict(idx);
+    fn shard(&self, pid: PageId) -> &Shard {
+        &self.shards[shard_of(pid)]
+    }
+
+    /// Move `data` into `pid`'s shard slot.
+    fn put_page(&self, pid: PageId, data: PageBox) {
+        let slot = self.shard(pid);
+        let mut t = slot.pages.write().unwrap_or_else(PoisonError::into_inner);
+        t.insert(pid, data);
+    }
+
+    /// Remove `pid`'s bytes from its shard, returning the box.
+    fn take_page(&self, pid: PageId) -> PageBox {
+        let slot = self.shard(pid);
+        let mut t = slot.pages.write().unwrap_or_else(PoisonError::into_inner);
+        t.take(pid)
+    }
+
+    fn zero_page(&self, pid: PageId) {
+        let slot = self.shard(pid);
+        let mut t = slot.pages.write().unwrap_or_else(PoisonError::into_inner);
+        t.zero(pid);
+    }
+
+    fn fill_page(&self, pid: PageId, content: &[u8]) {
+        let slot = self.shard(pid);
+        let mut t = slot.pages.write().unwrap_or_else(PoisonError::into_inner);
+        t.fill_from(pid, content);
+    }
+
+    /// Copy a resident page's bytes out under the shard read latch. The
+    /// caller must guarantee residency (a pin, or the control mutex).
+    pub(crate) fn copy_page_into(&self, pid: PageId, out: &mut [u8]) {
+        let slot = self.shard(pid);
+        let t = slot.pages.read().unwrap_or_else(PoisonError::into_inner);
+        t.copy_to(pid, out);
+    }
+
+    /// Choose and clear a victim frame; the caller holds the control
+    /// mutex. Leaves one spare page box for the caller to fill.
+    fn victim(&self, inner: &mut PoolInner) -> usize {
+        let idx = inner.pick_victim();
+        self.evict(inner, idx);
         idx
     }
 
     /// Write back (if dirty) and forget the page in frame `idx`.
-    fn evict(&mut self, idx: usize) {
-        let frame = &mut self.frames[idx];
-        if let Some(pid) = frame.pid.take() {
-            if frame.dirty {
-                self.disk.write(pid.area, pid.page, &frame.data[..]);
-                frame.dirty = false;
-                self.stats.eviction_writes += 1;
-                lobstore_obs::counter_add("bufpool.eviction_writes", 1);
-                lobstore_obs::counter_add("bufpool.dirty_writebacks", 1);
-            }
-            self.map.remove(&pid);
+    fn evict(&self, inner: &mut PoolInner, idx: usize) {
+        let Some((pid, dirty)) = inner.detach(idx) else {
+            return;
+        };
+        let data = self.take_page(pid);
+        if dirty {
+            self.disk.write(pid.area, pid.page, data.as_slice());
+            inner.stats.eviction_writes += 1;
+            lobstore_obs::counter_add("bufpool.eviction_writes", 1);
+            lobstore_obs::counter_add("bufpool.dirty_writebacks", 1);
         }
+        inner.spare.push(data);
     }
 
     /// Record one fix outcome in the observability registry and refresh
     /// the derived hit-ratio gauge.
-    fn note_fix(&self, hit: bool) {
+    fn note_fix(hit: bool, stats: PoolStats) {
         lobstore_obs::counter_add(
             if hit {
                 "bufpool.hits"
@@ -169,63 +524,50 @@ impl BufferPool {
             },
             1,
         );
-        let total = self.stats.hits + self.stats.misses;
+        let total = stats.hits + stats.misses;
         if total > 0 {
-            lobstore_obs::gauge_set("bufpool.hit_ratio", self.stats.hits as f64 / total as f64);
+            lobstore_obs::gauge_set("bufpool.hit_ratio", stats.hits as f64 / total as f64);
         }
     }
 
     /// Fix `pid` in the pool, reading it from disk on a miss (one 1-page
-    /// I/O call). Returns a handle for [`Self::page`] / [`Self::page_mut`].
-    pub fn fix(&mut self, pid: PageId) -> FrameRef {
-        if let Some(&idx) = self.map.get(&pid) {
-            self.stats.hits += 1;
-            self.note_fix(true);
-            let t = self.tick();
-            let f = &mut self.frames[idx];
-            f.pins += 1;
-            f.last_used = t;
+    /// I/O call). Returns a handle for [`Self::with_page`] /
+    /// [`Self::with_page_mut`].
+    pub fn fix(&self, pid: PageId) -> FrameRef {
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(idx) = g.resident(pid) {
+            let stats = g.repin_hit(idx);
+            drop(g);
+            Self::note_fix(true, stats);
             return FrameRef(idx);
         }
-        self.stats.misses += 1;
-        self.note_fix(false);
-        let idx = self.victim();
-        self.disk
-            .read(pid.area, pid.page, &mut self.frames[idx].data[..]);
-        self.install(idx, pid)
+        let stats = g.count_miss();
+        Self::note_fix(false, stats);
+        let inner = &mut *g;
+        let idx = self.victim(inner);
+        let mut data = inner.take_spare();
+        self.disk.read(pid.area, pid.page, data.as_mut_slice());
+        self.put_page(pid, data);
+        inner.install(idx, pid, false)
     }
 
     /// Fix `pid` **without** reading it from disk — for pages the caller is
     /// about to initialize completely (freshly allocated index pages,
     /// shadow copies). The frame starts zeroed and dirty.
-    pub fn fix_new(&mut self, pid: PageId) -> FrameRef {
-        if let Some(&idx) = self.map.get(&pid) {
+    pub fn fix_new(&self, pid: PageId) -> FrameRef {
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(idx) = g.resident(pid) {
             // Page already resident (e.g. a recycled page number): reuse the
             // frame but reset its content.
-            let t = self.tick();
-            let f = &mut self.frames[idx];
-            f.data.fill(0);
-            f.dirty = true;
-            f.pins += 1;
-            f.last_used = t;
+            g.repin(idx, true);
+            self.zero_page(pid);
             return FrameRef(idx);
         }
-        let idx = self.victim();
-        self.frames[idx].data.fill(0);
-        let r = self.install(idx, pid);
-        self.frames[idx].dirty = true;
-        r
-    }
-
-    fn install(&mut self, idx: usize, pid: PageId) -> FrameRef {
-        let t = self.tick();
-        let f = &mut self.frames[idx];
-        f.pid = Some(pid);
-        f.dirty = false;
-        f.pins = 1;
-        f.last_used = t;
-        self.map.insert(pid, idx);
-        FrameRef(idx)
+        let inner = &mut *g;
+        let idx = self.victim(inner);
+        let data = inner.take_spare_zeroed();
+        self.put_page(pid, data);
+        inner.install(idx, pid, true)
     }
 
     /// Install a full page of `content` (just read from disk) into a
@@ -234,72 +576,93 @@ impl BufferPool {
     ///
     /// # Panics
     /// If `content` is not exactly one page.
-    pub(crate) fn install_clean(&mut self, pid: PageId, content: &[u8]) -> FrameRef {
+    pub(crate) fn install_clean(&self, pid: PageId, content: &[u8]) -> FrameRef {
         assert_eq!(content.len(), PAGE_SIZE, "install_clean needs a full page");
-        if let Some(&idx) = self.map.get(&pid) {
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(idx) = g.resident(pid) {
             // Already resident (possible only if the caller raced itself;
             // kept for safety): refresh the content, count another pin.
-            let t = self.tick();
-            // `idx` comes straight from the residency map.
-            // loblint: allow(panic-path)
-            let f = &mut self.frames[idx];
-            f.data.copy_from_slice(content);
-            f.dirty = false;
-            f.pins += 1;
-            f.last_used = t;
+            g.repin(idx, false);
+            self.fill_page(pid, content);
             return FrameRef(idx);
         }
-        let idx = self.victim();
-        // `victim` returns a valid frame index.
-        // loblint: allow(panic-path)
-        self.frames[idx].data.copy_from_slice(content);
-        self.install(idx, pid)
+        let inner = &mut *g;
+        let idx = self.victim(inner);
+        let data = inner.take_spare_filled(content);
+        self.put_page(pid, data);
+        inner.install(idx, pid, false)
     }
 
-    /// Read access to a fixed frame.
-    pub fn page(&self, r: FrameRef) -> &[u8; PAGE_SIZE] {
-        debug_assert!(self.frames[r.0].pins > 0, "access to unfixed frame");
-        &self.frames[r.0].data
+    /// The page a fixed frame holds.
+    fn pinned_pid(&self, r: FrameRef) -> PageId {
+        let g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        g.pinned_pid(r.0)
     }
 
-    /// Write access to a fixed frame; marks it dirty.
-    pub fn page_mut(&mut self, r: FrameRef) -> &mut [u8; PAGE_SIZE] {
-        let f = &mut self.frames[r.0];
-        debug_assert!(f.pins > 0, "access to unfixed frame");
-        f.dirty = true;
-        &mut f.data
+    /// The page a fixed frame holds, marking it dirty.
+    fn dirty_pinned_pid(&self, r: FrameRef) -> PageId {
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        g.dirty_pinned_pid(r.0)
+    }
+
+    /// Run `body` with read access to a fixed frame's bytes, under the
+    /// page's shard latch. `body` must not call back into the pool.
+    pub fn with_page<R>(&self, r: FrameRef, body: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> R {
+        let pid = self.pinned_pid(r);
+        let slot = self.shard(pid);
+        let t = slot.pages.read().unwrap_or_else(PoisonError::into_inner);
+        body(t.page(pid))
+    }
+
+    /// Run `body` with write access to a fixed frame's bytes, under the
+    /// page's exclusive shard latch; marks the page dirty. `body` must not
+    /// call back into the pool.
+    pub fn with_page_mut<R>(&self, r: FrameRef, body: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> R {
+        let pid = self.dirty_pinned_pid(r);
+        let slot = self.shard(pid);
+        let mut t = slot.pages.write().unwrap_or_else(PoisonError::into_inner);
+        body(t.page_mut(pid))
     }
 
     /// Release one fix on the frame.
-    pub fn unfix(&mut self, r: FrameRef) {
-        let f = &mut self.frames[r.0];
-        assert!(f.pins > 0, "unfix of unpinned frame");
-        f.pins -= 1;
+    pub fn unfix(&self, r: FrameRef) {
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        g.unpin(r.0, false);
+    }
+
+    /// Guard drop path: release one fix, optionally marking the frame
+    /// dirty first (writes that went through a `PageGuardMut`).
+    fn release_pin(&self, r: FrameRef, dirtied: bool) {
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        g.unpin(r.0, dirtied);
     }
 
     /// If `pid` is resident and dirty, write it to disk (one 1-page call).
-    pub fn flush_page(&mut self, pid: PageId) {
-        if let Some(&idx) = self.map.get(&pid) {
-            let f = &mut self.frames[idx];
-            if f.dirty {
-                self.disk.write(pid.area, pid.page, &f.data[..]);
-                f.dirty = false;
-                lobstore_obs::counter_add("bufpool.dirty_writebacks", 1);
-            }
+    pub fn flush_page(&self, pid: PageId) {
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(idx) = g.resident_dirty(pid) else {
+            return;
+        };
+        {
+            let slot = self.shard(pid);
+            let t = slot.pages.read().unwrap_or_else(PoisonError::into_inner);
+            self.disk.write(pid.area, pid.page, t.page(pid).as_slice());
         }
+        g.set_clean(idx);
+        lobstore_obs::counter_add("bufpool.dirty_writebacks", 1);
     }
 
     /// Write back every dirty frame (one call per page).
-    pub fn flush_all(&mut self) {
-        for idx in 0..self.frames.len() {
-            if let Some(pid) = self.frames[idx].pid {
-                if self.frames[idx].dirty {
-                    self.disk
-                        .write(pid.area, pid.page, &self.frames[idx].data[..]);
-                    self.frames[idx].dirty = false;
-                    lobstore_obs::counter_add("bufpool.dirty_writebacks", 1);
-                }
+    pub fn flush_all(&self) {
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        for pid in g.dirty_pids() {
+            {
+                let slot = self.shard(pid);
+                let t = slot.pages.read().unwrap_or_else(PoisonError::into_inner);
+                self.disk.write(pid.area, pid.page, t.page(pid).as_slice());
             }
+            g.set_clean_pid(pid);
+            lobstore_obs::counter_add("bufpool.dirty_writebacks", 1);
         }
     }
 
@@ -308,13 +671,13 @@ impl BufferPool {
     ///
     /// # Panics
     /// If the page is currently fixed.
-    pub fn discard(&mut self, pid: PageId) {
-        if let Some(idx) = self.map.remove(&pid) {
-            let f = &mut self.frames[idx];
-            assert_eq!(f.pins, 0, "discard of a fixed page {pid}");
-            f.pid = None;
-            f.dirty = false;
+    pub fn discard(&self, pid: PageId) {
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        if g.remove_unpinned(pid).is_none() {
+            return;
         }
+        let data = self.take_page(pid);
+        g.spare.push(data);
     }
 
     /// Simulate a crash: every frame is discarded **without** write-back,
@@ -325,102 +688,157 @@ impl BufferPool {
     /// # Panics
     /// If any frame is still fixed (a fixed frame mid-crash would be a
     /// harness bug, not a simulated condition).
-    pub fn crash(&mut self) {
-        for f in &mut self.frames {
-            assert_eq!(f.pins, 0, "crash with a fixed frame");
-            f.pid = None;
-            f.dirty = false;
-            f.last_used = 0;
+    pub fn crash(&self) {
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        for pid in g.crash_detach_all() {
+            let data = self.take_page(pid);
+            g.spare.push(data);
         }
-        self.map.clear();
     }
 
     /// Cost-free inspection of a page's *current* content: the resident
     /// frame if any (even dirty), else the disk copy. For verification and
     /// metrics code only — never part of the simulated I/O stream.
     pub fn peek_page(&self, pid: PageId, out: &mut [u8; PAGE_SIZE]) {
-        if let Some(&idx) = self.map.get(&pid) {
-            out.copy_from_slice(&self.frames[idx].data[..]);
-        } else {
-            self.disk.peek(pid.area, pid.page, out);
+        if self.peek_resident(pid, out) {
+            return;
         }
+        self.disk.peek(pid.area, pid.page, out);
+    }
+
+    fn peek_resident(&self, pid: PageId, out: &mut [u8; PAGE_SIZE]) -> bool {
+        let g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        if g.resident(pid).is_none() {
+            return false;
+        }
+        self.copy_page_into(pid, out.as_mut_slice());
+        true
     }
 
     /// Discard every resident page of an extent (used when a whole segment
     /// is freed).
-    pub fn discard_range(&mut self, area: lobstore_simdisk::AreaId, start: u32, pages: u32) {
+    pub fn discard_range(&self, area: lobstore_simdisk::AreaId, start: u32, pages: u32) {
         for p in start..start.saturating_add(pages) {
             self.discard(PageId::new(area, p));
         }
     }
 
     /// Fix `pid` and return a read guard: derefs to the page bytes and
-    /// releases the fix when dropped. Callers borrow the frame in place
-    /// instead of copying the page out.
-    pub fn guard(&mut self, pid: PageId) -> PageGuard<'_> {
+    /// releases the fix when dropped. The guard holds the page's shard
+    /// latch for its whole lifetime, so the borrow is latched, not a
+    /// `&mut self` borrow of the pool — independent pages stay reachable.
+    pub fn guard(&self, pid: PageId) -> PageGuard<'_> {
         let r = self.fix(pid);
-        PageGuard { pool: self, r }
+        let slot = self.shard(pid);
+        let latch = slot.pages.read().unwrap_or_else(PoisonError::into_inner);
+        PageGuard {
+            pool: self,
+            pid,
+            r,
+            latch: Some(latch),
+        }
     }
 
     /// Fix `pid` and return a write guard; mutable access marks the page
-    /// dirty, exactly as [`Self::page_mut`] does.
-    pub fn guard_mut(&mut self, pid: PageId) -> PageGuardMut<'_> {
+    /// dirty, exactly as [`Self::with_page_mut`] does.
+    pub fn guard_mut(&self, pid: PageId) -> PageGuardMut<'_> {
         let r = self.fix(pid);
-        PageGuardMut { pool: self, r }
+        let slot = self.shard(pid);
+        let latch = slot.pages.write().unwrap_or_else(PoisonError::into_inner);
+        PageGuardMut {
+            pool: self,
+            pid,
+            r,
+            dirtied: false,
+            latch: Some(latch),
+        }
     }
 
     /// Like [`Self::guard_mut`] but over [`Self::fix_new`]: no disk read,
     /// the frame starts zeroed and dirty.
-    pub fn guard_new(&mut self, pid: PageId) -> PageGuardMut<'_> {
+    pub fn guard_new(&self, pid: PageId) -> PageGuardMut<'_> {
         let r = self.fix_new(pid);
-        PageGuardMut { pool: self, r }
+        let slot = self.shard(pid);
+        let latch = slot.pages.write().unwrap_or_else(PoisonError::into_inner);
+        PageGuardMut {
+            pool: self,
+            pid,
+            r,
+            dirtied: false,
+            latch: Some(latch),
+        }
     }
 }
 
 /// RAII read access to one fixed page. Created by [`BufferPool::guard`];
-/// the fix is released on drop, so the borrow checker — not caller
-/// discipline — guarantees every fix is paired with an unfix.
+/// holds the page's shard **read latch** (shared — concurrent readers of
+/// any page proceed in parallel) plus one fix. Both are released on drop,
+/// latch first, so the lock hierarchy is never inverted.
 pub struct PageGuard<'a> {
-    pool: &'a mut BufferPool,
+    pool: &'a BufferPool,
+    pid: PageId,
     r: FrameRef,
+    latch: Option<RwLockReadGuard<'a, PageTable>>,
 }
 
 impl std::ops::Deref for PageGuard<'_> {
     type Target = [u8; PAGE_SIZE];
     fn deref(&self) -> &Self::Target {
-        self.pool.page(self.r)
+        self.latch
+            .as_ref()
+            // loblint: allow(unwrap)
+            .expect("latch held until drop")
+            .page(self.pid)
     }
 }
 
 impl Drop for PageGuard<'_> {
     fn drop(&mut self) {
+        // Release the shard latch before re-entering the control mutex:
+        // pins are released under `ctl`, which sits above `Shard.pages`
+        // in the lock order.
+        self.latch = None;
         self.pool.unfix(self.r);
     }
 }
 
 /// RAII write access to one fixed page (see [`BufferPool::guard_mut`]).
-/// Shared derefs do not dirty the page; mutable derefs do.
+/// Holds the shard **write latch**; shared derefs do not dirty the page,
+/// mutable derefs do (recorded on drop, when the pin is released).
 pub struct PageGuardMut<'a> {
-    pool: &'a mut BufferPool,
+    pool: &'a BufferPool,
+    pid: PageId,
     r: FrameRef,
+    dirtied: bool,
+    latch: Option<RwLockWriteGuard<'a, PageTable>>,
 }
 
 impl std::ops::Deref for PageGuardMut<'_> {
     type Target = [u8; PAGE_SIZE];
     fn deref(&self) -> &Self::Target {
-        self.pool.page(self.r)
+        self.latch
+            .as_ref()
+            // loblint: allow(unwrap)
+            .expect("latch held until drop")
+            .page(self.pid)
     }
 }
 
 impl std::ops::DerefMut for PageGuardMut<'_> {
     fn deref_mut(&mut self) -> &mut Self::Target {
-        self.pool.page_mut(self.r)
+        self.dirtied = true;
+        self.latch
+            .as_mut()
+            // loblint: allow(unwrap)
+            .expect("latch held until drop")
+            .page_mut(self.pid)
     }
 }
 
 impl Drop for PageGuardMut<'_> {
     fn drop(&mut self) {
-        self.pool.unfix(self.r);
+        self.latch = None;
+        self.pool.release_pin(self.r, self.dirtied);
     }
 }
 
@@ -445,7 +863,7 @@ mod tests {
 
     #[test]
     fn fix_miss_reads_one_page() {
-        let mut pool = pool_with_frames(4);
+        let pool = pool_with_frames(4);
         let r = pool.fix(pid(3));
         pool.unfix(r);
         assert_eq!(pool.io_stats().read_calls, 1);
@@ -455,7 +873,7 @@ mod tests {
 
     #[test]
     fn fix_hit_costs_nothing() {
-        let mut pool = pool_with_frames(4);
+        let pool = pool_with_frames(4);
         let r = pool.fix(pid(3));
         pool.unfix(r);
         let before = pool.io_stats();
@@ -467,11 +885,11 @@ mod tests {
 
     #[test]
     fn dirty_page_written_back_on_eviction() {
-        let mut pool = pool_with_frames(2);
+        let pool = pool_with_frames(2);
         // Dirty both frames so eviction has no clean victim.
         for p in 0..2 {
             let r = pool.fix(pid(p));
-            pool.page_mut(r)[0] = 0xAB;
+            pool.with_page_mut(r, |page| page[0] = 0xAB);
             pool.unfix(r);
         }
         let r = pool.fix(pid(2));
@@ -485,10 +903,10 @@ mod tests {
 
     #[test]
     fn clean_pages_evicted_before_dirty() {
-        let mut pool = pool_with_frames(2);
+        let pool = pool_with_frames(2);
         // Frame A: dirty, older.
         let ra = pool.fix(pid(0));
-        pool.page_mut(ra)[0] = 1;
+        pool.with_page_mut(ra, |page| page[0] = 1);
         pool.unfix(ra);
         // Frame B: clean, newer.
         let rb = pool.fix(pid(1));
@@ -503,7 +921,7 @@ mod tests {
 
     #[test]
     fn pinned_pages_are_never_evicted() {
-        let mut pool = pool_with_frames(2);
+        let pool = pool_with_frames(2);
         let ra = pool.fix(pid(0)); // keep pinned
         let rb = pool.fix(pid(1));
         pool.unfix(rb);
@@ -516,7 +934,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "every frame is pinned")]
     fn exhausted_pool_panics() {
-        let mut pool = pool_with_frames(2);
+        let pool = pool_with_frames(2);
         let _a = pool.fix(pid(0));
         let _b = pool.fix(pid(1));
         let _c = pool.fix(pid(2));
@@ -524,9 +942,9 @@ mod tests {
 
     #[test]
     fn fix_new_skips_disk_read_and_is_dirty() {
-        let mut pool = pool_with_frames(4);
+        let pool = pool_with_frames(4);
         let r = pool.fix_new(pid(9));
-        pool.page_mut(r)[0] = 7;
+        pool.with_page_mut(r, |page| page[0] = 7);
         pool.unfix(r);
         assert_eq!(pool.io_stats().read_calls, 0);
         pool.flush_page(pid(9));
@@ -538,9 +956,9 @@ mod tests {
 
     #[test]
     fn discard_drops_without_writeback() {
-        let mut pool = pool_with_frames(4);
+        let pool = pool_with_frames(4);
         let r = pool.fix_new(pid(5));
-        pool.page_mut(r)[0] = 9;
+        pool.with_page_mut(r, |page| page[0] = 9);
         pool.unfix(r);
         pool.discard(pid(5));
         assert!(!pool.contains(pid(5)));
@@ -552,10 +970,10 @@ mod tests {
 
     #[test]
     fn flush_all_writes_every_dirty_frame() {
-        let mut pool = pool_with_frames(4);
+        let pool = pool_with_frames(4);
         for p in 0..3 {
             let r = pool.fix_new(pid(p));
-            pool.page_mut(r)[0] = p as u8 + 1;
+            pool.with_page_mut(r, |page| page[0] = p as u8 + 1);
             pool.unfix(r);
         }
         pool.flush_all();
@@ -570,7 +988,7 @@ mod tests {
         // by LRU, so the exact hit/miss/eviction counts are pinned here
         // and in the obs registry.
         lobstore_obs::reset();
-        let mut pool = pool_with_frames(3);
+        let pool = pool_with_frames(3);
         // Phase 1 — cold: fix 0,1,2 → 3 misses, pool now [0,1,2].
         for p in 0..3 {
             let r = pool.fix(pid(p));
@@ -580,7 +998,7 @@ mod tests {
         // clean frame left.
         for p in 0..3 {
             let r = pool.fix(pid(p));
-            pool.page_mut(r)[0] = 0xE0 | p as u8;
+            pool.with_page_mut(r, |page| page[0] = 0xE0 | p as u8);
             pool.unfix(r);
         }
         // Phase 3 — fix 3: miss, and with every frame dirty the LRU dirty
@@ -593,7 +1011,8 @@ mod tests {
         let r = pool.fix(pid(1));
         pool.unfix(r);
         let r = pool.fix(pid(0));
-        assert_eq!(pool.page(r)[0], 0xE0, "writeback survived the round trip");
+        let byte = pool.with_page(r, |page| page[0]);
+        assert_eq!(byte, 0xE0, "writeback survived the round trip");
         pool.unfix(r);
         assert!(!pool.contains(pid(3)), "clean page 3 was the victim");
         let s = pool.pool_stats();
@@ -615,10 +1034,10 @@ mod tests {
     #[test]
     fn explicit_flushes_count_dirty_writebacks() {
         lobstore_obs::reset();
-        let mut pool = pool_with_frames(4);
+        let pool = pool_with_frames(4);
         for p in 0..2 {
             let r = pool.fix_new(pid(p));
-            pool.page_mut(r)[0] = 1;
+            pool.with_page_mut(r, |page| page[0] = 1);
             pool.unfix(r);
         }
         pool.flush_page(pid(0));
@@ -632,7 +1051,7 @@ mod tests {
 
     #[test]
     fn guards_release_their_fix_on_drop() {
-        let mut pool = pool_with_frames(2);
+        let pool = pool_with_frames(2);
         {
             let mut g = pool.guard_new(pid(7));
             g[0] = 0x42;
@@ -652,7 +1071,7 @@ mod tests {
 
     #[test]
     fn read_guard_does_not_dirty_the_page() {
-        let mut pool = pool_with_frames(2);
+        let pool = pool_with_frames(2);
         let g = pool.guard(pid(1));
         assert_eq!(g[0], 0);
         drop(g);
@@ -662,10 +1081,10 @@ mod tests {
 
     #[test]
     fn install_clean_is_pinned_resident_and_clean() {
-        let mut pool = pool_with_frames(2);
+        let pool = pool_with_frames(2);
         let content = [0x5Au8; PAGE_SIZE];
         let r = pool.install_clean(pid(3), &content);
-        assert_eq!(pool.page(r)[100], 0x5A);
+        assert_eq!(pool.with_page(r, |page| page[100]), 0x5A);
         assert!(pool.contains(pid(3)));
         pool.unfix(r);
         pool.flush_page(pid(3));
@@ -676,7 +1095,7 @@ mod tests {
 
     #[test]
     fn lru_order_updated_on_hit() {
-        let mut pool = pool_with_frames(2);
+        let pool = pool_with_frames(2);
         let ra = pool.fix(pid(0));
         pool.unfix(ra);
         let rb = pool.fix(pid(1));
@@ -688,5 +1107,45 @@ mod tests {
         pool.unfix(rc);
         assert!(pool.contains(pid(0)));
         assert!(!pool.contains(pid(1)));
+    }
+
+    #[test]
+    fn shared_read_guards_coexist() {
+        // The old `&mut self` guards could never overlap; the latched
+        // guards can, as long as both sides are readers.
+        let pool = pool_with_frames(4);
+        let g1 = pool.guard(pid(1));
+        let g2 = pool.guard(pid(1));
+        assert_eq!(g1[0], g2[0]);
+        drop(g1);
+        drop(g2);
+        assert_eq!(pool.available_frames(), 4, "both pins released");
+    }
+
+    #[test]
+    fn concurrent_guards_on_distinct_pages() {
+        let pool = pool_with_frames(8);
+        for p in 0..4u32 {
+            let r = pool.fix_new(pid(p));
+            pool.with_page_mut(r, |page| page[0] = p as u8 + 1);
+            pool.unfix(r);
+        }
+        std::thread::scope(|s| {
+            for p in 0..4u32 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let g = pool.guard(pid(p));
+                        assert_eq!(g[0], p as u8 + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.available_frames(), 8);
+        assert_eq!(
+            pool.pool_stats().misses,
+            0,
+            "all pages resident: guard fixes must all hit"
+        );
     }
 }

@@ -7,6 +7,13 @@
 //!   caller's buffer in one I/O call, and — when the requested byte range
 //!   does not match page boundaries (Figure 4) — the partial first/last
 //!   pages are staged through the pool, giving the paper's 3-step I/O.
+//!
+//! Everything here takes `&self`: the direct paths (`read_pages`,
+//! `read_direct`'s interior step) only consult the pool for dirty
+//! overlays, so version-pinned snapshot readers can stream segments
+//! concurrently under the shared side of the database lock.
+
+use std::sync::PoisonError;
 
 use lobstore_simdisk::{cast, AreaId, PageId, PAGE_SIZE, PAGE_SIZE_U64};
 
@@ -15,7 +22,7 @@ use crate::pool::{BufferPool, FrameRef};
 impl BufferPool {
     /// Read `out.len()` bytes starting at byte `byte_off` of the segment
     /// that begins at `start_page` in `area`, applying the hybrid policy.
-    pub fn read_segment(&mut self, area: AreaId, start_page: u32, byte_off: u64, out: &mut [u8]) {
+    pub fn read_segment(&self, area: AreaId, start_page: u32, byte_off: u64, out: &mut [u8]) {
         if out.is_empty() {
             return;
         }
@@ -45,7 +52,7 @@ impl BufferPool {
     /// through a temporary buffer. The I/O calls issued (and therefore
     /// the simulated cost) are identical either way.
     fn read_buffered(
-        &mut self,
+        &self,
         area: AreaId,
         first: u32,
         n_pages: u32,
@@ -108,8 +115,9 @@ impl BufferPool {
             let (out_off, from, take) = page_span(i, head_skip, out.len());
             debug_assert_eq!(out_off, copied);
             if !in_place[i] {
-                let page = self.page(r);
-                out[copied..copied + take].copy_from_slice(&page[from..from + take]);
+                self.with_page(r, |page| {
+                    out[copied..copied + take].copy_from_slice(&page[from..from + take]);
+                });
             }
             copied += take;
             if copied == out.len() {
@@ -126,7 +134,7 @@ impl BufferPool {
     /// whole pages directly into `dst`, then installing each page into a
     /// pool frame *from* `dst`. The caller's bytes are already in place;
     /// the frames are filled with one copy each and no staging buffer.
-    fn read_scatter(&mut self, area: AreaId, start_page: u32, dst: &mut [u8]) -> Vec<FrameRef> {
+    fn read_scatter(&self, area: AreaId, start_page: u32, dst: &mut [u8]) -> Vec<FrameRef> {
         debug_assert!(!dst.is_empty() && dst.len().is_multiple_of(PAGE_SIZE));
         self.disk.read(area, start_page, dst);
         dst.chunks(PAGE_SIZE)
@@ -138,14 +146,7 @@ impl BufferPool {
     }
 
     /// Direct path with 3-step I/O on boundary mismatch.
-    fn read_direct(
-        &mut self,
-        area: AreaId,
-        first: u32,
-        last: u32,
-        head_skip: usize,
-        out: &mut [u8],
-    ) {
+    fn read_direct(&self, area: AreaId, first: u32, last: u32, head_skip: usize, out: &mut [u8]) {
         let len = out.len();
         let tail_end = (head_skip + len) % PAGE_SIZE; // 0 == aligned
         let head_partial = head_skip != 0;
@@ -156,7 +157,9 @@ impl BufferPool {
         // room): stage through one frame.
         if last == first {
             let r = self.fix(PageId::new(area, first));
-            out.copy_from_slice(&self.page(r)[head_skip..head_skip + len]);
+            self.with_page(r, |page| {
+                out.copy_from_slice(&page[head_skip..head_skip + len]);
+            });
             self.unfix(r);
             return;
         }
@@ -169,7 +172,9 @@ impl BufferPool {
         if head_partial {
             let r = self.fix(PageId::new(area, first));
             let take = PAGE_SIZE - head_skip;
-            out[..take].copy_from_slice(&self.page(r)[head_skip..]);
+            self.with_page(r, |page| {
+                out[..take].copy_from_slice(&page[head_skip..]);
+            });
             self.unfix(r);
             pos = take;
             mid_first = first + 1;
@@ -187,45 +192,50 @@ impl BufferPool {
                 .read(area, mid_first, &mut out[pos..pos + mid_len]);
             // Overlay any resident *dirty* pages: the pool copy is newer
             // than the disk copy we just read.
-            for i in 0..mid_pages {
-                let pid = PageId::new(area, mid_first + cast::usize_to_u32(i));
-                if let Some(&idx) = self.map.get(&pid) {
-                    if self.frames[idx].dirty {
-                        out[pos + i * PAGE_SIZE..pos + (i + 1) * PAGE_SIZE]
-                            .copy_from_slice(&self.frames[idx].data[..]);
-                    }
-                }
-            }
+            self.overlay_dirty(area, mid_first, mid_pages, &mut out[pos..pos + mid_len]);
             pos += mid_len;
         }
         if tail_partial {
             let r = self.fix(PageId::new(area, last));
-            out[pos..pos + tail_take].copy_from_slice(&self.page(r)[..tail_take]);
+            self.with_page(r, |page| {
+                out[pos..pos + tail_take].copy_from_slice(&page[..tail_take]);
+            });
             self.unfix(r);
             pos += tail_take;
         }
         debug_assert_eq!(pos, len);
     }
 
+    /// Overlay the resident **dirty** pages of a whole-page run onto the
+    /// bytes just read from disk (the frame copy is newer). One `ctl`
+    /// acquisition covers the whole run — dirty residents are rare on
+    /// the scan path, and per-page locking would put every concurrent
+    /// scanner through the control latch once per page.
+    fn overlay_dirty(&self, area: AreaId, first: u32, n_pages: usize, out: &mut [u8]) {
+        let g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        for i in 0..n_pages {
+            let pid = PageId::new(area, first + cast::usize_to_u32(i));
+            if g.resident_dirty(pid).is_none() {
+                continue;
+            }
+            // Holding `ctl` pins residency; copy under the shard latch.
+            // `out` spans exactly `n_pages` pages, so the slice bounds
+            // cannot panic here.
+            // loblint: allow(panic-while-locked)
+            self.copy_page_into(pid, &mut out[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
+        }
+    }
+
     /// Read `n_pages` whole pages directly into `out` with one I/O call —
     /// for internal staging buffers (e.g. Starburst's 512 KB copy buffer)
-    /// where page-grained reads need no boundary staging.
-    pub fn read_pages(&mut self, area: AreaId, start_page: u32, n_pages: u32, out: &mut [u8]) {
+    /// where page-grained reads need no boundary staging, and for the
+    /// `&self` snapshot-scan path, which must not fix frames.
+    pub fn read_pages(&self, area: AreaId, start_page: u32, n_pages: u32, out: &mut [u8]) {
         assert!(n_pages > 0);
         assert!(out.len() >= cast::u32_to_usize(n_pages) * PAGE_SIZE);
         let out = &mut out[..cast::u32_to_usize(n_pages) * PAGE_SIZE];
         self.disk.read(area, start_page, out);
-        for i in 0..n_pages {
-            let pid = PageId::new(area, start_page + i);
-            if let Some(&idx) = self.map.get(&pid) {
-                if self.frames[idx].dirty {
-                    let off = cast::u32_to_usize(i) * PAGE_SIZE;
-                    // `off + PAGE_SIZE <= out.len()` by the assert above.
-                    // loblint: allow(arith-overflow)
-                    out[off..off + PAGE_SIZE].copy_from_slice(&self.frames[idx].data[..]);
-                }
-            }
-        }
+        self.overlay_dirty(area, start_page, cast::u32_to_usize(n_pages), out);
     }
 
     /// Write `data` to contiguous pages starting at `start_page` with one
@@ -233,7 +243,7 @@ impl BufferPool {
     /// pages are dropped; a dirty resident copy of a *partially* covered
     /// trailing page is flushed first so its unwritten bytes survive the
     /// disk-side read-modify-write.
-    pub fn write_direct(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
+    pub fn write_direct(&self, area: AreaId, start_page: u32, data: &[u8]) {
         assert!(!data.is_empty(), "zero-length direct write");
         let n_pages = cast::usize_to_u32(data.len().div_ceil(PAGE_SIZE));
         let partial_tail = !data.len().is_multiple_of(PAGE_SIZE);
@@ -242,11 +252,9 @@ impl BufferPool {
             // targets exactly this page range.
             // loblint: allow(arith-overflow)
             let tail_pid = PageId::new(area, start_page + n_pages - 1);
-            if let Some(&idx) = self.map.get(&tail_pid) {
-                if self.frames[idx].dirty {
-                    self.flush_page(tail_pid);
-                }
-            }
+            // Only a *dirty* resident tail needs the pre-flush, and
+            // `flush_page` checks exactly that.
+            self.flush_page(tail_pid);
         }
         self.disk.write(area, start_page, data);
         self.discard_range(area, start_page, n_pages);
@@ -256,50 +264,38 @@ impl BufferPool {
     /// start+n_pages)`, writing each maximal contiguous dirty run with a
     /// single sequential I/O call (§3.3: "the dirty pages of the segment
     /// are simply flushed to disk at the end of the operation").
-    pub fn flush_range(&mut self, area: AreaId, start: u32, n_pages: u32) {
-        let mut p = start;
+    pub fn flush_range(&self, area: AreaId, start: u32, n_pages: u32) {
         // The caller's flush range lies within the area's page space.
         // loblint: allow(arith-overflow)
         let end = start + n_pages;
+        let mut g = self.ctl.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut p = start;
         while p < end {
-            // Find the next dirty resident page.
-            let run_start = (p..end).find(|&q| {
-                self.map
-                    .get(&PageId::new(area, q))
-                    .is_some_and(|&idx| self.frames[idx].dirty)
-            });
-            let Some(run_start) = run_start else { break };
-            let mut run_end = run_start;
-            while run_end + 1 < end
-                && self
-                    .map
-                    .get(&PageId::new(area, run_end + 1))
-                    .is_some_and(|&idx| self.frames[idx].dirty)
-            {
-                run_end += 1;
-            }
-            let run_len = cast::u32_to_usize(run_end - run_start + 1);
-            let idxs: Vec<usize> = (0..run_len)
-                .map(|i| self.map[&PageId::new(area, run_start + cast::usize_to_u32(i))])
-                .collect();
-            // Gather write: one call straight from the frames — no
-            // staging buffer, same single charge as the contiguous write.
-            {
-                let (disk, frames) = (&mut self.disk, &self.frames);
-                let pages: Vec<&[u8; PAGE_SIZE]> =
-                    // `idxs` holds frame indices straight from the map.
-                    // loblint: allow(panic-path)
-                    idxs.iter().map(|&idx| &*frames[idx].data).collect();
-                disk.write_gather(area, run_start, &pages);
-            }
-            for &idx in &idxs {
-                // `idxs` holds frame indices straight from the map.
-                // loblint: allow(panic-path)
-                self.frames[idx].dirty = false;
-            }
-            lobstore_obs::counter_add("bufpool.dirty_writebacks", run_len as u64);
-            p = run_end + 1;
+            let Some((run_start, run_len)) = g.next_dirty_run(area, p, end) else {
+                break;
+            };
+            // Stage the run's frame bytes into one contiguous buffer and
+            // write it with a single sequential call — the same one-call,
+            // `run_len`-page charge the old gather write produced.
+            let staged = self.gather_run(area, run_start, run_len);
+            self.disk.write(area, run_start, &staged);
+            g.mark_run_clean(area, run_start, run_len);
+            lobstore_obs::counter_add("bufpool.dirty_writebacks", u64::from(run_len));
+            // The run lies inside `[start, end)`, which the caller sized.
+            p = run_start + run_len;
         }
+    }
+
+    /// Copy a run of resident pages into one contiguous staging buffer,
+    /// page by page under the shard latches. The caller holds `ctl`, so
+    /// residency cannot change mid-copy.
+    fn gather_run(&self, area: AreaId, start: u32, run_len: u32) -> Vec<u8> {
+        let n = cast::u32_to_usize(run_len);
+        let mut buf = vec![0u8; n * PAGE_SIZE];
+        for (i, chunk) in buf.chunks_mut(PAGE_SIZE).enumerate() {
+            self.copy_page_into(PageId::new(area, start + cast::usize_to_u32(i)), chunk);
+        }
+        buf
     }
 }
 
@@ -331,18 +327,18 @@ mod tests {
     }
 
     /// Write a recognizable pattern of `n` pages at `start` directly to disk.
-    fn seed(pool: &mut BufferPool, start: u32, n_pages: usize) -> Vec<u8> {
+    fn seed(pool: &BufferPool, start: u32, n_pages: usize) -> Vec<u8> {
         let data: Vec<u8> = (0..n_pages * PAGE_SIZE)
             .map(|i| ((i * 31 + 7) % 253) as u8)
             .collect();
-        pool.disk_mut().poke(A, start, &data);
+        pool.disk().poke(A, start, &data);
         data
     }
 
     #[test]
     fn small_read_is_buffered_in_one_call() {
-        let mut p = pool();
-        let data = seed(&mut p, 0, 3);
+        let p = pool();
+        let data = seed(&p, 0, 3);
         let mut out = vec![0u8; 3 * PAGE_SIZE];
         p.read_segment(A, 0, 0, &mut out);
         assert_eq!(out, data);
@@ -356,8 +352,8 @@ mod tests {
 
     #[test]
     fn small_unaligned_read_copies_correct_bytes() {
-        let mut p = pool();
-        let data = seed(&mut p, 4, 2);
+        let p = pool();
+        let data = seed(&p, 4, 2);
         let mut out = vec![0u8; 1000];
         p.read_segment(A, 4, 3700, &mut out);
         assert_eq!(out[..], data[3700..4700]);
@@ -367,13 +363,13 @@ mod tests {
 
     #[test]
     fn large_aligned_read_is_one_direct_call() {
-        let mut p = pool();
-        let data = seed(&mut p, 0, 8);
+        let p = pool();
+        let data = seed(&p, 0, 8);
         let mut out = vec![0u8; 8 * PAGE_SIZE];
-        p.disk_mut().enable_trace(8);
+        p.disk().enable_trace(8);
         p.read_segment(A, 0, 0, &mut out);
         assert_eq!(out, data);
-        let t = p.disk_mut().take_trace();
+        let t = p.disk().take_trace();
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].pages, 8);
         // Nothing was buffered.
@@ -383,15 +379,15 @@ mod tests {
 
     #[test]
     fn large_mismatched_read_is_three_step() {
-        let mut p = pool();
-        let data = seed(&mut p, 0, 8);
+        let p = pool();
+        let data = seed(&p, 0, 8);
         // Bytes 100 .. 8*4096-100: both boundaries are mid-page.
         let len = 8 * PAGE_SIZE - 200;
         let mut out = vec![0u8; len];
-        p.disk_mut().enable_trace(8);
+        p.disk().enable_trace(8);
         p.read_segment(A, 0, 100, &mut out);
         assert_eq!(out[..], data[100..100 + len]);
-        let t = p.disk_mut().take_trace();
+        let t = p.disk().take_trace();
         // §3.2 / Figure 4: read L (1 page), read the 6 interior pages
         // directly, read R (1 page) = 3 calls, 8 pages.
         assert_eq!(t.len(), 3, "expected 3-step I/O, got {t:?}");
@@ -407,26 +403,26 @@ mod tests {
 
     #[test]
     fn large_read_with_aligned_head_is_two_step() {
-        let mut p = pool();
-        let data = seed(&mut p, 0, 6);
+        let p = pool();
+        let data = seed(&p, 0, 6);
         let len = 5 * PAGE_SIZE + 10; // starts aligned, ends mid-page
         let mut out = vec![0u8; len];
-        p.disk_mut().enable_trace(8);
+        p.disk().enable_trace(8);
         p.read_segment(A, 0, 0, &mut out);
         assert_eq!(out[..], data[..len]);
-        let t = p.disk_mut().take_trace();
+        let t = p.disk().take_trace();
         assert_eq!(t.len(), 2);
         assert_eq!(t.iter().map(|e| e.pages).collect::<Vec<_>>(), vec![5, 1]);
     }
 
     #[test]
     fn buffered_read_reuses_resident_pages() {
-        let mut p = pool();
-        seed(&mut p, 0, 4);
+        let p = pool();
+        seed(&p, 0, 4);
         // Make page 1 resident.
         let r = p.fix(PageId::new(A, 1));
         p.unfix(r);
-        p.disk_mut().reset_stats();
+        p.disk().reset_stats();
         let mut out = vec![0u8; 4 * PAGE_SIZE];
         p.read_segment(A, 0, 0, &mut out);
         // Missing runs: [0] and [2,3] → 2 calls, 3 pages.
@@ -436,11 +432,11 @@ mod tests {
 
     #[test]
     fn direct_read_overlays_dirty_resident_pages() {
-        let mut p = pool();
-        seed(&mut p, 0, 8);
+        let p = pool();
+        seed(&p, 0, 8);
         // Dirty page 3 in the pool: newer than disk.
         let r = p.fix(PageId::new(A, 3));
-        p.page_mut(r).fill(0xEE);
+        p.with_page_mut(r, |page| page.fill(0xEE));
         p.unfix(r);
         let mut out = vec![0u8; 8 * PAGE_SIZE];
         p.read_segment(A, 0, 0, &mut out);
@@ -449,12 +445,12 @@ mod tests {
 
     #[test]
     fn write_direct_is_one_call_and_invalidates() {
-        let mut p = pool();
-        seed(&mut p, 0, 4);
+        let p = pool();
+        seed(&p, 0, 4);
         let r = p.fix(PageId::new(A, 2));
         p.unfix(r);
         let new = vec![0x55u8; 4 * PAGE_SIZE];
-        p.disk_mut().reset_stats();
+        p.disk().reset_stats();
         p.write_direct(A, 0, &new);
         assert_eq!(p.io_stats().write_calls, 1);
         assert_eq!(p.io_stats().pages_written, 4);
@@ -466,10 +462,10 @@ mod tests {
 
     #[test]
     fn write_direct_partial_tail_preserves_dirty_resident_rest() {
-        let mut p = pool();
+        let p = pool();
         // Page 1 resident and dirty with 0xAA everywhere.
         let r = p.fix(PageId::new(A, 1));
-        p.page_mut(r).fill(0xAA);
+        p.with_page_mut(r, |page| page.fill(0xAA));
         p.unfix(r);
         // Direct write covering page 0 fully and the first 100 bytes of page 1.
         let data = vec![0x11u8; PAGE_SIZE + 100];
@@ -485,35 +481,35 @@ mod tests {
 
     #[test]
     fn flush_range_groups_contiguous_dirty_pages() {
-        let mut p = pool();
+        let p = pool();
         // Dirty pages 0,1,2 and 5 (3 is clean-resident, 4 absent).
         for q in [0u32, 1, 2, 5] {
             let r = p.fix_new(PageId::new(A, q));
-            p.page_mut(r)[0] = q as u8 + 1;
+            p.with_page_mut(r, |page| page[0] = q as u8 + 1);
             p.unfix(r);
         }
         let r = p.fix(PageId::new(A, 3));
         p.unfix(r);
-        p.disk_mut().reset_stats();
-        p.disk_mut().enable_trace(8);
+        p.disk().reset_stats();
+        p.disk().enable_trace(8);
         p.flush_range(A, 0, 6);
-        let t = p.disk_mut().take_trace();
+        let t = p.disk().take_trace();
         let writes: Vec<_> = t.iter().filter(|e| e.kind == TraceKind::Write).collect();
         assert_eq!(writes.len(), 2, "runs [0..3] and [5] → 2 calls");
         assert_eq!(writes[0].pages, 3);
         assert_eq!(writes[1].pages, 1);
         // Everything clean now; flushing again is free.
-        p.disk_mut().reset_stats();
+        p.disk().reset_stats();
         p.flush_range(A, 0, 6);
         assert_eq!(p.io_stats().write_calls, 0);
     }
 
     #[test]
     fn flush_range_gather_writes_frame_content() {
-        let mut p = pool();
+        let p = pool();
         for q in 0..3u32 {
             let r = p.fix_new(PageId::new(A, q));
-            p.page_mut(r).fill(0x10 + q as u8);
+            p.with_page_mut(r, |page| page.fill(0x10 + q as u8));
             p.unfix(r);
         }
         p.flush_range(A, 0, 3);
@@ -537,12 +533,12 @@ mod tests {
         // starts on the partial head page (staged), while a later run of
         // whole pages goes through the scatter path. Content and call
         // counts must match the pre-scatter behavior exactly.
-        let mut p = pool();
-        let data = seed(&mut p, 0, 4);
+        let p = pool();
+        let data = seed(&p, 0, 4);
         // Page 1 resident so the misses split into runs [0] and [2,3].
         let r = p.fix(PageId::new(A, 1));
         p.unfix(r);
-        p.disk_mut().reset_stats();
+        p.disk().reset_stats();
         // Ends exactly at the page-3 boundary, so run [2,3] is whole
         // pages (scatter) while run [0] is clipped by the head (staged).
         let len = 4 * PAGE_SIZE - 100;
@@ -552,7 +548,7 @@ mod tests {
         assert_eq!(p.io_stats().read_calls, 2, "runs [0] and [2,3]");
         assert_eq!(p.io_stats().pages_read, 3);
         // All four pages were installed and a re-read is free.
-        p.disk_mut().reset_stats();
+        p.disk().reset_stats();
         p.read_segment(A, 0, 100, &mut out);
         assert_eq!(p.io_stats().read_calls, 0);
         assert_eq!(out[..], data[100..100 + len]);
@@ -560,13 +556,13 @@ mod tests {
 
     #[test]
     fn read_pages_overlays_dirty_and_charges_one_call() {
-        let mut p = pool();
-        seed(&mut p, 0, 4);
+        let p = pool();
+        seed(&p, 0, 4);
         let r = p.fix(PageId::new(A, 1));
-        p.page_mut(r).fill(0x77);
+        p.with_page_mut(r, |page| page.fill(0x77));
         p.unfix(r);
         let mut out = vec![0u8; 4 * PAGE_SIZE];
-        p.disk_mut().reset_stats();
+        p.disk().reset_stats();
         p.read_pages(A, 0, 4, &mut out);
         assert_eq!(p.io_stats().read_calls, 1);
         assert!(out[PAGE_SIZE..2 * PAGE_SIZE].iter().all(|&b| b == 0x77));
@@ -576,19 +572,42 @@ mod tests {
     fn single_page_fallback_when_pool_unavailable() {
         // A 3-frame pool where 2 frames are pinned: a 2-page buffered read
         // cannot be accommodated and falls to the direct path.
-        let mut p = BufferPool::new(
+        let p = BufferPool::new(
             SimDisk::new(2, CostModel::default()),
             PoolConfig {
                 frames: 3,
                 max_buffered_seg: 4,
             },
         );
-        let data = seed(&mut p, 0, 2);
+        let data = seed(&p, 0, 2);
         let _pin1 = p.fix(PageId::new(AreaId::META, 100));
         let _pin2 = p.fix(PageId::new(AreaId::META, 101));
-        p.disk_mut().reset_stats();
+        p.disk().reset_stats();
         let mut out = vec![0u8; PAGE_SIZE + 200];
         p.read_segment(A, 0, 50, &mut out);
         assert_eq!(out[..], data[50..50 + PAGE_SIZE + 200]);
+    }
+
+    #[test]
+    fn concurrent_read_pages_sees_stable_bytes() {
+        // The `&self` direct path is the snapshot-scan workhorse: several
+        // threads reading disjoint and overlapping ranges must all see the
+        // seeded bytes with no pool mutation at all.
+        let p = pool();
+        let data = seed(&p, 0, 8);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let (p, data) = (&p, &data);
+                s.spawn(move || {
+                    let start = t % 4;
+                    let mut out = vec![0u8; 4 * PAGE_SIZE];
+                    for _ in 0..25 {
+                        p.read_pages(A, start, 4, &mut out);
+                        let lo = cast::u32_to_usize(start) * PAGE_SIZE;
+                        assert_eq!(out[..], data[lo..lo + 4 * PAGE_SIZE]);
+                    }
+                });
+            }
+        });
     }
 }

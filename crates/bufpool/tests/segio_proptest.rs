@@ -46,7 +46,7 @@ proptest! {
 
     #[test]
     fn hybrid_io_always_reads_current_bytes(ops in prop::collection::vec(op_strategy(), 1..50)) {
-        let mut pool = BufferPool::new(
+        let pool = BufferPool::new(
             SimDisk::new(1, CostModel::default()),
             PoolConfig { frames: 6, max_buffered_seg: 4 },
         );
@@ -56,7 +56,7 @@ proptest! {
         for (i, b) in model.iter_mut().enumerate() {
             *b = (i % 251) as u8;
         }
-        pool.disk_mut().poke(AREA, 0, &model.clone());
+        pool.disk().poke(AREA, 0, &model.clone());
 
         for op in ops {
             match op {
@@ -76,7 +76,7 @@ proptest! {
                 }
                 Op::PokeViaPool { page, at, val } => {
                     let r = pool.fix(PageId::new(AREA, page as u32));
-                    pool.page_mut(r)[at] = val;
+                    pool.with_page_mut(r, |p| p[at] = val);
                     pool.unfix(r);
                     model[page * PAGE_SIZE + at] = val;
                 }

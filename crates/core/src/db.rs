@@ -325,7 +325,7 @@ impl Db {
             lobstore_obs::counter_add("core.nodecache.hits", 1);
         } else {
             lobstore_obs::counter_add("core.nodecache.misses", 1);
-            let node = Node::read_page(&self.pool.page(r)[..]);
+            let node = self.pool.with_page(r, |p| Node::read_page(p));
             self.meta_cache.insert(page, CachedMeta::Node(node));
         }
         self.pool.unfix(r);
@@ -348,9 +348,11 @@ impl Db {
             lobstore_obs::counter_add("core.nodecache.hits", 1);
         } else {
             lobstore_obs::counter_add("core.nodecache.misses", 1);
-            let p = &self.pool.page(r)[..];
-            let hdr = RootHdr::read(p);
-            let node = Node::read_root(p, &hdr);
+            let (hdr, node) = self.pool.with_page(r, |p| {
+                let hdr = RootHdr::read(p);
+                let node = Node::read_root(p, &hdr);
+                (hdr, node)
+            });
             self.meta_cache.insert(page, CachedMeta::Root(hdr, node));
         }
         self.pool.unfix(r);
@@ -358,6 +360,20 @@ impl Db {
             Some(CachedMeta::Root(hdr, node)) => f(hdr, node),
             _ => unreachable!("entry inserted above"),
         }
+    }
+
+    /// Fix-read a META page as a parsed [`Node`] through a shared
+    /// reference. Simulated I/O is identical to [`Self::with_meta_node`]
+    /// (the page is fixed either way); the node-cache memo is bypassed
+    /// because it needs `&mut self`. This is the descent step of
+    /// concurrent snapshot scans, which hold only the read side of
+    /// [`crate::SharedDb`]'s lock.
+    pub(crate) fn read_meta_node_ref(&self, page: u32) -> Node {
+        lobstore_obs::counter_add("core.nodecache.ref_reads", 1);
+        let r = self.pool.fix(PageId::new(AreaId::META, page));
+        let node = self.pool.with_page(r, |p| Node::read_page(p));
+        self.pool.unfix(r);
+        node
     }
 
     /// Simulate a crash and restart: the buffer pool loses every unflushed

@@ -69,7 +69,7 @@ pub use esm::{EsmInsertAlgo, EsmObject, EsmParams};
 pub use health::{object_health, publish_object_health, HealthSample, ObjectHealth};
 pub use lobstore_buddy::{Extent, FragStats};
 pub use object::{LargeObject, SegSpan, SegmentInfo, StorageKind, Utilization};
-pub use shared::SharedDb;
+pub use shared::{SharedDb, SharedSnapshotReader};
 pub use spec::{open_object, ManagerSpec};
 pub use starburst::{StarburstObject, StarburstParams};
 pub use stream::{ObjectReader, ObjectWriter};

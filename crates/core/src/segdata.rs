@@ -15,7 +15,11 @@ use crate::db::Db;
 
 /// Read `len` bytes starting at byte `from` of the segment at `ptr`
 /// (LEAF area), using one page-grained I/O call.
-pub(crate) fn read_seg_bytes(db: &mut Db, ptr: u32, from: u64, len: u64) -> Vec<u8> {
+///
+/// Takes `&Db`: segment reads only touch the pool's internally
+/// synchronized read path, so snapshot scanners can run them while
+/// holding just the shared side of [`crate::SharedDb`]'s lock.
+pub(crate) fn read_seg_bytes(db: &Db, ptr: u32, from: u64, len: u64) -> Vec<u8> {
     if len == 0 {
         return Vec::new();
     }
@@ -28,6 +32,40 @@ pub(crate) fn read_seg_bytes(db: &mut Db, ptr: u32, from: u64, len: u64) -> Vec<
         .read_pages(AreaId::LEAF, ptr + first_page, n_pages, &mut scratch);
     let skip = cast::to_usize(from % PAGE_SIZE_U64);
     scratch[skip..skip + cast::to_usize(len)].to_vec()
+}
+
+/// Like [`read_seg_bytes`] but page-direct into a caller-recycled
+/// buffer: the whole covering page run is read with the same single
+/// I/O call, landing in `buf` directly. Returns `(buf, skip)` — the
+/// requested bytes are `buf[skip..skip + len]`. This is the shared-lock
+/// scan path's only per-byte copy; [`read_seg_bytes`] stages through a
+/// scratch `Vec` and copies again.
+pub(crate) fn read_seg_pages(
+    db: &Db,
+    ptr: u32,
+    from: u64,
+    len: u64,
+    mut buf: Vec<u8>,
+) -> (Vec<u8>, usize) {
+    debug_assert!(len > 0);
+    lobstore_obs::counter_add("core.seg.reads", 1);
+    let first_page = cast::to_u32(from / PAGE_SIZE_U64);
+    // `from + len - 1` is the last requested byte; callers stay inside
+    // the segment, far below `u64::MAX`.
+    let last_page = cast::to_u32((from + len - 1) / PAGE_SIZE_U64);
+    // `last_page >= first_page` (both derive from the same range) and
+    // page counts are far below `u32::MAX`.
+    // loblint: allow(arith-overflow)
+    let n_pages = last_page - first_page + 1;
+    let need = cast::u32_to_usize(n_pages) * PAGE_SIZE;
+    // Recycled buffers are usually already the right size; `resize`
+    // only zero-fills growth.
+    if buf.len() != need {
+        buf.resize(need, 0);
+    }
+    db.pool
+        .read_pages(AreaId::LEAF, ptr + first_page, n_pages, &mut buf);
+    (buf, cast::to_usize(from % PAGE_SIZE_U64))
 }
 
 /// Allocate a segment of `alloc_pages` pages and write `bytes` into its
@@ -54,7 +92,8 @@ pub(crate) fn append_in_place(db: &mut Db, ptr: u32, old_len: u64, new: &[u8]) {
     let mut buf = Vec::with_capacity(in_page + new.len());
     if in_page > 0 {
         let r = db.pool.fix(PageId::new(AreaId::LEAF, ptr + first_page));
-        buf.extend_from_slice(&db.pool.page(r)[..in_page]);
+        db.pool
+            .with_page(r, |p| buf.extend_from_slice(&p[..in_page]));
         db.pool.unfix(r);
     }
     buf.extend_from_slice(new);
@@ -74,14 +113,16 @@ pub(crate) fn patch_in_place(db: &mut Db, ptr: u32, from: u64, patch: &[u8]) {
     let mut buf = Vec::with_capacity(head_skip + patch.len());
     if head_skip > 0 {
         let r = db.pool.fix(PageId::new(AreaId::LEAF, ptr + first_page));
-        buf.extend_from_slice(&db.pool.page(r)[..head_skip]);
+        db.pool
+            .with_page(r, |p| buf.extend_from_slice(&p[..head_skip]));
         db.pool.unfix(r);
     }
     buf.extend_from_slice(patch);
     if tail_cut > 0 {
         let last_page = cast::to_u32((end - 1) / PAGE_SIZE_U64);
         let r = db.pool.fix(PageId::new(AreaId::LEAF, ptr + last_page));
-        buf.extend_from_slice(&db.pool.page(r)[tail_cut..]);
+        db.pool
+            .with_page(r, |p| buf.extend_from_slice(&p[tail_cut..]));
         db.pool.unfix(r);
     }
     db.pool.write_direct(AreaId::LEAF, ptr + first_page, &buf);
@@ -165,9 +206,9 @@ mod tests {
         let s = db.io_stats();
         assert_eq!(s.write_calls, 1);
         assert_eq!(s.pages_written, 3);
-        let back = read_seg_bytes(&mut db, ext.start, 0, data.len() as u64);
+        let back = read_seg_bytes(&db, ext.start, 0, data.len() as u64);
         assert_eq!(back, data);
-        let mid = read_seg_bytes(&mut db, ext.start, 5_000, 2_000);
+        let mid = read_seg_bytes(&db, ext.start, 5_000, 2_000);
         assert_eq!(mid[..], data[5_000..7_000]);
     }
 
@@ -183,7 +224,7 @@ mod tests {
         assert_eq!(s.pages_read, 1);
         assert_eq!(s.write_calls, 1);
         assert_eq!(s.pages_written, 2);
-        let back = read_seg_bytes(&mut db, ext.start, 0, 11_000);
+        let back = read_seg_bytes(&db, ext.start, 0, 11_000);
         assert!(back[..5_000].iter().all(|&b| b == 7));
         assert!(back[5_000..].iter().all(|&b| b == 9));
     }
@@ -214,7 +255,7 @@ mod tests {
         let ext = write_new_seg(&mut db, 4, &data);
         db.reset_io_stats();
         patch_in_place(&mut db, ext.start, 5_000, &vec![0xEEu8; 1_000]);
-        let back = read_seg_bytes(&mut db, ext.start, 0, data.len() as u64);
+        let back = read_seg_bytes(&db, ext.start, 0, data.len() as u64);
         assert_eq!(back[..5_000], data[..5_000]);
         assert!(back[5_000..6_000].iter().all(|&b| b == 0xEE));
         assert_eq!(back[6_000..], data[6_000..]);

@@ -1,61 +1,239 @@
-//! Coarse-grained sharing of a database across threads.
+//! Coarse-grained sharing of a database across threads, with a parallel
+//! read side for snapshot scans.
 //!
 //! The paper's study — and therefore the engine — is single-client: every
-//! operation takes `&mut Db` and runs to completion. [`SharedDb`] makes
-//! that contract usable from multiple threads by serializing operations
-//! behind one lock (object handles themselves are plain data and travel
-//! freely between threads).
+//! *mutating* operation takes `&mut Db` and runs to completion.
+//! [`SharedDb`] makes that contract usable from multiple threads with a
+//! **two-tier lock** (DESIGN.md §17):
 //!
-//! This is intentionally *not* fine-grained concurrency control: latches,
-//! lock crabbing, and transactions are outside the paper's scope (§3.3:
-//! "our study does not involve transactions"). The wrapper gives a
-//! correct, simple multi-threaded embedding — one operation at a time,
-//! like the paper's simulation driver.
+//! * mutating operations ([`SharedDb::with`]) take the **write side** of
+//!   one [`RwLock`] and run serialized, exactly like the paper's
+//!   simulation driver;
+//! * version-pinned snapshot scans ([`SharedDb::snapshot_reader`]) take
+//!   only the **read side**: everything a pinned [`SnapshotReader`]
+//!   touches below its root is immutable while the pin is held, and the
+//!   buffer pool's internal sharded latches make the page traffic itself
+//!   thread-safe — so any number of scanners stream concurrently, and
+//!   with each other *and* block only writers.
+//!
+//! This is still not fine-grained concurrency control over updates:
+//! latches, lock crabbing, and transactions are outside the paper's scope
+//! (§3.3: "our study does not involve transactions"). The read side is
+//! safe precisely because MVCC pins freeze the scanned storage.
+//!
+//! # Poison recovery
+//!
+//! Both lock sides recover a poisoned lock (a panic in another thread's
+//! closure) rather than propagating it, on both tiers for the same
+//! reason: the database state carries no partial-update hazard across
+//! the lock — every mutating operation re-validates on entry, and a
+//! reader that panicked mid-scan held no pool pins or latches at the
+//! `RwLock` boundary (page pins live strictly inside pool calls). The
+//! snapshot pin a panicking reader leaks is released by its
+//! [`SharedSnapshotReader`]'s `Drop`.
 
-use std::sync::{Arc, Mutex, PoisonError};
+use std::io::{BufRead, Read, Seek, SeekFrom};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use crate::db::Db;
+use crate::error::Result;
+use crate::version::{Snapshot, SnapshotReader};
 
 /// A cloneable, thread-safe handle to one database. All clones refer to
-/// the same underlying [`Db`]; operations are serialized.
+/// the same underlying [`Db`]; mutating operations are serialized on the
+/// write side of one lock, snapshot scans share the read side.
 #[derive(Clone)]
 pub struct SharedDb {
-    inner: Arc<Mutex<Db>>,
+    inner: Arc<RwLock<Db>>,
 }
 
 impl SharedDb {
-    /// Wrap a database for shared, serialized access.
+    /// Wrap a database for shared access.
     pub fn new(db: Db) -> Self {
         SharedDb {
-            inner: Arc::new(Mutex::new(db)),
+            inner: Arc::new(RwLock::new(db)),
         }
     }
 
-    /// Run `f` with exclusive access to the database. A poisoned lock
-    /// (a panic in another thread's closure) is recovered rather than
-    /// propagated: the database state itself carries no partial-update
-    /// hazard across the lock, every operation re-validates on entry.
+    /// Run `f` with exclusive access to the database (the write tier).
+    /// Blocks while any other writer *or any snapshot scanner* holds the
+    /// lock. Contended acquisitions are counted on
+    /// `core.shared.write_waits`.
     pub fn with<R>(&self, f: impl FnOnce(&mut Db) -> R) -> R {
-        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner))
+        if let Ok(mut g) = self.inner.try_write() {
+            return f(&mut g);
+        }
+        lobstore_obs::counter_add("core.shared.write_waits", 1);
+        f(&mut self.inner.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Run `f` with shared (read-only) access to the database. Any number
+    /// of readers run concurrently; contended acquisitions are counted on
+    /// `core.shared.read_waits`.
+    ///
+    /// `&Db` exposes no mutation, so this tier cannot violate the
+    /// engine's single-writer contract; the buffer pool and simulated
+    /// disk are internally synchronized for the page traffic `&Db` reads
+    /// perform.
+    pub fn with_read<R>(&self, f: impl FnOnce(&Db) -> R) -> R {
+        if let Ok(g) = self.inner.try_read() {
+            return f(&g);
+        }
+        lobstore_obs::counter_add("core.shared.read_waits", 1);
+        f(&self.inner.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Non-blocking probe for the write tier: run `f` only if the lock is
+    /// immediately available, else return `None` without waiting. The
+    /// reader-scaling bench uses this to report lock-wait pressure
+    /// without perturbing the writers it measures.
+    pub fn try_with<R>(&self, f: impl FnOnce(&mut Db) -> R) -> Option<R> {
+        match self.inner.try_write() {
+            Ok(mut g) => Some(f(&mut g)),
+            Err(_) => None,
+        }
+    }
+
+    /// Open a pinned snapshot scan over the object rooted at `root_page`.
+    ///
+    /// Takes the write lock briefly (pinning mutates version state), then
+    /// returns a cursor whose reads need only the **read** side — see
+    /// [`SharedSnapshotReader`]. Dropping the cursor releases the pin.
+    pub fn snapshot_reader(&self, root_page: u32) -> Result<SharedSnapshotReader> {
+        let (snap, reader) = self.with(|db| {
+            let snap = db.snapshot();
+            match SnapshotReader::new(db, &snap, root_page) {
+                Ok(r) => Ok((snap, r)),
+                Err(e) => {
+                    db.release_snapshot(snap);
+                    Err(e)
+                }
+            }
+        })?;
+        Ok(SharedSnapshotReader {
+            shared: self.clone(),
+            snap: Some(snap),
+            reader,
+        })
     }
 
     /// Recover the unique [`Db`] if this is the last handle.
-    pub fn try_unwrap(self) -> Result<Db, SharedDb> {
+    pub fn try_unwrap(self) -> std::result::Result<Db, SharedDb> {
         Arc::try_unwrap(self.inner)
             .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
             .map_err(|inner| SharedDb { inner })
     }
 }
 
+/// A positional cursor streaming one object as of a pinned version,
+/// holding the database lock only in **read** mode while scanning — the
+/// `SharedDb` twin of [`crate::ObjectReader`].
+///
+/// Implements [`Read`], [`BufRead`] (with the snapshot reader's
+/// read-ahead as the buffer), and [`Seek`]. Each refill takes the shared
+/// lock once per read-ahead span (up to 4 MB), so concurrent scanners
+/// spend almost all their time outside any `SharedDb`-level lock.
+///
+/// Dropping the cursor re-enters the write tier once to release the
+/// snapshot pin; call [`Self::close`] to do it explicitly.
+pub struct SharedSnapshotReader {
+    shared: SharedDb,
+    snap: Option<Snapshot>,
+    reader: SnapshotReader,
+}
+
+impl SharedSnapshotReader {
+    /// Object size at the pinned version.
+    pub fn size(&self) -> u64 {
+        self.reader.size()
+    }
+
+    /// The pinned version this cursor reads.
+    pub fn version(&self) -> u64 {
+        self.snap.as_ref().map_or(0, Snapshot::version)
+    }
+
+    /// Release the snapshot pin now (otherwise done on drop).
+    pub fn close(mut self) {
+        self.release();
+    }
+
+    fn release(&mut self) {
+        if let Some(snap) = self.snap.take() {
+            self.shared.with(|db| db.release_snapshot(snap));
+        }
+    }
+}
+
+impl Read for SharedSnapshotReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let SharedSnapshotReader { shared, reader, .. } = self;
+        Ok(shared.with_read(|db| reader.read_ref(db, out)))
+    }
+}
+
+impl BufRead for SharedSnapshotReader {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        // Fast path: while the read-ahead buffer covers the cursor, hand
+        // bytes out without touching the lock at all — a scanner only
+        // re-enters the read tier once per exhausted buffer.
+        if !self.reader.buffer_covers_pos() {
+            let SharedSnapshotReader { shared, reader, .. } = self;
+            // Refill under the shared lock; the returned slice borrows
+            // the cursor's own read-ahead buffer, valid after the lock
+            // drops.
+            shared.with_read(|db| {
+                reader.buffered_ref(db);
+            });
+        }
+        Ok(self.reader.buffered_ref_cached())
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.reader.consume(amt);
+    }
+}
+
+impl Seek for SharedSnapshotReader {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        let size = self.reader.size();
+        let target = match pos {
+            SeekFrom::Start(o) => i128::from(o),
+            SeekFrom::End(d) => i128::from(size) + i128::from(d),
+            SeekFrom::Current(d) => i128::from(self.reader.position()) + i128::from(d),
+        };
+        if target < 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "seek before byte 0",
+            ));
+        }
+        let clamped = u64::try_from(target).unwrap_or(u64::MAX).min(size);
+        self.reader.seek(clamped);
+        Ok(clamped)
+    }
+}
+
+impl Drop for SharedSnapshotReader {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
 // The whole stack must be transferable across threads for SharedDb to be
-// useful; these compile-time assertions pin that property.
+// useful — and `Db` must additionally be `Sync` for the read tier to
+// hand `&Db` to concurrent scanners; these compile-time assertions pin
+// both properties.
 const _: () = {
     const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
     assert_send::<Db>();
+    assert_sync::<Db>();
     assert_send::<crate::EsmObject>();
     assert_send::<crate::EosObject>();
     assert_send::<crate::StarburstObject>();
     assert_send::<SharedDb>();
+    assert_send::<SharedSnapshotReader>();
 };
 
 #[cfg(test)]
@@ -113,5 +291,71 @@ mod tests {
         let a = a.try_unwrap().err().expect("still shared");
         drop(b);
         assert!(a.try_unwrap().is_ok());
+    }
+
+    #[test]
+    fn read_tier_runs_concurrently_with_itself() {
+        let shared = SharedDb::new(Db::paper_default());
+        let mut obj = shared.with(|db| ManagerSpec::eos(4).create(db)).unwrap();
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 241) as u8).collect();
+        shared.with(|db| obj.append(db, &payload)).unwrap();
+
+        // Two cursors over the same object stream in parallel and both
+        // see the committed bytes.
+        let mk = || shared.snapshot_reader(obj.root_page()).unwrap();
+        let (a, b) = (mk(), mk());
+        let want = payload.clone();
+        let t = std::thread::spawn(move || {
+            let mut r = a;
+            let mut out = Vec::new();
+            r.read_to_end(&mut out).unwrap();
+            assert_eq!(out, want);
+        });
+        let mut r = b;
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, payload);
+        drop(r);
+        t.join().unwrap();
+        // Both pins released on drop.
+        assert_eq!(shared.with(|db| db.pinned_snapshots()), 0);
+    }
+
+    #[test]
+    fn try_with_probe_does_not_block() {
+        let shared = SharedDb::new(Db::paper_default());
+        assert!(shared.try_with(|db| db.current_version()).is_some());
+        // While a reader holds the shared side, the probe reports
+        // contention instead of blocking.
+        let guard = shared.inner.read().unwrap();
+        assert!(shared.try_with(|_| ()).is_none());
+        drop(guard);
+    }
+
+    #[test]
+    fn seek_and_bufread_follow_io_contracts() {
+        let shared = SharedDb::new(Db::paper_default());
+        let mut obj = shared.with(|db| ManagerSpec::esm(4).create(db)).unwrap();
+        let payload: Vec<u8> = (0..60_000u32).map(|i| (i % 199) as u8).collect();
+        shared.with(|db| obj.append(db, &payload)).unwrap();
+
+        let mut r = shared.snapshot_reader(obj.root_page()).unwrap();
+        assert_eq!(r.size(), payload.len() as u64);
+        assert_eq!(r.seek(SeekFrom::End(-100)).unwrap(), r.size() - 100);
+        let mut tail = Vec::new();
+        r.read_to_end(&mut tail).unwrap();
+        assert_eq!(tail, &payload[payload.len() - 100..]);
+
+        assert_eq!(r.seek(SeekFrom::Start(10)).unwrap(), 10);
+        let buf = r.fill_buf().unwrap();
+        assert!(!buf.is_empty());
+        assert_eq!(buf[0], payload[10]);
+        let skip = buf.len().min(5);
+        r.consume(skip);
+        let mut one = [0u8; 1];
+        r.read_exact(&mut one).unwrap();
+        assert_eq!(one[0], payload[10 + skip]);
+        r.close();
+        assert_eq!(shared.with(|db| db.pinned_snapshots()), 0);
     }
 }

@@ -45,8 +45,8 @@ mod span;
 mod timeseries;
 
 pub use metrics::{
-    counter_add, counter_value, gauge_set, gauge_value, histogram_record, snapshot,
-    HistogramSnapshot, MetricsSnapshot,
+    counter_add, counter_value, gauge_set, gauge_value, histogram_record, merge_thread_registry,
+    snapshot, HistogramSnapshot, MetricsSnapshot,
 };
 pub use sink::{install_sink, sink_installed, take_sink, EventSink, JsonlSink, MemorySink};
 pub use span::{event, Span};

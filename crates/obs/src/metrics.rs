@@ -301,6 +301,44 @@ impl MetricsSnapshot {
     }
 }
 
+/// Merge a snapshot captured on another thread into **this** thread's
+/// registry: counters add, histograms add bucket-wise (count, sum
+/// saturating, max by maximum), gauges overwrite (last merge wins —
+/// they are point-in-time readings, not accumulators). Time series are
+/// not part of [`MetricsSnapshot`] and are deliberately excluded.
+///
+/// The registry is thread-local by design (hot-path updates need no
+/// synchronization); worker threads capture [`snapshot`] before exiting
+/// and the coordinating thread folds them in with this function —
+/// benches and the `shared_db` hammer use it to report fleet-wide
+/// totals.
+pub fn merge_thread_registry(other: &MetricsSnapshot) {
+    with_registry(|r| {
+        for (name, v) in &other.counters {
+            match r.counters.get_mut(name) {
+                Some(c) => *c = c.saturating_add(*v),
+                None => {
+                    r.counters.insert(name.clone(), *v);
+                }
+            }
+        }
+        for (name, v) in &other.gauges {
+            r.gauges.insert(name.clone(), *v);
+        }
+        for hs in &other.histograms {
+            let h = r.histos.entry(hs.name.clone()).or_insert_with(Histo::new);
+            for &(i, c) in &hs.buckets {
+                if let Some(b) = h.buckets.get_mut(i) {
+                    *b = b.saturating_add(c);
+                }
+            }
+            h.count = h.count.saturating_add(hs.count);
+            h.sum = h.sum.saturating_add(hs.sum);
+            h.max = h.max.max(hs.max);
+        }
+    });
+}
+
 /// Capture the current state of this thread's registry.
 pub fn snapshot() -> MetricsSnapshot {
     with_registry(|r| MetricsSnapshot {
@@ -501,6 +539,59 @@ mod tests {
             let c = h.join().expect("hammer thread must not panic");
             assert!(c > 0);
         }
+    }
+
+    #[test]
+    fn merge_folds_worker_snapshots_into_this_thread() {
+        reset();
+        counter_add("t.m.ops", 10);
+        histogram_record("t.m.lat", 4);
+        gauge_set("t.m.depth", 1.0);
+        let worker = std::thread::spawn(|| {
+            counter_add("t.m.ops", 7);
+            counter_add("t.m.worker_only", 3);
+            histogram_record("t.m.lat", 100);
+            histogram_record("t.m.lat", 0);
+            gauge_set("t.m.depth", 9.0);
+            snapshot()
+        })
+        .join()
+        .unwrap();
+        merge_thread_registry(&worker);
+        assert_eq!(counter_value("t.m.ops"), 17);
+        assert_eq!(counter_value("t.m.worker_only"), 3);
+        // Gauges overwrite: the merged reading wins.
+        assert_eq!(gauge_value("t.m.depth"), Some(9.0));
+        let snap = snapshot();
+        let h = snap.histogram("t.m.lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 104);
+        assert_eq!(h.max, 100);
+        // Buckets add position-wise: 0 → bucket 0, 4 → bucket 3,
+        // 100 → bucket 7.
+        assert_eq!(h.buckets, vec![(0, 1), (3, 1), (7, 1)]);
+    }
+
+    #[test]
+    fn merge_is_associative_over_workers() {
+        reset();
+        let snaps: Vec<MetricsSnapshot> = (0..3u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    counter_add("t.ma.n", t + 1);
+                    histogram_record("t.ma.h", t);
+                    snapshot()
+                })
+                .join()
+                .unwrap()
+            })
+            .collect();
+        for s in &snaps {
+            merge_thread_registry(s);
+        }
+        assert_eq!(counter_value("t.ma.n"), 6);
+        let snap = snapshot();
+        assert_eq!(snap.histogram("t.ma.h").unwrap().count, 3);
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The simulated disk itself.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError, RwLock};
+
 use crate::cost::CostModel;
 use crate::stats::IoStats;
 use crate::trace::{Trace, TraceEvent, TraceKind};
@@ -144,6 +147,44 @@ impl Area {
     }
 }
 
+/// One area behind its own reader/writer latch, so concurrent readers of
+/// *different* (or even the same) area proceed in parallel: `copy_out`
+/// never materializes pages, so a read call only needs the read side.
+struct AreaSlot {
+    store: RwLock<Area>,
+}
+
+/// The five [`IoStats`] counters as atomics, so accounting works through
+/// `&self` from concurrent readers without a lock on the hot path.
+#[derive(Default)]
+struct AtomicIoStats {
+    read_calls: AtomicU64,
+    write_calls: AtomicU64,
+    pages_read: AtomicU64,
+    pages_written: AtomicU64,
+    time_us: AtomicU64,
+}
+
+impl AtomicIoStats {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            read_calls: self.read_calls.load(Ordering::Acquire),
+            write_calls: self.write_calls.load(Ordering::Acquire),
+            pages_read: self.pages_read.load(Ordering::Acquire),
+            pages_written: self.pages_written.load(Ordering::Acquire),
+            time_us: self.time_us.load(Ordering::Acquire),
+        }
+    }
+
+    fn reset(&self) {
+        self.read_calls.store(0, Ordering::Release);
+        self.write_calls.store(0, Ordering::Release);
+        self.pages_read.store(0, Ordering::Release);
+        self.pages_written.store(0, Ordering::Release);
+        self.time_us.store(0, Ordering::Release);
+    }
+}
+
 /// A simulated multi-area disk that stores real page contents and accounts
 /// for every access with the paper's seek/transfer cost model.
 ///
@@ -151,21 +192,31 @@ impl Area {
 /// pages of a single area and is charged one seek plus `n` page transfers
 /// (§3.3, §4.1). There is no notion of caching here — that is the buffer
 /// manager's job one layer up.
+///
+/// Every operation takes `&self`: areas sit behind per-area `RwLock`s
+/// (reads share, writes exclude), the statistics are atomics, and the
+/// optional trace is mutex-guarded. Single-threaded callers see exactly
+/// the pre-latch behavior — same costs, same counter ordering, same
+/// trace stream.
 pub struct SimDisk {
-    areas: Vec<Area>,
+    areas: Vec<AreaSlot>,
     cost: CostModel,
-    stats: IoStats,
-    trace: Option<Trace>,
+    stats: AtomicIoStats,
+    trace: Mutex<Option<Trace>>,
 }
 
 impl SimDisk {
     /// Create a disk with `n_areas` empty areas and the given cost model.
     pub fn new(n_areas: u8, cost: CostModel) -> Self {
         SimDisk {
-            areas: (0..n_areas).map(|_| Area::default()).collect(),
+            areas: (0..n_areas)
+                .map(|_| AreaSlot {
+                    store: RwLock::new(Area::default()),
+                })
+                .collect(),
             cost,
-            stats: IoStats::default(),
-            trace: None,
+            stats: AtomicIoStats::default(),
+            trace: Mutex::new(None),
         }
     }
 
@@ -181,23 +232,26 @@ impl SimDisk {
 
     /// Cumulative statistics since creation (or the last [`Self::reset_stats`]).
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Zero all counters. Page contents are unaffected.
-    pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+    pub fn reset_stats(&self) {
+        self.stats.reset();
     }
 
     /// Start recording up to `capacity` I/O calls; see [`Self::take_trace`].
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace::new(capacity));
+    pub fn enable_trace(&self, capacity: usize) {
+        let trace = Trace::new(capacity);
+        let mut g = self.trace.lock().unwrap_or_else(PoisonError::into_inner);
+        *g = Some(trace);
     }
 
     /// Drain the recorded trace (empty if tracing was never enabled).
     /// Also resets the dropped-event count.
-    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
-        self.trace.as_mut().map(Trace::take).unwrap_or_default()
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        let mut g = self.trace.lock().unwrap_or_else(PoisonError::into_inner);
+        g.as_mut().map(Trace::take).unwrap_or_default()
     }
 
     /// Number of I/O calls the trace discarded because its buffer was
@@ -205,36 +259,35 @@ impl SimDisk {
     /// exact trace must check this is zero, or its assertions run
     /// against a truncated event stream.
     pub fn trace_dropped(&self) -> u64 {
-        self.trace.as_ref().map(Trace::dropped).unwrap_or(0)
+        let g = self.trace.lock().unwrap_or_else(PoisonError::into_inner);
+        g.as_ref().map(Trace::dropped).unwrap_or(0)
     }
 
-    fn area_mut(&mut self, area: AreaId) -> &mut Area {
-        self.areas
-            .get_mut(area.0 as usize)
-            .unwrap_or_else(|| panic!("no such disk area {area}"))
-    }
-
-    fn area(&self, area: AreaId) -> &Area {
+    fn slot(&self, area: AreaId) -> &AreaSlot {
         self.areas
             .get(area.0 as usize)
             .unwrap_or_else(|| panic!("no such disk area {area}"))
     }
 
-    fn charge(&mut self, kind: TraceKind, area: AreaId, start: u32, pages: u32) {
+    fn charge(&self, kind: TraceKind, area: AreaId, start: u32, pages: u32) {
         let cost = self.cost.io_cost_us(pages);
+        // Monotone counters: saturation past u64::MAX is not observable
+        // in practice, so plain atomic adds keep the hot path lock-free.
         match kind {
             TraceKind::Read => {
-                self.stats.read_calls += 1;
-                // Monotone counter: saturate rather than wrap.
-                self.stats.pages_read = self.stats.pages_read.saturating_add(u64::from(pages));
+                self.stats.read_calls.fetch_add(1, Ordering::AcqRel);
+                self.stats
+                    .pages_read
+                    .fetch_add(u64::from(pages), Ordering::AcqRel);
             }
             TraceKind::Write => {
-                self.stats.write_calls += 1;
-                self.stats.pages_written =
-                    self.stats.pages_written.saturating_add(u64::from(pages));
+                self.stats.write_calls.fetch_add(1, Ordering::AcqRel);
+                self.stats
+                    .pages_written
+                    .fetch_add(u64::from(pages), Ordering::AcqRel);
             }
         }
-        self.stats.time_us += cost;
+        self.stats.time_us.fetch_add(cost, Ordering::AcqRel);
         // Observability: per-area call/page counters (static names so the
         // hot path never allocates) and cost-shape histograms.
         let (calls_name, pages_name) = match (kind, area.0) {
@@ -250,14 +303,16 @@ impl SimDisk {
         lobstore_obs::histogram_record("simdisk.seek_us", self.cost.seek_us);
         lobstore_obs::histogram_record("simdisk.transfer_us", cost - self.cost.seek_us);
         lobstore_obs::histogram_record("simdisk.call_pages", u64::from(pages));
-        if let Some(t) = self.trace.as_mut() {
-            t.record(TraceEvent {
-                kind,
-                area,
-                start,
-                pages,
-                cost_us: cost,
-            });
+        let event = TraceEvent {
+            kind,
+            area,
+            start,
+            pages,
+            cost_us: cost,
+        };
+        let mut g = self.trace.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(t) = g.as_mut() {
+            t.record(event);
         }
     }
 
@@ -269,11 +324,13 @@ impl SimDisk {
     ///
     /// # Panics
     /// If `out` is empty or the area does not exist.
-    pub fn read(&mut self, area: AreaId, start_page: u32, out: &mut [u8]) {
+    pub fn read(&self, area: AreaId, start_page: u32, out: &mut [u8]) {
         assert!(!out.is_empty(), "zero-length disk read");
         let n_pages = cast::usize_to_u32(out.len().div_ceil(PAGE_SIZE));
         self.charge(TraceKind::Read, area, start_page, n_pages);
-        self.area(area).copy_out(start_page, out);
+        let slot = self.slot(area);
+        let a = slot.store.read().unwrap_or_else(PoisonError::into_inner);
+        a.copy_out(start_page, out);
     }
 
     /// One write call: store `data` on `ceil(data.len() / PAGE_SIZE)`
@@ -285,11 +342,13 @@ impl SimDisk {
     ///
     /// # Panics
     /// If `data` is empty or the area does not exist.
-    pub fn write(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
+    pub fn write(&self, area: AreaId, start_page: u32, data: &[u8]) {
         assert!(!data.is_empty(), "zero-length disk write");
         let n_pages = cast::usize_to_u32(data.len().div_ceil(PAGE_SIZE));
         self.charge(TraceKind::Write, area, start_page, n_pages);
-        self.area_mut(area).copy_in(start_page, data);
+        let slot = self.slot(area);
+        let mut a = slot.store.write().unwrap_or_else(PoisonError::into_inner);
+        a.copy_in(start_page, data);
     }
 
     /// One write call covering `pages.len()` physically contiguous pages
@@ -301,7 +360,7 @@ impl SimDisk {
     ///
     /// # Panics
     /// If `pages` is empty or the area does not exist.
-    pub fn write_gather(&mut self, area: AreaId, start_page: u32, pages: &[&[u8; PAGE_SIZE]]) {
+    pub fn write_gather(&self, area: AreaId, start_page: u32, pages: &[&[u8; PAGE_SIZE]]) {
         assert!(!pages.is_empty(), "zero-length disk write");
         self.charge(
             TraceKind::Write,
@@ -309,7 +368,8 @@ impl SimDisk {
             start_page,
             cast::usize_to_u32(pages.len()),
         );
-        let a = self.area_mut(area);
+        let slot = self.slot(area);
+        let mut a = slot.store.write().unwrap_or_else(PoisonError::into_inner);
         for (i, p) in pages.iter().enumerate() {
             // The run was charged above; `start_page + pages.len()` fits
             // the page space or `charge` would have rejected the area.
@@ -322,23 +382,31 @@ impl SimDisk {
     /// when overlaying already-resident pages. Not part of the simulated
     /// I/O stream.
     pub fn peek(&self, area: AreaId, start_page: u32, out: &mut [u8]) {
-        self.area(area).copy_out(start_page, out);
+        let slot = self.slot(area);
+        let a = slot.store.read().unwrap_or_else(PoisonError::into_inner);
+        a.copy_out(start_page, out);
     }
 
     /// Cost-free write, for tests and debugging only.
-    pub fn poke(&mut self, area: AreaId, start_page: u32, data: &[u8]) {
-        self.area_mut(area).copy_in(start_page, data);
+    pub fn poke(&self, area: AreaId, start_page: u32, data: &[u8]) {
+        let slot = self.slot(area);
+        let mut a = slot.store.write().unwrap_or_else(PoisonError::into_inner);
+        a.copy_in(start_page, data);
     }
 
     /// Number of pages ever materialized in `area` (a memory-usage metric,
     /// not a cost metric).
     pub fn materialized_pages(&self, area: AreaId) -> usize {
-        self.area(area).materialized_count()
+        let slot = self.slot(area);
+        let a = slot.store.read().unwrap_or_else(PoisonError::into_inner);
+        a.materialized_count()
     }
 
     /// Page numbers of every materialized page in `area`, ascending.
     pub fn materialized_page_numbers(&self, area: AreaId) -> Vec<u32> {
-        self.area(area).materialized_numbers()
+        let slot = self.slot(area);
+        let a = slot.store.read().unwrap_or_else(PoisonError::into_inner);
+        a.materialized_numbers()
     }
 
     /// Number of areas on this disk.
@@ -357,7 +425,7 @@ mod tests {
 
     #[test]
     fn read_of_unwritten_pages_is_zeroes() {
-        let mut d = disk();
+        let d = disk();
         let mut buf = vec![0xAAu8; PAGE_SIZE * 2];
         d.read(AreaId::META, 7, &mut buf);
         assert!(buf.iter().all(|&b| b == 0));
@@ -365,7 +433,7 @@ mod tests {
 
     #[test]
     fn write_then_read_roundtrips() {
-        let mut d = disk();
+        let d = disk();
         let data: Vec<u8> = (0..PAGE_SIZE * 3).map(|i| (i % 251) as u8).collect();
         d.write(AreaId::LEAF, 10, &data);
         let mut out = vec![0u8; data.len()];
@@ -375,7 +443,7 @@ mod tests {
 
     #[test]
     fn costs_match_paper_examples() {
-        let mut d = disk();
+        let d = disk();
         let mut buf = vec![0u8; PAGE_SIZE * 3];
         d.read(AreaId::LEAF, 0, &mut buf);
         // One call, 3 pages: 33 + 4*3 = 45 ms.
@@ -392,7 +460,7 @@ mod tests {
 
     #[test]
     fn partial_page_write_preserves_rest_of_page() {
-        let mut d = disk();
+        let d = disk();
         let full = vec![0xFFu8; PAGE_SIZE];
         d.write(AreaId::META, 0, &full);
         d.write(AreaId::META, 0, &[1, 2, 3]);
@@ -406,7 +474,7 @@ mod tests {
 
     #[test]
     fn partial_page_read_charges_whole_page() {
-        let mut d = disk();
+        let d = disk();
         let mut small = [0u8; 100];
         d.read(AreaId::META, 0, &mut small);
         assert_eq!(d.stats().pages_read, 1);
@@ -415,7 +483,7 @@ mod tests {
 
     #[test]
     fn peek_and_poke_are_free() {
-        let mut d = disk();
+        let d = disk();
         d.poke(AreaId::META, 0, &[9u8; 64]);
         let mut out = [0u8; 64];
         d.peek(AreaId::META, 0, &mut out);
@@ -425,7 +493,7 @@ mod tests {
 
     #[test]
     fn trace_records_calls() {
-        let mut d = disk();
+        let d = disk();
         d.enable_trace(16);
         d.write(AreaId::LEAF, 5, &[0u8; PAGE_SIZE * 2]);
         let mut buf = [0u8; 10];
@@ -440,7 +508,7 @@ mod tests {
 
     #[test]
     fn trace_overflow_is_counted() {
-        let mut d = disk();
+        let d = disk();
         d.enable_trace(2);
         assert_eq!(d.trace_dropped(), 0);
         let mut buf = [0u8; 8];
@@ -454,7 +522,7 @@ mod tests {
 
     #[test]
     fn trace_dropped_is_zero_without_tracing() {
-        let mut d = disk();
+        let d = disk();
         let mut buf = [0u8; 8];
         d.read(AreaId::META, 0, &mut buf);
         assert_eq!(d.trace_dropped(), 0);
@@ -463,7 +531,7 @@ mod tests {
     #[test]
     fn charge_bumps_per_area_obs_counters() {
         lobstore_obs::reset();
-        let mut d = disk();
+        let d = disk();
         d.write(AreaId::LEAF, 0, &[0u8; PAGE_SIZE * 3]);
         let mut buf = [0u8; PAGE_SIZE];
         d.read(AreaId::META, 0, &mut buf);
@@ -480,14 +548,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "no such disk area")]
     fn bad_area_panics() {
-        let mut d = SimDisk::new(1, CostModel::FREE);
+        let d = SimDisk::new(1, CostModel::FREE);
         let mut buf = [0u8; 1];
         d.read(AreaId(3), 0, &mut buf);
     }
 
     #[test]
     fn materialized_pages_counts_lazily() {
-        let mut d = disk();
+        let d = disk();
         assert_eq!(d.materialized_pages(AreaId::LEAF), 0);
         d.write(AreaId::LEAF, 100, &[0u8; PAGE_SIZE]);
         assert_eq!(d.materialized_pages(AreaId::LEAF), 1);
@@ -498,7 +566,7 @@ mod tests {
 
     #[test]
     fn far_write_falls_back_to_sparse_and_migrates_on_growth() {
-        let mut d = disk();
+        let d = disk();
         let far = (ARENA_GROW_SLACK_PAGES as u32) + 50_000;
         d.write(AreaId::LEAF, far, &[7u8; PAGE_SIZE]);
         d.write(AreaId::LEAF, far + 1, &[8u8; 100]);
@@ -529,7 +597,7 @@ mod tests {
 
     #[test]
     fn arena_and_sparse_reads_span_the_frontier() {
-        let mut d = disk();
+        let d = disk();
         d.write(AreaId::LEAF, 0, &[3u8; 2 * PAGE_SIZE]); // arena: pages 0..2
         let far = (ARENA_GROW_SLACK_PAGES as u32) * 3;
         d.write(AreaId::LEAF, far, &[4u8; PAGE_SIZE]); // sparse
@@ -544,7 +612,7 @@ mod tests {
 
     #[test]
     fn write_gather_is_one_call_of_n_pages() {
-        let mut d = disk();
+        let d = disk();
         d.enable_trace(4);
         let a: PageBox = Box::new([5u8; PAGE_SIZE]);
         let b: PageBox = Box::new([6u8; PAGE_SIZE]);
@@ -561,5 +629,32 @@ mod tests {
         d.peek(AreaId::LEAF, 9, &mut out);
         assert!(out[..PAGE_SIZE].iter().all(|&b| b == 5));
         assert!(out[PAGE_SIZE..].iter().all(|&b| b == 6));
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_pages_and_stats() {
+        let d = std::sync::Arc::new(disk());
+        let data: Vec<u8> = (0..PAGE_SIZE * 2).map(|i| (i % 241) as u8).collect();
+        d.write(AreaId::LEAF, 0, &data);
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let d = d.clone();
+                let data = data.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let mut out = vec![0u8; data.len()];
+                        d.read(AreaId::LEAF, 0, &mut out);
+                        assert_eq!(out, data);
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().expect("reader");
+        }
+        let s = d.stats();
+        assert_eq!(s.read_calls, 200);
+        assert_eq!(s.pages_read, 400);
+        assert_eq!(s.write_calls, 1);
     }
 }

@@ -59,7 +59,7 @@ impl SimDisk {
         let transfer_us_per_kb = u64::from_le_bytes(u64buf);
         let mut n_areas = [0u8; 1];
         r.read_exact(&mut n_areas)?;
-        let mut disk = SimDisk::new(
+        let disk = SimDisk::new(
             n_areas[0],
             CostModel {
                 seek_us,
@@ -88,7 +88,7 @@ mod tests {
 
     #[test]
     fn image_roundtrips_pages_and_cost_model() {
-        let mut d = SimDisk::new(2, CostModel::default());
+        let d = SimDisk::new(2, CostModel::default());
         d.poke(AreaId(0), 3, &[7u8; PAGE_SIZE]);
         d.poke(AreaId(1), 100, &[9u8; 100]);
         d.poke(AreaId(1), 0, b"hello");
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn image_size_tracks_content() {
-        let mut d = SimDisk::new(1, CostModel::FREE);
+        let d = SimDisk::new(1, CostModel::FREE);
         let mut empty = Vec::new();
         d.write_image(&mut empty).unwrap();
         d.poke(AreaId(0), 0, &[1u8; PAGE_SIZE]);
@@ -125,7 +125,7 @@ mod tests {
     fn garbage_is_rejected() {
         assert!(SimDisk::read_image(&mut &b"not an image"[..]).is_err());
         let mut truncated = Vec::new();
-        let mut d = SimDisk::new(1, CostModel::FREE);
+        let d = SimDisk::new(1, CostModel::FREE);
         d.poke(AreaId(0), 0, &[1u8; 10]);
         d.write_image(&mut truncated).unwrap();
         truncated.truncate(truncated.len() - 100);

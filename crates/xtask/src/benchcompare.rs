@@ -15,6 +15,12 @@
 //!   not fall by more than 0.10 absolute. Fragmentation creeping up
 //!   between runs at identical scale means an allocator regression, not
 //!   noise.
+//! * **Reader-scaling floor** — every series in the *new* report whose
+//!   name ends in `scaling_ratio` (the concurrent-vs-serialized reader
+//!   throughput ratio from `concurrent_mvcc`) must end at or above
+//!   [`SCALING_FLOOR`]. This is an absolute floor, not a diff: losing
+//!   reader scalability is a regression even if the committed baseline
+//!   also lost it.
 //!
 //! Reports must come from the same binary at the same scale; comparing
 //! anything else is a usage error (exit 2), not a pass.
@@ -28,6 +34,10 @@ use lobstore_obs::json::{self, Value};
 pub const DEFAULT_THRESHOLD_PCT: f64 = 20.0;
 /// Absolute drift allowed in final health-series values.
 pub const HEALTH_DRIFT: f64 = 0.10;
+/// Minimum final concurrent-vs-serialized reader throughput ratio: 8
+/// snapshot scanners on the shared read tier must beat the serialized
+/// exclusive-lock discipline by at least this factor.
+pub const SCALING_FLOOR: f64 = 3.0;
 
 /// One scan measurement keyed by `(record title, scheme)`.
 fn scan_cells(doc: &Value) -> Vec<((String, String), f64)> {
@@ -141,6 +151,14 @@ pub fn compare(base: &Value, new: &Value, threshold_pct: f64) -> Result<Vec<Stri
 
     let base_series = series_lasts(base);
     let new_series = series_lasts(new);
+    for ((scheme, name), new_last) in &new_series {
+        if name.ends_with("scaling_ratio") && *new_last < SCALING_FLOOR {
+            problems.push(format!(
+                "{name} [{scheme}]: reader scaling ratio {new_last:.2}x is below the \
+                 {SCALING_FLOOR:.0}x floor"
+            ));
+        }
+    }
     for (key, base_last) in &base_series {
         let Some(new_last) = lookup(&new_series, key) else {
             // Series sets may evolve; only shared series are gated.
@@ -342,6 +360,46 @@ mod tests {
             }
         }
         assert!(compare(&base, &Value::Obj(fields), DEFAULT_THRESHOLD_PCT).is_err());
+    }
+
+    fn scaling_report(ratio_last: f64) -> Value {
+        json::parse(&format!(
+            r#"{{
+                "schema": "lobstore-bench-report/v2",
+                "bin": "concurrent_mvcc",
+                "title": "Concurrent MVCC",
+                "wall_clock_us": 1000,
+                "scale": {{"object_bytes": 2097152, "ops": 1000, "mark_every": 200}},
+                "records": [
+                    {{"table": 0, "title": "pinned snapshot scan",
+                      "values": {{"scheme": "EOS/16", "wall MB/s": "999.0",
+                                  "sim s": "1.00"}}}}
+                ],
+                "notes": [],
+                "series": [
+                    {{"scheme": "EOS/16", "name": "reader.scaling_ratio", "dropped": 0,
+                      "summary": {{"p50": 1.0, "p90": 1.0, "p99": 1.0, "max": {ratio_last},
+                                   "last": {ratio_last}}},
+                      "points": [[8, {ratio_last}]]}}
+                ]
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn scaling_ratio_floor_gates_the_new_report() {
+        let base = scaling_report(13.2);
+        let healthy = scaling_report(4.1);
+        assert!(compare(&base, &healthy, DEFAULT_THRESHOLD_PCT)
+            .unwrap()
+            .is_empty());
+        // The floor is absolute: even a baseline below it doesn't excuse
+        // a new report below it.
+        let flat = scaling_report(2.4);
+        let problems = compare(&flat, &flat, DEFAULT_THRESHOLD_PCT).unwrap();
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("below the 3x floor"), "{problems:?}");
     }
 
     #[test]

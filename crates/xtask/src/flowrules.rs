@@ -45,12 +45,16 @@ use crate::lobsyn::{FnDef, Tok, TokKind};
 /// The canonical workspace lock order, outermost first. An acquisition
 /// edge `A -> B` (B taken while A is held) between two listed
 /// resources must go strictly downward in this table. Mirrored in
-/// DESIGN.md section 13; extend the table (and the doc) when a new
-/// lock joins the workspace.
-pub(crate) const CANONICAL_LOCK_ORDER: [&str; 5] = [
-    "SharedDb.inner",   // the one big DB lock (ROADMAP item 1 shards it)
+/// DESIGN.md sections 13 and 17; extend the table (and the docs) when a
+/// new lock joins the workspace.
+pub(crate) const CANONICAL_LOCK_ORDER: [&str; 9] = [
+    "SharedDb.inner",   // two-tier DB lock: writers exclusive, scans shared
     "bench::REPORT",    // process-wide bench report registry
     "BufferPool.frame", // page pins, only under the DB lock
+    "BufferPool.ctl",   // pool control block: frame table + replacement
+    "Shard.pages",      // per-shard page-box latch, only under/after ctl
+    "AreaSlot.store",   // per-area disk store latch
+    "SimDisk.trace",    // trace stream, innermost disk-side lock
     "obs::REGISTRY",    // thread-local metrics registry latch
     "obs::SINK",        // innermost: thread-local event sink latch
 ];
@@ -114,14 +118,23 @@ fn collect_lock_decls(analyses: &[Analysis]) -> LockDecls {
             if t[i].is_ident("struct") && t.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
                 cur_struct = Some(t[i + 1].text.clone());
             }
-            // `name : Mutex/RwLock/RefCell < ...`
-            if t[i].kind != TokKind::Ident
-                || !t.get(i + 1).is_some_and(|n| n.is_punct(":"))
-                || !t.get(i + 3).is_some_and(|n| n.is_punct("<"))
-            {
+            // `name : [Arc <]* Mutex/RwLock/RefCell < ...` — shared
+            // handles like `inner: Arc<RwLock<Db>>` still declare a
+            // lock; the `Arc` wrapper never changes which resource the
+            // call sites acquire.
+            if t[i].kind != TokKind::Ident || !t.get(i + 1).is_some_and(|n| n.is_punct(":")) {
                 continue;
             }
-            let Some(ty) = t.get(i + 2).filter(|n| n.kind == TokKind::Ident) else {
+            let mut ty_at = i + 2;
+            while t.get(ty_at).is_some_and(|n| n.is_ident("Arc"))
+                && t.get(ty_at + 1).is_some_and(|n| n.is_punct("<"))
+            {
+                ty_at += 2;
+            }
+            if !t.get(ty_at + 1).is_some_and(|n| n.is_punct("<")) {
+                continue;
+            }
+            let Some(ty) = t.get(ty_at).filter(|n| n.kind == TokKind::Ident) else {
                 continue;
             };
             let name = t[i].text.clone();
@@ -1188,7 +1201,122 @@ mod tests {
         assert!(found[0].message.contains("SharedDb.inner"), "{found:?}");
     }
 
+    #[test]
+    fn arc_wrapped_rwlock_still_declares_the_shared_db_lock() {
+        // The two-tier handle is `inner: Arc<RwLock<Db>>`; the `Arc`
+        // wrapper must not hide the declaration, and `.write()` on it
+        // must name `SharedDb.inner` — here acquired *under* a page
+        // pin, which the canonical table forbids.
+        let decl = "pub struct SharedDb { inner: Arc<RwLock<Db>> }\n";
+        let bad = format!(
+            "{decl}fn f(db: &SharedDb, pool: &mut Pool, p: PageId) {{ \
+             let g = pool.guard(p); let h = db.inner.write(); h.touch(g); }}\n"
+        );
+        let found = findings_for(
+            &[("crates/core/src/shared_fix.rs", bad.as_str())],
+            "lock-order",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("SharedDb.inner"), "{found:?}");
+        assert!(found[0].message.contains("canonical lock order"));
+
+        // Mutation drill: DB lock first, pin second is the sanctioned
+        // order and must be quiet.
+        let good = format!(
+            "{decl}fn f(db: &SharedDb, pool: &mut Pool, p: PageId) {{ \
+             let h = db.inner.write(); let g = pool.guard(p); h.touch(g); }}\n"
+        );
+        assert_eq!(
+            findings_for(
+                &[("crates/core/src/shared_fix.rs", good.as_str())],
+                "lock-order"
+            ),
+            Vec::<Finding>::new()
+        );
+    }
+
+    #[test]
+    fn shard_latch_above_pool_ctl_violates_canonical_order() {
+        // The sharded pool's discipline is ctl -> shard: taking the
+        // control mutex while a shard's page latch is held inverts the
+        // table (and deadlocks against a concurrent fix()).
+        let decl = "struct Shard { pages: RwLock<PageTable> }\n\
+                    pub struct BufferPool { ctl: Mutex<PoolInner> }\n";
+        let bad = format!(
+            "{decl}impl BufferPool {{ fn bad(&self, slot: &Shard) {{ \
+             let g = slot.pages.write(); let h = self.ctl.lock(); use2(g, h); }} }}\n"
+        );
+        let found = findings_for(
+            &[("crates/bufpool/src/pool_fix.rs", bad.as_str())],
+            "lock-order",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("Shard.pages"), "{found:?}");
+        assert!(found[0].message.contains("BufferPool.ctl"), "{found:?}");
+        assert!(found[0].message.contains("canonical lock order"));
+
+        // Mutation drill: ctl first, shard latch second is the real
+        // pool's order and must be quiet.
+        let good = format!(
+            "{decl}impl BufferPool {{ fn good(&self, slot: &Shard) {{ \
+             let h = self.ctl.lock(); let g = slot.pages.write(); use2(g, h); }} }}\n"
+        );
+        assert_eq!(
+            findings_for(
+                &[("crates/bufpool/src/pool_fix.rs", good.as_str())],
+                "lock-order"
+            ),
+            Vec::<Finding>::new()
+        );
+    }
+
     // ---- guard-across-io ----------------------------------------------
+
+    #[test]
+    fn shard_latch_held_across_io_wrapper_is_flagged() {
+        // A shard page latch live across a cost-counted wrapper call
+        // serializes that shard behind simulated I/O.
+        let decl = "struct Shard { pages: RwLock<PageTable> }\n";
+        let bad = format!(
+            "{decl}impl Pool {{ fn refill(&self, slot: &Shard, p: PageId) {{ \
+             let g = slot.pages.write(); self.read_pages(p); g.touch(); }} }}\n"
+        );
+        let found = findings_for(
+            &[("crates/bufpool/src/pool_fix.rs", bad.as_str())],
+            "guard-across-io",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("Shard.pages"), "{found:?}");
+        assert!(found[0].message.contains("read_pages"));
+
+        // Mutation drill: dropping the latch before the I/O is quiet.
+        let dropped = format!(
+            "{decl}impl Pool {{ fn refill(&self, slot: &Shard, p: PageId) {{ \
+             let g = slot.pages.write(); g.touch(); drop(g); self.read_pages(p); }} }}\n"
+        );
+        assert_eq!(
+            findings_for(
+                &[("crates/bufpool/src/pool_fix.rs", dropped.as_str())],
+                "guard-across-io"
+            ),
+            Vec::<Finding>::new()
+        );
+
+        // Mutation drill: the sanctioned bufpool wrappers themselves
+        // (here a fn *named* like one) stay exempt — they pin across
+        // raw I/O by design.
+        let wrapper = format!(
+            "{decl}impl Pool {{ fn read_buffered(&self, slot: &Shard, p: PageId) {{ \
+             let g = slot.pages.write(); self.read_pages(p); g.touch(); }} }}\n"
+        );
+        assert_eq!(
+            findings_for(
+                &[("crates/bufpool/src/pool_fix.rs", wrapper.as_str())],
+                "guard-across-io"
+            ),
+            Vec::<Finding>::new()
+        );
+    }
 
     #[test]
     fn guard_held_across_wrapper_call_is_flagged() {
@@ -1280,6 +1408,42 @@ mod tests {
         assert_eq!(found.len(), 2, "{found:?}");
         assert!(found.iter().any(|f| f.message.contains(".unwrap()")));
         assert!(found.iter().any(|f| f.message.contains("`panic!`")));
+    }
+
+    #[test]
+    fn indexing_under_a_shard_latch_is_flagged() {
+        // A panic under a shard's page latch poisons that shard for
+        // every later fix() that hashes to it.
+        let decl = "struct Shard { pages: RwLock<PageTable> }\n";
+        let bad = format!(
+            "{decl}fn f(slot: &Shard, v: &[u8], i: usize) -> u8 {{\n\
+             let g = slot.pages.write();\n\
+             let b = v[i];\n\
+             g.set(b);\n\
+             b }}\n"
+        );
+        let found = findings_for(
+            &[("crates/bufpool/src/pool_fix.rs", bad.as_str())],
+            "panic-while-locked",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("Shard.pages"), "{found:?}");
+
+        // Mutation drill: the same indexing before the latch is quiet.
+        let good = format!(
+            "{decl}fn f(slot: &Shard, v: &[u8], i: usize) -> u8 {{\n\
+             let b = v[i];\n\
+             let g = slot.pages.write();\n\
+             g.set(b);\n\
+             b }}\n"
+        );
+        assert_eq!(
+            findings_for(
+                &[("crates/bufpool/src/pool_fix.rs", good.as_str())],
+                "panic-while-locked"
+            ),
+            Vec::<Finding>::new()
+        );
     }
 
     #[test]

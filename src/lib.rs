@@ -56,8 +56,8 @@ pub use lobstore_core::{
     object_health, open_object, publish_object_health, Catalog, CatalogEntry, Db, DbConfig,
     EosObject, EosParams, EsmInsertAlgo, EsmObject, EsmParams, FragStats, HealthSample,
     LargeObject, LobError, ManagerSpec, ObjectHealth, ObjectReader, ObjectWriter, Result,
-    SegmentInfo, SharedDb, Snapshot, SnapshotReader, StarburstObject, StarburstParams, StorageKind,
-    TreeConfig, Utilization,
+    SegmentInfo, SharedDb, SharedSnapshotReader, Snapshot, SnapshotReader, StarburstObject,
+    StarburstParams, StorageKind, TreeConfig, Utilization,
 };
 pub use lobstore_record::{FieldInput, LongHandle, RecordId, RecordStore, Value};
 pub use lobstore_simdisk::{AreaId, CostModel, IoStats, PageId, PAGE_SIZE};

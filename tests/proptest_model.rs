@@ -185,7 +185,7 @@ proptest! {
         use lobstore::simdisk::{AreaId, CostModel, PageId, SimDisk};
         use std::collections::HashMap;
 
-        let mut pool = BufferPool::new(
+        let pool = BufferPool::new(
             SimDisk::new(1, CostModel::FREE),
             PoolConfig { frames: 4, max_buffered_seg: 2 },
         );
@@ -193,10 +193,10 @@ proptest! {
         for (page, val) in script {
             let pid = PageId::new(AreaId(0), page);
             let r = pool.fix(pid);
-            let cur = pool.page(r)[0];
+            let cur = pool.with_page(r, |p| p[0]);
             prop_assert_eq!(cur, model.get(&page).copied().unwrap_or(0),
                 "stale content on page {}", page);
-            pool.page_mut(r)[0] = val;
+            pool.with_page_mut(r, |p| p[0] = val);
             pool.unfix(r);
             model.insert(page, val);
         }

@@ -1,23 +1,37 @@
-//! Multi-thread hammer test for [`SharedDb`]: the runtime counterpart
+//! Multi-thread hammer tests for [`SharedDb`]: the runtime counterpart
 //! of loblint's `lock-order`/`panic-while-locked` static rules.
 //!
-//! N threads drive mixed create/append/read/delete/destroy traffic
-//! through one shared database. Each thread measures the I/O cost of
-//! every operation it issues (an `io_stats` delta taken *inside* the
-//! critical section, so the delta is attributable to exactly that
-//! operation), and the test asserts I/O-accounting closure: the sum of
-//! all per-operation deltas equals the database's total I/O. Any I/O
-//! escaping the cost-counted wrappers — or any interleaving splicing
-//! one thread's I/O into another's measurement — breaks the equation.
+//! Two storms:
 //!
-//! The hammer also exercises the obs registry from every thread:
-//! counters, histograms, and periodic `snapshot()` calls race the
-//! storage traffic. The registry is thread-local by design, so each
-//! thread's metrics must be exact (no cross-thread bleed) and
-//! snapshotting while other threads mutate their registries must never
-//! panic or tear.
+//! * `mixed_traffic_…` — N threads drive mixed create/append/read/
+//!   delete/destroy traffic through the write tier. Each thread measures
+//!   the I/O cost of every operation it issues (an `io_stats` delta
+//!   taken *inside* the critical section, so the delta is attributable
+//!   to exactly that operation), and the test asserts I/O-accounting
+//!   closure: the sum of all per-operation deltas equals the database's
+//!   total I/O. Any I/O escaping the cost-counted wrappers — or any
+//!   interleaving splicing one thread's I/O into another's measurement —
+//!   breaks the equation.
+//!
+//! * `snapshot_scans_race_writers_…` — N scanner threads stream pinned
+//!   snapshots on the **read** tier while M writer threads churn all
+//!   three schemes on the write tier. Every scan pass must return the
+//!   exact bytes pinned at setup (byte stability under churn), the
+//!   closure equation must still hold with reader and writer I/O
+//!   interleaved (scanner deltas are measured inside an aux-mutex +
+//!   read-lock region, so no writer I/O can splice in), and an offline
+//!   fsck of the settled database must come back clean.
+//!
+//! Both storms exercise the obs registry from every thread: the
+//! registry is thread-local by design, so each thread's metrics must be
+//! exact (no cross-thread bleed), and the coordinator folds worker
+//! snapshots together with [`lobstore_obs::merge_thread_registry`].
 
-use lobstore::{Db, ManagerSpec, SharedDb};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use lobstore::{Catalog, Db, ManagerSpec, SharedDb, SnapshotReader};
+use lobstore_cli::check_database;
 use lobstore_simdisk::IoStats;
 
 const THREADS: u8 = 6;
@@ -137,16 +151,32 @@ fn mixed_traffic_from_many_threads_keeps_io_accounting_closed() {
             assert_eq!(h.sum, spent.pages(), "thread {t} pages bleed");
             // Reset-then-snapshot stays empty even while neighbors are
             // mid-traffic (the snapshot-after-reset contract).
+            let mine = lobstore_obs::snapshot();
             lobstore_obs::reset();
             assert!(lobstore_obs::snapshot().counters.is_empty());
-            spent
+            (spent, ops_counted, mine)
         }));
     }
 
-    let spent_total = handles
-        .into_iter()
-        .map(|h| h.join().expect("worker thread"))
-        .fold(IoStats::default(), |acc, s| acc + s);
+    lobstore_obs::reset();
+    let mut spent_total = IoStats::default();
+    let mut ops_total = 0u64;
+    for h in handles {
+        let (spent, ops, mine) = h.join().expect("worker thread");
+        spent_total = spent_total + spent;
+        ops_total += ops;
+        // Fold each worker's thread-local registry into this thread's.
+        lobstore_obs::merge_thread_registry(&mine);
+    }
+    // The merged registry holds the fleet-wide totals: every op from
+    // every thread, and histogram page totals matching the I/O closure.
+    let merged = lobstore_obs::snapshot();
+    assert_eq!(merged.counter("hammer.ops"), ops_total, "merged op count");
+    let h = merged
+        .histogram("hammer.op_pages")
+        .expect("merged histogram");
+    assert_eq!(h.count, ops_total);
+    assert_eq!(h.sum, spent_total.pages(), "merged histogram page total");
 
     // Closure: everything the database's disk did is accounted to
     // exactly one thread's operation measurements.
@@ -160,4 +190,201 @@ fn mixed_traffic_from_many_threads_keeps_io_accounting_closed() {
 
     let mut db = shared.try_unwrap().ok().expect("last handle");
     db.checkpoint();
+}
+
+const SCANNERS: usize = 4;
+const WRITER_OPS: usize = 40;
+const SEED_BYTES: usize = 150_000;
+const SCAN_CHUNK: usize = 8 * 1024;
+
+/// N pinned-snapshot scanners on the read tier race M writers on the
+/// write tier across all three schemes; byte stability, I/O-accounting
+/// closure, and a clean offline fsck must all survive the storm.
+#[test]
+fn snapshot_scans_race_writers_with_closed_accounting_and_clean_fsck() {
+    let shared = SharedDb::new(Db::paper_default());
+
+    // Setup: one object per scheme, registered in a catalog for fsck,
+    // seeded with a known pattern. Committed (checkpointed) before any
+    // pin, so every scanner's expected bytes are exactly the seed.
+    let specs = [
+        ("esm", ManagerSpec::esm(8)),
+        ("eos", ManagerSpec::eos(8)),
+        ("star", ManagerSpec::starburst()),
+    ];
+    let cat_root = shared.with(|db| Catalog::create(db).unwrap().root_page());
+    let mut objs = Vec::new();
+    for (i, (name, spec)) in specs.iter().enumerate() {
+        let (kind, root, model) = shared.with(|db| {
+            let mut obj = spec.create(db).unwrap();
+            let seed = pattern(i as u8, 7, SEED_BYTES);
+            obj.append(db, &seed).unwrap();
+            let mut cat = Catalog::open(db, cat_root).unwrap();
+            cat.put(db, name, obj.kind(), obj.root_page()).unwrap();
+            (obj.kind(), obj.root_page(), seed)
+        });
+        objs.push((kind, root, model));
+    }
+    shared.with(|db| db.checkpoint());
+
+    // Pin the scanners *before* the churn begins: each holds a snapshot
+    // of the seeded state, so "byte-stable" has ground truth.
+    let mut scan_handles = Vec::new();
+    let mut pinned = Vec::new();
+    for s in 0..SCANNERS {
+        let (_, root, expect) = &objs[s % objs.len()];
+        let (snap, reader) = shared.with(|db| {
+            let snap = db.snapshot();
+            let r = SnapshotReader::new(db, &snap, *root).unwrap();
+            (snap, r)
+        });
+        pinned.push((snap, reader, expect.clone()));
+    }
+
+    // Baseline after all setup I/O (object creation, catalog, reader
+    // construction): the closure equation covers exactly the storm.
+    let initial = shared.with(|db| db.io_stats());
+    let done = Arc::new(AtomicBool::new(false));
+    // Serializes scanners against each other (but not against writers —
+    // the read lock inside excludes those) so each scanner's io_stats
+    // delta is attributable to its own refills.
+    let aux = Arc::new(Mutex::new(()));
+
+    // Writers: one per scheme, churning the *same cataloged objects the
+    // scanners pinned* — the hardest case for byte stability, because
+    // every shadowed page a writer replaces is one a pinned snapshot
+    // still needs. Per-op deltas are measured inside the write critical
+    // section.
+    let mut write_handles = Vec::new();
+    for (w, (kind, root, seed)) in objs.into_iter().enumerate() {
+        let shared = shared.clone();
+        write_handles.push(std::thread::spawn(move || {
+            lobstore_obs::reset();
+            let mut spent = IoStats::default();
+            let mut obj = None;
+            let delta = shared.with(|db| {
+                let before = db.io_stats();
+                obj = Some(lobstore::open_object(db, kind, root).expect("open"));
+                db.io_stats() - before
+            });
+            spent = spent + delta;
+            let mut obj = obj.expect("opened");
+            let mut model: Vec<u8> = seed;
+            for i in 0..WRITER_OPS {
+                let delta = shared.with(|db| {
+                    let before = db.io_stats();
+                    if i % 4 == 3 && model.len() > 4_000 {
+                        obj.delete(db, 0, 2_000).expect("delete");
+                        model.drain(0..2_000);
+                    } else {
+                        let chunk = pattern(w as u8 + 16, i, 4_000 + 64 * i);
+                        obj.append(db, &chunk).expect("append");
+                        model.extend_from_slice(&chunk);
+                    }
+                    db.io_stats() - before
+                });
+                spent = spent + delta;
+                lobstore_obs::counter_add("storm.writer_ops", 1);
+            }
+            let delta = shared.with(|db| {
+                let before = db.io_stats();
+                obj.check_invariants(db).expect("invariants");
+                let got = obj.snapshot(db);
+                assert_eq!(got, model, "writer {w} content diverged");
+                db.io_stats() - before
+            });
+            spent = spent + delta;
+            (spent, lobstore_obs::snapshot())
+        }));
+    }
+
+    // Scanners: stream the pinned snapshot end-to-end, repeatedly, on
+    // the read tier. Each refill's I/O delta is measured inside one
+    // (aux mutex + read lock) region: the read lock keeps writer I/O
+    // out, the aux mutex keeps sibling scanners out.
+    for (s, (snap, mut reader, expect)) in pinned.into_iter().enumerate() {
+        let shared = shared.clone();
+        let done = done.clone();
+        let aux = aux.clone();
+        scan_handles.push(std::thread::spawn(move || {
+            lobstore_obs::reset();
+            let mut spent = IoStats::default();
+            let mut passes = 0u64;
+            let mut buf = vec![0u8; SCAN_CHUNK];
+            while !done.load(Ordering::Acquire) || passes < 2 {
+                reader.seek(0);
+                let mut got = Vec::with_capacity(expect.len());
+                loop {
+                    let guard = aux.lock().unwrap();
+                    let (n, delta) = shared.with_read(|db| {
+                        let before = db.io_stats();
+                        let n = reader.read_ref(db, &mut buf);
+                        (n, db.io_stats() - before)
+                    });
+                    drop(guard);
+                    if n == 0 {
+                        break;
+                    }
+                    got.extend_from_slice(&buf[..n]);
+                    spent = spent + delta;
+                }
+                assert_eq!(
+                    got, expect,
+                    "scanner {s} pass {passes}: pinned bytes changed under churn"
+                );
+                passes += 1;
+                lobstore_obs::counter_add("storm.scan_passes", 1);
+            }
+            (spent, passes, snap, lobstore_obs::snapshot())
+        }));
+    }
+
+    lobstore_obs::reset();
+    let mut spent_total = IoStats::default();
+    for h in write_handles {
+        let (spent, mine) = h.join().expect("writer thread");
+        spent_total = spent_total + spent;
+        lobstore_obs::merge_thread_registry(&mine);
+    }
+    done.store(true, Ordering::Release);
+    let mut total_passes = 0u64;
+    let mut snaps = Vec::new();
+    for h in scan_handles {
+        let (spent, passes, snap, mine) = h.join().expect("scanner thread");
+        spent_total = spent_total + spent;
+        total_passes += passes;
+        snaps.push(snap);
+        lobstore_obs::merge_thread_registry(&mine);
+    }
+
+    // Closure: every page the disk moved during the storm is accounted
+    // to exactly one writer op or one scanner refill.
+    let final_stats = shared.with(|db| db.io_stats());
+    assert_eq!(
+        spent_total,
+        final_stats - initial,
+        "writer + scanner io_stats deltas must sum to the database total"
+    );
+    assert!(spent_total.calls() > 0, "the storm must do real I/O");
+
+    // Fleet-wide metrics via the merged registries.
+    let merged = lobstore_obs::snapshot();
+    assert_eq!(merged.counter("storm.scan_passes"), total_passes);
+    assert_eq!(
+        merged.counter("storm.writer_ops"),
+        (specs.len() * WRITER_OPS) as u64
+    );
+    assert!(total_passes >= 2 * SCANNERS as u64, "every scanner scanned");
+
+    // Settle: release every pin (running the deferred frees), then an
+    // offline fsck across all three schemes must come back clean.
+    for snap in snaps {
+        shared.with(|db| db.release_snapshot(snap));
+    }
+    let mut db = shared.try_unwrap().ok().expect("last handle");
+    assert_eq!(db.pinned_snapshots(), 0);
+    db.checkpoint();
+    let mut cat = Catalog::open(&mut db, cat_root).unwrap();
+    let findings = check_database(&mut db, &mut cat);
+    assert!(findings.is_empty(), "fsck after the storm: {findings:?}");
 }
